@@ -1,0 +1,94 @@
+"""Ablation: generator design on an identical service.
+
+Runs the same Memcached-class service under three generator designs --
+open-loop block-wait (mutilate-like), open-loop busy-wait
+(HDSearch-client-like) and closed-loop block-wait -- on an LP client,
+quantifying how much of the client sensitivity is a property of the
+*generator design* rather than the workload (Table III's axis).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_REQUESTS, BENCH_RUNS, run_once
+from repro.config.presets import LP_CLIENT, SERVER_BASELINE
+from repro.loadgen.client_machine import ClientMachine
+from repro.loadgen.closed_loop import ClosedLoopGenerator
+from repro.loadgen.interarrival import ExponentialInterarrival
+from repro.loadgen.open_loop import OpenLoopGenerator
+from repro.net.link import NetworkLink
+from repro.parameters import DEFAULT_PARAMETERS
+from repro.server.service import LognormalService
+from repro.server.station import ServiceStation
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+from repro.units import qps_to_interarrival_us
+
+QPS = 50_000
+
+
+def run_design(design: str, seed: int) -> tuple:
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    station = ServiceStation(
+        sim, SERVER_BASELINE, LognormalService(6.0, 0.35), workers=10,
+        rng=streams.get("service"))
+    time_sensitive = design != "open-busy"
+    machines = [
+        ClientMachine(sim, LP_CLIENT, time_sensitive=time_sensitive,
+                      rng=streams.get(f"client-{index}"),
+                      name=f"c{index}")
+        for index in range(8)
+    ]
+    link_rng = streams.get("network")
+    links = (NetworkLink(DEFAULT_PARAMETERS, link_rng),
+             NetworkLink(DEFAULT_PARAMETERS, link_rng))
+    if design == "closed-block":
+        connections = 32
+        think = max(
+            0.0,
+            connections * qps_to_interarrival_us(QPS) - 60.0)
+        generator = ClosedLoopGenerator(
+            sim, machines, station, links[0], links[1],
+            connections=connections, think_time_us=think,
+            think_rng=streams.get("think"),
+            time_sensitive=True, num_requests=BENCH_REQUESTS)
+    else:
+        generator = OpenLoopGenerator(
+            sim, machines, station, links[0], links[1],
+            ExponentialInterarrival(QPS), streams.get("arrivals"),
+            time_sensitive=time_sensitive,
+            num_requests=BENCH_REQUESTS)
+    generator.start()
+    sim.run()
+    samples = generator.samples
+    return (samples.average_latency_us(),
+            float(np.mean(samples.client_overheads_us())),
+            float(np.mean(np.abs(samples.send_errors_us()))))
+
+
+def build():
+    designs = ("open-block", "open-busy", "closed-block")
+    output = {}
+    for design in designs:
+        rows = [run_design(design, seed) for seed in range(BENCH_RUNS)]
+        arr = np.array(rows)
+        output[design] = arr.mean(axis=0)
+    return output
+
+
+def test_ablation_generator_design(benchmark):
+    results = run_once(benchmark, build)
+    print()
+    print(f"Ablation: generator design on the same service "
+          f"(LP client, {QPS / 1000:.0f}K QPS)")
+    print(f"{'design':<14}{'avg(us)':>10}{'client bias':>13}"
+          f"{'|send err|':>12}")
+    for design, (avg, bias, send_err) in results.items():
+        print(f"{design:<14}{avg:>10.1f}{bias:>13.1f}{send_err:>12.1f}")
+
+    # Busy-wait polling removes both the measurement bias and the
+    # send-timing error.
+    assert results["open-busy"][1] < 0.3 * results["open-block"][1]
+    assert results["open-busy"][2] < 0.3 * results["open-block"][2]
+    # Closed-loop compounds timing error into the send path too.
+    assert results["closed-block"][1] > 0.5 * results["open-block"][1]

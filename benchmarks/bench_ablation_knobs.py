@@ -1,0 +1,76 @@
+"""Ablation: which client knob costs how much?
+
+Walks from the LP configuration to the HP configuration one knob at a
+time (C-states -> governor/driver -> uncore) and measures the
+Memcached end-to-end average after each step, attributing the LP/HP
+gap to individual knobs.  This is the space exploration Section VI
+recommends when the target configuration is unknown.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_REQUESTS, BENCH_RUNS, run_once
+from repro.config.knobs import (
+    FrequencyDriver,
+    FrequencyGovernor,
+    UncorePolicy,
+)
+from repro.config.presets import HP_CLIENT, LP_CLIENT
+from repro.core.experiment import run_experiment
+from repro.workloads.memcached import build_memcached_testbed
+
+QPS = 100_000
+
+
+def knob_walk():
+    """LP -> HP one knob at a time."""
+    steps = [("LP (all default)", LP_CLIENT)]
+    config = LP_CLIENT.with_cstates({"C0"}).renamed("LP+idle=poll")
+    steps.append(("+ C-states off", config))
+    config = replace(
+        config,
+        frequency_driver=FrequencyDriver.ACPI_CPUFREQ,
+        frequency_governor=FrequencyGovernor.PERFORMANCE,
+    ).renamed("LP+poll+perf")
+    steps.append(("+ performance governor", config))
+    config = replace(config, uncore=UncorePolicy.FIXED).renamed(
+        "almost-HP")
+    steps.append(("+ fixed uncore", config))
+    steps.append(("HP (tuned)", HP_CLIENT))
+    return steps
+
+
+def build():
+    rows = []
+    for label, config in knob_walk():
+        result = run_experiment(
+            lambda seed, c=config: build_memcached_testbed(
+                seed, client_config=c, qps=QPS,
+                num_requests=BENCH_REQUESTS),
+            runs=BENCH_RUNS, base_seed=7_000)
+        rows.append((label, float(np.mean(result.avg_samples()))))
+    return rows
+
+
+def test_ablation_knob_walk(benchmark):
+    rows = run_once(benchmark, build)
+    print()
+    print(f"Ablation: LP -> HP knob walk (Memcached avg us "
+          f"@ {QPS / 1000:.0f}K)")
+    baseline = rows[0][1]
+    for label, avg in rows:
+        print(f"  {label:<26} {avg:>8.1f}  "
+              f"({avg / baseline:>6.1%} of LP)")
+
+    averages = [avg for _, avg in rows]
+    # Each tuning step must not make things worse (monotone walk)...
+    for earlier, later in zip(averages, averages[1:]):
+        assert later <= earlier * 1.05
+    # ...and the full walk must recover (almost) the whole LP/HP gap.
+    assert averages[-1] < 0.7 * averages[0]
+    # Disabling C-states is the single biggest step on this workload.
+    drops = [earlier - later
+             for earlier, later in zip(averages, averages[1:])]
+    assert drops[0] == max(drops)

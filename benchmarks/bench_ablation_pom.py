@@ -1,0 +1,67 @@
+"""Ablation: the point of measurement (Section II / Lancet [24]).
+
+The paper argues the in-generator point of measurement is what makes
+experiments client-sensitive.  This ablation measures the same LP runs
+at all three points -- NIC, kernel, generator -- and shows the client
+bias appearing only as the point moves up the client stack.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_REQUESTS, BENCH_RUNS, run_once
+from repro.config.presets import HP_CLIENT, LP_CLIENT
+from repro.loadgen.measurement import PointOfMeasurement
+from repro.workloads.memcached import build_memcached_testbed
+
+QPS = 100_000
+
+
+def collect(client_config):
+    per_point = {point: [] for point in PointOfMeasurement}
+    for seed in range(BENCH_RUNS):
+        testbed = build_memcached_testbed(
+            seed=seed, client_config=client_config, qps=QPS,
+            num_requests=BENCH_REQUESTS)
+        testbed.run()
+        samples = testbed.samples
+        for point in PointOfMeasurement:
+            per_point[point].append(
+                samples.average_latency_us(point))
+    return {point: float(np.mean(values))
+            for point, values in per_point.items()}
+
+
+def build():
+    return {"LP": collect(LP_CLIENT), "HP": collect(HP_CLIENT)}
+
+
+def test_ablation_point_of_measurement(benchmark):
+    results = run_once(benchmark, build)
+    print()
+    print(f"Ablation: average latency (us) by point of measurement "
+          f"@ {QPS / 1000:.0f}K")
+    print(f"{'client':<8}{'NIC':>10}{'kernel':>10}{'generator':>12}")
+    for client, per_point in results.items():
+        print(f"{client:<8}"
+              f"{per_point[PointOfMeasurement.NIC]:>10.1f}"
+              f"{per_point[PointOfMeasurement.KERNEL]:>10.1f}"
+              f"{per_point[PointOfMeasurement.GENERATOR]:>12.1f}")
+
+    lp = results["LP"]
+    hp = results["HP"]
+    # At the NIC the two clients agree: the hardware ground truth is
+    # client-configuration independent.
+    assert np.isclose(lp[PointOfMeasurement.NIC],
+                      hp[PointOfMeasurement.NIC], rtol=0.1)
+    # The generator point is where the LP bias lives.
+    lp_bias = (lp[PointOfMeasurement.GENERATOR]
+               - lp[PointOfMeasurement.NIC])
+    hp_bias = (hp[PointOfMeasurement.GENERATOR]
+               - hp[PointOfMeasurement.NIC])
+    print(f"\nclient bias at generator point: LP {lp_bias:.1f} us, "
+          f"HP {hp_bias:.1f} us")
+    assert lp_bias > 5 * hp_bias
+    # The kernel point sits strictly between.
+    assert (lp[PointOfMeasurement.NIC]
+            < lp[PointOfMeasurement.KERNEL]
+            < lp[PointOfMeasurement.GENERATOR])

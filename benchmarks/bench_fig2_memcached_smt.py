@@ -1,0 +1,57 @@
+"""Fig. 2: SMT impact on Memcached latency with LP and HP clients.
+
+Regenerates all four panels:
+(a) average response time, (b) 99th-percentile latency,
+(c) SMT_OFF/SMT_ON ratio of the average, (d) the same for p99.
+
+Paper shapes asserted:
+* LP's end-to-end average sits far above HP's (80-150% in the paper);
+* the HP client measures a larger SMT p99 benefit than the LP client
+  (13% vs 3% in the paper).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_REQUESTS, BENCH_RUNS, run_once
+from repro.analysis.figures import (
+    MEMCACHED_QPS,
+    memcached_study,
+    render_latency_series,
+    render_ratio_series,
+)
+
+
+def build_grid():
+    return memcached_study(
+        knob="smt", qps_list=MEMCACHED_QPS,
+        runs=BENCH_RUNS, num_requests=BENCH_REQUESTS)
+
+
+def test_fig2_memcached_smt(benchmark):
+    grid = run_once(benchmark, build_grid)
+    print()
+    print(render_latency_series(
+        grid, "avg", title="Fig 2a: Average Response Time (us, median)"))
+    print()
+    print(render_latency_series(
+        grid, "p99", title="Fig 2b: 99th Percentile Latency (us, median)"))
+    print()
+    print(render_ratio_series(
+        grid, "SMToff", "SMTon", "avg",
+        title="Fig 2c: SMT_OFF / SMT_ON (avg)"))
+    print()
+    print(render_ratio_series(
+        grid, "SMToff", "SMTon", "p99",
+        title="Fig 2d: SMT_OFF / SMT_ON (99th)"))
+
+    # --- shape assertions -------------------------------------------------
+    for qps, gap in grid.client_gap_series("SMToff", "avg"):
+        assert gap > 1.4, f"LP/HP avg gap at {qps}: {gap:.2f}"
+
+    lp_p99 = dict(grid.ratio_series("LP", "SMToff", "SMTon", "p99"))
+    hp_p99 = dict(grid.ratio_series("HP", "SMToff", "SMTon", "p99"))
+    high_load = [q for q in grid.qps_list if q >= 300_000]
+    assert (np.mean([hp_p99[q] for q in high_load])
+            > np.mean([lp_p99[q] for q in high_load])), \
+        "HP must measure a larger SMT p99 benefit than LP"
+    assert max(hp_p99.values()) > 1.04

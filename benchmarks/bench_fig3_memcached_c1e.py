@@ -1,0 +1,67 @@
+"""Fig. 3: C1E impact on Memcached latency with LP and HP clients.
+
+Regenerates the four panels (avg, p99, C1E_ON/C1E_OFF ratios) and
+runs the paper's conclusion analysis: at which loads does each client
+declare C1E harmful (CIs disjoint), and do the clients disagree
+anywhere (Finding 2)?
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_REQUESTS, BENCH_RUNS, run_once
+from repro.analysis.figures import (
+    MEMCACHED_QPS,
+    memcached_study,
+    render_latency_series,
+    render_ratio_series,
+)
+from repro.core.comparison import detect_conflicts
+
+
+def build_grid():
+    return memcached_study(
+        knob="c1e", qps_list=MEMCACHED_QPS,
+        runs=BENCH_RUNS, num_requests=BENCH_REQUESTS)
+
+
+def test_fig3_memcached_c1e(benchmark):
+    grid = run_once(benchmark, build_grid)
+    print()
+    print(render_latency_series(
+        grid, "avg", title="Fig 3a: Average Response Time (us, median)"))
+    print()
+    print(render_latency_series(
+        grid, "p99", title="Fig 3b: 99th Percentile Latency (us, median)"))
+    print()
+    print(render_ratio_series(
+        grid, "C1Eon", "C1Eoff", "avg",
+        title="Fig 3c: C1E_ON / C1E_OFF (avg)"))
+    print()
+    print(render_ratio_series(
+        grid, "C1Eon", "C1Eoff", "p99",
+        title="Fig 3d: C1E_ON / C1E_OFF (99th)"))
+
+    per_observer = {
+        client: grid.comparisons(client, "C1Eoff", "C1Eon", "avg")
+        for client in ("LP", "HP")
+    }
+    print()
+    print("Conclusion analysis (CI overlap, avg):")
+    for client, comparisons in per_observer.items():
+        for qps, comparison in sorted(comparisons.items()):
+            print(f"  {client} @ {qps / 1000:.0f}K: "
+                  f"{comparison.describe()}")
+    conflicts = detect_conflicts(per_observer)
+    for conflict in conflicts:
+        print("  CONFLICT:", conflict.describe())
+
+    # --- shape assertions -------------------------------------------------
+    hp_ratio = dict(grid.ratio_series("HP", "C1Eon", "C1Eoff", "avg"))
+    low = hp_ratio[min(grid.qps_list)]
+    high = hp_ratio[max(grid.qps_list)]
+    assert low > 1.08, f"HP must see C1E slowdown at low load: {low:.3f}"
+    assert high < low, "C1E impact must fade at high load"
+
+    lp_ratio = dict(grid.ratio_series("LP", "C1Eon", "C1Eoff", "avg"))
+    assert lp_ratio[min(grid.qps_list)] < low, \
+        "LP's measured C1E slowdown must be diluted by client overhead"

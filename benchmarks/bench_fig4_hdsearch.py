@@ -1,0 +1,60 @@
+"""Fig. 4: SMT and C1E impact on HDSearch with LP and HP clients.
+
+HDSearch's ~millisecond latency is ~10x Memcached's, so the paper
+expects (and we assert) a much smaller LP/HP gap (7-17% in the paper
+vs 80-150% for Memcached) and *matching* speedup trends between the
+two clients.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_REQUESTS, BENCH_RUNS, run_once
+from repro.analysis.figures import (
+    HDSEARCH_QPS,
+    hdsearch_study,
+    render_latency_series,
+)
+
+
+def build_grids():
+    requests = max(200, BENCH_REQUESTS // 2)
+    smt = hdsearch_study(knob="smt", qps_list=HDSEARCH_QPS,
+                         runs=BENCH_RUNS, num_requests=requests)
+    c1e = hdsearch_study(knob="c1e", qps_list=HDSEARCH_QPS,
+                         runs=BENCH_RUNS, num_requests=requests)
+    return smt, c1e
+
+
+def test_fig4_hdsearch(benchmark):
+    smt, c1e = run_once(benchmark, build_grids)
+    print()
+    print(render_latency_series(
+        smt, "avg", title="Fig 4a: Average Response Time (us, median) "
+                          "- SMT study"))
+    print()
+    print(render_latency_series(
+        smt, "p99", title="Fig 4b: 99th Percentile Latency (us, median) "
+                          "- SMT study"))
+    print()
+    print(render_latency_series(
+        c1e, "avg", title="Fig 4c: Average Response Time (us, median) "
+                          "- C1E study"))
+    print()
+    print(render_latency_series(
+        c1e, "p99", title="Fig 4d: 99th Percentile Latency (us, median) "
+                          "- C1E study"))
+
+    # --- shape assertions -------------------------------------------------
+    gaps = [gap for _, gap in smt.client_gap_series("SMToff", "avg")]
+    assert all(1.0 < gap < 1.30 for gap in gaps), \
+        f"HDSearch LP/HP gap must be small: {gaps}"
+
+    # Both clients must agree on the C1E trend (same speedup shape).
+    lp_trend = [r for _, r in c1e.ratio_series(
+        "LP", "C1Eon", "C1Eoff", "avg")]
+    hp_trend = [r for _, r in c1e.ratio_series(
+        "HP", "C1Eon", "C1Eoff", "avg")]
+    assert np.corrcoef(lp_trend, hp_trend)[0, 1] > -0.5 or \
+        np.allclose(lp_trend, hp_trend, atol=0.05), \
+        "LP and HP must report similar C1E trends on HDSearch"
+    assert max(abs(np.array(lp_trend) - np.array(hp_trend))) < 0.08

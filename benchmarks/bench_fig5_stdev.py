@@ -1,0 +1,50 @@
+"""Fig. 5: run-to-run standard deviation of the average response time.
+
+(a) Memcached: the LP client's stdev dominates at low QPS (its wake
+    path carries uncontrolled run-to-run state), while the HP client's
+    stdev grows with load (server-side queueing/interference).
+(b) HDSearch: stdevs are larger in absolute terms but small relative
+    to the millisecond-scale means.
+"""
+
+from benchmarks.conftest import BENCH_REQUESTS, BENCH_RUNS, run_once
+from repro.analysis.figures import (
+    hdsearch_study,
+    memcached_study,
+    render_latency_series,
+)
+
+MEMCACHED_POINTS = (10_000, 100_000, 300_000, 500_000)
+HDSEARCH_POINTS = (500, 1_500, 2_500)
+
+
+def build_grids():
+    memcached = memcached_study(
+        knob="smt", qps_list=MEMCACHED_POINTS,
+        runs=BENCH_RUNS, num_requests=BENCH_REQUESTS)
+    hdsearch = hdsearch_study(
+        knob="smt", qps_list=HDSEARCH_POINTS,
+        runs=BENCH_RUNS, num_requests=max(200, BENCH_REQUESTS // 2))
+    return memcached, hdsearch
+
+
+def test_fig5_stdev(benchmark):
+    memcached, hdsearch = run_once(benchmark, build_grids)
+    print()
+    print(render_latency_series(
+        memcached, "stdev_avg",
+        title="Fig 5a: Stdev of Average Response Time (us) - Memcached"))
+    print()
+    print(render_latency_series(
+        hdsearch, "stdev_avg",
+        title="Fig 5b: Stdev of Average Response Time (us) - HDSearch"))
+
+    # --- shape assertions -------------------------------------------------
+    lp_low = memcached.result("LP", "SMToff", 10_000).stdev_avg_us()
+    hp_low = memcached.result("HP", "SMToff", 10_000).stdev_avg_us()
+    assert lp_low > 3 * hp_low, \
+        "LP stdev must dominate HP's at low load"
+
+    hp_high = memcached.result("HP", "SMToff", 500_000).stdev_avg_us()
+    assert hp_high > 2 * hp_low, \
+        "HP stdev must grow with load (queueing/interference)"

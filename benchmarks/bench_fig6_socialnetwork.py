@@ -1,0 +1,52 @@
+"""Fig. 6: LP vs HP clients on the Social Network application.
+
+At 2-3 ms average / double-digit-millisecond p99, the client-induced
+overhead should barely register: the paper reports an LP/HP gap of
+~5% on the average and essentially none on the 99th percentile.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_REQUESTS, BENCH_RUNS, run_once
+from repro.analysis.figures import (
+    SOCIALNETWORK_QPS,
+    render_latency_series,
+    socialnetwork_study,
+)
+
+
+def build_grid():
+    return socialnetwork_study(
+        qps_list=SOCIALNETWORK_QPS, runs=BENCH_RUNS,
+        num_requests=max(200, BENCH_REQUESTS // 2))
+
+
+def test_fig6_socialnetwork(benchmark):
+    grid = run_once(benchmark, build_grid)
+    print()
+    print("Fig 6a: LP / HP ratio by QPS")
+    header = f"{'metric':<12}" + "".join(
+        f"{qps:>8.0f}" for qps in grid.qps_list)
+    print(header)
+    avg_gaps = grid.client_gap_series("baseline", "avg")
+    p99_gaps = grid.client_gap_series("baseline", "p99")
+    print(f"{'LP/HP avg':<12}" + "".join(
+        f"{gap:>8.3f}" for _, gap in avg_gaps))
+    print(f"{'LP/HP p99':<12}" + "".join(
+        f"{gap:>8.3f}" for _, gap in p99_gaps))
+    print()
+    print(render_latency_series(
+        grid, "avg", title="Fig 6b: Average Response Time (us, median)"))
+    print()
+    print(render_latency_series(
+        grid, "p99", title="Fig 6c: 99th Percentile Latency (us, median)"))
+
+    # --- shape assertions -------------------------------------------------
+    for qps, gap in avg_gaps:
+        assert gap < 1.12, f"avg gap at {qps}: {gap:.3f}"
+    mean_p99_gap = np.mean([gap for _, gap in p99_gaps])
+    assert 0.9 < mean_p99_gap < 1.1, \
+        f"p99 must be client-insensitive: {mean_p99_gap:.3f}"
+    # Millisecond scale.
+    for qps, value in grid.series("HP", "baseline", "avg"):
+        assert value > 1_000.0

@@ -1,0 +1,89 @@
+"""Fig. 7: sensitivity of the LP/HP gap to service latency.
+
+The synthetic workload extends its service time by a tunable busy-wait
+delay (0-400 us).  The paper's shapes:
+
+* (a, b) the LP/HP ratio decays toward 1 as the delay grows
+  (2.8x -> 1.02x for the average in the paper);
+* (c-f) at low QPS the absolute latency grows linearly with the delay
+  (validating the workload implementation).
+
+Per the paper, this figure uses 20 runs per point; QPS points are
+chosen with Little's law so concurrency stays below the worker count.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_REQUESTS, BENCH_RUNS, run_once
+from repro.analysis.figures import synthetic_study
+from repro.stats.littles_law import feasible_qps
+from repro.workloads.synthetic import SYNTHETIC_BASE_US, SYNTHETIC_WORKERS
+
+DELAYS = (0.0, 100.0, 200.0, 300.0, 400.0)
+CANDIDATE_QPS = (5_000, 10_000, 15_000, 20_000)
+
+
+def build_grids():
+    max_delay_service = SYNTHETIC_BASE_US + max(DELAYS)
+    qps_list = feasible_qps(
+        list(CANDIDATE_QPS), service_us=max_delay_service,
+        workers=SYNTHETIC_WORKERS)
+    runs = min(BENCH_RUNS, 20)  # the paper uses 20 runs here
+    return synthetic_study(
+        delays_us=DELAYS, qps_list=qps_list, runs=runs,
+        num_requests=BENCH_REQUESTS)
+
+
+def test_fig7_synthetic(benchmark):
+    grids = run_once(benchmark, build_grids)
+    qps_list = next(iter(grids.values())).qps_list
+
+    print()
+    print("Fig 7a/7b: LP / HP ratio by added delay")
+    print(f"{'delay(us)':<10}" + "".join(
+        f"{qps / 1000:>7.0f}K" for qps in qps_list) + "   (avg)")
+    avg_ratio = {}
+    for delay, grid in sorted(grids.items()):
+        gaps = dict(grid.client_gap_series("baseline", "avg"))
+        avg_ratio[delay] = gaps
+        print(f"{delay:<10.0f}" + "".join(
+            f"{gaps[qps]:>8.2f}" for qps in qps_list))
+    print(f"{'delay(us)':<10}" + "".join(
+        f"{qps / 1000:>7.0f}K" for qps in qps_list) + "   (p99)")
+    for delay, grid in sorted(grids.items()):
+        gaps = dict(grid.client_gap_series("baseline", "p99"))
+        print(f"{delay:<10.0f}" + "".join(
+            f"{gaps[qps]:>8.2f}" for qps in qps_list))
+
+    print()
+    print("Fig 7c-7f: absolute latency by delay (us, median)")
+    low_qps, high_qps = qps_list[0], qps_list[-1]
+    for qps, label in ((low_qps, "c/d"), (high_qps, "e/f")):
+        for client in ("HP", "LP"):
+            avg_row = []
+            p99_row = []
+            for delay in sorted(grids):
+                result = grids[delay].result(client, "baseline", qps)
+                avg_row.append(float(np.median(result.avg_samples())))
+                p99_row.append(float(np.median(result.p99_samples())))
+            print(f"  ({label}) {client} @ {qps / 1000:.0f}K  avg: "
+                  + " ".join(f"{v:8.1f}" for v in avg_row)
+                  + "   p99: "
+                  + " ".join(f"{v:8.1f}" for v in p99_row))
+
+    # --- shape assertions -------------------------------------------------
+    for qps in qps_list:
+        ratios = [avg_ratio[delay][qps] for delay in sorted(grids)]
+        assert ratios[0] > 1.5, \
+            f"zero-delay ratio at {qps}: {ratios[0]:.2f}"
+        assert ratios[-1] < 1.15, \
+            f"400us-delay ratio at {qps}: {ratios[-1]:.2f}"
+        assert ratios[0] > ratios[-1]
+
+    # Linearity at low QPS (paper: validates the implementation).
+    hp_avgs = [float(np.median(
+        grids[delay].result("HP", "baseline", low_qps).avg_samples()))
+        for delay in sorted(grids)]
+    increments = np.diff(hp_avgs)
+    assert all(70.0 < inc < 130.0 for inc in increments), \
+        f"latency must track the 100us delay steps: {increments}"

@@ -1,0 +1,20 @@
+"""Table I: hardware characterization in previous work.
+
+Regenerates the survey table: 0 client-only, 8 server-only, 2 both,
+10 none, out of 20 surveyed publications.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.survey import survey_counts
+from repro.analysis.tables import render_table1
+
+
+def test_table1_survey(benchmark):
+    counts = run_once(benchmark, survey_counts)
+    print()
+    print(render_table1())
+    assert counts["Client only"] == 0
+    assert counts["Server only"] == 8
+    assert counts["Client and server"] == 2
+    assert counts["None"] == 10
+    assert sum(counts.values()) == 20

@@ -1,0 +1,36 @@
+"""Table II: client- and server-side hardware configurations.
+
+Renders the LP/HP/baseline knob table and verifies that the host
+tuning toolkit can realize each configuration on a (fake) Skylake
+host -- i.e. the table is not just documentation but an executable
+configuration.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import render_table2
+from repro.config.presets import HP_CLIENT, LP_CLIENT, SERVER_BASELINE
+from repro.host.filesystem import FakeFilesystem, make_skylake_tree
+from repro.host.tuner import HostTuner
+
+
+def apply_all_configs():
+    results = {}
+    for config in (LP_CLIENT, HP_CLIENT):
+        fs = FakeFilesystem(make_skylake_tree())
+        results[config.name] = HostTuner(fs).apply_config(config)
+    # The server baseline expects acpi-cpufreq to be active.
+    fs = FakeFilesystem(make_skylake_tree(
+        driver="acpi-cpufreq", governor="performance"))
+    fs.files["/sys/devices/system/cpu/cpu0/cpufreq/"
+             "scaling_available_governors"] = "performance powersave"
+    results["baseline"] = HostTuner(fs).apply_config(SERVER_BASELINE)
+    return results
+
+
+def test_table2_configs(benchmark):
+    results = run_once(benchmark, apply_all_configs)
+    print()
+    print(render_table2())
+    for name, result in results.items():
+        assert result.performed, f"{name}: no actions applied"
+        assert result.needs_reboot  # driver/grub knobs are boot-time

@@ -1,0 +1,32 @@
+"""Table III: the scenario taxonomy and its risk column.
+
+Renders the table and cross-checks the risk flags against the
+Section VI recommendation engine: the risky cell (untuned client,
+time-sensitive generator, microsecond service) is exactly the one the
+recommendations exist to prevent.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import render_table3
+from repro.config.presets import HP_CLIENT
+from repro.core.recommendations import recommend
+from repro.core.scenarios import risky_scenarios, scenario_table
+from repro.loadgen.base import GeneratorDesign
+
+
+def build_table():
+    return scenario_table()
+
+
+def test_table3_scenarios(benchmark):
+    scenarios = run_once(benchmark, build_table)
+    print()
+    print(render_table3())
+    assert len(scenarios) == 4
+    risky = risky_scenarios()
+    assert len(risky) == 1
+    # The recommendation for the risky design is to tune the client,
+    # which converts the risky row into its safe sibling.
+    design = GeneratorDesign(loop="open", time_sensitive=True)
+    advice = recommend(design)
+    assert advice.client_config is HP_CLIENT

@@ -1,0 +1,62 @@
+"""Table IV: iterations to reach a 1%-error 95% CI, per configuration.
+
+For each of the six Section V-A scenarios and each load, compute the
+parametric (equation 3) and CONFIRM repetition counts plus the
+Shapiro-Wilk verdict -- the paper's full evaluation-time table.
+
+Shapes asserted:
+* the LP client needs far more iterations than HP at low QPS;
+* the HP client needs more iterations at high QPS than at low QPS.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_REQUESTS, run_once
+from repro.analysis.figures import memcached_study
+from repro.analysis.tables import render_table4
+from repro.core.evaluation_time import estimate_evaluation_time
+
+QPS_LIST = (10_000, 100_000, 300_000, 500_000)
+RUNS = 50  # iteration estimation needs the paper's 50-run pilots
+
+
+def build_estimates():
+    smt = memcached_study(knob="smt", qps_list=QPS_LIST, runs=RUNS,
+                          num_requests=BENCH_REQUESTS)
+    c1e = memcached_study(knob="c1e", qps_list=QPS_LIST, runs=RUNS,
+                          num_requests=BENCH_REQUESTS)
+    rng = np.random.default_rng(0)
+    estimates = {}
+    for client in ("LP", "HP"):
+        for grid, condition in ((smt, "SMToff"), (smt, "SMTon"),
+                                (c1e, "C1Eon")):
+            label = f"{client}-{condition}"
+            estimates[label] = {
+                qps: estimate_evaluation_time(
+                    grid.result(client, condition, qps).avg_samples(),
+                    rng=rng)
+                for qps in QPS_LIST}
+    return estimates
+
+
+def test_table4_iterations(benchmark):
+    estimates = run_once(benchmark, build_estimates)
+    print()
+    print(render_table4(estimates, qps_order=QPS_LIST))
+
+    # --- shape assertions -------------------------------------------------
+    lp_low = estimates["LP-SMToff"][10_000].parametric_runs
+    hp_low = estimates["HP-SMToff"][10_000].parametric_runs
+    assert lp_low > 5 * hp_low, \
+        f"LP must need many more runs at low QPS ({lp_low} vs {hp_low})"
+
+    hp_high = estimates["HP-SMToff"][500_000].parametric_runs
+    assert hp_high > hp_low, \
+        f"HP must need more runs at high QPS ({hp_high} vs {hp_low})"
+
+    # Evaluation time follows directly (2-minute runs).
+    lp_time = estimates["LP-SMToff"][10_000].evaluation_seconds
+    hp_time = estimates["HP-SMToff"][10_000].evaluation_seconds
+    print(f"\nEvaluation time @10K: LP {lp_time / 60:.0f} min vs "
+          f"HP {hp_time / 60:.0f} min")
+    assert lp_time > hp_time

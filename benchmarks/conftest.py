@@ -1,0 +1,39 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the same rows/series the paper reports.  Scale is controlled by
+environment variables so the suite can run as a quick smoke
+(``REPRO_BENCH_RUNS=8``) or a full-fidelity reproduction
+(``REPRO_BENCH_RUNS=50``, the paper's repetition count):
+
+* ``REPRO_BENCH_RUNS`` -- repetitions per condition (default 12).
+* ``REPRO_BENCH_REQUESTS`` -- requests per run (default 500; stands in
+  for the paper's 2-minute run duration).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Repetitions per experimental condition.
+BENCH_RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "12"))
+#: Requests per run.
+BENCH_REQUESTS = int(os.environ.get("REPRO_BENCH_REQUESTS", "500"))
+
+
+def run_once(benchmark, fn):
+    """Time *fn* exactly once (a study grid is minutes, not micro-
+    seconds; pytest-benchmark's autocalibration would re-run it)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def bench_runs():
+    return BENCH_RUNS
+
+
+@pytest.fixture
+def bench_requests():
+    return BENCH_REQUESTS

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""How many runs does your experiment need? (Section V-C / Table IV)
+
+Collects pilot runs for an LP and an HP client at a low and a high
+load, tests normality, and applies both repetition-count methods --
+the parametric equation 3 and the non-parametric CONFIRM -- then
+prints the implied wall-clock evaluation time at the paper's 2-minute
+run duration.  Finishes with the Section VI recommendation for this
+generator design.
+
+Run:
+    python examples/evaluation_time.py
+"""
+
+import numpy as np
+
+from repro import (
+    HP_CLIENT,
+    LP_CLIENT,
+    build_memcached_testbed,
+    estimate_evaluation_time,
+    recommend,
+    run_experiment,
+)
+from repro.loadgen.base import GeneratorDesign
+
+PILOT_RUNS = 30
+REQUESTS = 500
+LOADS = (10_000, 500_000)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    print(f"Pilot: {PILOT_RUNS} runs per condition\n")
+    print(f"{'condition':<16}{'parametric':>11}{'CONFIRM':>9}"
+          f"{'Shapiro':>9}{'eval time':>12}")
+    for config in (LP_CLIENT, HP_CLIENT):
+        for qps in LOADS:
+            result = run_experiment(
+                lambda seed, c=config, q=qps: build_memcached_testbed(
+                    seed, client_config=c, qps=q,
+                    num_requests=REQUESTS),
+                runs=PILOT_RUNS)
+            estimate = estimate_evaluation_time(
+                result.avg_samples(), rng=rng)
+            minutes = estimate.evaluation_seconds / 60
+            label = f"{config.name}@{qps // 1000}K"
+            print(f"{label:<16}{estimate.parametric_runs:>11d}"
+                  f"{estimate.confirm_display():>9}"
+                  f"{estimate.normality.verdict:>9}"
+                  f"{minutes:>10.0f} min")
+
+    print("\nPaper, Finding 4: the client configuration changes how "
+          "long it takes to get a statistically confident answer.\n")
+    design = GeneratorDesign(loop="open", time_sensitive=True)
+    print(recommend(design, target_config=LP_CLIENT,
+                    target_known=True).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Tune a real (or fake) Linux host into the paper's HP configuration.
+
+Demonstrates the host toolkit end to end:
+
+1. snapshot the machine's tunable state,
+2. build and review the tuning plan for the HP configuration,
+3. apply it (sysfs writes, MSR writes, grub edits),
+4. restore the snapshot.
+
+This example runs against a synthetic Skylake sysfs tree
+(:class:`FakeFilesystem`) so it is safe anywhere.  On a real client
+machine, replace the filesystem with ``RealFilesystem()`` and run as
+root -- every write lands on the live ``/sys`` and ``/dev/cpu`` paths.
+
+Run:
+    python examples/host_tuning.py
+"""
+
+from repro.config import HP_CLIENT, LP_CLIENT, config_warnings
+from repro.host import (
+    FakeFilesystem,
+    HostTuner,
+    capture_snapshot,
+    make_skylake_tree,
+)
+
+
+def main() -> None:
+    # On real hardware:  fs = RealFilesystem()
+    fs = FakeFilesystem(make_skylake_tree())
+    tuner = HostTuner(fs)
+
+    print("=== 1. Snapshot current state ===")
+    snapshot = capture_snapshot(fs)
+    print(f"  governor={snapshot.governor}  driver={snapshot.driver}")
+    print(f"  C-states={snapshot.enabled_cstates}")
+    print(f"  SMT={'on' if snapshot.smt_active else 'off'}  "
+          f"turbo={'on' if snapshot.turbo_enabled else 'off'}  "
+          f"uncore={snapshot.uncore_limits_mhz} MHz")
+
+    print("\n=== 2. Review the HP tuning plan (dry run) ===")
+    plan = tuner.plan(HP_CLIENT)
+    print(plan.render())
+
+    print("\n=== 3. Apply ===")
+    result = tuner.apply(plan)
+    for action in result.performed:
+        print(f"  done: {action}")
+    if result.needs_reboot:
+        print("  NOTE: run update-grub and reboot for the boot-time "
+              "knobs (driver, C-state ceiling, nohz).")
+
+    print("\n=== 4. Restore the snapshot ===")
+    for action in result.snapshot.restore(fs):
+        print(f"  {action}")
+
+    print("\n=== Bonus: why not just leave the defaults? ===")
+    for warning in config_warnings(LP_CLIENT):
+        print(f"  LP warning: {warning}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""When does the client stop mattering? (Fig. 7 sensitivity sweep)
+
+Sweeps the synthetic workload's added service delay from 0 to 400 us
+and reports the LP/HP measurement gap at each point.  The gap decays
+toward 1.0 as the service slows down -- the client only corrupts
+measurements when its own overhead is the same order of magnitude as
+the thing being measured (paper, Finding 3).
+
+Run:
+    python examples/synthetic_sensitivity.py
+"""
+
+import numpy as np
+
+from repro import (
+    HP_CLIENT,
+    LP_CLIENT,
+    build_synthetic_testbed,
+    run_experiment,
+)
+from repro.stats.littles_law import concurrency
+
+QPS = 10_000
+DELAYS = (0.0, 50.0, 100.0, 200.0, 400.0)
+RUNS = 8
+REQUESTS = 600
+
+
+def main() -> None:
+    print(f"Synthetic workload @ {QPS // 1000}K QPS "
+          f"({RUNS} runs per point)\n")
+    print(f"{'delay(us)':>10}{'HP avg':>10}{'LP avg':>10}"
+          f"{'LP/HP':>8}{'concurrency':>13}")
+    for delay in DELAYS:
+        means = {}
+        for config in (HP_CLIENT, LP_CLIENT):
+            result = run_experiment(
+                lambda seed, c=config, d=delay: build_synthetic_testbed(
+                    seed, client_config=c, qps=QPS, added_delay_us=d,
+                    num_requests=REQUESTS),
+                runs=RUNS)
+            means[config.name] = float(np.mean(result.avg_samples()))
+        gap = means["LP"] / means["HP"]
+        in_flight = concurrency(QPS, means["HP"])
+        print(f"{delay:>10.0f}{means['HP']:>10.1f}{means['LP']:>10.1f}"
+              f"{gap:>8.2f}{in_flight:>13.2f}")
+
+    print("\nReading: at delay 0 (a ~10 us service) the LP client's "
+          "measurement is ~2x reality;")
+    print("by 400 us of service time the two clients agree within a "
+          "few percent.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""repro: reproduction of "Taming Performance Variability caused by
+Client-Side Hardware Configuration" (Antoniou, Volos, Sazeides --
+IISWC 2024).
+
+The library has three faces:
+
+* a **testbed simulator** -- a discrete-event model of a small
+  client-server cluster with Skylake-class hardware behaviour
+  (C-states, DVFS, SMT, uncore, timers) and the paper's four workloads
+  (Memcached, HDSearch, Social Network, synthetic);
+* a **host tuning toolkit** -- sysfs/MSR/grub/cpupower tooling that
+  realizes the paper's LP/HP/baseline configurations on a real Linux
+  machine (or a fake filesystem for tests);
+* a **statistics + methodology layer** -- non-parametric CIs,
+  Shapiro-Wilk, CONFIRM, conclusion-conflict detection and the
+  Section VI recommendation rules.
+
+Quickstart::
+
+    from repro import (LP_CLIENT, HP_CLIENT, build_memcached_testbed,
+                       run_experiment)
+    result = run_experiment(
+        lambda seed: build_memcached_testbed(
+            seed, client_config=LP_CLIENT, qps=100_000,
+            num_requests=1_000),
+        runs=10)
+    print(result.median_avg_ci().format("us"))
+"""
+
+from repro.config import (
+    HP_CLIENT,
+    LP_CLIENT,
+    SERVER_BASELINE,
+    FrequencyDriver,
+    FrequencyGovernor,
+    HardwareConfig,
+    UncorePolicy,
+    client_by_name,
+    server_with_c1e,
+    server_with_smt,
+)
+from repro.core import (
+    Experiment,
+    ExperimentResult,
+    RunMetrics,
+    Testbed,
+    compare_conditions,
+    detect_conflicts,
+    estimate_evaluation_time,
+    recommend,
+    run_experiment,
+    scenario_table,
+)
+from repro.loadgen import GeneratorDesign, PointOfMeasurement
+from repro.parameters import DEFAULT_PARAMETERS, SkylakeParameters
+from repro.stats import (
+    confirm_repetitions,
+    nonparametric_median_ci,
+    parametric_mean_ci,
+    parametric_repetitions,
+    shapiro_wilk,
+)
+from repro.workloads import (
+    build_hdsearch_testbed,
+    build_memcached_testbed,
+    build_socialnetwork_testbed,
+    build_synthetic_testbed,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "HardwareConfig",
+    "FrequencyDriver",
+    "FrequencyGovernor",
+    "UncorePolicy",
+    "LP_CLIENT",
+    "HP_CLIENT",
+    "SERVER_BASELINE",
+    "client_by_name",
+    "server_with_smt",
+    "server_with_c1e",
+    "SkylakeParameters",
+    "DEFAULT_PARAMETERS",
+    # experiments
+    "Testbed",
+    "RunMetrics",
+    "Experiment",
+    "ExperimentResult",
+    "run_experiment",
+    "compare_conditions",
+    "detect_conflicts",
+    "estimate_evaluation_time",
+    "recommend",
+    "scenario_table",
+    "GeneratorDesign",
+    "PointOfMeasurement",
+    # statistics
+    "nonparametric_median_ci",
+    "parametric_mean_ci",
+    "shapiro_wilk",
+    "parametric_repetitions",
+    "confirm_repetitions",
+    # workloads
+    "build_memcached_testbed",
+    "build_hdsearch_testbed",
+    "build_socialnetwork_testbed",
+    "build_synthetic_testbed",
+]

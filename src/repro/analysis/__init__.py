@@ -1,0 +1,43 @@
+"""Analysis layer: table renderers and figure-series builders.
+
+Everything a benchmark or example needs to regenerate the paper's
+tables (I-IV) and figures (2-9): survey data, sweep engines that run
+the LP/HP x server-knob studies, and ASCII renderers that print the
+same rows/series the paper reports.
+"""
+
+from repro.analysis.survey import SURVEY_ROWS, survey_counts
+from repro.analysis.tables import (
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+from repro.analysis.figures import (
+    StudyGrid,
+    memcached_study,
+    hdsearch_study,
+    socialnetwork_study,
+    synthetic_study,
+    render_latency_series,
+    render_ratio_series,
+)
+from repro.analysis.report import study_report, write_report
+
+__all__ = [
+    "study_report",
+    "write_report",
+    "SURVEY_ROWS",
+    "survey_counts",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "StudyGrid",
+    "memcached_study",
+    "hdsearch_study",
+    "socialnetwork_study",
+    "synthetic_study",
+    "render_latency_series",
+    "render_ratio_series",
+]

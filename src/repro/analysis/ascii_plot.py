@@ -1,0 +1,85 @@
+"""Minimal ASCII line charts for figure-style output.
+
+The benchmark harness prints numeric series; this module adds a
+terminal-friendly chart so the Fig. 2/3/7 shapes are visible at a
+glance without matplotlib (which is not a dependency).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import StatisticsError
+
+#: Glyphs assigned to series in insertion order.
+GLYPHS = "*o+x#@%&"
+
+
+def ascii_chart(series: Dict[str, Sequence[Tuple[float, float]]],
+                width: int = 64, height: int = 16,
+                title: str = "", y_label: str = "") -> str:
+    """Render several (x, y) series on one character grid.
+
+    Args:
+        series: label -> [(x, y), ...]; all series share the axes.
+        width/height: plot area size in characters.
+        title: heading line.
+        y_label: unit appended to the y-axis bounds.
+
+    Returns:
+        A multi-line string: title, plot, x-range line, legend.
+    """
+    if not series:
+        raise StatisticsError("nothing to plot")
+    if width < 8 or height < 4:
+        raise StatisticsError("plot area too small")
+    points = [point for line in series.values() for point in line]
+    if not points:
+        raise StatisticsError("all series are empty")
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    if x_high == x_low:
+        x_high = x_low + 1.0
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    grid: List[List[str]] = [
+        [" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, glyph: str) -> None:
+        column = int((x - x_low) / (x_high - x_low) * (width - 1))
+        row = int((y - y_low) / (y_high - y_low) * (height - 1))
+        grid[height - 1 - row][column] = glyph
+
+    legend = []
+    for index, (label, line) in enumerate(series.items()):
+        glyph = GLYPHS[index % len(GLYPHS)]
+        legend.append(f"{glyph} {label}")
+        for x, y in line:
+            place(x, y, glyph)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top = f"{y_high:.4g}{(' ' + y_label) if y_label else ''}"
+    lines.append(top)
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f"{y_low:.4g} .. x: [{x_low:.4g}, {x_high:.4g}]")
+    lines.append("legend: " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def chart_from_grid(grid, metric: str = "avg", title: str = "",
+                    width: int = 64, height: int = 16) -> str:
+    """Chart every (client, condition) line of a StudyGrid."""
+    series = {
+        f"{client}-{condition}": grid.series(client, condition, metric)
+        for (client, condition) in grid.cells
+    }
+    return ascii_chart(series, width=width, height=height,
+                       title=title or f"{grid.workload}: {metric}",
+                       y_label="us")

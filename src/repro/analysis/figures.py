@@ -1,0 +1,285 @@
+"""Study engines and series renderers for the paper's figures.
+
+A *study* is a grid of experiments: client configuration x server
+condition x offered load, each cell being N repetitions.  One grid
+feeds several figures (e.g. the Memcached SMT grid produces Fig. 2a-d,
+Fig. 5a, Fig. 8, Fig. 9 and half of Table IV), so benchmarks build the
+grid once and render multiple artifacts from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config.knobs import HardwareConfig
+from repro.config.presets import (
+    HP_CLIENT,
+    LP_CLIENT,
+    SERVER_BASELINE,
+    server_with_c1e,
+    server_with_smt,
+)
+from repro.core.comparison import Comparison, compare_conditions
+from repro.core.experiment import ExperimentResult, run_experiment
+from repro.errors import ExperimentError
+from repro.sim.random import _stable_name_key
+from repro.workloads.hdsearch import build_hdsearch_testbed
+from repro.workloads.memcached import build_memcached_testbed
+from repro.workloads.socialnetwork import build_socialnetwork_testbed
+from repro.workloads.synthetic import build_synthetic_testbed
+
+#: The paper's load sweeps.
+MEMCACHED_QPS = (10_000, 50_000, 100_000, 200_000, 300_000,
+                 400_000, 500_000)
+HDSEARCH_QPS = (500, 1_000, 1_500, 2_000, 2_500)
+SOCIALNETWORK_QPS = (100, 200, 300, 400, 500, 600)
+SYNTHETIC_QPS = (5_000, 10_000, 15_000, 20_000)
+SYNTHETIC_DELAYS = (0, 100, 200, 300, 400)
+
+CLIENTS: Dict[str, HardwareConfig] = {"LP": LP_CLIENT, "HP": HP_CLIENT}
+
+
+@dataclass
+class StudyGrid:
+    """Results of one study: (client, condition) x QPS -> experiment.
+
+    Attributes:
+        workload: workload name.
+        conditions: condition label -> server HardwareConfig.
+        cells: ``(client_label, condition_label)`` ->
+            {qps -> ExperimentResult}.
+        qps_list: the load sweep, ascending.
+    """
+
+    workload: str
+    conditions: Dict[str, HardwareConfig]
+    cells: Dict[Tuple[str, str], Dict[float, ExperimentResult]] = field(
+        default_factory=dict)
+    qps_list: Tuple[float, ...] = ()
+
+    # ------------------------------------------------------------------
+    def result(self, client: str, condition: str,
+               qps: float) -> ExperimentResult:
+        """One cell of the grid."""
+        try:
+            return self.cells[(client, condition)][qps]
+        except KeyError:
+            raise ExperimentError(
+                f"no result for ({client}, {condition}) @ {qps}"
+            ) from None
+
+    def series(self, client: str, condition: str,
+               metric: str = "avg") -> List[Tuple[float, float]]:
+        """(qps, median-of-metric) pairs for one grid line.
+
+        ``metric`` is ``"avg"``, ``"p99"``, ``"true_avg"``,
+        ``"stdev_avg"`` or ``"true_p99"``.
+        """
+        points = []
+        for qps in self.qps_list:
+            result = self.result(client, condition, qps)
+            points.append((qps, _metric_value(result, metric)))
+        return points
+
+    def ratio_series(self, client: str, condition_num: str,
+                     condition_den: str, metric: str = "avg"
+                     ) -> List[Tuple[float, float]]:
+        """(qps, mean(num)/mean(den)) -- the Fig. 2c/2d ratio lines."""
+        points = []
+        for qps in self.qps_list:
+            numerator = self.result(client, condition_num, qps)
+            denominator = self.result(client, condition_den, qps)
+            num = float(np.mean(_metric_samples(numerator, metric)))
+            den = float(np.mean(_metric_samples(denominator, metric)))
+            points.append((qps, num / den))
+        return points
+
+    def client_gap_series(self, condition: str, metric: str = "avg"
+                          ) -> List[Tuple[float, float]]:
+        """(qps, LP/HP) for one condition -- the Fig. 6a/7a lines."""
+        points = []
+        for qps in self.qps_list:
+            lp = float(np.mean(_metric_samples(
+                self.result("LP", condition, qps), metric)))
+            hp = float(np.mean(_metric_samples(
+                self.result("HP", condition, qps), metric)))
+            points.append((qps, lp / hp))
+        return points
+
+    def comparisons(self, client: str, condition_a: str,
+                    condition_b: str, metric: str = "avg",
+                    confidence: float = 0.95
+                    ) -> Dict[float, Comparison]:
+        """CI-overlap comparisons per QPS, as one client sees them."""
+        output: Dict[float, Comparison] = {}
+        for qps in self.qps_list:
+            samples_a = _metric_samples(
+                self.result(client, condition_a, qps), metric)
+            samples_b = _metric_samples(
+                self.result(client, condition_b, qps), metric)
+            output[qps] = compare_conditions(
+                samples_a, samples_b,
+                label_a=condition_a, label_b=condition_b,
+                confidence=confidence)
+        return output
+
+
+def _metric_samples(result: ExperimentResult, metric: str) -> np.ndarray:
+    accessor = {
+        "avg": result.avg_samples,
+        "p99": result.p99_samples,
+        "true_avg": result.true_avg_samples,
+        "true_p99": result.true_p99_samples,
+    }.get(metric)
+    if accessor is None:
+        raise ExperimentError(f"unknown metric {metric!r}")
+    return accessor()
+
+
+def _metric_value(result: ExperimentResult, metric: str) -> float:
+    if metric == "stdev_avg":
+        return result.stdev_avg_us()
+    return float(np.median(_metric_samples(result, metric)))
+
+
+def _cell_seed(base_seed: int, client: str, condition: str,
+               qps: float) -> int:
+    """Deterministic, condition-unique seed block for one grid cell."""
+    key = _stable_name_key(f"{client}/{condition}/{qps:g}")
+    return base_seed + (key % 1_000_003) * 10_000
+
+
+def _run_grid(workload: str,
+              builder: Callable[..., object],
+              conditions: Dict[str, HardwareConfig],
+              qps_list: Sequence[float],
+              runs: int, num_requests: int, base_seed: int,
+              clients: Optional[Dict[str, HardwareConfig]] = None,
+              **extra) -> StudyGrid:
+    clients = clients or CLIENTS
+    grid = StudyGrid(workload=workload, conditions=dict(conditions),
+                     qps_list=tuple(float(q) for q in qps_list))
+    for client_label, client_config in clients.items():
+        for condition_label, server_config in conditions.items():
+            per_qps: Dict[float, ExperimentResult] = {}
+            for qps in grid.qps_list:
+                label = f"{client_label}-{condition_label}"
+                per_qps[qps] = run_experiment(
+                    lambda seed, _q=qps: builder(
+                        seed=seed,
+                        client_config=client_config,
+                        server_config=server_config,
+                        qps=_q,
+                        num_requests=num_requests,
+                        **extra),
+                    runs=runs,
+                    base_seed=_cell_seed(
+                        base_seed, client_label, condition_label, qps),
+                    label=label)
+            grid.cells[(client_label, condition_label)] = per_qps
+    return grid
+
+
+# ----------------------------------------------------------------- studies
+def memcached_study(knob: str = "smt",
+                    qps_list: Sequence[float] = MEMCACHED_QPS,
+                    runs: int = 50, num_requests: int = 2_000,
+                    base_seed: int = 0) -> StudyGrid:
+    """The Fig. 2 (knob="smt") / Fig. 3 (knob="c1e") Memcached grid."""
+    if knob == "smt":
+        conditions = {"SMToff": server_with_smt(False),
+                      "SMTon": server_with_smt(True)}
+    elif knob == "c1e":
+        conditions = {"C1Eoff": server_with_c1e(False),
+                      "C1Eon": server_with_c1e(True)}
+    else:
+        raise ExperimentError(f"unknown knob {knob!r}")
+    return _run_grid("memcached", build_memcached_testbed, conditions,
+                     qps_list, runs, num_requests, base_seed)
+
+
+def hdsearch_study(knob: str = "smt",
+                   qps_list: Sequence[float] = HDSEARCH_QPS,
+                   runs: int = 50, num_requests: int = 1_000,
+                   base_seed: int = 0) -> StudyGrid:
+    """The Fig. 4 HDSearch grid (SMT or C1E server conditions)."""
+    if knob == "smt":
+        conditions = {"SMToff": server_with_smt(False),
+                      "SMTon": server_with_smt(True)}
+    elif knob == "c1e":
+        conditions = {"C1Eoff": server_with_c1e(False),
+                      "C1Eon": server_with_c1e(True)}
+    else:
+        raise ExperimentError(f"unknown knob {knob!r}")
+    return _run_grid("hdsearch", build_hdsearch_testbed, conditions,
+                     qps_list, runs, num_requests, base_seed)
+
+
+def socialnetwork_study(qps_list: Sequence[float] = SOCIALNETWORK_QPS,
+                        runs: int = 50, num_requests: int = 800,
+                        base_seed: int = 0) -> StudyGrid:
+    """The Fig. 6 Social Network grid (baseline server only)."""
+    conditions = {"baseline": SERVER_BASELINE}
+    return _run_grid("socialnetwork", build_socialnetwork_testbed,
+                     conditions, qps_list, runs, num_requests, base_seed)
+
+
+def synthetic_study(delays_us: Sequence[float] = SYNTHETIC_DELAYS,
+                    qps_list: Sequence[float] = SYNTHETIC_QPS,
+                    runs: int = 20, num_requests: int = 2_000,
+                    base_seed: int = 0) -> Dict[float, StudyGrid]:
+    """The Fig. 7 sensitivity grids: one StudyGrid per added delay.
+
+    The paper's Fig. 7 uses 20 runs per point (Section V-B).
+    """
+    grids: Dict[float, StudyGrid] = {}
+    for delay in delays_us:
+        grids[float(delay)] = _run_grid(
+            "synthetic", build_synthetic_testbed,
+            {"baseline": SERVER_BASELINE},
+            qps_list, runs, num_requests, base_seed,
+            added_delay_us=float(delay))
+    return grids
+
+
+# --------------------------------------------------------------- rendering
+def _format_qps(qps: float) -> str:
+    return f"{qps / 1000:g}K" if qps >= 1000 else f"{qps:g}"
+
+
+def render_latency_series(grid: StudyGrid, metric: str = "avg",
+                          unit: str = "us",
+                          title: str = "") -> str:
+    """Print one metric's series for every (client, condition) line."""
+    lines = [title or f"{grid.workload}: {metric} ({unit}) by QPS"]
+    header = f"{'series':<16}" + "".join(
+        f"{_format_qps(qps):>10}" for qps in grid.qps_list)
+    lines.append(header)
+    for (client, condition), _ in grid.cells.items():
+        values = grid.series(client, condition, metric)
+        row = f"{client + '-' + condition:<16}" + "".join(
+            f"{value:>10.1f}" for _, value in values)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_ratio_series(grid: StudyGrid, condition_num: str,
+                        condition_den: str, metric: str = "avg",
+                        title: str = "") -> str:
+    """Print the per-client ratio lines (Fig. 2c/2d style)."""
+    lines = [title or (f"{grid.workload}: {condition_num}/{condition_den} "
+                       f"ratio ({metric})")]
+    header = f"{'client':<10}" + "".join(
+        f"{_format_qps(qps):>10}" for qps in grid.qps_list)
+    lines.append(header)
+    clients = sorted({client for client, _ in grid.cells})
+    for client in clients:
+        ratios = grid.ratio_series(
+            client, condition_num, condition_den, metric)
+        row = f"{client:<10}" + "".join(
+            f"{ratio:>10.3f}" for _, ratio in ratios)
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""Markdown report writer for experiments and studies.
+
+Turns :class:`~repro.core.experiment.ExperimentResult` objects and
+:class:`~repro.analysis.figures.StudyGrid` grids into a self-contained
+markdown report: configuration tables, per-condition summaries with
+CIs, conclusion analysis, and methodology notes (repetition counts,
+normality) -- the artifact a user would attach to a paper or ticket.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.figures import StudyGrid
+from repro.core.comparison import detect_conflicts
+from repro.core.evaluation_time import estimate_evaluation_time
+from repro.core.experiment import ExperimentResult
+from repro.errors import InsufficientSamplesError
+
+
+def experiment_section(result: ExperimentResult) -> List[str]:
+    """Markdown lines summarizing one experiment condition."""
+    stats = result.avg_stats()
+    avg_ci = result.median_avg_ci()
+    p99_ci = result.median_p99_ci()
+    lines = [
+        f"### {result.label} ({result.workload} @ {result.qps:g} QPS)",
+        "",
+        f"- runs: {stats.count}, requests/run: "
+        f"{result.runs[0].requests}",
+        f"- average response time (median, 95% CI): "
+        f"{avg_ci.format('us')}",
+        f"- 99th percentile (median, 95% CI): {p99_ci.format('us')}",
+        f"- run-to-run stdev of the average: {stats.std:.2f} us",
+        f"- mean server utilization: "
+        f"{result.mean_server_utilization():.1%}",
+    ]
+    try:
+        estimate = estimate_evaluation_time(
+            result.avg_samples(), rng=np.random.default_rng(0))
+    except InsufficientSamplesError:
+        lines.append("- repetition estimate: skipped "
+                     "(CONFIRM needs >= 10 pilot runs)")
+    else:
+        lines.append(
+            f"- normality (Shapiro-Wilk): "
+            f"{estimate.normality.verdict} "
+            f"(p={estimate.normality.p_value:.4f})")
+        lines.append(
+            f"- repetitions to 1%-error 95% CI: "
+            f"parametric={estimate.parametric_runs}, "
+            f"CONFIRM={estimate.confirm_display()}")
+    lines.append("")
+    return lines
+
+
+def study_report(grid: StudyGrid, title: str,
+                 condition_a: Optional[str] = None,
+                 condition_b: Optional[str] = None,
+                 metric: str = "avg") -> str:
+    """Full markdown report for one study grid.
+
+    Args:
+        grid: the study results.
+        title: report heading.
+        condition_a / condition_b: when given, adds a per-client
+            conclusion section comparing the two conditions.
+        metric: metric used for the conclusion analysis.
+    """
+    lines: List[str] = [f"# {title}", ""]
+    lines.append(f"Workload: **{grid.workload}**; loads: "
+                 + ", ".join(f"{qps:g}" for qps in grid.qps_list))
+    lines.append("")
+
+    lines.append("## Conditions")
+    lines.append("")
+    for label, config in grid.conditions.items():
+        lines.append(f"- `{label}`: {config.describe()}")
+    lines.append("")
+
+    lines.append("## Results")
+    lines.append("")
+    header = "| series | " + " | ".join(
+        f"{qps:g}" for qps in grid.qps_list) + " |"
+    divider = "|---" * (len(grid.qps_list) + 1) + "|"
+    lines.append(header)
+    lines.append(divider)
+    for (client, condition) in grid.cells:
+        values = grid.series(client, condition, metric)
+        row = (f"| {client}-{condition} | "
+               + " | ".join(f"{value:.1f}" for _, value in values)
+               + " |")
+        lines.append(row)
+    lines.append("")
+
+    if condition_a and condition_b:
+        lines.append(f"## Conclusions ({condition_a} vs {condition_b}, "
+                     f"{metric})")
+        lines.append("")
+        per_observer = {}
+        clients = sorted({client for client, _ in grid.cells})
+        for client in clients:
+            comparisons = grid.comparisons(
+                client, condition_a, condition_b, metric)
+            per_observer[client] = comparisons
+            for qps, comparison in sorted(comparisons.items()):
+                lines.append(f"- {client} @ {qps:g}: "
+                             f"{comparison.describe()}")
+        conflicts = detect_conflicts(per_observer)
+        lines.append("")
+        if conflicts:
+            lines.append("**Conflicting conclusions detected:**")
+            for conflict in conflicts:
+                lines.append(f"- {conflict.describe()}")
+        else:
+            lines.append("No conflicting conclusions across clients.")
+        lines.append("")
+
+    lines.append("## Per-condition detail")
+    lines.append("")
+    for (client, condition), per_qps in grid.cells.items():
+        for qps in grid.qps_list:
+            lines.extend(experiment_section(per_qps[qps]))
+    return "\n".join(lines)
+
+
+def write_report(path: str, content: str) -> None:
+    """Write a report to *path* (UTF-8)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(content)

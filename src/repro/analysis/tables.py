@@ -1,0 +1,93 @@
+"""ASCII renderers for the paper's Tables I-IV."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from repro.analysis.survey import CATEGORY_ORDER, survey_counts
+from repro.config.knobs import HardwareConfig
+from repro.config.presets import HP_CLIENT, LP_CLIENT, SERVER_BASELINE
+from repro.core.evaluation_time import EvaluationTimeEstimate
+from repro.core.scenarios import scenario_table
+
+
+def render_table1() -> str:
+    """Table I: hardware characterization in previous work."""
+    counts = survey_counts()
+    lines = [
+        "TABLE I: Hardware characterization in previous work.",
+        f"{'Characterization':<22} Publications",
+    ]
+    total = 0
+    for category in CATEGORY_ORDER:
+        count = counts[category]
+        total += count
+        lines.append(f"{category:<22} {count}")
+    lines.append(f"{'Total':<22} {total}")
+    return "\n".join(lines)
+
+
+def render_table2(lp: HardwareConfig = LP_CLIENT,
+                  hp: HardwareConfig = HP_CLIENT,
+                  server: HardwareConfig = SERVER_BASELINE) -> str:
+    """Table II: client- and server-side hardware configurations."""
+    lp_knobs = lp.knob_settings()
+    hp_knobs = hp.knob_settings()
+    server_knobs = server.knob_settings()
+    lines = [
+        "TABLE II: Client- and server-side hardware configurations",
+        f"{'Configuration':<20} {'LP':<18} {'HP':<18} {'Baseline':<18}",
+    ]
+    for knob in lp_knobs:
+        lines.append(
+            f"{knob:<20} {lp_knobs[knob]:<18} {hp_knobs[knob]:<18} "
+            f"{server_knobs[knob]:<18}")
+    return "\n".join(lines)
+
+
+def render_table3() -> str:
+    """Table III: scenarios tested in Section V."""
+    lines = [
+        "TABLE III: Scenarios Tested in Section V.",
+        f"{'inter. rate':<28} {'point of meas.':<15} "
+        f"{'Client Conf.':<13} {'Response Time':<14} {'Risk/Section'}",
+    ]
+    for scenario in scenario_table():
+        risk = "X" if scenario.risky else " "
+        sections = ",".join(scenario.sections)
+        lines.append(
+            f"{scenario.generator_design:<28} "
+            f"{scenario.point_of_measurement:<15} "
+            f"{scenario.client_conf:<13} "
+            f"{scenario.response_time:<14} "
+            f"{risk}({sections})")
+    return "\n".join(lines)
+
+
+def render_table4(estimates: Mapping[str, Mapping[float, "EvaluationTimeEstimate"]],
+                  qps_order: Sequence[float]) -> str:
+    """Table IV: iterations to gain statistical confidence.
+
+    Args:
+        estimates: configuration label -> {qps -> estimate}.
+        qps_order: row order of the QPS sweep.
+    """
+    lines = [
+        "TABLE IV: Number of iterations to gain statistical confidence "
+        "and Shapiro-Wilk results.",
+        f"{'Configuration':<14} {'QPS':>8} {'Parametric':>11} "
+        f"{'CONFIRM':>8} {'Shapiro-Wilk':>13}",
+    ]
+    for config_label, per_qps in estimates.items():
+        for qps in qps_order:
+            if qps not in per_qps:
+                continue
+            estimate = per_qps[qps]
+            qps_text = (f"{qps / 1000:.0f}K" if qps >= 1000
+                        else f"{qps:.0f}")
+            lines.append(
+                f"{config_label:<14} {qps_text:>8} "
+                f"{estimate.parametric_runs:>11d} "
+                f"{estimate.confirm_display():>8} "
+                f"{estimate.normality.verdict:>13}")
+    return "\n".join(lines)

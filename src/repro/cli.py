@@ -1,0 +1,202 @@
+"""Command-line interface.
+
+Four subcommands mirror the library's faces::
+
+    repro study --workload memcached --knob smt --qps 10000 100000
+    repro tune --config HP [--real] [--apply]
+    repro recommend --loop open --interarrival block-wait
+    repro capacity --qos-p99 400 --target-qps 1000000
+
+``repro study`` runs a scaled study grid and prints the paper-style
+series; ``repro tune`` plans (and optionally applies) a host
+configuration; ``repro recommend`` prints the Section VI advice;
+``repro capacity`` runs the provisioning analysis of Section V-A.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.figures import (
+    hdsearch_study,
+    memcached_study,
+    render_latency_series,
+    render_ratio_series,
+    socialnetwork_study,
+)
+from repro.config.presets import client_by_name
+from repro.core.provisioning import (
+    capacity_under_qos,
+    provisioning_error,
+    provisioning_plan,
+)
+from repro.core.recommendations import recommend
+from repro.host.filesystem import (
+    FakeFilesystem,
+    RealFilesystem,
+    make_skylake_tree,
+)
+from repro.host.tuner import HostTuner
+from repro.loadgen.base import GeneratorDesign
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Client-side hardware configuration toolkit "
+                    "(IISWC'24 reproduction)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    study = commands.add_parser(
+        "study", help="run a client-vs-server study grid")
+    study.add_argument("--workload", default="memcached",
+                       choices=["memcached", "hdsearch",
+                                "socialnetwork"])
+    study.add_argument("--knob", default="smt",
+                       choices=["smt", "c1e"],
+                       help="server-side knob under study")
+    study.add_argument("--qps", type=float, nargs="+",
+                       default=[10_000, 100_000, 500_000])
+    study.add_argument("--runs", type=int, default=10)
+    study.add_argument("--requests", type=int, default=500)
+    study.add_argument("--metric", default="avg",
+                       choices=["avg", "p99", "true_avg", "stdev_avg"])
+
+    tune = commands.add_parser(
+        "tune", help="plan/apply a host configuration")
+    tune.add_argument("--config", default="HP",
+                      help="LP or HP")
+    tune.add_argument("--real", action="store_true",
+                      help="operate on the live /sys and /dev/cpu "
+                           "(requires root) instead of a fake host")
+    tune.add_argument("--apply", action="store_true",
+                      help="apply the plan (default: dry run)")
+
+    advise = commands.add_parser(
+        "recommend", help="Section VI configuration recommendation")
+    advise.add_argument("--loop", default="open",
+                        choices=["open", "closed"])
+    advise.add_argument("--interarrival", default="block-wait",
+                        choices=["block-wait", "busy-wait"])
+    advise.add_argument("--target", default=None,
+                        help="known target environment (LP/HP)")
+
+    capacity = commands.add_parser(
+        "capacity", help="QoS capacity + provisioning analysis")
+    capacity.add_argument("--qos-p99", type=float, default=400.0,
+                          help="99th-percentile QoS target in us")
+    capacity.add_argument("--target-qps", type=float,
+                          default=1_000_000.0)
+    capacity.add_argument("--qps", type=float, nargs="+",
+                          default=[100_000, 200_000, 300_000,
+                                   400_000, 500_000])
+    capacity.add_argument("--runs", type=int, default=10)
+    capacity.add_argument("--requests", type=int, default=500)
+    return parser
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    builders = {
+        "memcached": lambda: memcached_study(
+            knob=args.knob, qps_list=args.qps, runs=args.runs,
+            num_requests=args.requests),
+        "hdsearch": lambda: hdsearch_study(
+            knob=args.knob, qps_list=args.qps, runs=args.runs,
+            num_requests=args.requests),
+        "socialnetwork": lambda: socialnetwork_study(
+            qps_list=args.qps, runs=args.runs,
+            num_requests=args.requests),
+    }
+    grid = builders[args.workload]()
+    print(render_latency_series(grid, args.metric))
+    conditions = list(grid.conditions)
+    if len(conditions) == 2:
+        print()
+        print(render_ratio_series(
+            grid, conditions[0], conditions[1], "avg"))
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    config = client_by_name(args.config)
+    fs = RealFilesystem() if args.real else FakeFilesystem(
+        make_skylake_tree())
+    tuner = HostTuner(fs)
+    plan = tuner.plan(config)
+    print(plan.render())
+    if args.apply:
+        result = tuner.apply(plan)
+        print(f"\napplied {len(result.performed)} actions"
+              + ("; reboot required for boot-time knobs"
+                 if result.needs_reboot else ""))
+    else:
+        print("\n(dry run; pass --apply to execute)")
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    design = GeneratorDesign(
+        loop=args.loop,
+        time_sensitive=args.interarrival == "block-wait")
+    target = client_by_name(args.target) if args.target else None
+    advice = recommend(design, target_config=target,
+                       target_known=target is not None)
+    print(f"Generator design: {design.describe()} "
+          f"({design.interarrival_impl})\n")
+    print(advice.render())
+    return 0
+
+
+def _cmd_capacity(args: argparse.Namespace) -> int:
+    from repro.core.experiment import run_experiment
+    from repro.workloads.memcached import build_memcached_testbed
+
+    observers = {}
+    for name in ("LP", "HP"):
+        config = client_by_name(name)
+        latency_by_qps = {}
+        for qps in args.qps:
+            result = run_experiment(
+                lambda seed, c=config, q=qps: build_memcached_testbed(
+                    seed, client_config=c, qps=q,
+                    num_requests=args.requests),
+                runs=args.runs)
+            latency_by_qps[qps] = float(
+                np.median(result.p99_samples()))
+        observers[name] = capacity_under_qos(
+            latency_by_qps, args.qos_p99, metric="p99")
+        capacity = observers[name]
+        print(f"{name}: capacity {capacity.capacity_qps:g} QPS under "
+              f"p99 <= {args.qos_p99:g} us"
+              + (" (sweep-limited)" if capacity.sweep_limited else ""))
+
+    usable = {name: cap for name, cap in observers.items()
+              if cap.capacity_qps > 0}
+    if len(usable) >= 2:
+        ratios = provisioning_error(usable, args.target_qps)
+        print(f"\nFleet sizes for {args.target_qps:g} QPS:")
+        for name, capacity in usable.items():
+            plan = provisioning_plan(args.target_qps, capacity)
+            print(f"  {name}: {plan.machines} machines "
+                  f"({ratios[name]:.2f}x the optimistic observer)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "study": _cmd_study,
+        "tune": _cmd_tune,
+        "recommend": _cmd_recommend,
+        "capacity": _cmd_capacity,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

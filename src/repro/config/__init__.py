@@ -1,0 +1,34 @@
+"""Hardware configuration knobs and the paper's Table II presets."""
+
+from repro.config.knobs import (
+    ALL_CSTATES,
+    FrequencyDriver,
+    FrequencyGovernor,
+    HardwareConfig,
+    UncorePolicy,
+)
+from repro.config.presets import (
+    HP_CLIENT,
+    LP_CLIENT,
+    SERVER_BASELINE,
+    client_by_name,
+    server_with_c1e,
+    server_with_smt,
+)
+from repro.config.validate import config_warnings, validate_config
+
+__all__ = [
+    "ALL_CSTATES",
+    "FrequencyDriver",
+    "FrequencyGovernor",
+    "HardwareConfig",
+    "UncorePolicy",
+    "LP_CLIENT",
+    "HP_CLIENT",
+    "SERVER_BASELINE",
+    "client_by_name",
+    "server_with_smt",
+    "server_with_c1e",
+    "validate_config",
+    "config_warnings",
+]

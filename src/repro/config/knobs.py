@@ -1,0 +1,134 @@
+"""Hardware configuration knobs (Section IV-C of the paper).
+
+The paper tunes seven knobs: C-states, frequency driver, frequency
+governor, turbo mode, SMT, uncore frequency and the tickless kernel.
+:class:`HardwareConfig` bundles one setting per knob and is consumed by
+both the simulator (:mod:`repro.hardware`) and the real-host tooling
+(:mod:`repro.host`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Canonical C-state names on the simulated Skylake machine.
+ALL_CSTATES: Tuple[str, ...] = ("C0", "C1", "C1E", "C6")
+
+
+class FrequencyDriver(enum.Enum):
+    """Linux CPUFreq driver choices (paper Section IV-C)."""
+
+    INTEL_PSTATE = "intel_pstate"
+    ACPI_CPUFREQ = "acpi_cpufreq"
+
+
+class FrequencyGovernor(enum.Enum):
+    """CPUFreq governor choices."""
+
+    POWERSAVE = "powersave"
+    PERFORMANCE = "performance"
+    ONDEMAND = "ondemand"
+    SCHEDUTIL = "schedutil"
+
+
+class UncorePolicy(enum.Enum):
+    """Uncore frequency policy (MSR 0x620)."""
+
+    DYNAMIC = "dynamic"
+    FIXED = "fixed"
+
+
+def _normalize_cstates(enabled) -> FrozenSet[str]:
+    names = frozenset(str(name) for name in enabled)
+    unknown = names - set(ALL_CSTATES)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown C-states {sorted(unknown)}; known: {list(ALL_CSTATES)}"
+        )
+    if "C0" not in names:
+        raise ConfigurationError("C0 can never be disabled")
+    return names
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    """One complete setting of the seven hardware knobs.
+
+    ``enabled_cstates`` of exactly ``{"C0"}`` corresponds to the
+    ``idle=poll`` kernel flag: the idle loop spins and never sleeps.
+
+    Attributes:
+        name: human-readable label, e.g. ``"LP"`` or ``"HP"``.
+        enabled_cstates: which C-states the cpuidle governor may use.
+        frequency_driver: which CPUFreq driver is loaded.
+        frequency_governor: which CPUFreq governor decides frequency.
+        turbo: whether Turbo Boost is enabled (MSR 0x1A0 bit 38 clear).
+        smt: whether simultaneous multithreading is enabled.
+        uncore: uncore-frequency policy (MSR 0x620).
+        tickless: whether the kernel omits scheduling-clock ticks when
+            idle (``nohz``).
+    """
+
+    name: str
+    enabled_cstates: FrozenSet[str]
+    frequency_driver: FrequencyDriver
+    frequency_governor: FrequencyGovernor
+    turbo: bool
+    smt: bool
+    uncore: UncorePolicy
+    tickless: bool
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "enabled_cstates", _normalize_cstates(self.enabled_cstates))
+
+    # ------------------------------------------------------------------
+    @property
+    def idle_poll(self) -> bool:
+        """True when all sleep states are disabled (``idle=poll``)."""
+        return self.enabled_cstates == frozenset({"C0"})
+
+    def deepest_cstate(self) -> str:
+        """Name of the deepest enabled C-state."""
+        for name in reversed(ALL_CSTATES):
+            if name in self.enabled_cstates:
+                return name
+        raise ConfigurationError("no C-state enabled")  # pragma: no cover
+
+    def with_cstates(self, enabled) -> "HardwareConfig":
+        """Copy of this config with a different enabled C-state set."""
+        return replace(self, enabled_cstates=_normalize_cstates(enabled))
+
+    def with_smt(self, smt: bool) -> "HardwareConfig":
+        """Copy of this config with SMT switched to *smt*."""
+        return replace(self, smt=bool(smt))
+
+    def renamed(self, name: str) -> "HardwareConfig":
+        """Copy of this config under a different label."""
+        return replace(self, name=str(name))
+
+    # ------------------------------------------------------------------
+    def knob_settings(self) -> Dict[str, str]:
+        """A flat, printable knob -> value mapping (Table II rows)."""
+        cstates = ",".join(
+            n for n in ALL_CSTATES if n in self.enabled_cstates)
+        if self.idle_poll:
+            cstates = "off"
+        return {
+            "C-states": cstates,
+            "Frequency Driver": self.frequency_driver.value,
+            "Frequency Governor": self.frequency_governor.value,
+            "Turbo": "on" if self.turbo else "off",
+            "SMT": "on" if self.smt else "off",
+            "Uncore Frequency": self.uncore.value,
+            "Tickless": "on" if self.tickless else "off",
+        }
+
+    def describe(self) -> str:
+        """One-line description for logs and figure legends."""
+        knobs = ", ".join(f"{k}={v}" for k, v in self.knob_settings().items())
+        return f"{self.name}: {knobs}"

@@ -1,0 +1,87 @@
+"""The client- and server-side configurations of Table II.
+
+Two client configurations are studied:
+
+* **LP** (low power) -- the system default, i.e. what an experimenter
+  who never thinks about the client machine gets: all C-states,
+  ``intel_pstate`` + ``powersave``, turbo on, SMT on, dynamic uncore,
+  tickless off.
+* **HP** (high performance) -- empirically tuned: C-states off
+  (``idle=poll``), ``acpi-cpufreq`` + ``performance``, turbo on, SMT
+  on, fixed uncore, tickless off.
+
+The server baseline enables only C0/C1, ``acpi-cpufreq`` +
+``performance``, turbo off, SMT off, fixed uncore, tickless on.
+Server-side variants (SMT on, C1E on) are derived from the baseline.
+"""
+
+from __future__ import annotations
+
+from repro.config.knobs import (
+    FrequencyDriver,
+    FrequencyGovernor,
+    HardwareConfig,
+    UncorePolicy,
+)
+
+#: Low-power (default) client configuration -- Table II column "LP".
+LP_CLIENT = HardwareConfig(
+    name="LP",
+    enabled_cstates=frozenset({"C0", "C1", "C1E", "C6"}),
+    frequency_driver=FrequencyDriver.INTEL_PSTATE,
+    frequency_governor=FrequencyGovernor.POWERSAVE,
+    turbo=True,
+    smt=True,
+    uncore=UncorePolicy.DYNAMIC,
+    tickless=False,
+)
+
+#: High-performance (tuned) client configuration -- Table II column "HP".
+HP_CLIENT = HardwareConfig(
+    name="HP",
+    enabled_cstates=frozenset({"C0"}),
+    frequency_driver=FrequencyDriver.ACPI_CPUFREQ,
+    frequency_governor=FrequencyGovernor.PERFORMANCE,
+    turbo=True,
+    smt=True,
+    uncore=UncorePolicy.FIXED,
+    tickless=False,
+)
+
+#: Server-side baseline -- Table II column "Baseline".
+SERVER_BASELINE = HardwareConfig(
+    name="server-baseline",
+    enabled_cstates=frozenset({"C0", "C1"}),
+    frequency_driver=FrequencyDriver.ACPI_CPUFREQ,
+    frequency_governor=FrequencyGovernor.PERFORMANCE,
+    turbo=False,
+    smt=False,
+    uncore=UncorePolicy.FIXED,
+    tickless=True,
+)
+
+
+def server_with_smt(enabled: bool) -> HardwareConfig:
+    """Server baseline with SMT toggled (the Fig. 2 study)."""
+    suffix = "SMTon" if enabled else "SMToff"
+    return SERVER_BASELINE.with_smt(enabled).renamed(f"server-{suffix}")
+
+
+def server_with_c1e(enabled: bool) -> HardwareConfig:
+    """Server baseline with C1E toggled (the Fig. 3 study)."""
+    if enabled:
+        return SERVER_BASELINE.with_cstates(
+            {"C0", "C1", "C1E"}).renamed("server-C1Eon")
+    return SERVER_BASELINE.renamed("server-C1Eoff")
+
+
+def client_by_name(name: str) -> HardwareConfig:
+    """Look up a client preset by its paper label ("LP" or "HP")."""
+    presets = {"LP": LP_CLIENT, "HP": HP_CLIENT}
+    try:
+        return presets[name.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown client preset {name!r}; expected one of "
+            f"{sorted(presets)}"
+        ) from None

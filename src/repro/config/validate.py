@@ -1,0 +1,73 @@
+"""Cross-knob validation rules.
+
+Some knob combinations are physically impossible or meaningless on the
+modelled machine (e.g. the ``powersave`` governor under ``acpi-cpufreq``
+pins the *minimum* frequency, which no experimenter tuning for high
+performance would pick; ``idle=poll`` with deep C-states enabled is
+contradictory).  :func:`validate_config` raises
+:class:`~repro.errors.ConfigurationError` for hard errors and
+:func:`config_warnings` returns a list of soft warnings.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.config.knobs import (
+    FrequencyDriver,
+    FrequencyGovernor,
+    HardwareConfig,
+)
+from repro.errors import ConfigurationError
+
+
+def validate_config(config: HardwareConfig) -> HardwareConfig:
+    """Validate *config*, returning it unchanged if acceptable.
+
+    Raises:
+        ConfigurationError: for contradictory knob combinations.
+    """
+    if not config.enabled_cstates:
+        raise ConfigurationError("at least C0 must be enabled")
+    if "C6" in config.enabled_cstates and "C1" not in config.enabled_cstates:
+        raise ConfigurationError(
+            "C6 cannot be enabled while C1 is disabled: the cpuidle "
+            "ladder requires shallower states below deeper ones"
+        )
+    if ("C1E" in config.enabled_cstates
+            and "C1" not in config.enabled_cstates):
+        raise ConfigurationError(
+            "C1E cannot be enabled while C1 is disabled"
+        )
+    if (config.frequency_driver is FrequencyDriver.INTEL_PSTATE
+            and config.frequency_governor in (
+                FrequencyGovernor.ONDEMAND, FrequencyGovernor.SCHEDUTIL)):
+        raise ConfigurationError(
+            "intel_pstate (active mode) only exposes the powersave and "
+            "performance governors"
+        )
+    return config
+
+
+def config_warnings(config: HardwareConfig) -> List[str]:
+    """Return soft warnings about surprising knob combinations."""
+    warnings: List[str] = []
+    if (config.frequency_governor is FrequencyGovernor.POWERSAVE
+            and config.frequency_driver is FrequencyDriver.ACPI_CPUFREQ):
+        warnings.append(
+            "acpi-cpufreq + powersave pins the minimum frequency; "
+            "measurements will be dominated by the low clock"
+        )
+    if config.idle_poll and config.tickless:
+        warnings.append(
+            "idle=poll never idles, so the tickless (nohz) setting "
+            "has no observable effect"
+        )
+    if (config.turbo
+            and config.frequency_governor is FrequencyGovernor.POWERSAVE):
+        warnings.append(
+            "turbo with the powersave governor rarely engages: the "
+            "governor keeps utilization-scaled frequencies below the "
+            "turbo range most of the time"
+        )
+    return warnings

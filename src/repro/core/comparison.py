@@ -1,0 +1,140 @@
+"""Comparing conditions and detecting conflicting conclusions.
+
+The paper's findings 1-2 are about *conclusions*: the same server-side
+study (SMT on vs off; C1E on vs off) performed under two client
+configurations can report different speedups and even different
+verdicts.  This module encodes the paper's decision rule -- two
+conditions differ only when their non-parametric CIs do not overlap --
+and a detector for the Fig. 3 situation where LP and HP clients
+disagree.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import StatisticsError
+from repro.stats.ci import ConfidenceInterval, nonparametric_median_ci
+
+
+class Verdict(enum.Enum):
+    """Outcome of one A-vs-B comparison."""
+
+    A_FASTER = "a_faster"
+    B_FASTER = "b_faster"
+    INDISTINGUISHABLE = "same"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One A-vs-B comparison at one operating point.
+
+    Attributes:
+        label_a: name of condition A (e.g. ``"C1E off"``).
+        label_b: name of condition B (e.g. ``"C1E on"``).
+        ci_a: median CI of condition A's samples.
+        ci_b: median CI of condition B's samples.
+        ratio: mean(B) / mean(A) -- the paper's slowdown ratio
+            convention (Fig. 2c: SMT_OFF / SMT_ON uses A=on, B=off).
+        verdict: the CI-overlap decision.
+    """
+
+    label_a: str
+    label_b: str
+    ci_a: ConfidenceInterval
+    ci_b: ConfidenceInterval
+    ratio: float
+    verdict: Verdict
+
+    def describe(self) -> str:
+        """One-line human-readable conclusion."""
+        if self.verdict is Verdict.INDISTINGUISHABLE:
+            return (f"{self.label_a} and {self.label_b} are statistically "
+                    f"indistinguishable (CIs overlap)")
+        winner, loser = (
+            (self.label_a, self.label_b)
+            if self.verdict is Verdict.A_FASTER
+            else (self.label_b, self.label_a))
+        return (f"{winner} is faster than {loser} "
+                f"(ratio {self.ratio:.3f}, CIs do not overlap)")
+
+
+def compare_conditions(samples_a: Sequence[float],
+                       samples_b: Sequence[float],
+                       label_a: str = "A", label_b: str = "B",
+                       confidence: float = 0.95) -> Comparison:
+    """Compare two sample sets with the paper's CI-overlap rule.
+
+    Lower is better (the samples are latencies).
+    """
+    ci_a = nonparametric_median_ci(samples_a, confidence)
+    ci_b = nonparametric_median_ci(samples_b, confidence)
+    mean_a = float(np.mean(np.asarray(samples_a, dtype=float)))
+    mean_b = float(np.mean(np.asarray(samples_b, dtype=float)))
+    if mean_a == 0:
+        raise StatisticsError("condition A has zero mean latency")
+    ratio = mean_b / mean_a
+    if ci_a.overlaps(ci_b):
+        verdict = Verdict.INDISTINGUISHABLE
+    elif ci_a.upper < ci_b.lower:
+        verdict = Verdict.A_FASTER
+    else:
+        verdict = Verdict.B_FASTER
+    return Comparison(
+        label_a=label_a, label_b=label_b,
+        ci_a=ci_a, ci_b=ci_b, ratio=ratio, verdict=verdict,
+    )
+
+
+@dataclass(frozen=True)
+class ConclusionConflict:
+    """Two observers reached different verdicts for the same study.
+
+    Attributes:
+        operating_point: e.g. the QPS at which the conflict occurs.
+        verdicts: observer label -> that observer's verdict.
+    """
+
+    operating_point: float
+    verdicts: Dict[str, Verdict]
+
+    def describe(self) -> str:
+        parts = ", ".join(
+            f"{observer}: {verdict.value}"
+            for observer, verdict in sorted(self.verdicts.items()))
+        return (f"conflicting conclusions at {self.operating_point:g}: "
+                f"{parts}")
+
+
+def detect_conflicts(per_observer: Dict[str, Dict[float, Comparison]]
+                     ) -> List[ConclusionConflict]:
+    """Find operating points where observers' verdicts disagree.
+
+    Args:
+        per_observer: observer label (e.g. ``"LP"``, ``"HP"``) ->
+            {operating point -> comparison}.
+
+    Returns:
+        One :class:`ConclusionConflict` per operating point where at
+        least two observers disagree, sorted by operating point.
+    """
+    if not per_observer:
+        return []
+    points: set = set()
+    for comparisons in per_observer.values():
+        points.update(comparisons.keys())
+    conflicts: List[ConclusionConflict] = []
+    for point in sorted(points):
+        verdicts = {
+            observer: comparisons[point].verdict
+            for observer, comparisons in per_observer.items()
+            if point in comparisons
+        }
+        if len(set(verdicts.values())) > 1:
+            conflicts.append(ConclusionConflict(
+                operating_point=point, verdicts=verdicts))
+    return conflicts

@@ -1,0 +1,103 @@
+"""Experimental-evaluation-time estimation (Section V-C, Table IV).
+
+Given one condition's per-run samples, estimate how many repetitions a
+1%-error, 95%-confidence result needs -- with the parametric formula
+and with CONFIRM -- plus the Shapiro-Wilk verdict that tells you which
+estimate to trust, and the implied wall-clock evaluation time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.stats.normality import NormalityResult, shapiro_wilk
+from repro.stats.repetitions import (
+    confirm_repetitions,
+    parametric_repetitions,
+)
+
+#: The paper's run duration (2 minutes), used for wall-clock estimates.
+DEFAULT_RUN_SECONDS = 120.0
+
+
+@dataclass(frozen=True)
+class EvaluationTimeEstimate:
+    """Repetition counts and evaluation time for one condition.
+
+    Attributes:
+        parametric_runs: equation-3 estimate.
+        confirm_runs: CONFIRM estimate, or ``None`` when even the full
+            sample set did not converge (Table IV prints ``> n``).
+        sample_count: how many pilot runs the estimates are based on.
+        normality: the Shapiro-Wilk result on the pilot samples.
+        run_seconds: duration of one run.
+    """
+
+    parametric_runs: int
+    confirm_runs: Optional[int]
+    sample_count: int
+    normality: NormalityResult
+    run_seconds: float
+
+    # ------------------------------------------------------------------
+    @property
+    def recommended_runs(self) -> int:
+        """The estimate matching the data's distribution.
+
+        Normal samples -> parametric; non-normal -> CONFIRM.  When
+        CONFIRM did not converge, the pilot count itself is the floor.
+        """
+        if self.normality.normal:
+            return self.parametric_runs
+        if self.confirm_runs is not None:
+            return self.confirm_runs
+        return self.sample_count + 1
+
+    @property
+    def evaluation_seconds(self) -> float:
+        """Wall-clock time to statistical confidence."""
+        return self.recommended_runs * self.run_seconds
+
+    def confirm_display(self) -> str:
+        """Table IV's rendering: a number or ``"> n"``."""
+        if self.confirm_runs is None:
+            return f">{self.sample_count}"
+        return str(self.confirm_runs)
+
+    def format_row(self, label: str) -> str:
+        """One Table IV row."""
+        return (f"{label:<18} parametric={self.parametric_runs:>5d}  "
+                f"CONFIRM={self.confirm_display():>5}  "
+                f"Shapiro-Wilk={self.normality.verdict}")
+
+
+def estimate_evaluation_time(
+        samples: Sequence[float],
+        error_pct: float = 1.0,
+        confidence: float = 0.95,
+        run_seconds: float = DEFAULT_RUN_SECONDS,
+        rng: Optional[np.random.Generator] = None,
+        ) -> EvaluationTimeEstimate:
+    """Estimate repetitions/time for one condition's pilot samples.
+
+    Args:
+        samples: per-run summary samples (e.g. 50 run averages).
+        error_pct: target CI half-width, percent of the point estimate.
+        confidence: confidence level.
+        run_seconds: duration of one run for wall-clock conversion.
+        rng: randomness for CONFIRM's subset draws (seeded default).
+    """
+    array = np.asarray(samples, dtype=float)
+    return EvaluationTimeEstimate(
+        parametric_runs=parametric_repetitions(
+            array, error_pct=error_pct, confidence=confidence),
+        confirm_runs=confirm_repetitions(
+            array, error=error_pct / 100.0, confidence=confidence,
+            rng=rng),
+        sample_count=int(array.size),
+        normality=shapiro_wilk(array),
+        run_seconds=run_seconds,
+    )

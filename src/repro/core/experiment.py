@@ -1,0 +1,128 @@
+"""Experiment runner: the paper's repetition protocol.
+
+An *experiment* is N repetitions of a run, each with a fresh testbed
+(fresh simulator, fresh seeds -- the reset that makes per-run samples
+independent) under identical configuration.  The result object exposes
+the per-run sample arrays and the paper's summary statistics:
+non-parametric median CIs for the average and 99th-percentile
+latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.testbed import RunMetrics, Testbed
+from repro.errors import ExperimentError
+from repro.stats.ci import ConfidenceInterval, nonparametric_median_ci
+from repro.stats.descriptive import SummaryStats, describe
+
+#: Default repetition count (the paper: "each experiment is the
+#: average of 50 runs").
+DEFAULT_RUNS = 50
+
+
+@dataclass
+class ExperimentResult:
+    """All repetitions of one experimental condition.
+
+    Attributes:
+        label: condition label, e.g. ``"LP-SMToff"``.
+        workload: workload name.
+        qps: offered load.
+        runs: one :class:`RunMetrics` per repetition, in seed order.
+        metadata: free-form extras (e.g. the synthetic delay).
+    """
+
+    label: str
+    workload: str
+    qps: float
+    runs: List[RunMetrics]
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def avg_samples(self) -> np.ndarray:
+        """Per-run average response times (the Fig. 2a/3a samples)."""
+        return np.array([run.avg_us for run in self.runs])
+
+    def p99_samples(self) -> np.ndarray:
+        """Per-run 99th-percentile latencies (Fig. 2b/3b samples)."""
+        return np.array([run.p99_us for run in self.runs])
+
+    def true_avg_samples(self) -> np.ndarray:
+        """Per-run NIC-point averages (ground truth)."""
+        return np.array([run.true_avg_us for run in self.runs])
+
+    def true_p99_samples(self) -> np.ndarray:
+        """Per-run NIC-point 99th percentiles (ground truth)."""
+        return np.array([run.true_p99_us for run in self.runs])
+
+    # ------------------------------------------------------------------
+    def median_avg_ci(self, confidence: float = 0.95
+                      ) -> ConfidenceInterval:
+        """Non-parametric median CI of the average response time."""
+        return nonparametric_median_ci(self.avg_samples(), confidence)
+
+    def median_p99_ci(self, confidence: float = 0.95
+                      ) -> ConfidenceInterval:
+        """Non-parametric median CI of the 99th-percentile latency."""
+        return nonparametric_median_ci(self.p99_samples(), confidence)
+
+    def avg_stats(self) -> SummaryStats:
+        """Descriptive summary of the per-run averages."""
+        return describe(self.avg_samples())
+
+    def p99_stats(self) -> SummaryStats:
+        """Descriptive summary of the per-run 99th percentiles."""
+        return describe(self.p99_samples())
+
+    def stdev_avg_us(self) -> float:
+        """Run-to-run standard deviation of the average (Fig. 5)."""
+        return self.avg_stats().std
+
+    def mean_server_utilization(self) -> float:
+        """Average first-tier utilization across runs."""
+        return float(np.mean(
+            [run.server_utilization for run in self.runs]))
+
+
+class Experiment:
+    """N repetitions of one condition, with environment reset."""
+
+    def __init__(self, builder: Callable[[int], Testbed],
+                 runs: int = DEFAULT_RUNS, base_seed: int = 0,
+                 label: str = "") -> None:
+        if runs < 1:
+            raise ExperimentError(f"runs must be >= 1, got {runs}")
+        self._builder = builder
+        self.runs = int(runs)
+        self.base_seed = int(base_seed)
+        self.label = str(label)
+
+    def run(self) -> ExperimentResult:
+        """Execute all repetitions and collect per-run metrics."""
+        metrics: List[RunMetrics] = []
+        workload = ""
+        qps = 0.0
+        for repetition in range(self.runs):
+            testbed = self._builder(self.base_seed + repetition)
+            workload = testbed.workload
+            qps = testbed.qps
+            metrics.append(testbed.run())
+        return ExperimentResult(
+            label=self.label or workload,
+            workload=workload,
+            qps=qps,
+            runs=metrics,
+        )
+
+
+def run_experiment(builder: Callable[[int], Testbed],
+                   runs: int = DEFAULT_RUNS, base_seed: int = 0,
+                   label: str = "") -> ExperimentResult:
+    """Convenience wrapper: build, run and summarize an experiment."""
+    return Experiment(builder, runs=runs, base_seed=base_seed,
+                      label=label).run()

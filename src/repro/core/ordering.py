@@ -1,0 +1,83 @@
+"""Experiment-order randomization (OrderSage, related work [12]).
+
+The order in which conditions run can bias results (machine state
+carries over).  The paper's protocol resets state between runs; this
+module adds the complementary OrderSage-style defence for *condition*
+ordering: instead of running condition A's 50 runs then condition B's,
+interleave or shuffle them so slow environmental drift spreads evenly
+across conditions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.testbed import RunMetrics, Testbed
+from repro.errors import ExperimentError
+
+
+def build_schedule(conditions: Sequence[str], runs: int,
+                   strategy: str = "shuffled",
+                   seed: int = 0) -> List[Tuple[str, int]]:
+    """Build a (condition, repetition) execution schedule.
+
+    Args:
+        conditions: condition labels.
+        runs: repetitions per condition.
+        strategy: ``"grouped"`` (all of A, then all of B -- the biased
+            default), ``"interleaved"`` (ABAB...) or ``"shuffled"``
+            (random order, the OrderSage recommendation).
+        seed: shuffle seed.
+
+    Raises:
+        ExperimentError: on an unknown strategy or empty input.
+    """
+    if not conditions:
+        raise ExperimentError("need at least one condition")
+    if runs < 1:
+        raise ExperimentError(f"runs must be >= 1, got {runs}")
+    if strategy == "grouped":
+        return [(condition, repetition)
+                for condition in conditions
+                for repetition in range(runs)]
+    if strategy == "interleaved":
+        return [(condition, repetition)
+                for repetition in range(runs)
+                for condition in conditions]
+    if strategy == "shuffled":
+        schedule = build_schedule(conditions, runs, "grouped")
+        rng = np.random.default_rng(seed)
+        rng.shuffle(schedule)
+        return schedule
+    raise ExperimentError(f"unknown strategy {strategy!r}")
+
+
+def run_ordered(builders: Dict[str, Callable[[int], Testbed]],
+                runs: int, strategy: str = "shuffled",
+                base_seed: int = 0,
+                order_seed: int = 0) -> Dict[str, List[RunMetrics]]:
+    """Run several conditions under an explicit ordering strategy.
+
+    Each (condition, repetition) pair gets a deterministic seed, so
+    two strategies over the same conditions execute the exact same
+    runs -- only the wall-clock order differs.  With the simulator this
+    is order-invariant by construction (a property the test suite
+    checks); on real hardware the ordering is the whole point.
+
+    Returns:
+        condition -> run metrics in repetition order.
+    """
+    schedule = build_schedule(
+        sorted(builders), runs, strategy, seed=order_seed)
+    results: Dict[str, List[Tuple[int, RunMetrics]]] = {
+        condition: [] for condition in builders}
+    for condition, repetition in schedule:
+        seed = base_seed + repetition
+        metrics = builders[condition](seed).run()
+        results[condition].append((repetition, metrics))
+    return {
+        condition: [metrics for _, metrics in sorted(entries)]
+        for condition, entries in results.items()
+    }

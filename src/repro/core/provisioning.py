@@ -1,0 +1,138 @@
+"""QoS capacity analysis and resource provisioning (Section V-A).
+
+The paper's datacenter framing: an experiment determines the highest
+load a machine sustains without violating a QoS target (e.g. 99th
+percentile <= 400 us), and that number sizes the fleet.  A client
+whose measurements are inflated finds a *lower* sustainable load and
+therefore provisions *more* machines -- the paper's example has the LP
+client demanding 1.6x the machines the HP client would.
+
+:func:`capacity_under_qos` finds the sustainable load from a measured
+load sweep; :func:`provisioning_plan` turns capacities into machine
+counts; :func:`provisioning_error` quantifies the over/under-provision
+between two observers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class CapacityResult:
+    """Outcome of a QoS capacity search.
+
+    Attributes:
+        qos_target_us: the latency target.
+        metric: which metric the target applies to (e.g. ``"p99"``).
+        capacity_qps: highest examined load meeting the target, or 0.0
+            when even the lowest load violates it.
+        violated_at_qps: first examined load violating the target, or
+            ``None`` if none did (capacity is sweep-limited).
+    """
+
+    qos_target_us: float
+    metric: str
+    capacity_qps: float
+    violated_at_qps: Optional[float]
+
+    @property
+    def sweep_limited(self) -> bool:
+        """True when the sweep never reached a violation."""
+        return self.violated_at_qps is None
+
+
+def capacity_under_qos(latency_by_qps: Mapping[float, float],
+                       qos_target_us: float,
+                       metric: str = "p99") -> CapacityResult:
+    """Find the highest load whose measured latency meets the target.
+
+    Args:
+        latency_by_qps: load -> measured latency (one observer's view).
+        qos_target_us: the QoS latency bound.
+        metric: label recorded in the result.
+
+    Raises:
+        ExperimentError: on an empty sweep or non-positive target.
+    """
+    if not latency_by_qps:
+        raise ExperimentError("empty load sweep")
+    if qos_target_us <= 0:
+        raise ExperimentError(
+            f"QoS target must be positive, got {qos_target_us}"
+        )
+    capacity = 0.0
+    violated_at: Optional[float] = None
+    for qps in sorted(latency_by_qps):
+        if latency_by_qps[qps] <= qos_target_us:
+            capacity = qps
+        else:
+            violated_at = qps
+            break
+    return CapacityResult(
+        qos_target_us=qos_target_us, metric=metric,
+        capacity_qps=capacity, violated_at_qps=violated_at)
+
+
+@dataclass(frozen=True)
+class ProvisioningPlan:
+    """Machines needed to serve a target aggregate load.
+
+    Attributes:
+        target_qps: the aggregate production load.
+        per_machine_qps: sustainable load per machine (from the
+            capacity analysis).
+        machines: machine count, rounded up.
+    """
+
+    target_qps: float
+    per_machine_qps: float
+    machines: int
+
+
+def provisioning_plan(target_qps: float,
+                      capacity: CapacityResult) -> ProvisioningPlan:
+    """Size a fleet from one observer's capacity result.
+
+    Raises:
+        ExperimentError: when the observed capacity is zero (no load
+            met the QoS target -- nothing can be provisioned from it).
+    """
+    if target_qps <= 0:
+        raise ExperimentError(
+            f"target_qps must be positive, got {target_qps}"
+        )
+    if capacity.capacity_qps <= 0:
+        raise ExperimentError(
+            "observer found no load meeting the QoS target; cannot "
+            "derive a provisioning plan"
+        )
+    machines = math.ceil(target_qps / capacity.capacity_qps)
+    return ProvisioningPlan(
+        target_qps=target_qps,
+        per_machine_qps=capacity.capacity_qps,
+        machines=machines)
+
+
+def provisioning_error(observers: Mapping[str, CapacityResult],
+                       target_qps: float) -> Dict[str, float]:
+    """Relative fleet sizes implied by each observer.
+
+    Returns:
+        observer label -> machines(observer) / min(machines) -- 1.0 is
+        the most optimistic observer; the paper's LP/HP example yields
+        {"HP": 1.0, "LP": 1.6}.
+    """
+    plans = {
+        label: provisioning_plan(target_qps, capacity)
+        for label, capacity in observers.items()
+    }
+    smallest = min(plan.machines for plan in plans.values())
+    return {
+        label: plan.machines / smallest
+        for label, plan in plans.items()
+    }

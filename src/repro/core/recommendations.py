@@ -1,0 +1,129 @@
+"""Configuration recommendations (paper Section VI).
+
+A rule-based encoding of the paper's guidance:
+
+* time-sensitive (block-wait) generators: tune the client for
+  performance, but flag the representativeness question when the
+  production environment is power-managed;
+* time-insensitive (busy-wait) generators: match the target
+  environment; when unknown, explore the configuration space;
+* always size repetition counts with the distribution-appropriate
+  method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.config.knobs import HardwareConfig
+from repro.config.presets import HP_CLIENT
+from repro.loadgen.base import GeneratorDesign
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The advice for one experimental setup.
+
+    Attributes:
+        client_config: the suggested client configuration, or ``None``
+            when the advice is to explore multiple configurations.
+        rationale: ordered, human-readable reasoning.
+        explore_space: True when a configuration-space exploration is
+            recommended instead of a single configuration.
+    """
+
+    client_config: Optional[HardwareConfig]
+    rationale: List[str]
+    explore_space: bool
+
+    def render(self) -> str:
+        """Readable multi-line advice."""
+        lines = []
+        if self.explore_space:
+            lines.append("Recommendation: explore client configurations "
+                         "(homogeneous and heterogeneous with the server).")
+        elif self.client_config is not None:
+            lines.append(f"Recommendation: configure the client as "
+                         f"{self.client_config.name} "
+                         f"({self.client_config.describe()}).")
+        for index, reason in enumerate(self.rationale, start=1):
+            lines.append(f"  {index}. {reason}")
+        return "\n".join(lines)
+
+
+def recommend(design: GeneratorDesign,
+              target_config: Optional[HardwareConfig] = None,
+              target_known: bool = False) -> Recommendation:
+    """Section VI's recommendation for one generator design.
+
+    Args:
+        design: the workload generator's taxonomy entry.
+        target_config: the production environment's configuration, if
+            known.
+        target_known: whether the production configuration is known.
+
+    Returns:
+        The paper's advice as a structured :class:`Recommendation`.
+    """
+    rationale: List[str] = []
+
+    if design.time_sensitive:
+        rationale.append(
+            "The inter-arrival implementation is time-sensitive "
+            "(block-wait): client hardware timing overheads shift "
+            "request send times away from the target distribution, so "
+            "the client must be tuned for performance.")
+        rationale.append(
+            "A performance-tuned client mitigates C-state and DVFS "
+            "wake overheads, letting requests leave as close as "
+            "possible to the inter-arrival schedule.")
+        if target_known and target_config is not None:
+            if target_config.enabled_cstates != frozenset({"C0"}):
+                rationale.append(
+                    "Caution: the target environment enables sleep "
+                    "states, so a performance-tuned point of "
+                    "measurement will under-estimate production "
+                    "end-to-end latency; expect resource "
+                    "over/under-provisioning if this is ignored.")
+        rationale.append(
+            "Size repetition counts with the method matching the "
+            "sample distribution (equation 3 when normal, CONFIRM "
+            "otherwise).")
+        return Recommendation(
+            client_config=HP_CLIENT,
+            rationale=rationale,
+            explore_space=False,
+        )
+
+    # Time-insensitive: the busy-wait loop protects send timing, so the
+    # choice is about representativeness, not accuracy.
+    rationale.append(
+        "The inter-arrival implementation is time-insensitive "
+        "(busy-wait): send timing is robust to sleep states, so the "
+        "client configuration should match the target environment.")
+    if target_known and target_config is not None:
+        rationale.append(
+            f"The target environment is known: mirror it "
+            f"({target_config.describe()}).")
+        rationale.append(
+            "Size repetition counts with the method matching the "
+            "sample distribution (equation 3 when normal, CONFIRM "
+            "otherwise).")
+        return Recommendation(
+            client_config=target_config,
+            rationale=rationale,
+            explore_space=False,
+        )
+    rationale.append(
+        "The target environment is unknown: evaluate the technique "
+        "under several client/server configuration scenarios "
+        "(space exploration), homogeneous and heterogeneous.")
+    rationale.append(
+        "Size repetition counts with the method matching the sample "
+        "distribution (equation 3 when normal, CONFIRM otherwise).")
+    return Recommendation(
+        client_config=None,
+        rationale=rationale,
+        explore_space=True,
+    )

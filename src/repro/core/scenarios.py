@@ -1,0 +1,85 @@
+"""The scenario taxonomy of Table III.
+
+Each scenario combines a generator design (inter-arrival rate
+implementation and point of measurement), a client configuration state
+(tuned or not), and a service response-time regime (small or big), and
+records whether the combination risks wrong conclusions and where the
+paper evaluates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One row of Table III.
+
+    Attributes:
+        generator_design: e.g. ``"open-loop time-sensitive"``.
+        point_of_measurement: where latency is timestamped
+            (``"in-app"`` for all the paper's generators).
+        client_tuned: True when the client configuration is tuned (HP).
+        response_time: ``"small"`` (microseconds) or ``"big"``
+            (milliseconds).
+        risky: True when the combination can cause wrong conclusions
+            (the paper's X mark).
+        sections: paper sections evaluating the scenario.
+    """
+
+    generator_design: str
+    point_of_measurement: str
+    client_tuned: bool
+    response_time: str
+    risky: bool
+    sections: Tuple[str, ...]
+
+    @property
+    def client_conf(self) -> str:
+        """Table III's wording: ``"tuned"`` / ``"not-tuned"``."""
+        return "tuned" if self.client_tuned else "not-tuned"
+
+
+def scenario_table() -> List[Scenario]:
+    """The four scenarios of Table III, in the paper's order."""
+    return [
+        Scenario(
+            generator_design="open-loop time-sensitive",
+            point_of_measurement="in-app",
+            client_tuned=True,
+            response_time="small",
+            risky=False,
+            sections=("5.1", "5.3"),
+        ),
+        Scenario(
+            generator_design="open-loop time-sensitive",
+            point_of_measurement="in-app",
+            client_tuned=False,
+            response_time="small",
+            risky=True,
+            sections=("5.1", "5.3"),
+        ),
+        Scenario(
+            generator_design="open-loop time-insensitive",
+            point_of_measurement="in-app",
+            client_tuned=True,
+            response_time="big",
+            risky=False,
+            sections=("5.2",),
+        ),
+        Scenario(
+            generator_design="open-loop time-insensitive",
+            point_of_measurement="in-app",
+            client_tuned=False,
+            response_time="big",
+            risky=False,
+            sections=("5.2",),
+        ),
+    ]
+
+
+def risky_scenarios() -> List[Scenario]:
+    """Scenarios the paper marks as able to cause wrong conclusions."""
+    return [scenario for scenario in scenario_table() if scenario.risky]

@@ -1,0 +1,118 @@
+"""A testbed: one assembled client/server deployment, run once.
+
+A :class:`Testbed` owns a simulator, a service, and a workload
+generator; :meth:`Testbed.run` drives the run to completion and
+returns the run's :class:`RunMetrics` -- the per-run summary (average
+response time, 99th percentile, ...) that becomes **one sample** in an
+experiment, exactly matching the paper's one-sample-per-run protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config.knobs import HardwareConfig
+from repro.errors import ExperimentError
+from repro.loadgen.base import LoadGenerator
+from repro.loadgen.measurement import PointOfMeasurement, RunSamples
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Summary statistics of one run (one experiment sample).
+
+    Attributes:
+        avg_us: average response time at the generator.
+        p99_us: 99th-percentile latency at the generator.
+        true_avg_us: average latency at the NIC (ground truth).
+        true_p99_us: 99th percentile at the NIC.
+        requests: measured (post-warmup) request count.
+        seed: the run's root seed.
+        server_utilization: time-averaged utilization of the first
+            service tier.
+    """
+
+    avg_us: float
+    p99_us: float
+    true_avg_us: float
+    true_p99_us: float
+    requests: int
+    seed: int
+    server_utilization: float
+
+    @property
+    def client_bias_avg_us(self) -> float:
+        """Average client-caused measurement error this run."""
+        return self.avg_us - self.true_avg_us
+
+
+class Testbed:
+    """One deployment of a workload, valid for exactly one run."""
+
+    def __init__(self, sim: Simulator, streams: RandomStreams,
+                 generator: LoadGenerator, service,
+                 workload: str, qps: float,
+                 client_config: HardwareConfig,
+                 server_config: HardwareConfig) -> None:
+        self.sim = sim
+        self.streams = streams
+        self.generator = generator
+        self.service = service
+        self.workload = str(workload)
+        self.qps = float(qps)
+        self.client_config = client_config
+        self.server_config = server_config
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunMetrics:
+        """Execute the run to completion and summarize it.
+
+        Raises:
+            ExperimentError: if called twice, or if the run ends with
+                outstanding requests (a wiring bug).
+        """
+        if self._ran:
+            raise ExperimentError(
+                "a Testbed is single-use; build a fresh one per run "
+                "(the paper resets the environment between runs)"
+            )
+        self._ran = True
+        self.generator.start()
+        self.sim.run()
+        expected = self.generator.num_requests
+        if self.generator.completed != expected:
+            raise ExperimentError(
+                f"run ended with {self.generator.completed}/{expected} "
+                f"requests completed"
+            )
+        samples = self.generator.samples
+        utilization = self._first_station_utilization()
+        return RunMetrics(
+            avg_us=samples.average_latency_us(PointOfMeasurement.GENERATOR),
+            p99_us=samples.percentile_latency_us(
+                99.0, PointOfMeasurement.GENERATOR),
+            true_avg_us=samples.average_latency_us(PointOfMeasurement.NIC),
+            true_p99_us=samples.percentile_latency_us(
+                99.0, PointOfMeasurement.NIC),
+            requests=len(samples.measured_requests()),
+            seed=self.streams.root_seed,
+            server_utilization=utilization,
+        )
+
+    def _first_station_utilization(self) -> float:
+        service = self.service
+        if hasattr(service, "utilization"):
+            return float(service.utilization())
+        tiers = getattr(service, "tiers", None)
+        if tiers:
+            return float(tiers[0].station.utilization())
+        return 0.0
+
+    @property
+    def samples(self) -> RunSamples:
+        """The run's raw samples (available after :meth:`run`)."""
+        return self.generator.samples

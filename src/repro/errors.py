@@ -1,0 +1,52 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every exception raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid or inconsistent hardware/software configuration."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was driven into an invalid state."""
+
+
+class HostToolingError(ReproError):
+    """A host-tuning operation (sysfs/MSR/grub) failed."""
+
+
+class MsrError(HostToolingError):
+    """A model-specific-register read or write failed."""
+
+
+class SysfsError(HostToolingError):
+    """A sysfs read or write failed."""
+
+
+class StatisticsError(ReproError):
+    """A statistical routine received unusable input."""
+
+
+class InsufficientSamplesError(StatisticsError):
+    """Too few samples to compute the requested statistic."""
+
+    def __init__(self, needed: int, got: int, what: str = "statistic"):
+        self.needed = int(needed)
+        self.got = int(got)
+        self.what = what
+        super().__init__(
+            f"{what} requires at least {needed} samples, got {got}"
+        )
+
+
+class ExperimentError(ReproError):
+    """An experiment specification or run failed."""

@@ -1,0 +1,32 @@
+"""Simulated Skylake-class hardware: C-states, DVFS, SMT, uncore, timers.
+
+This package is the substitute for the paper's physical CloudLab
+c220g5 nodes.  It models the *timing* behaviour of the client and
+server machines -- wake-up latencies, frequency ramps, SMT
+interference -- because those are the mechanisms the paper identifies
+as the source of client-caused measurement error.
+"""
+
+from repro.hardware.cstates import CStateGovernor, IdleDecision
+from repro.hardware.frequency import FrequencyModel, FrequencyDecision
+from repro.hardware.smt import SmtModel
+from repro.hardware.uncore import UncoreModel
+from repro.hardware.timer import TimerModel
+from repro.hardware.core import CoreOccupancy, SimCore
+from repro.hardware.machine import Machine
+from repro.hardware.power import EnergyBreakdown, PowerModel
+
+__all__ = [
+    "PowerModel",
+    "EnergyBreakdown",
+    "CStateGovernor",
+    "IdleDecision",
+    "FrequencyModel",
+    "FrequencyDecision",
+    "SmtModel",
+    "UncoreModel",
+    "TimerModel",
+    "SimCore",
+    "CoreOccupancy",
+    "Machine",
+]

@@ -1,0 +1,236 @@
+"""A simulated CPU core that serializes event handling.
+
+:class:`SimCore` is the composition point of the hardware model: it
+combines the C-state governor, the frequency model, the uncore model
+and the timer model under one core-occupancy timeline.  Workload
+generators hand it "handle this event at time *t*, costing *w* us of
+work at nominal frequency" and get back when the handling *finished* --
+which is exactly the timestamp a point-of-measurement-in-generator
+design records.
+
+The finish time includes, in order:
+
+1. queueing behind earlier events still being handled (a busy core),
+2. C-state wake latency if the core was asleep,
+3. a voltage/frequency ramp if the core woke from a deep state under a
+   utilization-driven governor (legacy-DVFS transition, ~30 us [15]),
+4. the uncore ramp penalty after long idle,
+5. a thread wake / context switch if the event unblocks a thread,
+6. a DVFS stall if the governor changed frequency at this boundary,
+7. the work itself, scaled by the current core frequency.
+
+A core created with ``polling=True`` models a busy-wait event loop
+(the HDSearch client): it never sleeps, pays no wake or context-switch
+costs, and its frequency governor sees 100% utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.config.knobs import FrequencyGovernor, HardwareConfig
+from repro.hardware.cstates import CStateGovernor
+from repro.hardware.frequency import FrequencyModel
+from repro.hardware.timer import TimerModel
+from repro.hardware.uncore import UncoreModel
+from repro.parameters import SkylakeParameters
+from repro.units import work_cycles_us
+
+#: Target residency at and beyond which a wake implies a voltage ramp.
+_DEEP_SLEEP_RESIDENCY_US = 20.0
+
+
+@dataclass(frozen=True)
+class CoreOccupancy:
+    """Timeline record of one handled event.
+
+    Attributes:
+        arrival_us: when the event (packet, timer) arrived at the core.
+        start_us: when the core actually began handling it.
+        finish_us: when handling completed (the observable timestamp).
+        wake_latency_us: C-state exit latency paid, if any.
+        queue_wait_us: time spent waiting behind earlier events.
+        work_us: actual execution time after frequency scaling.
+        cstate: name of the C-state the core woke from.
+        freq_ghz: core frequency during execution.
+    """
+
+    arrival_us: float
+    start_us: float
+    finish_us: float
+    wake_latency_us: float
+    queue_wait_us: float
+    work_us: float
+    cstate: str
+    freq_ghz: float
+
+    @property
+    def overhead_us(self) -> float:
+        """Everything except the event's own work."""
+        return (self.finish_us - self.arrival_us) - self.work_us
+
+
+class SimCore:
+    """One core of a client or server machine.
+
+    Events must be submitted in non-decreasing arrival order; the core
+    maintains its own availability timeline and queues events that
+    arrive while it is busy.
+
+    Args:
+        params: calibrated machine constants.
+        config: the machine's hardware configuration.
+        rng: random stream for governor prediction noise and timer
+            slack; ``None`` makes the core fully deterministic.
+        polling: model a busy-wait loop that never idles.
+        overhead_scale: run-level multiplicative factor on all overhead
+            components (uncontrolled environment state; sampled once
+            per run by the testbed).
+        cstate_latency_limit_us: menu-governor latency tolerance; see
+            :class:`~repro.hardware.cstates.CStateGovernor`.
+    """
+
+    def __init__(self, params: SkylakeParameters, config: HardwareConfig,
+                 rng: Optional[np.random.Generator] = None,
+                 polling: bool = False,
+                 overhead_scale: float = 1.0,
+                 cstate_latency_limit_us: Optional[float] = None) -> None:
+        if overhead_scale <= 0:
+            raise ValueError(
+                f"overhead_scale must be positive, got {overhead_scale}"
+            )
+        self._params = params
+        self._config = config
+        self._rng = rng
+        self.polling = bool(polling)
+        self.overhead_scale = float(overhead_scale)
+        self.cstates = CStateGovernor(
+            params, config, latency_limit_us=cstate_latency_limit_us)
+        self.frequency = FrequencyModel(params, config)
+        self.uncore = UncoreModel(params, config)
+        self.timer = TimerModel(params, config)
+        self._available_at = 0.0
+        self._last_arrival = 0.0
+        self.events_handled = 0
+        self.total_busy_us = 0.0
+        self.total_wake_us = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def available_at(self) -> float:
+        """Simulated time at which the core next becomes free."""
+        return self._available_at
+
+    def idle_gap_before(self, arrival_us: float) -> float:
+        """Idle period the core would have had before *arrival_us*."""
+        return max(0.0, arrival_us - self._available_at)
+
+    def _thread_wake_cost(self) -> float:
+        if self._config.idle_poll:
+            return self._params.poll_wake_us
+        return self._params.context_switch_us
+
+    # ------------------------------------------------------------------
+    def handle_event(self, arrival_us: float, work_us_nominal: float,
+                     wakes_thread: bool = True) -> CoreOccupancy:
+        """Handle an event arriving at *arrival_us*.
+
+        Args:
+            arrival_us: event arrival time; must not precede earlier
+                arrivals (events may arrive while the core is busy).
+            work_us_nominal: CPU work, calibrated at nominal frequency.
+            wakes_thread: whether handling requires scheduling a blocked
+                thread in (block-wait designs: yes; busy-wait: no).
+
+        Returns:
+            The :class:`CoreOccupancy` record, whose ``finish_us`` is
+            the earliest time software could observe the event.
+        """
+        if arrival_us < self._last_arrival - 1e-9:
+            raise ValueError(
+                f"event at {arrival_us} precedes earlier arrival "
+                f"{self._last_arrival}"
+            )
+        self._last_arrival = arrival_us
+
+        queue_wait = max(0.0, self._available_at - arrival_us)
+        idle_gap = max(0.0, arrival_us - self._available_at)
+        start = arrival_us + queue_wait
+
+        wake_latency = 0.0
+        dvfs_ramp = 0.0
+        uncore_penalty = 0.0
+        ctx = 0.0
+        cstate_name = "C0"
+
+        if self.polling:
+            # A busy-wait loop burned the gap spinning: no sleep, no
+            # wake path, and the governor sees the spin as busy time.
+            if idle_gap > 0:
+                self.frequency.account_busy(idle_gap)
+        elif queue_wait == 0.0:
+            decision = self.cstates.select(idle_gap, self._rng)
+            wake_latency = decision.wake_latency_us
+            cstate_name = decision.state.name
+            if (wake_latency > 0.0
+                    and decision.state.target_residency_us
+                    >= _DEEP_SLEEP_RESIDENCY_US
+                    and self._config.frequency_governor
+                    is not FrequencyGovernor.PERFORMANCE):
+                dvfs_ramp = self._params.wake_dvfs_ramp_us
+            uncore_penalty = self.uncore.wake_penalty_us(idle_gap)
+            if wakes_thread:
+                ctx = self._thread_wake_cost()
+
+        freq_decision = self.frequency.evaluate(start)
+        freq = freq_decision.freq_ghz
+        stall = freq_decision.transition_stall_us
+        if self.polling:
+            # A busy-wait loop absorbs the transition while spinning;
+            # it never lands on an event's observable path.
+            stall = 0.0
+
+        overhead = (wake_latency + dvfs_ramp + uncore_penalty + ctx
+                    + stall) * self.overhead_scale
+        work = work_cycles_us(
+            work_us_nominal, self._params.nominal_freq_ghz, freq)
+        finish = start + overhead + work
+
+        busy = finish - start
+        self.frequency.account_busy(busy)
+        self.total_busy_us += busy
+        self.total_wake_us += wake_latency
+        self.events_handled += 1
+        self._available_at = finish
+
+        return CoreOccupancy(
+            arrival_us=arrival_us,
+            start_us=start,
+            finish_us=finish,
+            wake_latency_us=wake_latency,
+            queue_wait_us=queue_wait,
+            work_us=work,
+            cstate=cstate_name,
+            freq_ghz=freq,
+        )
+
+    # ------------------------------------------------------------------
+    def timed_sleep_until(self, target_us: float, now_us: float) -> float:
+        """Return when a thread sleeping until *target_us* actually runs.
+
+        Combines timer slack (late expiry) with run-level environment
+        scaling.  Used by block-wait generators for their send timing.
+        """
+        if target_us < now_us:
+            target_us = now_us
+        overshoot = self.timer.sleep_overshoot_us(self._rng)
+        return target_us + overshoot * self.overhead_scale
+
+    def utilization(self, horizon_us: float) -> float:
+        """Busy fraction over the first *horizon_us* of simulated time."""
+        if horizon_us <= 0:
+            return 0.0
+        return min(1.0, self.total_busy_us / horizon_us)

@@ -1,0 +1,119 @@
+"""C-state selection and wake-up latency (paper Section IV-C, "C-states").
+
+When a core goes idle the cpuidle *menu*-style governor predicts the
+idle period and picks the deepest enabled C-state whose target
+residency fits the prediction.  Waking from that state costs its exit
+latency, which lands directly on the measurement path of a block-wait
+workload generator: the response is in the NIC, but the generator
+cannot timestamp it until the core is back in C0.
+
+The paper quotes 2 us - 200 us for this transition; our Skylake table
+(C1 2 us, C1E 10 us, C6 133 us) sits inside that range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Sequence
+
+import numpy as np
+
+from repro.config.knobs import HardwareConfig
+from repro.parameters import CStateSpec, SkylakeParameters
+
+
+@dataclass(frozen=True)
+class IdleDecision:
+    """Outcome of one idle period.
+
+    Attributes:
+        state: the C-state the core slept in.
+        wake_latency_us: exit latency paid on the wake-up path.
+        residency_us: how long the core was resident in the state.
+    """
+
+    state: CStateSpec
+    wake_latency_us: float
+    residency_us: float
+
+
+class CStateGovernor:
+    """Menu-governor-like C-state selection for a simulated core.
+
+    The real menu governor predicts idle length from recent history and
+    can mispredict.  We model that by perturbing the actual gap with a
+    small multiplicative error before the table lookup, which produces
+    the occasional too-deep/too-shallow pick that contributes to LP
+    run-to-run variability.
+
+    ``latency_limit_us`` models menu's latency-tolerance heuristics
+    (the performance multiplier and IO-wait correction, plus PM-QoS
+    requests from busy NIC interrupt sources): cores running network
+    event loops are effectively kept out of states whose exit latency
+    exceeds the tolerance, even during long gaps.
+    """
+
+    #: Std-dev of the multiplicative prediction error.
+    PREDICTION_NOISE = 0.25
+
+    def __init__(self, params: SkylakeParameters,
+                 config: HardwareConfig,
+                 latency_limit_us: Optional[float] = None) -> None:
+        self._params = params
+        self._config = config
+        table = [
+            spec for spec in params.cstate_table()
+            if spec.name in config.enabled_cstates
+            and (latency_limit_us is None
+                 or spec.exit_latency_us <= latency_limit_us)
+        ]
+        if not table:
+            # The limit excluded everything but C0 must always remain.
+            table = [params.cstate_table()[0]]
+        # Deepest-last ordering is guaranteed by the parameters module.
+        self._enabled: Sequence[CStateSpec] = tuple(table)
+        self._poll = config.idle_poll
+        #: Tick period that bounds sleep depth on non-tickless kernels.
+        self._tick_limit_us: Optional[float] = (
+            None if config.tickless else 4_000.0)
+
+    @property
+    def enabled_states(self) -> Sequence[CStateSpec]:
+        """The C-states this governor may select, shallowest first."""
+        return self._enabled
+
+    def select(self, idle_gap_us: float,
+               rng: Optional[np.random.Generator] = None) -> IdleDecision:
+        """Decide the sleep state for an idle period of *idle_gap_us*.
+
+        Args:
+            idle_gap_us: the actual length of the idle period.
+            rng: optional generator for prediction noise; without it the
+                prediction is exact (useful for deterministic tests).
+
+        Returns:
+            The :class:`IdleDecision` including the wake latency the
+            next event must absorb.
+        """
+        if idle_gap_us < 0:
+            idle_gap_us = 0.0
+        if self._poll or not self._enabled:
+            c0 = self._params.cstate_table()[0]
+            return IdleDecision(c0, 0.0, idle_gap_us)
+
+        predicted = idle_gap_us
+        if rng is not None and idle_gap_us > 0:
+            noise = rng.normal(loc=1.0, scale=self.PREDICTION_NOISE)
+            predicted = idle_gap_us * max(0.0, noise)
+        if self._tick_limit_us is not None:
+            predicted = min(predicted, self._tick_limit_us)
+
+        chosen = self._enabled[0]
+        for spec in self._enabled:
+            if spec.target_residency_us <= predicted:
+                chosen = spec
+        # A core cannot pay more wake latency than it slept: if the gap
+        # ends before the entry completes the exit is proportionally
+        # cheaper (entry aborted early).
+        wake = min(chosen.exit_latency_us, max(idle_gap_us, 0.0))
+        return IdleDecision(chosen, wake, idle_gap_us)

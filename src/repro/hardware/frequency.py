@@ -1,0 +1,141 @@
+"""DVFS: frequency drivers, governors and transition latency.
+
+The CPUFreq subsystem has two halves (paper Section IV-C): the
+*driver* (``intel_pstate`` or ``acpi-cpufreq``) that talks to the
+hardware, and the *governor* (``powersave``, ``performance``, ...)
+that picks the frequency.  The model captures the behaviours the paper
+depends on:
+
+* ``performance`` pins the maximum frequency (turbo if enabled);
+* ``powersave`` under ``intel_pstate`` scales frequency with recent
+  utilization, so a mostly-idle client core runs near 0.8 GHz and its
+  event-handling code runs ~2.7x slower than at 2.2 GHz nominal;
+* ``powersave`` under ``acpi-cpufreq`` pins the *minimum* frequency;
+* every frequency change stalls the core for ~30 us (legacy DVFS [15]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.knobs import (
+    FrequencyDriver,
+    FrequencyGovernor,
+    HardwareConfig,
+)
+from repro.errors import ConfigurationError
+from repro.parameters import SkylakeParameters
+
+
+@dataclass(frozen=True)
+class FrequencyDecision:
+    """Outcome of one governor evaluation.
+
+    Attributes:
+        freq_ghz: the frequency in effect after the evaluation.
+        transition_stall_us: stall paid now if the frequency changed.
+    """
+
+    freq_ghz: float
+    transition_stall_us: float
+
+
+class FrequencyModel:
+    """Per-core frequency state driven by utilization accounting.
+
+    Call :meth:`account_busy` whenever the core does work, then
+    :meth:`evaluate` at event boundaries; the governor re-decides the
+    frequency once per ``governor_interval_us`` of simulated time.
+    """
+
+    def __init__(self, params: SkylakeParameters,
+                 config: HardwareConfig) -> None:
+        self._params = params
+        self._config = config
+        self._max_freq = (
+            params.turbo_freq_ghz if config.turbo else params.nominal_freq_ghz)
+        self._min_freq = params.min_freq_ghz
+        self._freq = self._initial_freq()
+        self._window_start = 0.0
+        self._busy_accum_us = 0.0
+        self.transitions = 0
+
+    # ------------------------------------------------------------------
+    def _initial_freq(self) -> float:
+        governor = self._config.frequency_governor
+        if governor is FrequencyGovernor.PERFORMANCE:
+            return self._max_freq
+        return self._min_freq
+
+    @property
+    def current_freq_ghz(self) -> float:
+        """The frequency currently in effect."""
+        return self._freq
+
+    @property
+    def max_freq_ghz(self) -> float:
+        """The ceiling (turbo when enabled, otherwise nominal)."""
+        return self._max_freq
+
+    # ------------------------------------------------------------------
+    def account_busy(self, busy_us: float) -> None:
+        """Record *busy_us* of work inside the current governor window."""
+        if busy_us < 0:
+            raise ConfigurationError(f"negative busy time {busy_us!r}")
+        self._busy_accum_us += busy_us
+
+    def evaluate(self, now_us: float) -> FrequencyDecision:
+        """Re-run the governor if its evaluation interval has elapsed.
+
+        Returns:
+            The frequency in effect and any DVFS stall to pay now.
+        """
+        elapsed = now_us - self._window_start
+        if elapsed < self._params.governor_interval_us:
+            return FrequencyDecision(self._freq, 0.0)
+
+        utilization = min(1.0, max(0.0, self._busy_accum_us / elapsed))
+        self._window_start = now_us
+        self._busy_accum_us = 0.0
+
+        target = self._target_freq(utilization)
+        if abs(target - self._freq) < 1e-9:
+            return FrequencyDecision(self._freq, 0.0)
+        self._freq = target
+        self.transitions += 1
+        return FrequencyDecision(self._freq, self._params.dvfs_transition_us)
+
+    # ------------------------------------------------------------------
+    def _target_freq(self, utilization: float) -> float:
+        governor = self._config.frequency_governor
+        driver = self._config.frequency_driver
+
+        if governor is FrequencyGovernor.PERFORMANCE:
+            return self._max_freq
+
+        if governor is FrequencyGovernor.POWERSAVE:
+            if driver is FrequencyDriver.ACPI_CPUFREQ:
+                # Legacy powersave: pin the minimum frequency.
+                return self._min_freq
+            # intel_pstate powersave: proportional-with-headroom scaling.
+            # It practically never sustains turbo residency, so the
+            # effective ceiling is the nominal frequency even when the
+            # turbo knob is on (see config_warnings).
+            ceiling = min(self._max_freq, self._params.nominal_freq_ghz)
+            ramp = self._params.governor_ramp_threshold
+            scaled = min(1.0, utilization / ramp)
+            return self._min_freq + (ceiling - self._min_freq) * scaled
+
+        if governor is FrequencyGovernor.ONDEMAND:
+            # Jump to max above the up-threshold, else proportional.
+            if utilization >= self._params.governor_ramp_threshold:
+                return self._max_freq
+            span = self._max_freq - self._min_freq
+            return self._min_freq + span * utilization
+
+        if governor is FrequencyGovernor.SCHEDUTIL:
+            target = 1.25 * utilization * self._max_freq
+            return min(self._max_freq, max(self._min_freq, target))
+
+        raise ConfigurationError(
+            f"unhandled governor {governor!r}")  # pragma: no cover

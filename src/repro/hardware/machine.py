@@ -1,0 +1,83 @@
+"""A machine: a set of cores under one hardware configuration.
+
+Client machines in the testbed dedicate one generator core per
+machine to event handling (mirroring how mutilate/wrk2 pin their event
+loops); server machines expose a worker pool whose size depends on the
+SMT knob.  :class:`Machine` owns the per-machine hardware model
+instances and the per-machine random streams.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.config.knobs import HardwareConfig
+from repro.config.validate import validate_config
+from repro.hardware.core import SimCore
+from repro.hardware.smt import SmtModel
+from repro.parameters import DEFAULT_PARAMETERS, SkylakeParameters
+
+
+class Machine:
+    """A client or server machine of the simulated test cluster."""
+
+    def __init__(self, name: str, config: HardwareConfig,
+                 physical_cores: int = 20,
+                 params: SkylakeParameters = DEFAULT_PARAMETERS,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if physical_cores <= 0:
+            raise ValueError(
+                f"physical_cores must be positive, got {physical_cores}"
+            )
+        self.name = str(name)
+        self.config = validate_config(config)
+        self.params = params
+        self.physical_cores = int(physical_cores)
+        self.smt = SmtModel(params, config.smt)
+        self._rng = rng
+        self._cores: List[SimCore] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def logical_cpus(self) -> int:
+        """Hardware threads visible to the OS on this machine."""
+        return self.smt.logical_threads(self.physical_cores)
+
+    def new_core(self, polling: bool = False,
+                 overhead_scale: float = 1.0,
+                 cstate_latency_limit_us=None) -> SimCore:
+        """Allocate one more simulated core on this machine.
+
+        Args:
+            polling: create the core in busy-wait mode (see
+                :class:`~repro.hardware.core.SimCore`).
+            overhead_scale: run-level environment factor for the core.
+            cstate_latency_limit_us: menu latency tolerance for this
+                core's idle decisions.
+
+        Raises:
+            ValueError: if all physical cores are already allocated.
+        """
+        if len(self._cores) >= self.physical_cores:
+            raise ValueError(
+                f"{self.name}: all {self.physical_cores} cores allocated"
+            )
+        core = SimCore(self.params, self.config, rng=self._rng,
+                       polling=polling, overhead_scale=overhead_scale,
+                       cstate_latency_limit_us=cstate_latency_limit_us)
+        self._cores.append(core)
+        return core
+
+    @property
+    def cores(self) -> List[SimCore]:
+        """Cores allocated so far."""
+        return list(self._cores)
+
+    def describe(self) -> str:
+        """One-line summary used by reports."""
+        return (
+            f"{self.name}: {self.physical_cores}C/"
+            f"{self.logical_cpus}T, {self.config.describe()}"
+        )

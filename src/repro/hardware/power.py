@@ -1,0 +1,132 @@
+"""Client-machine power accounting.
+
+The LP configuration exists for a reason: deep C-states and
+utilization-scaled frequencies save real energy.  This module attaches
+a simple power model to the hardware timing model so experiments can
+report the energy cost of the HP recommendation -- the flip side of
+the paper's accuracy argument (an experimenter deciding to pin
+``idle=poll`` + ``performance`` on a fleet of client machines should
+know what it costs).
+
+The model is a standard CMOS-style decomposition: active power scales
+roughly with f*V^2 (we use f^2.2 as a proxy since V scales with f),
+idle power is the resident C-state's fraction of active power, and a
+polling idle loop burns near-active power forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.knobs import HardwareConfig
+from repro.errors import ConfigurationError
+from repro.parameters import SkylakeParameters, cstates_by_name
+
+#: Per-core active power at nominal frequency, in watts (Skylake-class).
+ACTIVE_WATTS_AT_NOMINAL = 6.0
+#: Exponent applied to the frequency ratio (captures f*V^2 scaling).
+FREQUENCY_POWER_EXPONENT = 2.2
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy of one core over one run.
+
+    Attributes:
+        busy_joules: energy spent executing.
+        idle_joules: energy spent idle (sleeping or polling).
+        busy_us: accounted busy time.
+        idle_us: accounted idle time.
+    """
+
+    busy_joules: float
+    idle_joules: float
+    busy_us: float
+    idle_us: float
+
+    @property
+    def total_joules(self) -> float:
+        """Total energy over the accounted interval."""
+        return self.busy_joules + self.idle_joules
+
+    @property
+    def average_watts(self) -> float:
+        """Mean power over the accounted interval."""
+        total_us = self.busy_us + self.idle_us
+        if total_us <= 0:
+            return 0.0
+        return self.total_joules / (total_us / 1e6)
+
+
+class PowerModel:
+    """Energy accounting for one core under one configuration."""
+
+    def __init__(self, params: SkylakeParameters,
+                 config: HardwareConfig) -> None:
+        self._params = params
+        self._config = config
+        self._cstates = cstates_by_name()
+
+    # ------------------------------------------------------------------
+    def active_watts(self, freq_ghz: float) -> float:
+        """Active power at *freq_ghz*."""
+        if freq_ghz <= 0:
+            raise ConfigurationError(
+                f"frequency must be positive, got {freq_ghz}"
+            )
+        ratio = freq_ghz / self._params.nominal_freq_ghz
+        return ACTIVE_WATTS_AT_NOMINAL * ratio ** FREQUENCY_POWER_EXPONENT
+
+    def idle_watts(self, polling: bool = False) -> float:
+        """Idle power: poll loops burn near-active power; sleep states
+        burn their relative fraction."""
+        if polling or self._config.idle_poll:
+            # A polling idle loop executes continuously at the current
+            # frequency; the performance configs keep that at max.
+            return 0.85 * self.active_watts(
+                self._params.turbo_freq_ghz if self._config.turbo
+                else self._params.nominal_freq_ghz)
+        deepest = self._cstates[self._config.deepest_cstate()]
+        return (ACTIVE_WATTS_AT_NOMINAL * deepest.power_relative)
+
+    # ------------------------------------------------------------------
+    def run_energy(self, busy_us: float, idle_us: float,
+                   busy_freq_ghz: float) -> EnergyBreakdown:
+        """Energy of a run with the given busy/idle split.
+
+        Args:
+            busy_us: time spent executing.
+            idle_us: time spent idle.
+            busy_freq_ghz: (average) frequency while executing.
+        """
+        if busy_us < 0 or idle_us < 0:
+            raise ConfigurationError("times must be >= 0")
+        busy_joules = self.active_watts(busy_freq_ghz) * busy_us / 1e6
+        idle_joules = self.idle_watts() * idle_us / 1e6
+        return EnergyBreakdown(
+            busy_joules=busy_joules, idle_joules=idle_joules,
+            busy_us=busy_us, idle_us=idle_us)
+
+
+def compare_client_energy(params: SkylakeParameters,
+                          lp: HardwareConfig, hp: HardwareConfig,
+                          busy_us: float, horizon_us: float,
+                          lp_freq_ghz: float,
+                          hp_freq_ghz: float) -> float:
+    """HP-to-LP energy ratio for the same work over the same horizon.
+
+    Returns:
+        ``hp_joules / lp_joules`` -- how much more energy the tuned
+        client burns to produce its accurate measurements.
+    """
+    if horizon_us < busy_us:
+        raise ConfigurationError(
+            "horizon must cover the busy time"
+        )
+    lp_energy = PowerModel(params, lp).run_energy(
+        busy_us, horizon_us - busy_us, lp_freq_ghz).total_joules
+    hp_energy = PowerModel(params, hp).run_energy(
+        busy_us, horizon_us - busy_us, hp_freq_ghz).total_joules
+    if lp_energy <= 0:
+        raise ConfigurationError("LP energy must be positive")
+    return hp_energy / lp_energy

@@ -1,0 +1,58 @@
+"""Kernel timer behaviour: tick interference and sleep slack.
+
+Two timer-related phenomena affect a block-wait workload generator:
+
+* **Sleep slack** -- a thread sleeping until its next send time is
+  woken by a timer whose expiry the kernel is allowed to defer (timer
+  slack, tick alignment).  The actual wake-up lands up to tens of
+  microseconds *after* the requested time, perturbing the inter-arrival
+  distribution (the "time-sensitive" risk in Table III).
+* **Tick interference** -- on a non-tickless kernel the periodic
+  scheduling-clock tick occasionally steals the CPU right when an
+  event needs handling.
+
+High-resolution, performance-tuned setups shrink both effects but do
+not remove them entirely; the model gives every configuration a small
+floor.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.config.knobs import FrequencyGovernor, HardwareConfig
+from repro.parameters import SkylakeParameters
+
+#: Residual wake-up jitter of a tuned high-resolution timer path.
+HIGH_RES_SLACK_US = 1.0
+
+
+class TimerModel:
+    """Sleep-wakeup slack for block-wait sleeps."""
+
+    def __init__(self, params: SkylakeParameters,
+                 config: HardwareConfig) -> None:
+        self._params = params
+        self._config = config
+        tuned = (config.frequency_governor is FrequencyGovernor.PERFORMANCE
+                 and config.idle_poll)
+        self._slack_us = (
+            HIGH_RES_SLACK_US if tuned else params.sleep_slack_us)
+
+    @property
+    def slack_us(self) -> float:
+        """Maximum additional delay applied to a timed sleep."""
+        return self._slack_us
+
+    def sleep_overshoot_us(
+            self, rng: Optional[np.random.Generator]) -> float:
+        """Sample how late a timed sleep actually wakes.
+
+        Args:
+            rng: random stream; ``None`` returns the expectation.
+        """
+        if rng is None:
+            return self._slack_us / 2.0
+        return float(rng.uniform(0.0, self._slack_us))

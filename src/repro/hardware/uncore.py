@@ -1,0 +1,39 @@
+"""Uncore frequency scaling (MSR 0x620).
+
+The uncore -- last-level cache, ring/mesh interconnect, memory and IO
+controllers -- has its own frequency domain.  With the *dynamic*
+policy the uncore clocks down while the core domain idles, so the
+first memory/IO-heavy operation after an idle period observes extra
+latency until the uncore ramps back up.  With the *fixed* policy (the
+HP client and the server baseline) the penalty disappears.
+"""
+
+from __future__ import annotations
+
+from repro.config.knobs import HardwareConfig, UncorePolicy
+from repro.parameters import SkylakeParameters
+
+#: Idle gap beyond which a dynamic uncore has clocked down.
+UNCORE_RAMP_DOWN_GAP_US = 100.0
+
+
+class UncoreModel:
+    """Per-event uncore ramp-up penalty."""
+
+    def __init__(self, params: SkylakeParameters,
+                 config: HardwareConfig) -> None:
+        self._params = params
+        self._dynamic = config.uncore is UncorePolicy.DYNAMIC
+
+    @property
+    def dynamic(self) -> bool:
+        """True when uncore frequency scaling is dynamic."""
+        return self._dynamic
+
+    def wake_penalty_us(self, idle_gap_us: float) -> float:
+        """Extra latency for the first event after *idle_gap_us* idle."""
+        if not self._dynamic:
+            return 0.0
+        if idle_gap_us <= UNCORE_RAMP_DOWN_GAP_US:
+            return 0.0
+        return self._params.uncore_dynamic_penalty_us

@@ -1,0 +1,51 @@
+"""Real-host tuning toolkit: sysfs, MSR, grub and cpupower.
+
+This package is what you would actually run on a physical client or
+server machine to realize the paper's LP/HP/baseline configurations
+(Table II).  Every operation goes through a pluggable
+:class:`~repro.host.filesystem.Filesystem`, so the exact same code is
+
+* executed against the live ``/sys`` and ``/dev/cpu/*/msr`` tree on a
+  real Linux host (:class:`~repro.host.filesystem.RealFilesystem`), or
+* exercised against a synthetic Skylake sysfs tree in tests and dry
+  runs (:class:`~repro.host.filesystem.FakeFilesystem`).
+
+The high-level entry point is :class:`~repro.host.tuner.HostTuner`,
+which turns a :class:`~repro.config.HardwareConfig` into a concrete
+action plan, applies it, and can snapshot/restore the previous state.
+"""
+
+from repro.host.filesystem import (
+    FakeFilesystem,
+    Filesystem,
+    RealFilesystem,
+    make_skylake_tree,
+)
+from repro.host.sysfs import CpuSysfs
+from repro.host.msr import MSR_TURBO_RATIO, MSR_MISC_ENABLE, MSR_UNCORE_RATIO, MsrInterface
+from repro.host.grub import GrubConfig
+from repro.host.cpupower import CpupowerShim
+from repro.host.snapshot import HostSnapshot, capture_snapshot
+from repro.host.tuner import HostTuner, TuningAction, TuningPlan
+from repro.host.verify import VerificationReport, verify_host
+
+__all__ = [
+    "verify_host",
+    "VerificationReport",
+    "Filesystem",
+    "RealFilesystem",
+    "FakeFilesystem",
+    "make_skylake_tree",
+    "CpuSysfs",
+    "MsrInterface",
+    "MSR_MISC_ENABLE",
+    "MSR_TURBO_RATIO",
+    "MSR_UNCORE_RATIO",
+    "GrubConfig",
+    "CpupowerShim",
+    "HostSnapshot",
+    "capture_snapshot",
+    "HostTuner",
+    "TuningAction",
+    "TuningPlan",
+]

@@ -1,0 +1,54 @@
+"""A ``cpupower``-style convenience shim.
+
+The paper uses the ``cpupower`` tool (a wrapper around the cpufreq
+sysfs interface) to set frequency governors.  :class:`CpupowerShim`
+provides the same verbs implemented directly on :class:`CpuSysfs`, and
+additionally renders the equivalent shell commands so an operator can
+reproduce every action by hand.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.host.filesystem import Filesystem
+from repro.host.sysfs import CpuSysfs
+
+
+class CpupowerShim:
+    """``cpupower frequency-set``-like operations plus a command log."""
+
+    def __init__(self, fs: Filesystem) -> None:
+        self._sysfs = CpuSysfs(fs)
+        self.command_log: List[str] = []
+
+    def frequency_set_governor(self, governor: str) -> None:
+        """Equivalent of ``cpupower frequency-set -g <governor>``."""
+        self._sysfs.set_governor(governor)
+        self.command_log.append(f"cpupower frequency-set -g {governor}")
+
+    def frequency_set_fixed(self, freq_khz: int) -> None:
+        """Equivalent of ``cpupower frequency-set -d X -u X``."""
+        self._sysfs.pin_frequency_khz(freq_khz)
+        mhz = freq_khz // 1000
+        self.command_log.append(
+            f"cpupower frequency-set -d {mhz}MHz -u {mhz}MHz")
+
+    def idle_set_disable(self, state_index: int, disabled: bool) -> None:
+        """Equivalent of ``cpupower idle-set -d/-e <state>``."""
+        state_dir = f"state{state_index}"
+        for cpu in self._sysfs.online_cpus():
+            self._sysfs.set_cstate_disabled(cpu, state_dir, disabled)
+        flag = "-d" if disabled else "-e"
+        self.command_log.append(f"cpupower idle-set {flag} {state_index}")
+
+    def frequency_info(self) -> dict:
+        """Summary akin to ``cpupower frequency-info``."""
+        min_khz, max_khz = self._sysfs.freq_range_khz()
+        return {
+            "driver": self._sysfs.scaling_driver(),
+            "governor": self._sysfs.scaling_governor(),
+            "available_governors": self._sysfs.available_governors(),
+            "min_khz": min_khz,
+            "max_khz": max_khz,
+        }

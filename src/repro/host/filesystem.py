@@ -1,0 +1,205 @@
+"""Pluggable filesystem for host tuning.
+
+All sysfs/MSR/grub code reads and writes through this small interface
+so that the identical logic runs on a real Linux host and in offline
+tests.  :func:`make_skylake_tree` builds a synthetic sysfs/MSR layout
+matching the paper's c220g5 machine (40 logical CPUs, 4 C-states,
+intel_pstate) for the :class:`FakeFilesystem`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Protocol
+
+from repro.errors import SysfsError
+
+
+class Filesystem(Protocol):
+    """Minimal filesystem surface used by the host tooling."""
+
+    def read_text(self, path: str) -> str:
+        """Return the stripped text content of *path*."""
+        ...
+
+    def write_text(self, path: str, value: str) -> None:
+        """Write *value* to *path* (no trailing newline handling)."""
+        ...
+
+    def exists(self, path: str) -> bool:
+        """True if *path* exists."""
+        ...
+
+    def listdir(self, path: str) -> List[str]:
+        """Names inside directory *path*, sorted."""
+        ...
+
+
+class RealFilesystem:
+    """Filesystem backed by the actual OS. Use on a live host (root)."""
+
+    def read_text(self, path: str) -> str:
+        try:
+            with open(path, "r", encoding="ascii") as handle:
+                return handle.read().strip()
+        except OSError as exc:
+            raise SysfsError(f"cannot read {path}: {exc}") from exc
+
+    def write_text(self, path: str, value: str) -> None:
+        try:
+            with open(path, "w", encoding="ascii") as handle:
+                handle.write(value)
+        except OSError as exc:
+            raise SysfsError(f"cannot write {path}: {exc}") from exc
+
+    def exists(self, path: str) -> bool:
+        return os.path.exists(path)
+
+    def listdir(self, path: str) -> List[str]:
+        try:
+            return sorted(os.listdir(path))
+        except OSError as exc:
+            raise SysfsError(f"cannot list {path}: {exc}") from exc
+
+
+class FakeFilesystem:
+    """In-memory filesystem with a write journal, for tests/dry runs.
+
+    Attributes:
+        files: path -> current content.
+        journal: ordered list of ``(path, value)`` writes performed.
+        read_only: paths that reject writes (to simulate e.g. a kernel
+            that compiled out a knob).
+    """
+
+    def __init__(self, files: Dict[str, str] = None) -> None:
+        self.files: Dict[str, str] = dict(files or {})
+        self.journal: List[tuple] = []
+        self.read_only: set = set()
+
+    def read_text(self, path: str) -> str:
+        if path not in self.files:
+            raise SysfsError(f"cannot read {path}: no such file")
+        return self.files[path].strip()
+
+    def write_text(self, path: str, value: str) -> None:
+        if path in self.read_only:
+            raise SysfsError(f"cannot write {path}: read-only")
+        if path not in self.files:
+            raise SysfsError(f"cannot write {path}: no such file")
+        self.files[path] = value
+        self.journal.append((path, value))
+
+    def exists(self, path: str) -> bool:
+        if path in self.files:
+            return True
+        prefix = path.rstrip("/") + "/"
+        return any(name.startswith(prefix) for name in self.files)
+
+    def listdir(self, path: str) -> List[str]:
+        prefix = path.rstrip("/") + "/"
+        names = set()
+        for name in self.files:
+            if name.startswith(prefix):
+                rest = name[len(prefix):]
+                names.add(rest.split("/", 1)[0])
+        if not names and path not in self.files:
+            raise SysfsError(f"cannot list {path}: no such directory")
+        return sorted(names)
+
+
+#: C-state directory layout used by intel_idle on the modelled machine.
+_CPUIDLE_STATES = (
+    ("state0", "POLL", "0", "0"),
+    ("state1", "C1", "2", "2"),
+    ("state2", "C1E", "10", "20"),
+    ("state3", "C6", "133", "600"),
+)
+
+
+def make_skylake_tree(num_cpus: int = 40,
+                      driver: str = "intel_pstate",
+                      governor: str = "powersave") -> Dict[str, str]:
+    """Build a synthetic sysfs/MSR file map for a c220g5-like host.
+
+    Returns:
+        A path -> content dict suitable for :class:`FakeFilesystem`.
+    """
+    files: Dict[str, str] = {}
+    cpu_root = "/sys/devices/system/cpu"
+    files[f"{cpu_root}/online"] = f"0-{num_cpus - 1}"
+    files[f"{cpu_root}/smt/control"] = "on"
+    files[f"{cpu_root}/smt/active"] = "1"
+    files[f"{cpu_root}/cpuidle/current_driver"] = "intel_idle"
+    files[f"{cpu_root}/intel_pstate/no_turbo"] = "0"
+
+    for cpu in range(num_cpus):
+        base = f"{cpu_root}/cpu{cpu}"
+        for state_dir, name, latency, residency in _CPUIDLE_STATES:
+            sbase = f"{base}/cpuidle/{state_dir}"
+            files[f"{sbase}/name"] = name
+            files[f"{sbase}/latency"] = latency
+            files[f"{sbase}/residency"] = residency
+            files[f"{sbase}/disable"] = "0"
+        fbase = f"{base}/cpufreq"
+        files[f"{fbase}/scaling_driver"] = driver
+        files[f"{fbase}/scaling_governor"] = governor
+        files[f"{fbase}/scaling_available_governors"] = (
+            "performance powersave")
+        files[f"{fbase}/scaling_min_freq"] = "800000"
+        files[f"{fbase}/scaling_max_freq"] = "3000000"
+        files[f"{fbase}/cpuinfo_min_freq"] = "800000"
+        files[f"{fbase}/cpuinfo_max_freq"] = "3000000"
+        files[f"{fbase}/base_frequency"] = "2200000"
+        # MSR device nodes: store 8-byte values as hex strings.
+        files[f"/dev/cpu/{cpu}/msr@0x1a0"] = "0x850089"
+        files[f"/dev/cpu/{cpu}/msr@0x620"] = "0x71d"
+
+    files["/etc/default/grub"] = (
+        'GRUB_DEFAULT=0\n'
+        'GRUB_TIMEOUT=2\n'
+        'GRUB_CMDLINE_LINUX_DEFAULT="quiet splash"\n'
+        'GRUB_CMDLINE_LINUX=""\n'
+    )
+    return files
+
+
+def parse_cpu_list(spec: str) -> List[int]:
+    """Parse a kernel CPU list like ``"0-3,8,10-11"`` into ints.
+
+    Raises:
+        SysfsError: if the specification is malformed.
+    """
+    cpus: List[int] = []
+    spec = spec.strip()
+    if not spec:
+        return cpus
+    for part in spec.split(","):
+        part = part.strip()
+        try:
+            if "-" in part:
+                lo_text, hi_text = part.split("-", 1)
+                lo, hi = int(lo_text), int(hi_text)
+                if hi < lo:
+                    raise ValueError
+                cpus.extend(range(lo, hi + 1))
+            else:
+                cpus.append(int(part))
+        except ValueError:
+            raise SysfsError(f"malformed CPU list {spec!r}") from None
+    return cpus
+
+
+def format_cpu_list(cpus: Iterable[int]) -> str:
+    """Format ints as a compact kernel CPU list (inverse of parse)."""
+    ordered = sorted(set(int(c) for c in cpus))
+    if not ordered:
+        return ""
+    ranges: List[List[int]] = [[ordered[0], ordered[0]]]
+    for cpu in ordered[1:]:
+        if cpu == ranges[-1][1] + 1:
+            ranges[-1][1] = cpu
+        else:
+            ranges.append([cpu, cpu])
+    return ",".join(
+        f"{lo}" if lo == hi else f"{lo}-{hi}" for lo, hi in ranges)

@@ -1,0 +1,119 @@
+"""Grub kernel-command-line editing for boot-time knobs.
+
+Three of the paper's knobs are boot-time flags passed through
+``/etc/default/grub``:
+
+* ``intel_idle.max_cstate=<n>`` / ``idle=poll`` -- C-state ceiling,
+* ``intel_pstate=disable`` -- fall back to ``acpi-cpufreq``,
+* ``nohz=on|off`` -- tickless kernel.
+
+:class:`GrubConfig` parses and rewrites ``GRUB_CMDLINE_LINUX_DEFAULT``
+idempotently (re-applying a flag replaces the previous value rather
+than appending duplicates).  It does **not** run ``update-grub`` --
+callers decide when to regenerate and reboot.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from repro.errors import HostToolingError
+from repro.host.filesystem import Filesystem
+
+GRUB_PATH = "/etc/default/grub"
+_CMDLINE_KEY = "GRUB_CMDLINE_LINUX_DEFAULT"
+
+
+class GrubConfig:
+    """Read/modify the default kernel command line in grub config."""
+
+    def __init__(self, fs: Filesystem, path: str = GRUB_PATH) -> None:
+        self._fs = fs
+        self._path = path
+
+    # ------------------------------------------------------------------
+    def cmdline(self) -> List[str]:
+        """Current flags on the default kernel command line."""
+        content = self._fs.read_text(self._path)
+        match = re.search(
+            rf'^{_CMDLINE_KEY}="([^"]*)"', content, flags=re.MULTILINE)
+        if match is None:
+            raise HostToolingError(
+                f"{self._path} has no {_CMDLINE_KEY} line")
+        return match.group(1).split()
+
+    def cmdline_flags(self) -> Dict[str, Optional[str]]:
+        """Flags as a mapping; valueless flags map to ``None``."""
+        flags: Dict[str, Optional[str]] = {}
+        for token in self.cmdline():
+            if "=" in token:
+                key, value = token.split("=", 1)
+                flags[key] = value
+            else:
+                flags[token] = None
+        return flags
+
+    def _write_cmdline(self, tokens: List[str]) -> None:
+        content = self._fs.read_text(self._path)
+        line = f'{_CMDLINE_KEY}="{" ".join(tokens)}"'
+        new_content, count = re.subn(
+            rf'^{_CMDLINE_KEY}="[^"]*"', line, content, flags=re.MULTILINE)
+        if count == 0:
+            raise HostToolingError(
+                f"{self._path} has no {_CMDLINE_KEY} line")
+        self._fs.write_text(self._path, new_content)
+
+    # ------------------------------------------------------------------
+    def set_flag(self, key: str, value: Optional[str] = None) -> None:
+        """Add or replace one flag on the command line (idempotent)."""
+        token = key if value is None else f"{key}={value}"
+        tokens = [
+            t for t in self.cmdline()
+            if t != key and not t.startswith(f"{key}=")
+        ]
+        tokens.append(token)
+        self._write_cmdline(tokens)
+
+    def clear_flag(self, key: str) -> None:
+        """Remove one flag (and any ``key=value`` forms) if present."""
+        tokens = [
+            t for t in self.cmdline()
+            if t != key and not t.startswith(f"{key}=")
+        ]
+        self._write_cmdline(tokens)
+
+    # ----------------------------------------------------- paper knobs
+    def set_max_cstate(self, deepest: str) -> None:
+        """Configure the C-state ceiling for the *next boot*.
+
+        Args:
+            deepest: ``"C0"`` (emits ``idle=poll``), ``"C1"``, ``"C1E"``
+                or ``"C6"`` (clears the ceiling).
+        """
+        ceilings = {"C0": None, "C1": 1, "C1E": 2, "C6": None}
+        name = deepest.upper()
+        if name not in ceilings:
+            raise HostToolingError(f"unknown C-state {deepest!r}")
+        self.clear_flag("idle")
+        self.clear_flag("intel_idle.max_cstate")
+        self.clear_flag("processor.max_cstate")
+        if name == "C0":
+            self.set_flag("idle", "poll")
+        elif ceilings[name] is not None:
+            self.set_flag("intel_idle.max_cstate", str(ceilings[name]))
+
+    def set_pstate_driver(self, use_intel_pstate: bool) -> None:
+        """Select the CPUFreq driver for the next boot."""
+        if use_intel_pstate:
+            self.clear_flag("intel_pstate")
+        else:
+            self.set_flag("intel_pstate", "disable")
+
+    def set_tickless(self, enabled: bool) -> None:
+        """Select tickless (nohz) behaviour for the next boot."""
+        self.set_flag("nohz", "on" if enabled else "off")
+
+    def requires_reboot(self) -> bool:
+        """True -- grub changes only take effect after reboot."""
+        return True

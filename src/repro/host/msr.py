@@ -1,0 +1,126 @@
+"""Model-specific register access (turbo MSR 0x1A0, uncore MSR 0x620).
+
+The paper toggles turbo via MSR ``0x1a0`` (IA32_MISC_ENABLE, turbo
+disengage bit 38) and pins the uncore frequency via MSR ``0x620``
+(UNCORE_RATIO_LIMIT: max ratio in bits 6:0, min ratio in bits 14:8;
+the ratio is multiplied by 100 MHz).
+
+On a real host the registers live in ``/dev/cpu/<n>/msr`` (the
+``msr`` kernel module).  To keep the :class:`Filesystem` abstraction
+uniform we address them as ``/dev/cpu/<n>/msr@0x<reg>`` pseudo-files
+holding hex strings; :class:`RealMsrBackend` would translate to seeks
+on the device node on a live system.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import MsrError
+from repro.host.filesystem import Filesystem, parse_cpu_list
+
+#: IA32_MISC_ENABLE; bit 38 = turbo disengage.
+MSR_MISC_ENABLE = 0x1A0
+#: Alias used by the paper's text ("MSR 0x1a0").
+MSR_TURBO_RATIO = MSR_MISC_ENABLE
+#: UNCORE_RATIO_LIMIT.
+MSR_UNCORE_RATIO = 0x620
+
+TURBO_DISENGAGE_BIT = 38
+_UNCORE_MAX_MASK = 0x7F
+_UNCORE_MIN_SHIFT = 8
+#: Uncore ratio unit in MHz.
+UNCORE_RATIO_MHZ = 100
+
+
+class MsrInterface:
+    """Read/modify/write MSRs on every online CPU."""
+
+    def __init__(self, fs: Filesystem) -> None:
+        self._fs = fs
+
+    # ------------------------------------------------------------------
+    def _cpus(self) -> List[int]:
+        return parse_cpu_list(
+            self._fs.read_text("/sys/devices/system/cpu/online"))
+
+    def _path(self, cpu: int, register: int) -> str:
+        return f"/dev/cpu/{cpu}/msr@{register:#x}"
+
+    def read(self, cpu: int, register: int) -> int:
+        """Read one MSR on one CPU.
+
+        Raises:
+            MsrError: if the register node is missing or malformed.
+        """
+        path = self._path(cpu, register)
+        try:
+            return int(self._fs.read_text(path), 16)
+        except MsrError:
+            raise
+        except Exception as exc:
+            raise MsrError(
+                f"cannot read MSR {register:#x} on cpu{cpu}: {exc}"
+            ) from exc
+
+    def write(self, cpu: int, register: int, value: int) -> None:
+        """Write one MSR on one CPU."""
+        if value < 0 or value >= (1 << 64):
+            raise MsrError(f"MSR value out of range: {value:#x}")
+        self._fs.write_text(self._path(cpu, register), f"{value:#x}")
+
+    def write_all(self, register: int, value: int) -> None:
+        """Write one MSR on every online CPU."""
+        for cpu in self._cpus():
+            self.write(cpu, register, value)
+
+    # ------------------------------------------------------------ turbo
+    def turbo_enabled(self, cpu: int = 0) -> bool:
+        """True when turbo is enabled (disengage bit clear)."""
+        value = self.read(cpu, MSR_MISC_ENABLE)
+        return not (value >> TURBO_DISENGAGE_BIT) & 1
+
+    def set_turbo(self, enabled: bool) -> None:
+        """Set turbo on every CPU via the disengage bit."""
+        for cpu in self._cpus():
+            value = self.read(cpu, MSR_MISC_ENABLE)
+            if enabled:
+                value &= ~(1 << TURBO_DISENGAGE_BIT)
+            else:
+                value |= (1 << TURBO_DISENGAGE_BIT)
+            self.write(cpu, MSR_MISC_ENABLE, value)
+
+    # ----------------------------------------------------------- uncore
+    def uncore_ratio_limits(self, cpu: int = 0) -> tuple:
+        """Current (min_mhz, max_mhz) uncore frequency limits."""
+        value = self.read(cpu, MSR_UNCORE_RATIO)
+        max_ratio = value & _UNCORE_MAX_MASK
+        min_ratio = (value >> _UNCORE_MIN_SHIFT) & _UNCORE_MAX_MASK
+        return (min_ratio * UNCORE_RATIO_MHZ, max_ratio * UNCORE_RATIO_MHZ)
+
+    def set_uncore_fixed(self, freq_mhz: int) -> None:
+        """Pin the uncore: min == max == *freq_mhz* on every CPU.
+
+        Raises:
+            MsrError: if *freq_mhz* is not a positive multiple of the
+                100 MHz ratio unit representable in 7 bits.
+        """
+        ratio, remainder = divmod(int(freq_mhz), UNCORE_RATIO_MHZ)
+        if remainder or not 1 <= ratio <= _UNCORE_MAX_MASK:
+            raise MsrError(
+                f"uncore frequency {freq_mhz} MHz is not a valid ratio"
+            )
+        value = ratio | (ratio << _UNCORE_MIN_SHIFT)
+        self.write_all(MSR_UNCORE_RATIO, value)
+
+    def set_uncore_dynamic(self, min_mhz: int = 1200,
+                           max_mhz: int = 2400) -> None:
+        """Restore a dynamic uncore range on every CPU."""
+        min_ratio = int(min_mhz) // UNCORE_RATIO_MHZ
+        max_ratio = int(max_mhz) // UNCORE_RATIO_MHZ
+        if not 1 <= min_ratio <= max_ratio <= _UNCORE_MAX_MASK:
+            raise MsrError(
+                f"invalid uncore range [{min_mhz}, {max_mhz}] MHz"
+            )
+        value = max_ratio | (min_ratio << _UNCORE_MIN_SHIFT)
+        self.write_all(MSR_UNCORE_RATIO, value)

@@ -1,0 +1,104 @@
+"""Capture and restore the tunable state of a host.
+
+Good experimental hygiene (and the paper's iid protocol, which resets
+the environment between runs) requires putting the machine back the
+way it was found.  :class:`HostSnapshot` records every runtime knob
+the tooling can touch; :meth:`HostSnapshot.restore` reverts them.
+Boot-time (grub) flags are recorded but can only be reverted for the
+next boot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.host.filesystem import Filesystem
+from repro.host.grub import GrubConfig
+from repro.host.msr import MSR_UNCORE_RATIO, MsrInterface
+from repro.host.sysfs import CpuSysfs
+
+
+@dataclass
+class HostSnapshot:
+    """Point-in-time record of all tunable host state."""
+
+    enabled_cstates: List[str]
+    governor: str
+    driver: str
+    smt_active: bool
+    turbo_enabled: bool
+    uncore_limits_mhz: tuple
+    grub_cmdline: List[str]
+    freq_range_khz: tuple
+
+    def restore(self, fs: Filesystem) -> List[str]:
+        """Re-apply this snapshot to the host behind *fs*.
+
+        Returns:
+            Human-readable descriptions of the actions performed.
+        """
+        actions: List[str] = []
+        sysfs = CpuSysfs(fs)
+        msr = MsrInterface(fs)
+
+        sysfs.set_enabled_cstates(self.enabled_cstates)
+        actions.append(
+            f"restored C-states: {','.join(self.enabled_cstates)}")
+
+        if self.governor in sysfs.available_governors():
+            sysfs.set_governor(self.governor)
+            actions.append(f"restored governor: {self.governor}")
+        else:
+            actions.append(
+                f"cannot restore governor {self.governor}: active driver "
+                f"{sysfs.scaling_driver()} does not offer it (reboot "
+                f"needed to change driver)")
+
+        sysfs.set_smt(self.smt_active)
+        actions.append(f"restored SMT: {'on' if self.smt_active else 'off'}")
+
+        msr.set_turbo(self.turbo_enabled)
+        actions.append(
+            f"restored turbo: {'on' if self.turbo_enabled else 'off'}")
+
+        min_mhz, max_mhz = self.uncore_limits_mhz
+        if min_mhz == max_mhz:
+            msr.set_uncore_fixed(max_mhz)
+        else:
+            msr.set_uncore_dynamic(min_mhz, max_mhz)
+        actions.append(
+            f"restored uncore limits: [{min_mhz}, {max_mhz}] MHz")
+
+        grub = GrubConfig(fs)
+        current = grub.cmdline()
+        if current != self.grub_cmdline:
+            for token in list(current):
+                key = token.split("=", 1)[0]
+                grub.clear_flag(key)
+            for token in self.grub_cmdline:
+                if "=" in token:
+                    key, value = token.split("=", 1)
+                    grub.set_flag(key, value)
+                else:
+                    grub.set_flag(token)
+            actions.append(
+                "restored grub cmdline (takes effect after reboot)")
+        return actions
+
+
+def capture_snapshot(fs: Filesystem) -> HostSnapshot:
+    """Capture the current tunable state of the host behind *fs*."""
+    sysfs = CpuSysfs(fs)
+    msr = MsrInterface(fs)
+    grub = GrubConfig(fs)
+    return HostSnapshot(
+        enabled_cstates=sysfs.enabled_cstates(),
+        governor=sysfs.scaling_governor(),
+        driver=sysfs.scaling_driver(),
+        smt_active=sysfs.smt_active(),
+        turbo_enabled=msr.turbo_enabled(),
+        uncore_limits_mhz=msr.uncore_ratio_limits(),
+        grub_cmdline=grub.cmdline(),
+        freq_range_khz=sysfs.freq_range_khz(),
+    )

@@ -1,0 +1,155 @@
+"""sysfs access: cpuidle C-states, cpufreq governors, SMT control.
+
+Wraps the ``/sys/devices/system/cpu`` hierarchy.  All paths mirror the
+real kernel interface so :class:`CpuSysfs` works unmodified against a
+live host through :class:`~repro.host.filesystem.RealFilesystem`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import SysfsError
+from repro.host.filesystem import Filesystem, parse_cpu_list
+
+CPU_ROOT = "/sys/devices/system/cpu"
+
+
+class CpuSysfs:
+    """Typed accessors over the cpu sysfs tree."""
+
+    def __init__(self, fs: Filesystem) -> None:
+        self._fs = fs
+
+    # ------------------------------------------------------------- CPUs
+    def online_cpus(self) -> List[int]:
+        """CPU numbers currently online."""
+        return parse_cpu_list(self._fs.read_text(f"{CPU_ROOT}/online"))
+
+    # --------------------------------------------------------- cpuidle
+    def cstate_dirs(self, cpu: int) -> List[str]:
+        """State directory names (``state0`` ...) for *cpu*."""
+        return self._fs.listdir(f"{CPU_ROOT}/cpu{cpu}/cpuidle")
+
+    def cstate_name(self, cpu: int, state_dir: str) -> str:
+        """Kernel name of one C-state (e.g. ``C1E``)."""
+        return self._fs.read_text(
+            f"{CPU_ROOT}/cpu{cpu}/cpuidle/{state_dir}/name")
+
+    def cstate_latency_us(self, cpu: int, state_dir: str) -> int:
+        """Documented exit latency of one C-state."""
+        return int(self._fs.read_text(
+            f"{CPU_ROOT}/cpu{cpu}/cpuidle/{state_dir}/latency"))
+
+    def cstate_disabled(self, cpu: int, state_dir: str) -> bool:
+        """Whether one C-state is currently disabled."""
+        return self._fs.read_text(
+            f"{CPU_ROOT}/cpu{cpu}/cpuidle/{state_dir}/disable") == "1"
+
+    def set_cstate_disabled(self, cpu: int, state_dir: str,
+                            disabled: bool) -> None:
+        """Enable/disable one C-state on one CPU."""
+        self._fs.write_text(
+            f"{CPU_ROOT}/cpu{cpu}/cpuidle/{state_dir}/disable",
+            "1" if disabled else "0")
+
+    def set_enabled_cstates(self, enabled_names) -> None:
+        """Disable every C-state not named in *enabled_names*, all CPUs.
+
+        ``POLL``/``C0`` is always left enabled (it cannot be disabled on
+        real kernels either).
+        """
+        enabled = {str(n).upper() for n in enabled_names}
+        enabled |= {"C0", "POLL"}
+        for cpu in self.online_cpus():
+            for state_dir in self.cstate_dirs(cpu):
+                name = self.cstate_name(cpu, state_dir).upper()
+                if name in ("POLL", "C0"):
+                    continue
+                self.set_cstate_disabled(cpu, state_dir, name not in enabled)
+
+    def enabled_cstates(self, cpu: int = 0) -> List[str]:
+        """Names of currently-enabled C-states on *cpu*."""
+        names = []
+        for state_dir in self.cstate_dirs(cpu):
+            if not self.cstate_disabled(cpu, state_dir):
+                names.append(self.cstate_name(cpu, state_dir))
+        return names
+
+    # --------------------------------------------------------- cpufreq
+    def scaling_driver(self, cpu: int = 0) -> str:
+        """Active CPUFreq driver (``intel_pstate``/``acpi-cpufreq``)."""
+        return self._fs.read_text(
+            f"{CPU_ROOT}/cpu{cpu}/cpufreq/scaling_driver")
+
+    def scaling_governor(self, cpu: int = 0) -> str:
+        """Active CPUFreq governor for *cpu*."""
+        return self._fs.read_text(
+            f"{CPU_ROOT}/cpu{cpu}/cpufreq/scaling_governor")
+
+    def available_governors(self, cpu: int = 0) -> List[str]:
+        """Governors offered by the active driver."""
+        text = self._fs.read_text(
+            f"{CPU_ROOT}/cpu{cpu}/cpufreq/scaling_available_governors")
+        return text.split()
+
+    def set_governor(self, governor: str) -> None:
+        """Set the governor on every online CPU.
+
+        Raises:
+            SysfsError: if the driver does not offer *governor*.
+        """
+        available = self.available_governors()
+        if governor not in available:
+            raise SysfsError(
+                f"governor {governor!r} not offered by driver "
+                f"{self.scaling_driver()!r}; available: {available}"
+            )
+        for cpu in self.online_cpus():
+            self._fs.write_text(
+                f"{CPU_ROOT}/cpu{cpu}/cpufreq/scaling_governor", governor)
+
+    def freq_range_khz(self, cpu: int = 0) -> tuple:
+        """Current (min, max) scaling limits in kHz."""
+        base = f"{CPU_ROOT}/cpu{cpu}/cpufreq"
+        return (
+            int(self._fs.read_text(f"{base}/scaling_min_freq")),
+            int(self._fs.read_text(f"{base}/scaling_max_freq")),
+        )
+
+    def pin_frequency_khz(self, freq_khz: int) -> None:
+        """Pin min == max == *freq_khz* on every online CPU."""
+        for cpu in self.online_cpus():
+            base = f"{CPU_ROOT}/cpu{cpu}/cpufreq"
+            hw_min = int(self._fs.read_text(f"{base}/cpuinfo_min_freq"))
+            hw_max = int(self._fs.read_text(f"{base}/cpuinfo_max_freq"))
+            if not hw_min <= freq_khz <= hw_max:
+                raise SysfsError(
+                    f"cpu{cpu}: {freq_khz} kHz outside hardware range "
+                    f"[{hw_min}, {hw_max}]"
+                )
+            self._fs.write_text(f"{base}/scaling_min_freq", str(freq_khz))
+            self._fs.write_text(f"{base}/scaling_max_freq", str(freq_khz))
+
+    # ------------------------------------------------------------- SMT
+    def smt_active(self) -> bool:
+        """Whether SMT siblings are currently online."""
+        return self._fs.read_text(f"{CPU_ROOT}/smt/active") == "1"
+
+    def set_smt(self, enabled: bool) -> None:
+        """Flip the global SMT control knob."""
+        self._fs.write_text(
+            f"{CPU_ROOT}/smt/control", "on" if enabled else "off")
+        self._fs.write_text(
+            f"{CPU_ROOT}/smt/active", "1" if enabled else "0")
+
+    # ------------------------------------------------------ intel_pstate
+    def pstate_no_turbo(self) -> bool:
+        """intel_pstate's no_turbo flag (True means turbo disabled)."""
+        return self._fs.read_text(
+            f"{CPU_ROOT}/intel_pstate/no_turbo") == "1"
+
+    def set_pstate_no_turbo(self, no_turbo: bool) -> None:
+        """Set intel_pstate's no_turbo flag."""
+        self._fs.write_text(
+            f"{CPU_ROOT}/intel_pstate/no_turbo", "1" if no_turbo else "0")

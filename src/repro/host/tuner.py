@@ -1,0 +1,241 @@
+"""High-level host tuning: HardwareConfig -> concrete actions.
+
+:class:`HostTuner` is the user-facing entry point of the host toolkit.
+Given a :class:`~repro.config.HardwareConfig` (e.g. the HP preset) it
+builds a :class:`TuningPlan` -- the ordered list of sysfs writes, MSR
+writes and grub edits needed, each with its shell-equivalent -- and can
+then apply the plan, telling the caller whether a reboot is required
+for boot-time knobs to take effect.
+
+Example::
+
+    fs = FakeFilesystem(make_skylake_tree())        # or RealFilesystem()
+    tuner = HostTuner(fs)
+    plan = tuner.plan(HP_CLIENT)
+    print(plan.render())                            # review / dry run
+    result = tuner.apply(plan)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.config.knobs import (
+    ALL_CSTATES,
+    FrequencyDriver,
+    HardwareConfig,
+    UncorePolicy,
+)
+from repro.config.validate import validate_config
+from repro.errors import HostToolingError
+from repro.host.filesystem import Filesystem
+from repro.host.grub import GrubConfig
+from repro.host.msr import MsrInterface
+from repro.host.snapshot import HostSnapshot, capture_snapshot
+from repro.host.sysfs import CpuSysfs
+
+#: Uncore pin frequency used for the "fixed" policy, in MHz.
+FIXED_UNCORE_MHZ = 2400
+
+
+@dataclass(frozen=True)
+class TuningAction:
+    """One concrete step of a tuning plan.
+
+    Attributes:
+        description: human-readable summary.
+        shell_equivalent: command an operator could run by hand.
+        runtime: True if effective immediately; False if boot-time.
+        execute: the closure performing the action.
+    """
+
+    description: str
+    shell_equivalent: str
+    runtime: bool
+    execute: Callable[[], None]
+
+
+@dataclass
+class TuningPlan:
+    """An ordered list of actions realizing one HardwareConfig."""
+
+    config: HardwareConfig
+    actions: List[TuningAction] = field(default_factory=list)
+
+    @property
+    def needs_reboot(self) -> bool:
+        """True if any action only takes effect after a reboot."""
+        return any(not action.runtime for action in self.actions)
+
+    def render(self) -> str:
+        """Multi-line human-readable plan (for review / dry runs)."""
+        lines = [f"Tuning plan for configuration {self.config.name!r}:"]
+        for index, action in enumerate(self.actions, start=1):
+            kind = "runtime" if action.runtime else "boot-time"
+            lines.append(f"  {index}. [{kind}] {action.description}")
+            lines.append(f"       $ {action.shell_equivalent}")
+        if self.needs_reboot:
+            lines.append("  NOTE: boot-time actions require update-grub "
+                         "and a reboot to take effect.")
+        return "\n".join(lines)
+
+
+@dataclass
+class ApplyResult:
+    """Outcome of :meth:`HostTuner.apply`."""
+
+    performed: List[str]
+    needs_reboot: bool
+    snapshot: Optional[HostSnapshot]
+
+
+class HostTuner:
+    """Plan and apply hardware configurations on a (possibly fake) host."""
+
+    def __init__(self, fs: Filesystem) -> None:
+        self._fs = fs
+        self._sysfs = CpuSysfs(fs)
+        self._msr = MsrInterface(fs)
+        self._grub = GrubConfig(fs)
+
+    # ------------------------------------------------------------------
+    def plan(self, config: HardwareConfig) -> TuningPlan:
+        """Build the action plan realizing *config* on this host."""
+        config = validate_config(config)
+        plan = TuningPlan(config=config)
+        sysfs, msr, grub = self._sysfs, self._msr, self._grub
+
+        # --- C-states: runtime disable via cpuidle + boot-time ceiling.
+        enabled = sorted(
+            config.enabled_cstates,
+            key=ALL_CSTATES.index)
+        plan.actions.append(TuningAction(
+            description=(
+                "disable all C-states (idle=poll)" if config.idle_poll
+                else f"enable only C-states {','.join(enabled)}"),
+            shell_equivalent=(
+                "for f in /sys/devices/system/cpu/cpu*/cpuidle/state*/"
+                "disable; do echo 1 > $f; done" if config.idle_poll else
+                "cpupower idle-set -e/-d per state"),
+            runtime=True,
+            execute=lambda: sysfs.set_enabled_cstates(
+                config.enabled_cstates),
+        ))
+        deepest = config.deepest_cstate()
+        plan.actions.append(TuningAction(
+            description=f"grub: C-state ceiling {deepest}",
+            shell_equivalent=(
+                'sed -i GRUB_CMDLINE_LINUX_DEFAULT /etc/default/grub '
+                f'# idle/intel_idle.max_cstate for {deepest}'),
+            runtime=False,
+            execute=lambda: grub.set_max_cstate(deepest),
+        ))
+
+        # --- frequency driver (boot-time) + governor (runtime).
+        use_pstate = config.frequency_driver is FrequencyDriver.INTEL_PSTATE
+        plan.actions.append(TuningAction(
+            description=f"grub: CPUFreq driver "
+                        f"{config.frequency_driver.value}",
+            shell_equivalent=(
+                "grub: remove intel_pstate=disable" if use_pstate
+                else "grub: add intel_pstate=disable"),
+            runtime=False,
+            execute=lambda: grub.set_pstate_driver(use_pstate),
+        ))
+        governor = config.frequency_governor.value
+        plan.actions.append(TuningAction(
+            description=f"set governor {governor}",
+            shell_equivalent=f"cpupower frequency-set -g {governor}",
+            runtime=True,
+            execute=lambda: self._set_governor_if_available(governor),
+        ))
+
+        # --- turbo (MSR 0x1A0).
+        plan.actions.append(TuningAction(
+            description=f"turbo {'on' if config.turbo else 'off'} "
+                        f"(MSR 0x1a0 bit 38)",
+            shell_equivalent=(
+                f"wrmsr -a 0x1a0 <value with bit38="
+                f"{0 if config.turbo else 1}>"),
+            runtime=True,
+            execute=lambda: msr.set_turbo(config.turbo),
+        ))
+
+        # --- SMT (sysfs global control).
+        plan.actions.append(TuningAction(
+            description=f"SMT {'on' if config.smt else 'off'}",
+            shell_equivalent=(
+                f"echo {'on' if config.smt else 'off'} > "
+                f"/sys/devices/system/cpu/smt/control"),
+            runtime=True,
+            execute=lambda: sysfs.set_smt(config.smt),
+        ))
+
+        # --- uncore (MSR 0x620).
+        if config.uncore is UncorePolicy.FIXED:
+            plan.actions.append(TuningAction(
+                description=f"pin uncore at {FIXED_UNCORE_MHZ} MHz "
+                            f"(MSR 0x620)",
+                shell_equivalent="wrmsr -a 0x620 <ratio|ratio<<8>",
+                runtime=True,
+                execute=lambda: msr.set_uncore_fixed(FIXED_UNCORE_MHZ),
+            ))
+        else:
+            plan.actions.append(TuningAction(
+                description="restore dynamic uncore range (MSR 0x620)",
+                shell_equivalent="wrmsr -a 0x620 <max|min<<8>",
+                runtime=True,
+                execute=lambda: msr.set_uncore_dynamic(),
+            ))
+
+        # --- tickless (boot-time).
+        plan.actions.append(TuningAction(
+            description=f"grub: nohz={'on' if config.tickless else 'off'}",
+            shell_equivalent=(
+                f"grub: set nohz={'on' if config.tickless else 'off'}"),
+            runtime=False,
+            execute=lambda: grub.set_tickless(config.tickless),
+        ))
+        return plan
+
+    def _set_governor_if_available(self, governor: str) -> None:
+        if governor not in self._sysfs.available_governors():
+            raise HostToolingError(
+                f"governor {governor!r} unavailable under driver "
+                f"{self._sysfs.scaling_driver()!r}; the driver change "
+                f"requires a reboot first"
+            )
+        self._sysfs.set_governor(governor)
+
+    # ------------------------------------------------------------------
+    def apply(self, plan: TuningPlan,
+              snapshot_first: bool = True) -> ApplyResult:
+        """Execute *plan* in order.
+
+        Args:
+            plan: a plan built by :meth:`plan`.
+            snapshot_first: capture a restore point before any change.
+
+        Returns:
+            The actions performed and the prior snapshot (if taken).
+
+        Raises:
+            HostToolingError: on the first failing action; actions
+                already performed are **not** rolled back automatically
+                (use the returned snapshot from a previous apply).
+        """
+        snapshot = capture_snapshot(self._fs) if snapshot_first else None
+        performed: List[str] = []
+        for action in plan.actions:
+            action.execute()
+            performed.append(action.description)
+        return ApplyResult(
+            performed=performed,
+            needs_reboot=plan.needs_reboot,
+            snapshot=snapshot,
+        )
+
+    def apply_config(self, config: HardwareConfig) -> ApplyResult:
+        """Convenience: plan then apply in one call."""
+        return self.apply(self.plan(config))

@@ -1,0 +1,139 @@
+"""Verify that a host actually matches a HardwareConfig.
+
+The paper's repeatability complaint cuts both ways: even when a paper
+*does* document its client configuration, the machine may have drifted
+(another user flipped SMT, a reboot reset grub staging, thermald
+changed limits).  :func:`verify_host` compares the live state against
+the intended :class:`~repro.config.HardwareConfig` and reports every
+mismatch -- run it immediately before an experiment, the same way the
+paper resets the environment between runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.config.knobs import (
+    ALL_CSTATES,
+    FrequencyDriver,
+    HardwareConfig,
+    UncorePolicy,
+)
+from repro.host.filesystem import Filesystem
+from repro.host.msr import MsrInterface
+from repro.host.sysfs import CpuSysfs
+
+#: sysfs driver spelling differs from the enum value.
+_DRIVER_NAMES = {
+    FrequencyDriver.INTEL_PSTATE: ("intel_pstate",),
+    FrequencyDriver.ACPI_CPUFREQ: ("acpi-cpufreq", "acpi_cpufreq"),
+}
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One divergence between intended and actual host state."""
+
+    knob: str
+    expected: str
+    actual: str
+
+    def describe(self) -> str:
+        return f"{self.knob}: expected {self.expected}, found {self.actual}"
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of one host verification."""
+
+    config_name: str
+    mismatches: List[Mismatch]
+
+    @property
+    def ok(self) -> bool:
+        """True when the host matches the configuration exactly."""
+        return not self.mismatches
+
+    def render(self) -> str:
+        if self.ok:
+            return (f"host matches configuration "
+                    f"{self.config_name!r}: OK")
+        lines = [f"host DIVERGES from configuration "
+                 f"{self.config_name!r}:"]
+        lines.extend(f"  - {m.describe()}" for m in self.mismatches)
+        return "\n".join(lines)
+
+
+def verify_host(fs: Filesystem, config: HardwareConfig
+                ) -> VerificationReport:
+    """Compare the host behind *fs* against *config*.
+
+    Checks every runtime-observable knob: enabled C-states, CPUFreq
+    driver and governor, SMT, turbo (MSR 0x1A0) and the uncore policy
+    (MSR 0x620 min==max for fixed).  Boot-time staging (grub) is not
+    checked -- it describes the *next* boot, not this one.
+    """
+    sysfs = CpuSysfs(fs)
+    msr = MsrInterface(fs)
+    mismatches: List[Mismatch] = []
+
+    # --- C-states ---------------------------------------------------------
+    actual_states = {
+        name.upper().replace("POLL", "C0")
+        for name in sysfs.enabled_cstates()
+    }
+    expected_states = set(config.enabled_cstates)
+    if actual_states != expected_states:
+        order = {name: index for index, name in enumerate(ALL_CSTATES)}
+        mismatches.append(Mismatch(
+            knob="C-states",
+            expected=",".join(sorted(expected_states, key=order.get)),
+            actual=",".join(sorted(actual_states, key=order.get)),
+        ))
+
+    # --- driver / governor --------------------------------------------------
+    driver = sysfs.scaling_driver()
+    if driver not in _DRIVER_NAMES[config.frequency_driver]:
+        mismatches.append(Mismatch(
+            knob="Frequency Driver",
+            expected=config.frequency_driver.value,
+            actual=driver,
+        ))
+    governor = sysfs.scaling_governor()
+    if governor != config.frequency_governor.value:
+        mismatches.append(Mismatch(
+            knob="Frequency Governor",
+            expected=config.frequency_governor.value,
+            actual=governor,
+        ))
+
+    # --- SMT ----------------------------------------------------------------
+    if sysfs.smt_active() != config.smt:
+        mismatches.append(Mismatch(
+            knob="SMT",
+            expected="on" if config.smt else "off",
+            actual="on" if sysfs.smt_active() else "off",
+        ))
+
+    # --- turbo ----------------------------------------------------------------
+    if msr.turbo_enabled() != config.turbo:
+        mismatches.append(Mismatch(
+            knob="Turbo",
+            expected="on" if config.turbo else "off",
+            actual="on" if msr.turbo_enabled() else "off",
+        ))
+
+    # --- uncore -----------------------------------------------------------
+    min_mhz, max_mhz = msr.uncore_ratio_limits()
+    actual_policy = (UncorePolicy.FIXED if min_mhz == max_mhz
+                     else UncorePolicy.DYNAMIC)
+    if actual_policy is not config.uncore:
+        mismatches.append(Mismatch(
+            knob="Uncore Frequency",
+            expected=config.uncore.value,
+            actual=f"{actual_policy.value} [{min_mhz},{max_mhz}] MHz",
+        ))
+
+    return VerificationReport(
+        config_name=config.name, mismatches=mismatches)

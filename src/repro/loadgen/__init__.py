@@ -1,0 +1,53 @@
+"""Workload generators and the paper's generator taxonomy (Section II).
+
+A generator is classified along three axes:
+
+* **loop** -- open (requests follow an inter-arrival distribution) or
+  closed (a finite set of blocking clients);
+* **inter-arrival implementation** -- *time-sensitive* (block-wait: the
+  generator thread sleeps until the next send and must be woken) or
+  *time-insensitive* (busy-wait: the thread polls for elapsed time and
+  never sleeps);
+* **point of measurement** -- where latency is timestamped: inside the
+  generator, at the kernel socket layer, or at the NIC.
+
+The concrete generators mirror the paper's tools: Mutilate (Memcached),
+the MicroSuite HDSearch client, and wrk2 (Social Network).
+"""
+
+from repro.loadgen.base import GeneratorDesign, LoadGenerator
+from repro.loadgen.client_machine import ClientMachine
+from repro.loadgen.closed_loop import ClosedLoopGenerator
+from repro.loadgen.interarrival import (
+    DeterministicInterarrival,
+    ExponentialInterarrival,
+    InterarrivalProcess,
+    LognormalInterarrival,
+)
+from repro.loadgen.measurement import (
+    PointOfMeasurement,
+    RunSamples,
+    latency_at_point,
+)
+from repro.loadgen.open_loop import OpenLoopGenerator
+from repro.loadgen.mutilate import build_mutilate
+from repro.loadgen.hdsearch_client import build_hdsearch_client
+from repro.loadgen.wrk2 import build_wrk2
+
+__all__ = [
+    "GeneratorDesign",
+    "LoadGenerator",
+    "ClientMachine",
+    "InterarrivalProcess",
+    "ExponentialInterarrival",
+    "DeterministicInterarrival",
+    "LognormalInterarrival",
+    "PointOfMeasurement",
+    "RunSamples",
+    "latency_at_point",
+    "OpenLoopGenerator",
+    "ClosedLoopGenerator",
+    "build_mutilate",
+    "build_hdsearch_client",
+    "build_wrk2",
+]

@@ -1,0 +1,139 @@
+"""Generator taxonomy and the shared generator skeleton."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.loadgen.client_machine import ClientMachine
+from repro.loadgen.measurement import PointOfMeasurement, RunSamples
+from repro.net.link import NetworkLink
+from repro.server.request import Request
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class GeneratorDesign:
+    """Classification of a workload generator (paper Section II).
+
+    Attributes:
+        loop: ``"open"`` or ``"closed"``.
+        time_sensitive: True for block-wait inter-arrival timing (the
+            generator sleeps and must be woken), False for busy-wait.
+        point_of_measurement: where latency is timestamped.
+    """
+
+    loop: str
+    time_sensitive: bool
+    point_of_measurement: PointOfMeasurement = PointOfMeasurement.GENERATOR
+
+    def __post_init__(self) -> None:
+        if self.loop not in ("open", "closed"):
+            raise ConfigurationError(
+                f"loop must be 'open' or 'closed', got {self.loop!r}"
+            )
+
+    def describe(self) -> str:
+        """The paper's phrasing, e.g. ``"open-loop time-sensitive"``."""
+        sensitivity = (
+            "time-sensitive" if self.time_sensitive else "time-insensitive")
+        return f"{self.loop}-loop {sensitivity}"
+
+    @property
+    def interarrival_impl(self) -> str:
+        """``"block-wait"`` or ``"busy-wait"``."""
+        return "block-wait" if self.time_sensitive else "busy-wait"
+
+
+class LoadGenerator:
+    """Shared plumbing for open- and closed-loop generators.
+
+    Subclasses implement :meth:`start`; the request round-trip path
+    (send -> network -> service -> network -> NIC -> generator
+    timestamp) is common and lives here.
+    """
+
+    def __init__(self, sim: Simulator, machines: Sequence[ClientMachine],
+                 service, link_to_server: NetworkLink,
+                 link_to_client: NetworkLink,
+                 design: GeneratorDesign,
+                 num_requests: int,
+                 warmup_fraction: float = 0.1,
+                 request_factory: Optional[Callable[[int], Request]] = None,
+                 ) -> None:
+        if not machines:
+            raise ConfigurationError("at least one client machine needed")
+        if num_requests <= 0:
+            raise ConfigurationError(
+                f"num_requests must be positive, got {num_requests}"
+            )
+        for machine in machines:
+            if machine.time_sensitive != design.time_sensitive:
+                raise ConfigurationError(
+                    f"machine {machine.name} is "
+                    f"{'block' if machine.time_sensitive else 'busy'}-wait "
+                    f"but the design says {design.interarrival_impl}"
+                )
+        self._sim = sim
+        self.machines: List[ClientMachine] = list(machines)
+        self.service = service
+        self._link_to_server = link_to_server
+        self._link_to_client = link_to_client
+        self.design = design
+        self.num_requests = int(num_requests)
+        self.samples = RunSamples(warmup_fraction=warmup_fraction)
+        self._request_factory = request_factory or (
+            lambda index: Request(request_id=index))
+        self.completed = 0
+        self._on_all_done: Optional[Callable[[], None]] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Schedule the run's requests. Implemented by subclasses."""
+        raise NotImplementedError
+
+    def on_all_done(self, callback: Callable[[], None]) -> None:
+        """Register a callback fired when the last request completes."""
+        self._on_all_done = callback
+
+    # ------------------------------------------------------------------
+    def _launch(self, machine: ClientMachine, request: Request) -> None:
+        """Begin the send path for *request* on *machine* (at its
+        intended send time, which must be the current sim time)."""
+        machine.begin_send(
+            request.intended_send_us,
+            lambda actual: self._sent(machine, request, actual))
+
+    def _sent(self, machine: ClientMachine, request: Request,
+              actual_send_us: float) -> None:
+        request.actual_send_us = actual_send_us
+        delay = self._link_to_server.sample_latency_us(request.size_kb)
+        self._sim.schedule(
+            delay, self.service.submit, request,
+            lambda req: self._served(machine, req))
+
+    def _served(self, machine: ClientMachine, request: Request) -> None:
+        delay = self._link_to_client.sample_latency_us(request.size_kb)
+        self._sim.schedule(delay, self._at_client_nic, machine, request)
+
+    def _at_client_nic(self, machine: ClientMachine,
+                       request: Request) -> None:
+        request.client_nic_us = self._sim.now
+        machine.deliver_response(
+            lambda ts: self._measured(machine, request, ts))
+
+    def _measured(self, machine: ClientMachine, request: Request,
+                  timestamp_us: float) -> None:
+        request.measured_complete_us = timestamp_us
+        self.samples.record(request)
+        self.completed += 1
+        self._after_completion(machine, request)
+        if self.completed >= self.num_requests and self._on_all_done:
+            self._on_all_done()
+
+    def _after_completion(self, machine: ClientMachine,
+                          request: Request) -> None:
+        """Hook for closed-loop continuation; no-op for open loop."""

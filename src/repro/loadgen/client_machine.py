@@ -1,0 +1,127 @@
+"""The client machine: where the generator's timing happens.
+
+:class:`ClientMachine` binds a generator's event loop to one simulated
+core of a machine under a given hardware configuration.  It provides
+the two timing-sensitive operations a generator performs:
+
+* :meth:`begin_send` -- wait until the scheduled send time (block-wait
+  sleeps and must be woken; busy-wait spins) and then execute the send
+  path;
+* :meth:`deliver_response` -- handle a reply that just hit the NIC and
+  produce the generator's completion timestamp.
+
+All client-caused measurement error of the paper flows through these
+two calls: C-state exits, DVFS ramps, context switches, timer slack,
+low-frequency execution and client-core queueing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.config.knobs import FrequencyGovernor, HardwareConfig
+from repro.hardware.machine import Machine
+from repro.parameters import DEFAULT_PARAMETERS, SkylakeParameters
+from repro.sim.engine import Simulator
+
+#: Default per-event CPU costs at nominal frequency.
+DEFAULT_SEND_WORK_US = 1.0
+DEFAULT_RECV_WORK_US = 1.2
+
+#: Menu latency tolerance for cores running network event loops: NIC
+#: interrupt pressure and menu's performance multiplier keep such
+#: cores out of deep package states (C6) even across long gaps.
+CLIENT_CSTATE_LATENCY_TOLERANCE_US = 20.0
+
+
+def sample_env_scale(config: HardwareConfig,
+                     rng: Optional[np.random.Generator],
+                     params: SkylakeParameters) -> float:
+    """Run-level environment factor for one client machine.
+
+    Untuned (utilization-governed) machines carry more uncontrolled
+    state between runs -- governor history, thermal, placement -- so
+    their per-run overheads spread wider.
+    """
+    tuned = config.frequency_governor is FrequencyGovernor.PERFORMANCE
+    sigma = params.env_sigma_tuned if tuned else params.env_sigma_untuned
+    if rng is None or sigma == 0:
+        return 1.0
+    return float(rng.lognormal(0.0, sigma))
+
+
+class ClientMachine:
+    """One client machine *thread*: a generator event loop pinned to
+    one core.  Real generators (mutilate, wrk2) run several such
+    threads per physical machine; builders create one
+    :class:`ClientMachine` per thread and share the per-machine
+    environment factor."""
+
+    def __init__(self, sim: Simulator, config: HardwareConfig,
+                 time_sensitive: bool,
+                 rng: Optional[np.random.Generator] = None,
+                 params: SkylakeParameters = DEFAULT_PARAMETERS,
+                 send_work_us: float = DEFAULT_SEND_WORK_US,
+                 recv_work_us: float = DEFAULT_RECV_WORK_US,
+                 name: str = "client",
+                 overhead_scale: Optional[float] = None) -> None:
+        self._sim = sim
+        self.name = str(name)
+        self.time_sensitive = bool(time_sensitive)
+        self.params = params
+        self._rng = rng
+        if overhead_scale is None:
+            overhead_scale = sample_env_scale(config, rng, params)
+        self.machine = Machine(
+            name, config, params=params, rng=rng)
+        self.core = self.machine.new_core(
+            polling=not time_sensitive, overhead_scale=overhead_scale,
+            cstate_latency_limit_us=CLIENT_CSTATE_LATENCY_TOLERANCE_US)
+        self.send_work_us = float(send_work_us)
+        self.recv_work_us = float(recv_work_us)
+        self.requests_sent = 0
+        self.responses_handled = 0
+
+    # ------------------------------------------------------------------
+    def begin_send(self, intended_send_us: float,
+                   on_sent: Callable[[float], None]) -> None:
+        """Arrange for a request intended at *intended_send_us* to go out.
+
+        Args:
+            intended_send_us: the send time the inter-arrival schedule
+                asked for; must be >= the current simulated time.
+            on_sent: called at the actual send instant with that time.
+        """
+        if self.time_sensitive:
+            wake = self.core.timed_sleep_until(
+                intended_send_us, self._sim.now)
+            self._sim.schedule_at(wake, self._do_send, True, on_sent)
+        else:
+            self._sim.schedule_at(
+                intended_send_us, self._do_send, False, on_sent)
+
+    def _do_send(self, wakes_thread: bool,
+                 on_sent: Callable[[float], None]) -> None:
+        occupancy = self.core.handle_event(
+            self._sim.now, self.send_work_us, wakes_thread=wakes_thread)
+        self.requests_sent += 1
+        self._sim.schedule_at(
+            occupancy.finish_us, on_sent, occupancy.finish_us)
+
+    # ------------------------------------------------------------------
+    def deliver_response(self, on_measured: Callable[[float], None]) -> None:
+        """Handle a reply that reached the NIC at the current sim time.
+
+        Args:
+            on_measured: called at the instant the generator's clock
+                read completes, with that timestamp -- i.e. the
+                in-generator point of measurement.
+        """
+        occupancy = self.core.handle_event(
+            self._sim.now, self.recv_work_us,
+            wakes_thread=self.time_sensitive)
+        self.responses_handled += 1
+        self._sim.schedule_at(
+            occupancy.finish_us, on_measured, occupancy.finish_us)

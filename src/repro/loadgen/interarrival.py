@@ -1,0 +1,77 @@
+"""Inter-arrival time processes for open-loop generators.
+
+The *load intensity* of a workload generator is its inter-arrival
+distribution (Section II).  Mutilate and wrk2 default to exponential
+inter-arrivals (a Poisson process); deterministic and lognormal
+processes are provided for the generator-design ablations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Protocol
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import qps_to_interarrival_us
+
+
+class InterarrivalProcess(Protocol):
+    """Protocol: sample the gap to the next request, in microseconds."""
+
+    def sample_us(self, rng: Optional[np.random.Generator]) -> float:
+        """Sample one inter-arrival gap."""
+        ...
+
+    def mean_us(self) -> float:
+        """Mean gap (i.e. 1e6 / QPS)."""
+        ...
+
+
+class _RateBased:
+    """Shared QPS plumbing for concrete processes."""
+
+    def __init__(self, qps: float) -> None:
+        self._mean_us = qps_to_interarrival_us(qps)
+        self._qps = float(qps)
+
+    @property
+    def qps(self) -> float:
+        """The configured request rate."""
+        return self._qps
+
+    def mean_us(self) -> float:
+        return self._mean_us
+
+
+class ExponentialInterarrival(_RateBased):
+    """Poisson arrivals: exponential gaps with mean ``1e6/qps``."""
+
+    def sample_us(self, rng=None) -> float:
+        if rng is None:
+            return self._mean_us
+        return float(rng.exponential(self._mean_us))
+
+
+class DeterministicInterarrival(_RateBased):
+    """Perfectly paced arrivals (a rate limiter with no jitter)."""
+
+    def sample_us(self, rng=None) -> float:
+        return self._mean_us
+
+
+class LognormalInterarrival(_RateBased):
+    """Bursty arrivals: lognormal gaps with configurable sigma."""
+
+    def __init__(self, qps: float, sigma: float = 1.0) -> None:
+        super().__init__(qps)
+        if sigma < 0:
+            raise ConfigurationError(f"sigma must be >= 0, got {sigma}")
+        self._sigma = float(sigma)
+        self._mu = math.log(self._mean_us) - 0.5 * self._sigma ** 2
+
+    def sample_us(self, rng=None) -> float:
+        if rng is None or self._sigma == 0:
+            return self._mean_us
+        return float(rng.lognormal(self._mu, self._sigma))

@@ -1,0 +1,120 @@
+"""Points of measurement and per-run sample collection.
+
+The *point of measurement* (Section II, citing Lancet [24]) is where
+the reply is timestamped.  An in-generator point includes every
+client-side delay between the NIC and the generator's own clock read;
+a NIC point is the ground truth the hardware delivered.  Comparing the
+two is exactly how this library quantifies client-caused measurement
+error.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import InsufficientSamplesError
+from repro.parameters import DEFAULT_PARAMETERS, SkylakeParameters
+from repro.server.request import Request
+
+
+class PointOfMeasurement(enum.Enum):
+    """Where end-to-end latency is timestamped."""
+
+    GENERATOR = "generator"
+    KERNEL = "kernel"
+    NIC = "nic"
+
+
+def latency_at_point(request: Request, point: PointOfMeasurement,
+                     params: SkylakeParameters = DEFAULT_PARAMETERS) -> float:
+    """Latency of *request* as observed at *point*.
+
+    The kernel point sits one RX-stack traversal above the NIC; the
+    generator point is wherever the generator's own timestamping
+    landed (all client hardware overheads included).
+    """
+    if point is PointOfMeasurement.NIC:
+        return request.true_latency_us
+    if point is PointOfMeasurement.KERNEL:
+        return request.true_latency_us + params.kernel_stack_us
+    return request.measured_latency_us
+
+
+class RunSamples:
+    """All completed requests of one run, with warmup trimming.
+
+    One *run* of an experiment produces one :class:`RunSamples`; the
+    summary statistics derived from it (average, 99th percentile) are
+    the per-run samples on which the paper's confidence intervals and
+    normality tests operate.
+    """
+
+    def __init__(self, warmup_fraction: float = 0.1) -> None:
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError(
+                f"warmup_fraction must be in [0, 1), got {warmup_fraction}"
+            )
+        self._warmup_fraction = warmup_fraction
+        self._requests: List[Request] = []
+
+    # ------------------------------------------------------------------
+    def record(self, request: Request) -> None:
+        """Record one completed request."""
+        self._requests.append(request)
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    @property
+    def warmup_count(self) -> int:
+        """Completed requests discarded as warmup."""
+        return int(len(self._requests) * self._warmup_fraction)
+
+    def measured_requests(self) -> Sequence[Request]:
+        """Requests after warmup, in send order."""
+        ordered = sorted(self._requests, key=lambda r: r.intended_send_us)
+        return ordered[self.warmup_count:]
+
+    # ------------------------------------------------------------------
+    def latencies_us(self, point: PointOfMeasurement
+                     = PointOfMeasurement.GENERATOR,
+                     params: SkylakeParameters = DEFAULT_PARAMETERS
+                     ) -> np.ndarray:
+        """Per-request latencies at *point*, warmup excluded."""
+        requests = self.measured_requests()
+        if not requests:
+            raise InsufficientSamplesError(1, 0, "latency array")
+        return np.array(
+            [latency_at_point(r, point, params) for r in requests])
+
+    def average_latency_us(self, point: PointOfMeasurement
+                           = PointOfMeasurement.GENERATOR) -> float:
+        """The run's average response time at *point*."""
+        return float(np.mean(self.latencies_us(point)))
+
+    def percentile_latency_us(self, percentile: float = 99.0,
+                              point: PointOfMeasurement
+                              = PointOfMeasurement.GENERATOR) -> float:
+        """The run's tail latency at *point* (default: 99th)."""
+        if not 0.0 < percentile <= 100.0:
+            raise ValueError(
+                f"percentile must be in (0, 100], got {percentile}"
+            )
+        return float(np.percentile(self.latencies_us(point), percentile))
+
+    def send_errors_us(self) -> np.ndarray:
+        """Per-request send-timing errors (inter-arrival disruption)."""
+        requests = self.measured_requests()
+        if not requests:
+            raise InsufficientSamplesError(1, 0, "send error array")
+        return np.array([r.send_error_us for r in requests])
+
+    def client_overheads_us(self) -> np.ndarray:
+        """Per-request client measurement error (generator - NIC)."""
+        requests = self.measured_requests()
+        if not requests:
+            raise InsufficientSamplesError(1, 0, "overhead array")
+        return np.array([r.client_overhead_us for r in requests])

@@ -1,0 +1,59 @@
+"""Open-loop generator: requests follow an inter-arrival process.
+
+An open-loop generator models an infinite client population [24]: the
+next request is sent when the inter-arrival distribution says so,
+regardless of whether earlier requests completed.  Client-side timing
+error therefore shifts requests in time and deviates the generated
+workload from the target distribution -- the first risk of Table III.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.loadgen.base import GeneratorDesign, LoadGenerator
+from repro.loadgen.client_machine import ClientMachine
+from repro.loadgen.interarrival import InterarrivalProcess
+from repro.loadgen.measurement import PointOfMeasurement
+from repro.net.link import NetworkLink
+from repro.server.request import Request
+from repro.sim.engine import Simulator
+
+
+class OpenLoopGenerator(LoadGenerator):
+    """Open-loop load with round-robin placement over client machines."""
+
+    def __init__(self, sim: Simulator, machines: Sequence[ClientMachine],
+                 service, link_to_server: NetworkLink,
+                 link_to_client: NetworkLink,
+                 interarrival: InterarrivalProcess,
+                 arrival_rng: Optional[np.random.Generator],
+                 time_sensitive: bool,
+                 num_requests: int,
+                 warmup_fraction: float = 0.1,
+                 request_factory: Optional[Callable[[int], Request]] = None,
+                 point_of_measurement: PointOfMeasurement
+                 = PointOfMeasurement.GENERATOR) -> None:
+        design = GeneratorDesign(
+            loop="open",
+            time_sensitive=time_sensitive,
+            point_of_measurement=point_of_measurement,
+        )
+        super().__init__(
+            sim, machines, service, link_to_server, link_to_client,
+            design, num_requests, warmup_fraction, request_factory)
+        self.interarrival = interarrival
+        self._arrival_rng = arrival_rng
+
+    def start(self) -> None:
+        """Draw the whole arrival schedule and arm the send events."""
+        now = self._sim.now
+        send_at = now
+        for index in range(self.num_requests):
+            send_at += self.interarrival.sample_us(self._arrival_rng)
+            request = self._request_factory(index)
+            request.intended_send_us = send_at
+            machine = self.machines[index % len(self.machines)]
+            self._sim.schedule_at(send_at, self._launch, machine, request)

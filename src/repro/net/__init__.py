@@ -1,0 +1,5 @@
+"""Network substrate: links between client and server machines."""
+
+from repro.net.link import NetworkLink
+
+__all__ = ["NetworkLink"]

@@ -1,0 +1,56 @@
+"""A point-to-point network link with a lognormal latency distribution.
+
+The test cluster is a handful of machines on one switch, so we model
+the wire+switch path as a lognormal around a ~15 us one-way latency
+(typical for the 10 GbE CloudLab fabric) with a small tail.  Per-byte
+serialization cost is added for large messages (HDSearch feature
+vectors, Social Network timelines).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.parameters import DEFAULT_PARAMETERS, SkylakeParameters
+
+#: Serialization cost per kilobyte at 10 GbE, in microseconds.
+US_PER_KB_10GBE = 0.8
+
+
+class NetworkLink:
+    """One direction of a client<->server network path."""
+
+    def __init__(self, params: SkylakeParameters = DEFAULT_PARAMETERS,
+                 rng: Optional[np.random.Generator] = None,
+                 mean_latency_us: Optional[float] = None) -> None:
+        self._params = params
+        self._rng = rng
+        self._mean = (params.network_one_way_us
+                      if mean_latency_us is None else float(mean_latency_us))
+        if self._mean <= 0:
+            raise ValueError(
+                f"mean latency must be positive, got {self._mean}"
+            )
+        self._sigma = params.network_sigma
+        # lognormal(mu, sigma) has mean exp(mu + sigma^2/2).
+        self._mu = math.log(self._mean) - 0.5 * self._sigma ** 2
+
+    @property
+    def mean_latency_us(self) -> float:
+        """Configured mean one-way latency."""
+        return self._mean
+
+    def sample_latency_us(self, message_kb: float = 0.0) -> float:
+        """Sample the one-way latency of one message.
+
+        Args:
+            message_kb: payload size; adds serialization delay.
+        """
+        if self._rng is None:
+            base = self._mean
+        else:
+            base = float(self._rng.lognormal(self._mu, self._sigma))
+        return base + max(0.0, message_kb) * US_PER_KB_10GBE

@@ -1,0 +1,32 @@
+"""Server substrate: requests, service-time models, queueing stations.
+
+A service is a :class:`~repro.server.station.ServiceStation` -- a pool
+of worker threads pinned to cores of a server machine, with server-side
+hardware effects (C-state wake-ups on idle workers, SMT interference,
+frequency scaling) applied per request.  Multi-tier applications
+(HDSearch, Social Network) are composed with
+:class:`~repro.server.tiers.TieredService`.
+"""
+
+from repro.server.request import Request
+from repro.server.service import (
+    BimodalService,
+    ExponentialService,
+    FixedService,
+    LognormalService,
+    ServiceModel,
+)
+from repro.server.station import ServiceStation
+from repro.server.tiers import TierSpec, TieredService
+
+__all__ = [
+    "Request",
+    "ServiceModel",
+    "FixedService",
+    "ExponentialService",
+    "LognormalService",
+    "BimodalService",
+    "ServiceStation",
+    "TierSpec",
+    "TieredService",
+]

@@ -1,0 +1,82 @@
+"""The request record and its timestamp vocabulary.
+
+Every request carries the full timeline needed to compute latency at
+any *point of measurement* (Section II): the intended send time (what
+the inter-arrival distribution asked for), the actual send time (after
+client-side timing error), NIC arrival back at the client, and the
+generator's own completion timestamp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class Request:
+    """One request flowing through the testbed.
+
+    Attributes:
+        request_id: unique sequence number within a run.
+        size_kb: payload size used for network serialization cost.
+        intended_send_us: send time the inter-arrival schedule asked for.
+        actual_send_us: when the generator really sent it.
+        server_arrival_us: arrival at the (first-tier) server.
+        queue_wait_us: total time queued at servers.
+        service_us: total time in service at servers.
+        server_departure_us: when the (last-tier) server sent the reply.
+        client_nic_us: reply arrival at the client NIC.
+        measured_complete_us: generator's completion timestamp.
+    """
+
+    request_id: int
+    size_kb: float = 0.0
+    intended_send_us: float = 0.0
+    actual_send_us: float = 0.0
+    server_arrival_us: float = 0.0
+    queue_wait_us: float = 0.0
+    service_us: float = 0.0
+    server_departure_us: float = 0.0
+    client_nic_us: float = 0.0
+    measured_complete_us: float = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def send_error_us(self) -> float:
+        """How late the request was actually sent (timing disruption)."""
+        return self.actual_send_us - self.intended_send_us
+
+    @property
+    def true_latency_us(self) -> float:
+        """End-to-end latency up to the client NIC (ground truth)."""
+        return self.client_nic_us - self.actual_send_us
+
+    @property
+    def measured_latency_us(self) -> float:
+        """Latency as reported by an in-generator point of measurement."""
+        return self.measured_complete_us - self.actual_send_us
+
+    @property
+    def client_overhead_us(self) -> float:
+        """Measurement error introduced on the client side."""
+        return self.measured_latency_us - self.true_latency_us
+
+    def validate(self) -> None:
+        """Check timestamp monotonicity; raises ValueError on violation."""
+        timeline = (
+            ("intended_send_us", self.intended_send_us),
+            ("actual_send_us", self.actual_send_us),
+            ("server_arrival_us", self.server_arrival_us),
+            ("server_departure_us", self.server_departure_us),
+            ("client_nic_us", self.client_nic_us),
+            ("measured_complete_us", self.measured_complete_us),
+        )
+        previous_name, previous_value = timeline[0]
+        for name, value in timeline[1:]:
+            if value + 1e-9 < previous_value:
+                raise ValueError(
+                    f"request {self.request_id}: {name}={value} precedes "
+                    f"{previous_name}={previous_value}"
+                )
+            previous_name, previous_value = name, value

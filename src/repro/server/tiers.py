@@ -1,0 +1,126 @@
+"""Multi-tier service composition (HDSearch, Social Network).
+
+A :class:`TieredService` chains :class:`ServiceStation` tiers: a
+request traverses tier 0, then tier 1, ... with an inter-tier network
+hop between them, and finally departs.  A tier may *fan out*: HDSearch's
+midtier issues parallel lookups to bucket servers and proceeds when the
+slowest one returns; the per-tier ``fanout`` models that
+max-of-parallel-lookups behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.net.link import NetworkLink
+from repro.server.request import Request
+from repro.server.station import ServiceStation
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class TierSpec:
+    """One tier of a multi-tier service.
+
+    Attributes:
+        station: the service station implementing the tier.
+        fanout: parallel sub-requests issued to the station per request
+            (the request proceeds when all return).
+        hop_link: network link crossed to reach this tier from the
+            previous one, or ``None`` for a co-located tier.
+    """
+
+    station: ServiceStation
+    fanout: int = 1
+    hop_link: Optional[NetworkLink] = None
+
+    def __post_init__(self) -> None:
+        if self.fanout < 1:
+            raise ConfigurationError(
+                f"fanout must be >= 1, got {self.fanout}"
+            )
+
+
+class TieredService:
+    """A chain of service tiers with the same submit/done interface
+    as a single :class:`ServiceStation`."""
+
+    def __init__(self, sim: Simulator, tiers: Sequence[TierSpec],
+                 name: str = "tiered-service") -> None:
+        if not tiers:
+            raise ConfigurationError("a tiered service needs >= 1 tier")
+        self._sim = sim
+        self._tiers: List[TierSpec] = list(tiers)
+        self.name = str(name)
+
+    @property
+    def tiers(self) -> Sequence[TierSpec]:
+        """The tier chain, front tier first."""
+        return tuple(self._tiers)
+
+    def expected_service_us(self) -> float:
+        """Sum of mean tier occupancies along the critical path."""
+        return sum(spec.station.expected_service_us() * spec.fanout
+                   for spec in self._tiers)
+
+    # ------------------------------------------------------------------
+    def submit(self, request: Request,
+               done_fn: Callable[[Request], None]) -> None:
+        """Accept *request* now; call ``done_fn`` after the last tier."""
+        if request.server_arrival_us == 0.0:
+            request.server_arrival_us = self._sim.now
+        self._enter_tier(request, 0, done_fn)
+
+    def _enter_tier(self, request: Request, index: int,
+                    done_fn: Callable[[Request], None]) -> None:
+        if index >= len(self._tiers):
+            request.server_departure_us = self._sim.now
+            done_fn(request)
+            return
+        spec = self._tiers[index]
+        hop = (spec.hop_link.sample_latency_us(request.size_kb)
+               if spec.hop_link is not None else 0.0)
+        self._sim.schedule(hop, self._run_tier, request, index, done_fn)
+
+    def _run_tier(self, request: Request, index: int,
+                  done_fn: Callable[[Request], None]) -> None:
+        spec = self._tiers[index]
+        remaining = [spec.fanout]
+
+        def sub_done(sub: Request) -> None:
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                # Account the slowest sub-request path on the parent.
+                return_hop = (
+                    spec.hop_link.sample_latency_us(request.size_kb)
+                    if spec.hop_link is not None else 0.0)
+                self._sim.schedule(
+                    return_hop, self._leave_tier, request, index, done_fn)
+
+        if spec.fanout == 1:
+            spec.station.submit(request, sub_done)
+            return
+        for shard in range(spec.fanout):
+            sub = Request(
+                request_id=request.request_id,
+                size_kb=request.size_kb / spec.fanout,
+                intended_send_us=request.intended_send_us,
+                actual_send_us=request.actual_send_us,
+            )
+            spec.station.submit(sub, self._make_sub_collector(
+                request, sub_done))
+
+    def _make_sub_collector(self, parent: Request,
+                            sub_done: Callable[[Request], None]):
+        def collect(sub: Request) -> None:
+            parent.service_us = max(parent.service_us, sub.service_us)
+            parent.queue_wait_us = max(
+                parent.queue_wait_us, sub.queue_wait_us)
+            sub_done(sub)
+        return collect
+
+    def _leave_tier(self, request: Request, index: int,
+                    done_fn: Callable[[Request], None]) -> None:
+        self._enter_tier(request, index + 1, done_fn)

@@ -1,0 +1,19 @@
+"""Discrete-event simulation engine.
+
+The engine is deliberately tiny: a monotonic clock, a binary-heap event
+queue, cancellable events, and deterministic seeded random streams.
+Everything else in the library (hardware model, servers, workload
+generators) is built as callbacks scheduled on a :class:`Simulator`.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.random import RandomStreams
+from repro.sim.resources import FifoQueue, ServerPool
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "RandomStreams",
+    "FifoQueue",
+    "ServerPool",
+]

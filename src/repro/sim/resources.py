@@ -1,0 +1,153 @@
+"""Queueing primitives built on the event engine.
+
+:class:`FifoQueue` is a plain bounded/unbounded FIFO with waiting-time
+accounting.  :class:`ServerPool` models a station of *n* servers with a
+shared FIFO queue (an M/G/n station when fed Poisson arrivals), which
+is the substrate under every service model in :mod:`repro.server`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class FifoQueue:
+    """A FIFO of opaque items with enqueue-time tracking.
+
+    Attributes:
+        capacity: maximum occupancy, or ``None`` for unbounded.
+        dropped: number of items rejected because the queue was full.
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 0:
+            raise SimulationError(f"capacity must be >= 0, got {capacity}")
+        self._sim = sim
+        self.capacity = capacity
+        self._items: Deque[tuple] = deque()
+        self.dropped = 0
+        self.total_enqueued = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def push(self, item: Any) -> bool:
+        """Enqueue *item*; return False (and count a drop) if full."""
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._items.append((self._sim.now, item))
+        self.total_enqueued += 1
+        return True
+
+    def pop(self) -> tuple:
+        """Dequeue the oldest item.
+
+        Returns:
+            ``(waited_us, item)`` where *waited_us* is time spent queued.
+
+        Raises:
+            SimulationError: if the queue is empty.
+        """
+        if not self._items:
+            raise SimulationError("pop from empty FifoQueue")
+        enqueued_at, item = self._items.popleft()
+        return (self._sim.now - enqueued_at, item)
+
+    def peek_wait_us(self) -> float:
+        """Waiting time, so far, of the head item (0 if empty)."""
+        if not self._items:
+            return 0.0
+        return self._sim.now - self._items[0][0]
+
+
+class ServerPool:
+    """*n* identical servers draining a shared FIFO queue.
+
+    Jobs are submitted with a per-job service-time callback; when a
+    server finishes a job the pool invokes the job's completion
+    callback and immediately starts the next queued job.  The pool
+    keeps busy-time accounting so utilization can be verified against
+    Little's law in tests.
+    """
+
+    def __init__(self, sim: Simulator, num_servers: int,
+                 queue_capacity: Optional[int] = None):
+        if num_servers <= 0:
+            raise SimulationError(
+                f"num_servers must be positive, got {num_servers}"
+            )
+        self._sim = sim
+        self.num_servers = int(num_servers)
+        self.queue = FifoQueue(sim, capacity=queue_capacity)
+        self._idle_servers: List[int] = list(range(self.num_servers))
+        #: time at which each server last became idle (for idle-period
+        #: dependent effects such as server-side C-states).
+        self.idle_since: List[float] = [0.0] * self.num_servers
+        self.busy_time_us = 0.0
+        self.jobs_completed = 0
+        self._started_at = sim.now
+
+    # ------------------------------------------------------------------
+    @property
+    def busy_servers(self) -> int:
+        """Number of servers currently serving a job."""
+        return self.num_servers - len(self._idle_servers)
+
+    def utilization(self) -> float:
+        """Fraction of total server-time spent busy since creation."""
+        elapsed = self._sim.now - self._started_at
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_time_us / (elapsed * self.num_servers)
+
+    # ------------------------------------------------------------------
+    def submit(self, job: Any,
+               service_time_fn: Callable[[Any, int, float], float],
+               done_fn: Callable[[Any, float], None]) -> bool:
+        """Submit *job* to the pool.
+
+        Args:
+            job: opaque job object.
+            service_time_fn: ``(job, server_index, idle_gap_us) ->
+                service_us``; called when a server actually picks the
+                job up, so it can account for how long that server had
+                been idle (server C-state wake-ups).
+            done_fn: ``(job, queue_wait_us)`` called at completion.
+
+        Returns:
+            False if the job was dropped due to a full queue.
+        """
+        entry = (job, service_time_fn, done_fn)
+        if self._idle_servers:
+            # Fast path: a server is free; start immediately.
+            self.queue.push(entry)
+            self._dispatch()
+            return True
+        return self.queue.push(entry)
+
+    def _dispatch(self) -> None:
+        while self._idle_servers and len(self.queue):
+            server = self._idle_servers.pop()
+            waited, (job, service_time_fn, done_fn) = self.queue.pop()
+            idle_gap = self._sim.now - self.idle_since[server]
+            service_us = service_time_fn(job, server, idle_gap)
+            if service_us < 0:
+                raise SimulationError(
+                    f"negative service time {service_us} for job {job!r}"
+                )
+            self.busy_time_us += service_us
+            self._sim.schedule(
+                service_us, self._finish, server, job, waited, done_fn)
+
+    def _finish(self, server: int, job: Any, waited: float,
+                done_fn: Callable[[Any, float], None]) -> None:
+        self.idle_since[server] = self._sim.now
+        self._idle_servers.append(server)
+        self.jobs_completed += 1
+        done_fn(job, waited)
+        self._dispatch()

@@ -1,0 +1,76 @@
+"""Statistical methods from the paper's Section III.
+
+Implements the exact protocol the paper uses: non-parametric median
+confidence intervals (equations 1-2), parametric mean CIs, the
+Shapiro-Wilk normality test, iid diagnostics (autocorrelation, lag
+pairs, turning-point test), the parametric repetition-count formula
+(equation 3, Jain) and the non-parametric CONFIRM method (Maricq et
+al., OSDI'18), plus Little's-law helpers for sizing feasible loads.
+"""
+
+from repro.stats.ci import (
+    ConfidenceInterval,
+    intervals_overlap,
+    nonparametric_median_ci,
+    parametric_mean_ci,
+)
+from repro.stats.descriptive import describe, SummaryStats
+from repro.stats.iid import (
+    autocorrelation,
+    lag_pairs,
+    turning_point_test,
+)
+from repro.stats.littles_law import (
+    concurrency,
+    feasible_qps,
+    max_qps_for_concurrency,
+)
+from repro.stats.normality import (
+    NormalityResult,
+    frequency_chart,
+    shapiro_wilk,
+)
+from repro.stats.repetitions import (
+    confirm_repetitions,
+    parametric_repetitions,
+)
+from repro.stats.lancet_checks import (
+    CheckResult,
+    anderson_darling_exponential,
+    dickey_fuller_stationarity,
+    run_all_checks,
+    spearman_independence,
+)
+from repro.stats.bootstrap import (
+    bootstrap_ci,
+    bootstrap_median_ci,
+    bootstrap_p99_ci,
+)
+
+__all__ = [
+    "bootstrap_ci",
+    "bootstrap_median_ci",
+    "bootstrap_p99_ci",
+    "CheckResult",
+    "anderson_darling_exponential",
+    "dickey_fuller_stationarity",
+    "spearman_independence",
+    "run_all_checks",
+    "ConfidenceInterval",
+    "nonparametric_median_ci",
+    "parametric_mean_ci",
+    "intervals_overlap",
+    "describe",
+    "SummaryStats",
+    "autocorrelation",
+    "lag_pairs",
+    "turning_point_test",
+    "NormalityResult",
+    "shapiro_wilk",
+    "frequency_chart",
+    "parametric_repetitions",
+    "confirm_repetitions",
+    "concurrency",
+    "feasible_qps",
+    "max_qps_for_concurrency",
+]

@@ -1,0 +1,64 @@
+"""Descriptive statistics with input validation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import InsufficientSamplesError, StatisticsError
+
+
+def _as_clean_array(samples: Sequence[float], minimum: int,
+                    what: str) -> np.ndarray:
+    array = np.asarray(samples, dtype=float)
+    if array.ndim != 1:
+        raise StatisticsError(f"{what}: expected a 1-D sample array")
+    if array.size < minimum:
+        raise InsufficientSamplesError(minimum, array.size, what)
+    if not np.all(np.isfinite(array)):
+        raise StatisticsError(f"{what}: samples contain NaN/inf")
+    return array
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Common summary of one sample set."""
+
+    count: int
+    mean: float
+    median: float
+    std: float
+    minimum: float
+    maximum: float
+    p95: float
+    p99: float
+
+    def format_row(self, label: str = "") -> str:
+        """Fixed-width row for report tables."""
+        return (
+            f"{label:<24} n={self.count:<5d} mean={self.mean:>10.2f} "
+            f"median={self.median:>10.2f} std={self.std:>8.2f} "
+            f"p99={self.p99:>10.2f}"
+        )
+
+
+def describe(samples: Sequence[float]) -> SummaryStats:
+    """Compute a :class:`SummaryStats` for *samples*.
+
+    Raises:
+        InsufficientSamplesError: for an empty sample set.
+        StatisticsError: for non-finite or non-1-D input.
+    """
+    array = _as_clean_array(samples, 1, "describe")
+    return SummaryStats(
+        count=int(array.size),
+        mean=float(np.mean(array)),
+        median=float(np.median(array)),
+        std=float(np.std(array, ddof=1)) if array.size > 1 else 0.0,
+        minimum=float(np.min(array)),
+        maximum=float(np.max(array)),
+        p95=float(np.percentile(array, 95)),
+        p99=float(np.percentile(array, 99)),
+    )

@@ -1,0 +1,45 @@
+"""Little's law helpers.
+
+The paper's synthetic-workload study sizes its load points with
+Little's law: only rates whose implied concurrency ``L = lambda * W``
+stays below the worker count are examined, so the station never
+saturates.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import StatisticsError
+from repro.units import SECOND
+
+
+def concurrency(qps: float, latency_us: float) -> float:
+    """Average requests in flight: ``L = lambda * W`` (Little's law)."""
+    if qps < 0 or latency_us < 0:
+        raise StatisticsError("qps and latency must be >= 0")
+    return qps * (latency_us / SECOND)
+
+
+def max_qps_for_concurrency(latency_us: float, workers: int) -> float:
+    """Highest rate keeping average concurrency below *workers*."""
+    if latency_us <= 0:
+        raise StatisticsError(
+            f"latency must be positive, got {latency_us}"
+        )
+    if workers <= 0:
+        raise StatisticsError(f"workers must be positive, got {workers}")
+    return workers * SECOND / latency_us
+
+
+def feasible_qps(candidate_qps: List[float], service_us: float,
+                 workers: int) -> List[float]:
+    """Filter *candidate_qps* to those whose implied concurrency fits.
+
+    This is exactly how the paper picks the synthetic workload's QPS
+    points: "examine only the QPS where the concurrency is less than
+    the number of available cores for all possible values of the new
+    parameter".
+    """
+    limit = max_qps_for_concurrency(service_us, workers)
+    return [qps for qps in candidate_qps if qps < limit]

@@ -1,0 +1,116 @@
+"""How many repetitions does an experiment need? (Table IV)
+
+Two methods, exactly as the paper uses them:
+
+* **Parametric** (Jain [18], equation 3): assumes normal samples,
+  ``n = (100 * z * s / (r * x))^2`` with z the confidence-level
+  variate, s the standard deviation, x the mean, and r the target
+  error percentage.
+* **CONFIRM** (Maricq et al. [29]): non-parametric; repeatedly draws
+  random subsets, estimates median CIs, and grows the subset until the
+  averaged CI bounds are within the error target.  Uses c=200 subset
+  draws and a minimum subset size of 10 (smaller subsets cannot
+  estimate non-parametric CIs reliably).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import InsufficientSamplesError, StatisticsError
+from repro.stats.ci import nonparametric_median_ci, z_score
+from repro.stats.descriptive import _as_clean_array
+
+#: CONFIRM's subset-draw count (the original paper's c).
+CONFIRM_DRAWS = 200
+#: CONFIRM's minimum subset size (the original paper's s >= 10).
+CONFIRM_MIN_SUBSET = 10
+
+
+def parametric_repetitions(samples: Sequence[float],
+                           error_pct: float = 1.0,
+                           confidence: float = 0.95) -> int:
+    """Iterations needed per Jain's formula (paper equation 3).
+
+    Args:
+        samples: pilot measurements (one per run).
+        error_pct: acceptable error r as a percentage of the mean.
+        confidence: confidence level for the z variate.
+
+    Returns:
+        The iteration count, rounded up and at least 1.
+    """
+    if error_pct <= 0:
+        raise StatisticsError(
+            f"error_pct must be positive, got {error_pct}"
+        )
+    array = _as_clean_array(samples, 2, "parametric repetitions")
+    mean = float(np.mean(array))
+    if mean == 0:
+        raise StatisticsError(
+            "parametric repetitions undefined for zero mean"
+        )
+    std = float(np.std(array, ddof=1))
+    z = z_score(confidence)
+    n = (100.0 * z * std / (error_pct * abs(mean))) ** 2
+    return max(1, int(math.ceil(n)))
+
+
+def confirm_repetitions(samples: Sequence[float],
+                        error: float = 0.01,
+                        confidence: float = 0.95,
+                        draws: int = CONFIRM_DRAWS,
+                        min_subset: int = CONFIRM_MIN_SUBSET,
+                        rng: Optional[np.random.Generator] = None,
+                        ) -> Optional[int]:
+    """Iterations needed per the CONFIRM method.
+
+    For each candidate subset size s (from *min_subset* up to the
+    sample count) the method draws *draws* random subsets, computes
+    the non-parametric median CI of each, averages the lower and upper
+    bounds, and accepts s when both averaged bounds are within
+    *error* of the full-sample median.
+
+    Returns:
+        The accepted subset size, or ``None`` when even the full
+        sample does not reach the target (Table IV prints this as
+        ``> n``).
+    """
+    if not 0.0 < error < 1.0:
+        raise StatisticsError(f"error must be in (0, 1), got {error}")
+    if draws < 1:
+        raise StatisticsError(f"draws must be >= 1, got {draws}")
+    array = _as_clean_array(samples, min_subset, "CONFIRM")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    reference_median = float(np.median(array))
+    if reference_median == 0:
+        raise StatisticsError("CONFIRM undefined for zero median")
+
+    for subset_size in range(min_subset, array.size + 1):
+        lower_bounds = np.empty(draws)
+        upper_bounds = np.empty(draws)
+        usable = True
+        for draw in range(draws):
+            subset = rng.choice(array, size=subset_size, replace=False)
+            try:
+                interval = nonparametric_median_ci(subset, confidence)
+            except InsufficientSamplesError:
+                usable = False
+                break
+            lower_bounds[draw] = interval.lower
+            upper_bounds[draw] = interval.upper
+        if not usable:
+            continue
+        mean_lower = float(np.mean(lower_bounds))
+        mean_upper = float(np.mean(upper_bounds))
+        lower_error = abs(reference_median - mean_lower) / abs(
+            reference_median)
+        upper_error = abs(mean_upper - reference_median) / abs(
+            reference_median)
+        if lower_error <= error and upper_error <= error:
+            return subset_size
+    return None

@@ -1,0 +1,29 @@
+"""The paper's four workloads, built on the substrates.
+
+* :mod:`repro.workloads.memcached` -- Memcached + Mutilate + the
+  Facebook ETC workload (Section IV-B).
+* :mod:`repro.workloads.hdsearch` -- HDSearch from MicroSuite: a
+  3-tier image-similarity service backed by a real LSH index.
+* :mod:`repro.workloads.socialnetwork` -- Social Network from
+  DeathStarBench on a Reed98-scale social graph.
+* :mod:`repro.workloads.synthetic` -- the tunable-service-latency
+  sensitivity workload.
+
+Each module exposes ``build_*_testbed(seed, client_config,
+server_config, qps, num_requests, ...)`` returning a single-use
+:class:`~repro.core.testbed.Testbed`.
+"""
+
+from repro.workloads.etc import EtcWorkload
+from repro.workloads.memcached import build_memcached_testbed
+from repro.workloads.hdsearch import build_hdsearch_testbed
+from repro.workloads.socialnetwork import build_socialnetwork_testbed
+from repro.workloads.synthetic import build_synthetic_testbed
+
+__all__ = [
+    "EtcWorkload",
+    "build_memcached_testbed",
+    "build_hdsearch_testbed",
+    "build_socialnetwork_testbed",
+    "build_synthetic_testbed",
+]

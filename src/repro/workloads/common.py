@@ -1,0 +1,20 @@
+"""Helpers shared by the workload builders."""
+
+from __future__ import annotations
+
+from repro.parameters import SkylakeParameters
+from repro.sim.random import RandomStreams
+
+
+def server_env_scale(streams: RandomStreams,
+                     params: SkylakeParameters) -> float:
+    """Run-level environment factor for server-side service times.
+
+    Real servers drift a little run to run (cache/TLB state, memory
+    placement, thermal headroom); the paper's Section V-C variability
+    analysis depends on this floor existing on the server too.
+    """
+    if params.env_sigma_server == 0:
+        return 1.0
+    rng = streams.get("server-env")
+    return float(rng.lognormal(0.0, params.env_sigma_server))

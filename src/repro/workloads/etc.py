@@ -1,0 +1,64 @@
+"""The Facebook ETC key-value workload (Atikoglu et al., SIGMETRICS'12).
+
+ETC is the general-purpose Memcached pool at Facebook and the workload
+Mutilate recreates in the paper.  Its published characteristics, which
+we model:
+
+* key sizes: 16--250 bytes, mode around 20--40 bytes (we use a
+  shifted lognormal clamped to the range);
+* value sizes: heavy-tailed, most under 1 KB (generalized-Pareto-like;
+  we use a lognormal body with median ~125 B plus a Pareto tail);
+* operation mix: dominated by GETs, roughly 30:1 GET:SET.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+#: GET fraction of the ETC operation mix.
+ETC_GET_FRACTION = 30.0 / 31.0
+
+_KEY_MIN_B, _KEY_MAX_B = 16, 250
+_VALUE_MAX_B = 1_000_000
+
+
+class EtcWorkload:
+    """Sampler for ETC request characteristics (resource demands)."""
+
+    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+        self._rng = rng
+
+    # ------------------------------------------------------------------
+    def sample_key_size_b(self) -> int:
+        """Sample one key size in bytes."""
+        if self._rng is None:
+            return 31
+        size = int(self._rng.lognormal(mean=3.4, sigma=0.35)) + _KEY_MIN_B
+        return int(min(_KEY_MAX_B, max(_KEY_MIN_B, size)))
+
+    def sample_value_size_b(self) -> int:
+        """Sample one value size in bytes (heavy-tailed)."""
+        if self._rng is None:
+            return 125
+        if self._rng.random() < 0.95:
+            size = int(self._rng.lognormal(mean=4.8, sigma=1.0))
+        else:
+            # Pareto tail: the rare multi-KB values ETC is known for.
+            size = int(1000 * (1.0 + self._rng.pareto(1.5)))
+        return int(min(_VALUE_MAX_B, max(1, size)))
+
+    def sample_is_get(self) -> bool:
+        """Sample the operation type (True for GET)."""
+        if self._rng is None:
+            return True
+        return bool(self._rng.random() < ETC_GET_FRACTION)
+
+    # ------------------------------------------------------------------
+    def sample_message_kb(self) -> float:
+        """Approximate wire size of one request/response pair, in KB."""
+        key = self.sample_key_size_b()
+        value = self.sample_value_size_b()
+        overhead = 48  # protocol framing
+        return (key + value + overhead) / 1024.0

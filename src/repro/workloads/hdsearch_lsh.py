@@ -1,0 +1,146 @@
+"""A real locality-sensitive-hashing index (HDSearch's core data
+structure).
+
+HDSearch answers image-similarity queries by hashing feature vectors
+into LSH buckets and scanning the union of the query's buckets
+(MicroSuite [38]).  We implement random-hyperplane LSH over synthetic
+feature vectors: the index is genuine (build, query, candidate
+retrieval, distance ranking), and the *service-time model* of the
+simulated bucket tier is derived from the measured candidate counts of
+calibration queries against this index -- so the simulated HDSearch
+inherits its latency distribution from real data-structure behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LshConfig:
+    """Index geometry.
+
+    Attributes:
+        num_points: dataset size (feature vectors).
+        dim: feature-vector dimensionality.
+        num_tables: independent hash tables (OR-amplification).
+        num_bits: hyperplanes per table (AND-amplification).
+    """
+
+    num_points: int = 4_000
+    dim: int = 64
+    num_tables: int = 4
+    num_bits: int = 12
+
+    def __post_init__(self) -> None:
+        if min(self.num_points, self.dim, self.num_tables,
+               self.num_bits) <= 0:
+            raise ConfigurationError("all LSH parameters must be positive")
+        if self.num_bits > 30:
+            raise ConfigurationError("num_bits > 30 would overflow keys")
+
+
+class LshIndex:
+    """Random-hyperplane LSH over a synthetic feature-vector dataset."""
+
+    def __init__(self, config: LshConfig = LshConfig(),
+                 seed: int = 1234) -> None:
+        self.config = config
+        rng = np.random.default_rng(seed)
+        # Clustered synthetic "image features": a handful of gaussian
+        # blobs, which is what real embedding datasets look like to LSH.
+        centers = rng.normal(size=(16, config.dim)) * 2.0
+        assignment = rng.integers(0, len(centers), size=config.num_points)
+        self.points = (centers[assignment]
+                       + rng.normal(size=(config.num_points, config.dim)))
+        self.planes = rng.normal(
+            size=(config.num_tables, config.num_bits, config.dim))
+        self.tables: List[Dict[int, List[int]]] = []
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _hash(self, table: int, vectors: np.ndarray) -> np.ndarray:
+        """Hash rows of *vectors* into table *table*'s bucket keys."""
+        projections = vectors @ self.planes[table].T
+        bits = (projections > 0).astype(np.int64)
+        weights = 1 << np.arange(self.config.num_bits, dtype=np.int64)
+        return bits @ weights
+
+    def _build(self) -> None:
+        for table in range(self.config.num_tables):
+            keys = self._hash(table, self.points)
+            buckets: Dict[int, List[int]] = {}
+            for point_index, key in enumerate(keys.tolist()):
+                buckets.setdefault(key, []).append(point_index)
+            self.tables.append(buckets)
+
+    # ------------------------------------------------------------------
+    def candidates(self, query: np.ndarray) -> List[int]:
+        """Union of bucket members across tables for *query*."""
+        query = np.asarray(query, dtype=float)
+        if query.shape != (self.config.dim,):
+            raise ConfigurationError(
+                f"query must have shape ({self.config.dim},), "
+                f"got {query.shape}"
+            )
+        seen: Dict[int, None] = {}
+        for table in range(self.config.num_tables):
+            key = int(self._hash(table, query[None, :])[0])
+            for point_index in self.tables[table].get(key, ()):
+                seen[point_index] = None
+        return list(seen)
+
+    def query(self, query: np.ndarray, k: int = 10
+              ) -> List[Tuple[int, float]]:
+        """Return the *k* nearest candidates as (index, distance)."""
+        candidate_ids = self.candidates(query)
+        if not candidate_ids:
+            return []
+        vectors = self.points[candidate_ids]
+        distances = np.linalg.norm(vectors - query, axis=1)
+        order = np.argsort(distances)[:k]
+        return [(candidate_ids[i], float(distances[i])) for i in order]
+
+    # ------------------------------------------------------------------
+    def calibrate_candidate_counts(self, num_queries: int = 2_000,
+                                   seed: int = 99) -> np.ndarray:
+        """Candidate-set sizes for realistic queries (dataset points
+        plus noise), used to derive the bucket-tier service model."""
+        rng = np.random.default_rng(seed)
+        picks = rng.integers(0, self.config.num_points, size=num_queries)
+        noise = rng.normal(scale=0.3,
+                           size=(num_queries, self.config.dim))
+        queries = self.points[picks] + noise
+        counts = np.empty(num_queries, dtype=np.int64)
+        # Vectorized hashing per table, then per-query bucket unions.
+        keys = np.stack([
+            self._hash(table, queries)
+            for table in range(self.config.num_tables)
+        ])
+        for q in range(num_queries):
+            seen: Dict[int, None] = {}
+            for table in range(self.config.num_tables):
+                for point_index in self.tables[table].get(
+                        int(keys[table, q]), ()):
+                    seen[point_index] = None
+            counts[q] = len(seen)
+        return counts
+
+
+@lru_cache(maxsize=4)
+def default_index(seed: int = 1234) -> LshIndex:
+    """The shared, deterministic index used by the HDSearch testbed."""
+    return LshIndex(LshConfig(), seed=seed)
+
+
+@lru_cache(maxsize=4)
+def default_candidate_counts(seed: int = 1234) -> tuple:
+    """Calibrated candidate counts for :func:`default_index`."""
+    counts = default_index(seed).calibrate_candidate_counts()
+    return tuple(int(c) for c in counts)

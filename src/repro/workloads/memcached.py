@@ -1,0 +1,108 @@
+"""Memcached testbed (paper Section IV-B).
+
+A Memcached instance with 10 worker threads pinned on one socket,
+driven by a Mutilate-style open-loop time-sensitive generator on four
+client machines, replaying the Facebook ETC workload.  Server-side
+processing averages ~10 us [4], [7], which is why this workload is the
+paper's most client-sensitive one.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.config.knobs import HardwareConfig
+from repro.config.presets import SERVER_BASELINE
+from repro.core.testbed import Testbed
+from repro.loadgen.mutilate import build_mutilate
+from repro.parameters import DEFAULT_PARAMETERS, SkylakeParameters
+from repro.server.request import Request
+from repro.server.service import LognormalService
+from repro.server.station import ServiceStation
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+from repro.workloads.common import server_env_scale
+from repro.workloads.etc import EtcWorkload
+
+#: Worker threads of the Memcached instance (paper Section IV-B).
+MEMCACHED_WORKERS = 10
+#: Mean application service time at nominal frequency, before the
+#: kernel stack; end-to-end server-side processing is ~10 us [4].
+#: Calibrated so the 10K-500K sweep covers the paper's 5%-55%
+#: utilization range with 10 workers.
+MEMCACHED_SERVICE_US = 6.0
+MEMCACHED_SERVICE_SIGMA = 0.35
+
+
+class EtcServiceModel:
+    """ETC-aware Memcached service time: lookup plus value transfer."""
+
+    #: Extra service per KB of value copied out at nominal frequency.
+    US_PER_KB = 0.25
+
+    def __init__(self, etc: EtcWorkload) -> None:
+        self._etc = etc
+        self._base = LognormalService(
+            MEMCACHED_SERVICE_US, MEMCACHED_SERVICE_SIGMA)
+
+    def sample_service_us(self, rng=None, request: Request = None) -> float:
+        size_kb = request.size_kb if request is not None else 0.125
+        return (self._base.sample_service_us(rng)
+                + size_kb * self.US_PER_KB)
+
+    def mean_service_us(self) -> float:
+        return MEMCACHED_SERVICE_US + 0.2 * self.US_PER_KB
+
+
+def build_memcached_testbed(
+        seed: int,
+        client_config: HardwareConfig,
+        server_config: HardwareConfig = SERVER_BASELINE,
+        qps: float = 100_000.0,
+        num_requests: int = 2_000,
+        warmup_fraction: float = 0.1,
+        params: SkylakeParameters = DEFAULT_PARAMETERS,
+        ) -> Testbed:
+    """Assemble one single-use Memcached testbed.
+
+    Args:
+        seed: root seed; every stochastic component derives from it.
+        client_config: LP or HP client hardware configuration.
+        server_config: server hardware configuration (baseline, SMT
+            variant, or C1E variant).
+        qps: offered load (the paper sweeps 10K-500K).
+        num_requests: requests per run (stands in for the paper's
+            2-minute duration; the statistics are per-run summaries
+            either way).
+        warmup_fraction: leading samples to discard.
+        params: machine timing constants.
+    """
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    etc = EtcWorkload(streams.get("etc"))
+    server_env = server_env_scale(streams, params)
+    station = ServiceStation(
+        sim, server_config, EtcServiceModel(etc),
+        workers=MEMCACHED_WORKERS,
+        rng=streams.get("service"),
+        params=params,
+        name="memcached",
+        env_scale=server_env,
+    )
+
+    def request_factory(index: int) -> Request:
+        return Request(request_id=index, size_kb=etc.sample_message_kb())
+
+    generator = build_mutilate(
+        sim, streams, client_config, station, qps, num_requests,
+        request_factory=request_factory,
+        warmup_fraction=warmup_fraction,
+        params=params,
+    )
+    return Testbed(
+        sim, streams, generator, station,
+        workload="memcached", qps=qps,
+        client_config=client_config, server_config=server_config,
+    )

@@ -1,0 +1,99 @@
+"""The synthetic tunable-latency workload (paper Section IV-B).
+
+A service whose processing time can be extended by a configurable
+busy-wait delay, used for the sensitivity analysis of Fig. 7: as the
+added delay grows from 0 to 400 us, the client-configuration gap
+(LP/HP) should shrink from ~2.8x toward ~1x.  The added delay is
+implemented as busy work -- it occupies the worker (service time, not
+sleep time), exactly as the paper specifies.
+"""
+
+from __future__ import annotations
+
+from repro.config.knobs import HardwareConfig
+from repro.config.presets import SERVER_BASELINE
+from repro.core.testbed import Testbed
+from repro.errors import ConfigurationError
+from repro.loadgen.mutilate import build_mutilate
+from repro.parameters import DEFAULT_PARAMETERS, SkylakeParameters
+from repro.server.request import Request
+from repro.server.service import LognormalService
+from repro.server.station import ServiceStation
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+from repro.workloads.common import server_env_scale
+
+#: Worker threads (10, pinned on a single socket -- Section IV-B).
+SYNTHETIC_WORKERS = 10
+#: Base processing before the tunable delay.
+SYNTHETIC_BASE_US = 10.0
+SYNTHETIC_SIGMA = 0.30
+#: Request/response payload.
+SYNTHETIC_MESSAGE_KB = 0.125
+
+
+class DelayedService:
+    """Base service time extended by a fixed busy-wait delay."""
+
+    def __init__(self, added_delay_us: float) -> None:
+        if added_delay_us < 0:
+            raise ConfigurationError(
+                f"added delay must be >= 0, got {added_delay_us}"
+            )
+        self.added_delay_us = float(added_delay_us)
+        self._base = LognormalService(SYNTHETIC_BASE_US, SYNTHETIC_SIGMA)
+
+    def sample_service_us(self, rng=None, request: Request = None) -> float:
+        return self._base.sample_service_us(rng) + self.added_delay_us
+
+    def mean_service_us(self) -> float:
+        return SYNTHETIC_BASE_US + self.added_delay_us
+
+
+def build_synthetic_testbed(
+        seed: int,
+        client_config: HardwareConfig,
+        server_config: HardwareConfig = SERVER_BASELINE,
+        qps: float = 10_000.0,
+        added_delay_us: float = 0.0,
+        num_requests: int = 2_000,
+        warmup_fraction: float = 0.1,
+        params: SkylakeParameters = DEFAULT_PARAMETERS,
+        ) -> Testbed:
+    """Assemble one single-use synthetic-workload testbed.
+
+    Args:
+        seed: root seed for the run.
+        client_config: LP or HP client hardware configuration.
+        server_config: server hardware configuration.
+        qps: offered load (the paper sweeps 5K-20K).
+        added_delay_us: the tunable busy-wait extension (0-400 us).
+        num_requests: requests per run.
+        warmup_fraction: leading samples to discard.
+        params: machine timing constants.
+    """
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    station = ServiceStation(
+        sim, server_config, DelayedService(added_delay_us),
+        workers=SYNTHETIC_WORKERS,
+        rng=streams.get("service"),
+        params=params,
+        name="synthetic",
+        env_scale=server_env_scale(streams, params),
+    )
+
+    def request_factory(index: int) -> Request:
+        return Request(request_id=index, size_kb=SYNTHETIC_MESSAGE_KB)
+
+    generator = build_mutilate(
+        sim, streams, client_config, station, qps, num_requests,
+        request_factory=request_factory,
+        warmup_fraction=warmup_fraction,
+        params=params,
+    )
+    return Testbed(
+        sim, streams, generator, station,
+        workload="synthetic", qps=qps,
+        client_config=client_config, server_config=server_config,
+    )

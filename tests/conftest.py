@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config.presets import HP_CLIENT, LP_CLIENT, SERVER_BASELINE
+from repro.host.filesystem import FakeFilesystem, make_skylake_tree
+from repro.parameters import DEFAULT_PARAMETERS
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def streams() -> RandomStreams:
+    """Deterministic random streams."""
+    return RandomStreams(seed=42)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """One deterministic numpy generator."""
+    return np.random.default_rng(7)
+
+
+@pytest.fixture
+def fake_fs() -> FakeFilesystem:
+    """A fake Skylake host filesystem (40 CPUs, intel_pstate)."""
+    return FakeFilesystem(make_skylake_tree())
+
+
+@pytest.fixture
+def small_fake_fs() -> FakeFilesystem:
+    """A fake host with 4 CPUs for cheaper iteration."""
+    return FakeFilesystem(make_skylake_tree(num_cpus=4))
+
+
+@pytest.fixture
+def params():
+    """The default Skylake parameter set."""
+    return DEFAULT_PARAMETERS
+
+
+@pytest.fixture
+def lp_client():
+    """The LP (default/low-power) client configuration."""
+    return LP_CLIENT
+
+
+@pytest.fixture
+def hp_client():
+    """The HP (tuned) client configuration."""
+    return HP_CLIENT
+
+
+@pytest.fixture
+def server_baseline():
+    """The server baseline configuration."""
+    return SERVER_BASELINE

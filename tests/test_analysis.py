@@ -1,0 +1,135 @@
+"""Tests for the analysis layer: survey, tables, figures."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import (
+    StudyGrid,
+    memcached_study,
+    render_latency_series,
+    render_ratio_series,
+    synthetic_study,
+)
+from repro.analysis.survey import SURVEY_ROWS, survey_counts
+from repro.analysis.tables import (
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+from repro.core.evaluation_time import estimate_evaluation_time
+from repro.errors import ExperimentError
+
+
+class TestSurvey:
+    def test_counts_match_table1(self):
+        counts = survey_counts()
+        assert counts == {
+            "Client only": 0,
+            "Server only": 8,
+            "Client and server": 2,
+            "None": 10,
+        }
+
+    def test_twenty_rows(self):
+        assert len(SURVEY_ROWS) == 20
+
+    def test_ten_percent_characterize_client(self):
+        client_rows = [r for r in SURVEY_ROWS if r.characterizes_client]
+        assert len(client_rows) / len(SURVEY_ROWS) == pytest.approx(0.1)
+
+
+class TestTableRenderers:
+    def test_table1_totals(self):
+        text = render_table1()
+        assert "Server only" in text and "Total" in text
+        assert text.strip().endswith("20")
+
+    def test_table2_has_all_knobs_and_columns(self):
+        text = render_table2()
+        for knob in ("C-states", "Frequency Driver", "Turbo", "SMT",
+                     "Uncore Frequency", "Tickless"):
+            assert knob in text
+        assert "LP" in text and "HP" in text and "Baseline" in text
+        assert "intel_pstate" in text and "acpi_cpufreq" in text
+
+    def test_table3_marks_risky_row(self):
+        text = render_table3()
+        assert "X(5.1,5.3)" in text
+        assert "open-loop time-insensitive" in text
+
+    def test_table4_renders_estimates(self, rng):
+        estimates = {
+            "HP-SMToff": {
+                10_000.0: estimate_evaluation_time(
+                    rng.normal(100, 1, size=30), rng=rng),
+            },
+        }
+        text = render_table4(estimates, qps_order=[10_000.0])
+        assert "HP-SMToff" in text
+        assert "10K" in text
+        assert "pass" in text or "fail" in text
+
+
+@pytest.fixture(scope="module")
+def tiny_grid():
+    """A minimal memcached SMT grid for renderer tests."""
+    # >= 8 runs: the 95% non-parametric CI's upper rank only fits the
+    # sample for n >= 8.
+    return memcached_study(
+        knob="smt", qps_list=(50_000,), runs=8, num_requests=100,
+        base_seed=0)
+
+
+class TestStudyGrid:
+    def test_grid_has_all_cells(self, tiny_grid):
+        assert set(tiny_grid.cells) == {
+            ("LP", "SMToff"), ("LP", "SMTon"),
+            ("HP", "SMToff"), ("HP", "SMTon"),
+        }
+
+    def test_series_lengths(self, tiny_grid):
+        series = tiny_grid.series("LP", "SMToff", "avg")
+        assert len(series) == 1
+        assert series[0][0] == 50_000.0
+        assert series[0][1] > 0
+
+    def test_ratio_series(self, tiny_grid):
+        ratios = tiny_grid.ratio_series("HP", "SMToff", "SMTon", "avg")
+        assert 0.8 < ratios[0][1] < 1.3
+
+    def test_client_gap_lp_above_hp(self, tiny_grid):
+        gaps = tiny_grid.client_gap_series("SMToff", "avg")
+        assert gaps[0][1] > 1.3  # LP well above HP on memcached
+
+    def test_comparisons_produce_verdicts(self, tiny_grid):
+        comparisons = tiny_grid.comparisons("HP", "SMToff", "SMTon")
+        assert 50_000.0 in comparisons
+
+    def test_unknown_metric_rejected(self, tiny_grid):
+        with pytest.raises(ExperimentError):
+            tiny_grid.series("LP", "SMToff", "bogus")
+
+    def test_missing_cell_rejected(self, tiny_grid):
+        with pytest.raises(ExperimentError):
+            tiny_grid.result("LP", "SMToff", 999.0)
+
+    def test_stdev_metric(self, tiny_grid):
+        series = tiny_grid.series("LP", "SMToff", "stdev_avg")
+        assert series[0][1] >= 0
+
+    def test_renderers_produce_rows(self, tiny_grid):
+        latency_text = render_latency_series(tiny_grid, "avg")
+        assert "LP-SMToff" in latency_text and "50K" in latency_text
+        ratio_text = render_ratio_series(tiny_grid, "SMToff", "SMTon")
+        assert "LP" in ratio_text and "HP" in ratio_text
+
+
+class TestSyntheticStudy:
+    def test_one_grid_per_delay(self):
+        grids = synthetic_study(
+            delays_us=(0, 100), qps_list=(5_000,), runs=3,
+            num_requests=100)
+        assert set(grids) == {0.0, 100.0}
+        for grid in grids.values():
+            assert ("LP", "baseline") in grid.cells

@@ -1,0 +1,62 @@
+"""Property-based tests for the bootstrap CI and remaining helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.bootstrap import bootstrap_ci, bootstrap_median_ci
+
+samples_strategy = st.lists(
+    st.floats(min_value=0.1, max_value=1e5, allow_nan=False,
+              allow_infinity=False),
+    min_size=5, max_size=80)
+
+
+class TestBootstrapProperties:
+    @given(samples_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_point_always_inside(self, samples):
+        interval = bootstrap_median_ci(samples)
+        assert interval.lower <= interval.point <= interval.upper
+
+    @given(samples_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_bounds_within_sample_range(self, samples):
+        interval = bootstrap_median_ci(samples)
+        assert min(samples) <= interval.lower
+        assert interval.upper <= max(samples)
+
+    @given(samples_strategy,
+           st.floats(min_value=0.5, max_value=100.0))
+    @settings(max_examples=40, deadline=None)
+    def test_scale_equivariance(self, samples, factor):
+        base = bootstrap_median_ci(samples)
+        scaled = bootstrap_median_ci([s * factor for s in samples])
+        assert scaled.point == pytest.approx(
+            base.point * factor, rel=1e-9)
+        assert scaled.lower == pytest.approx(
+            base.lower * factor, rel=1e-6)
+        assert scaled.upper == pytest.approx(
+            base.upper * factor, rel=1e-6)
+
+    @given(samples_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_mean_statistic_contains_mean(self, samples):
+        interval = bootstrap_ci(
+            samples, statistic=lambda v: float(np.mean(v)))
+        assert interval.contains(float(np.mean(samples)))
+
+    def test_coverage_on_known_distribution(self):
+        """~95% of bootstrap CIs must contain the true median."""
+        true_median = 10.0 * np.log(2.0)
+        rng = np.random.default_rng(1)
+        hits = 0
+        trials = 120
+        for _ in range(trials):
+            samples = rng.exponential(10.0, size=60)
+            interval = bootstrap_median_ci(
+                samples, rng=rng, )
+            if interval.contains(true_median):
+                hits += 1
+        assert hits / trials > 0.85

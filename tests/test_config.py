@@ -1,0 +1,160 @@
+"""Tests for configuration knobs, presets and validation."""
+
+import pytest
+
+from repro.config.knobs import (
+    ALL_CSTATES,
+    FrequencyDriver,
+    FrequencyGovernor,
+    HardwareConfig,
+    UncorePolicy,
+)
+from repro.config.presets import (
+    HP_CLIENT,
+    LP_CLIENT,
+    SERVER_BASELINE,
+    client_by_name,
+    server_with_c1e,
+    server_with_smt,
+)
+from repro.config.validate import config_warnings, validate_config
+from repro.errors import ConfigurationError
+
+
+class TestHardwareConfig:
+    def test_unknown_cstate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LP_CLIENT.with_cstates({"C0", "C7"})
+
+    def test_c0_cannot_be_disabled(self):
+        with pytest.raises(ConfigurationError):
+            LP_CLIENT.with_cstates({"C1"})
+
+    def test_idle_poll_detection(self):
+        assert HP_CLIENT.idle_poll
+        assert not LP_CLIENT.idle_poll
+
+    def test_deepest_cstate(self):
+        assert LP_CLIENT.deepest_cstate() == "C6"
+        assert SERVER_BASELINE.deepest_cstate() == "C1"
+        assert HP_CLIENT.deepest_cstate() == "C0"
+
+    def test_with_smt_toggles(self):
+        assert SERVER_BASELINE.with_smt(True).smt
+        assert not SERVER_BASELINE.with_smt(False).smt
+
+    def test_renamed(self):
+        assert LP_CLIENT.renamed("other").name == "other"
+
+    def test_knob_settings_covers_all_seven_knobs(self):
+        knobs = LP_CLIENT.knob_settings()
+        assert set(knobs) == {
+            "C-states", "Frequency Driver", "Frequency Governor",
+            "Turbo", "SMT", "Uncore Frequency", "Tickless",
+        }
+
+    def test_knob_settings_idle_poll_prints_off(self):
+        assert HP_CLIENT.knob_settings()["C-states"] == "off"
+
+    def test_describe_mentions_name(self):
+        assert LP_CLIENT.describe().startswith("LP:")
+
+    def test_configs_are_immutable(self):
+        with pytest.raises(Exception):
+            LP_CLIENT.smt = False
+
+
+class TestPresets:
+    """The presets must match Table II exactly."""
+
+    def test_lp_matches_table2(self):
+        assert LP_CLIENT.enabled_cstates == frozenset(ALL_CSTATES)
+        assert LP_CLIENT.frequency_driver is FrequencyDriver.INTEL_PSTATE
+        assert LP_CLIENT.frequency_governor is FrequencyGovernor.POWERSAVE
+        assert LP_CLIENT.turbo and LP_CLIENT.smt
+        assert LP_CLIENT.uncore is UncorePolicy.DYNAMIC
+        assert not LP_CLIENT.tickless
+
+    def test_hp_matches_table2(self):
+        assert HP_CLIENT.enabled_cstates == frozenset({"C0"})
+        assert HP_CLIENT.frequency_driver is FrequencyDriver.ACPI_CPUFREQ
+        assert HP_CLIENT.frequency_governor is FrequencyGovernor.PERFORMANCE
+        assert HP_CLIENT.turbo and HP_CLIENT.smt
+        assert HP_CLIENT.uncore is UncorePolicy.FIXED
+        assert not HP_CLIENT.tickless
+
+    def test_server_baseline_matches_table2(self):
+        assert SERVER_BASELINE.enabled_cstates == frozenset({"C0", "C1"})
+        assert (SERVER_BASELINE.frequency_driver
+                is FrequencyDriver.ACPI_CPUFREQ)
+        assert (SERVER_BASELINE.frequency_governor
+                is FrequencyGovernor.PERFORMANCE)
+        assert not SERVER_BASELINE.turbo
+        assert not SERVER_BASELINE.smt
+        assert SERVER_BASELINE.uncore is UncorePolicy.FIXED
+        assert SERVER_BASELINE.tickless
+
+    def test_server_smt_variants(self):
+        assert server_with_smt(True).smt
+        assert not server_with_smt(False).smt
+        assert server_with_smt(True).name == "server-SMTon"
+
+    def test_server_c1e_variants(self):
+        assert "C1E" in server_with_c1e(True).enabled_cstates
+        assert "C1E" not in server_with_c1e(False).enabled_cstates
+
+    def test_client_by_name(self):
+        assert client_by_name("lp") is LP_CLIENT
+        assert client_by_name("HP") is HP_CLIENT
+        with pytest.raises(ValueError):
+            client_by_name("xx")
+
+
+class TestValidation:
+    def test_presets_validate(self):
+        for config in (LP_CLIENT, HP_CLIENT, SERVER_BASELINE,
+                       server_with_smt(True), server_with_c1e(True)):
+            assert validate_config(config) is config
+
+    def test_c6_requires_c1(self):
+        config = HardwareConfig(
+            name="bad",
+            enabled_cstates=frozenset({"C0", "C6"}),
+            frequency_driver=FrequencyDriver.ACPI_CPUFREQ,
+            frequency_governor=FrequencyGovernor.PERFORMANCE,
+            turbo=False, smt=False,
+            uncore=UncorePolicy.FIXED, tickless=True)
+        with pytest.raises(ConfigurationError):
+            validate_config(config)
+
+    def test_pstate_rejects_ondemand(self):
+        config = HardwareConfig(
+            name="bad",
+            enabled_cstates=frozenset({"C0", "C1"}),
+            frequency_driver=FrequencyDriver.INTEL_PSTATE,
+            frequency_governor=FrequencyGovernor.ONDEMAND,
+            turbo=False, smt=False,
+            uncore=UncorePolicy.FIXED, tickless=True)
+        with pytest.raises(ConfigurationError):
+            validate_config(config)
+
+    def test_acpi_powersave_warns(self):
+        config = HardwareConfig(
+            name="slow",
+            enabled_cstates=frozenset({"C0", "C1"}),
+            frequency_driver=FrequencyDriver.ACPI_CPUFREQ,
+            frequency_governor=FrequencyGovernor.POWERSAVE,
+            turbo=False, smt=False,
+            uncore=UncorePolicy.FIXED, tickless=True)
+        warnings = config_warnings(config)
+        assert any("minimum frequency" in w for w in warnings)
+
+    def test_hp_warns_about_pointless_nohz(self):
+        from dataclasses import replace
+        config = replace(HP_CLIENT, tickless=True)
+        warnings = config_warnings(config)
+        assert any("no observable effect" in w for w in warnings)
+
+    def test_lp_warns_about_turbo_powersave(self):
+        warnings = config_warnings(LP_CLIENT)
+        assert any("turbo" in w for w in warnings)

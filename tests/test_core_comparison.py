@@ -1,0 +1,98 @@
+"""Tests for condition comparison and conflict detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.comparison import (
+    Verdict,
+    compare_conditions,
+    detect_conflicts,
+)
+from repro.errors import StatisticsError
+
+
+def normal_samples(rng, mean, std=1.0, n=50):
+    return rng.normal(mean, std, size=n)
+
+
+class TestCompareConditions:
+    def test_clearly_different_conditions(self, rng):
+        fast = normal_samples(rng, 100.0)
+        slow = normal_samples(rng, 140.0)
+        comparison = compare_conditions(fast, slow, "fast", "slow")
+        assert comparison.verdict is Verdict.A_FASTER
+        assert comparison.ratio == pytest.approx(1.4, rel=0.05)
+        assert "fast is faster" in comparison.describe()
+
+    def test_reversed_order(self, rng):
+        fast = normal_samples(rng, 100.0)
+        slow = normal_samples(rng, 140.0)
+        comparison = compare_conditions(slow, fast, "slow", "fast")
+        assert comparison.verdict is Verdict.B_FASTER
+
+    def test_identical_conditions_indistinguishable(self, rng):
+        a = normal_samples(rng, 100.0, std=5.0)
+        b = normal_samples(rng, 100.0, std=5.0)
+        comparison = compare_conditions(a, b)
+        assert comparison.verdict is Verdict.INDISTINGUISHABLE
+        assert "indistinguishable" in comparison.describe()
+
+    def test_overlap_rule_matches_cis(self, rng):
+        a = normal_samples(rng, 100.0, std=8.0)
+        b = normal_samples(rng, 103.0, std=8.0)
+        comparison = compare_conditions(a, b)
+        expected_overlap = comparison.ci_a.overlaps(comparison.ci_b)
+        assert (comparison.verdict is Verdict.INDISTINGUISHABLE) \
+            == expected_overlap
+
+    def test_zero_mean_rejected(self):
+        with pytest.raises(StatisticsError):
+            compare_conditions([0.0] * 20, [1.0] * 20)
+
+
+class TestDetectConflicts:
+    def make_comparison(self, rng, delta):
+        a = normal_samples(rng, 100.0, std=1.0)
+        b = normal_samples(rng, 100.0 + delta, std=1.0)
+        return compare_conditions(a, b)
+
+    def test_conflict_found_when_observers_disagree(self, rng):
+        per_observer = {
+            "LP": {400_000.0: self.make_comparison(rng, 20.0)},
+            "HP": {400_000.0: self.make_comparison(rng, 0.0)},
+        }
+        conflicts = detect_conflicts(per_observer)
+        assert len(conflicts) == 1
+        assert conflicts[0].operating_point == 400_000.0
+        assert "conflicting" in conflicts[0].describe()
+
+    def test_no_conflict_when_observers_agree(self, rng):
+        per_observer = {
+            "LP": {100.0: self.make_comparison(rng, 20.0)},
+            "HP": {100.0: self.make_comparison(rng, 25.0)},
+        }
+        assert detect_conflicts(per_observer) == []
+
+    def test_points_sorted(self, rng):
+        per_observer = {
+            "LP": {
+                300.0: self.make_comparison(rng, 20.0),
+                100.0: self.make_comparison(rng, 20.0),
+            },
+            "HP": {
+                300.0: self.make_comparison(rng, 0.0),
+                100.0: self.make_comparison(rng, 0.0),
+            },
+        }
+        conflicts = detect_conflicts(per_observer)
+        assert [c.operating_point for c in conflicts] == [100.0, 300.0]
+
+    def test_empty_input(self):
+        assert detect_conflicts({}) == []
+
+    def test_observer_missing_point_ignored(self, rng):
+        per_observer = {
+            "LP": {100.0: self.make_comparison(rng, 20.0)},
+            "HP": {},
+        }
+        assert detect_conflicts(per_observer) == []

@@ -1,0 +1,58 @@
+"""Tests for the Table IV evaluation-time estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation_time import estimate_evaluation_time
+
+
+class TestEstimateEvaluationTime:
+    def test_tight_normal_data(self, rng):
+        samples = rng.normal(100, 0.2, size=50)
+        estimate = estimate_evaluation_time(samples, rng=rng)
+        assert estimate.parametric_runs <= 2
+        assert estimate.confirm_runs == 10
+        assert estimate.sample_count == 50
+
+    def test_noisy_data_needs_many_runs(self, rng):
+        samples = rng.normal(100, 15, size=50)
+        estimate = estimate_evaluation_time(samples, rng=rng)
+        assert estimate.parametric_runs > 50
+
+    def test_recommended_runs_follows_normality(self, rng):
+        normal = estimate_evaluation_time(
+            rng.normal(100, 1, size=50), rng=rng)
+        if normal.normality.normal:
+            assert normal.recommended_runs == normal.parametric_runs
+        skewed = estimate_evaluation_time(
+            rng.lognormal(4.6, 1.0, size=50), rng=rng)
+        if not skewed.normality.normal:
+            expected = (skewed.confirm_runs
+                        if skewed.confirm_runs is not None
+                        else skewed.sample_count + 1)
+            assert skewed.recommended_runs == expected
+
+    def test_confirm_display_shows_greater_than(self, rng):
+        samples = rng.lognormal(0, 2.0, size=30)
+        estimate = estimate_evaluation_time(samples, rng=rng)
+        if estimate.confirm_runs is None:
+            assert estimate.confirm_display() == ">30"
+        else:
+            assert estimate.confirm_display().isdigit()
+
+    def test_evaluation_seconds_scales_with_run_duration(self, rng):
+        samples = rng.normal(100, 1, size=50)
+        short = estimate_evaluation_time(samples, run_seconds=60,
+                                         rng=rng)
+        long = estimate_evaluation_time(samples, run_seconds=120,
+                                        rng=rng)
+        assert long.evaluation_seconds == pytest.approx(
+            2 * short.evaluation_seconds)
+
+    def test_format_row_matches_table4_fields(self, rng):
+        estimate = estimate_evaluation_time(
+            rng.normal(100, 1, size=50), rng=rng)
+        row = estimate.format_row("HP-SMToff")
+        assert "parametric=" in row
+        assert "CONFIRM=" in row
+        assert "Shapiro-Wilk=" in row

@@ -1,0 +1,69 @@
+"""Tests for the experiment runner and result summaries."""
+
+import numpy as np
+import pytest
+
+from repro.config.presets import HP_CLIENT, LP_CLIENT
+from repro.core.experiment import Experiment, run_experiment
+from repro.errors import ExperimentError
+from repro.workloads.memcached import build_memcached_testbed
+
+
+def builder(seed):
+    return build_memcached_testbed(
+        seed=seed, client_config=HP_CLIENT, qps=50_000,
+        num_requests=120)
+
+
+class TestExperiment:
+    def test_collects_one_sample_per_run(self):
+        result = run_experiment(builder, runs=6, base_seed=0)
+        assert len(result.runs) == 6
+        assert result.avg_samples().shape == (6,)
+        assert result.p99_samples().shape == (6,)
+
+    def test_runs_use_distinct_seeds(self):
+        result = run_experiment(builder, runs=5, base_seed=100)
+        assert [run.seed for run in result.runs] == [
+            100, 101, 102, 103, 104]
+
+    def test_samples_are_reproducible(self):
+        a = run_experiment(builder, runs=4, base_seed=7)
+        b = run_experiment(builder, runs=4, base_seed=7)
+        assert (a.avg_samples() == b.avg_samples()).all()
+
+    def test_label_defaults_to_workload(self):
+        result = run_experiment(builder, runs=2)
+        assert result.label == "memcached"
+        assert result.workload == "memcached"
+        assert result.qps == 50_000
+
+    def test_custom_label(self):
+        result = run_experiment(builder, runs=2, label="HP-SMToff")
+        assert result.label == "HP-SMToff"
+
+    def test_median_cis_computed(self):
+        result = run_experiment(builder, runs=10)
+        ci = result.median_avg_ci()
+        assert ci.lower <= ci.point <= ci.upper
+        p99_ci = result.median_p99_ci()
+        assert p99_ci.point > ci.point
+
+    def test_stats_and_stdev(self):
+        result = run_experiment(builder, runs=8)
+        stats = result.avg_stats()
+        assert stats.count == 8
+        assert result.stdev_avg_us() == pytest.approx(stats.std)
+
+    def test_true_samples_below_measured(self):
+        result = run_experiment(builder, runs=5)
+        assert (result.true_avg_samples()
+                <= result.avg_samples() + 1e-9).all()
+
+    def test_zero_runs_rejected(self):
+        with pytest.raises(ExperimentError):
+            Experiment(builder, runs=0)
+
+    def test_utilization_averaged(self):
+        result = run_experiment(builder, runs=3)
+        assert 0.0 < result.mean_server_utilization() < 1.0

@@ -1,0 +1,80 @@
+"""Tests for the Table III taxonomy and Section VI recommendations."""
+
+import pytest
+
+from repro.config.presets import HP_CLIENT, LP_CLIENT
+from repro.core.recommendations import recommend
+from repro.core.scenarios import risky_scenarios, scenario_table
+from repro.loadgen.base import GeneratorDesign
+
+
+class TestScenarios:
+    def test_table3_has_four_rows(self):
+        assert len(scenario_table()) == 4
+
+    def test_only_untuned_small_latency_is_risky(self):
+        risky = risky_scenarios()
+        assert len(risky) == 1
+        scenario = risky[0]
+        assert scenario.client_conf == "not-tuned"
+        assert scenario.response_time == "small"
+        assert scenario.generator_design == "open-loop time-sensitive"
+
+    def test_all_points_of_measurement_in_app(self):
+        assert all(s.point_of_measurement == "in-app"
+                   for s in scenario_table())
+
+    def test_sections_recorded(self):
+        sections = {s.sections for s in scenario_table()}
+        assert ("5.1", "5.3") in sections
+        assert ("5.2",) in sections
+
+    def test_client_conf_wording(self):
+        confs = [s.client_conf for s in scenario_table()]
+        assert confs == ["tuned", "not-tuned", "tuned", "not-tuned"]
+
+
+class TestRecommendations:
+    def test_time_sensitive_recommends_hp(self):
+        design = GeneratorDesign(loop="open", time_sensitive=True)
+        advice = recommend(design)
+        assert advice.client_config is HP_CLIENT
+        assert not advice.explore_space
+        assert any("time-sensitive" in r for r in advice.rationale)
+
+    def test_time_sensitive_with_power_managed_target_warns(self):
+        design = GeneratorDesign(loop="open", time_sensitive=True)
+        advice = recommend(design, target_config=LP_CLIENT,
+                           target_known=True)
+        assert advice.client_config is HP_CLIENT
+        assert any("under-estimate" in r or "representative" in r
+                   or "over/under-provisioning" in r
+                   for r in advice.rationale)
+
+    def test_time_insensitive_with_known_target_mirrors_it(self):
+        design = GeneratorDesign(loop="open", time_sensitive=False)
+        advice = recommend(design, target_config=LP_CLIENT,
+                           target_known=True)
+        assert advice.client_config is LP_CLIENT
+        assert not advice.explore_space
+
+    def test_time_insensitive_unknown_target_explores(self):
+        design = GeneratorDesign(loop="open", time_sensitive=False)
+        advice = recommend(design)
+        assert advice.client_config is None
+        assert advice.explore_space
+        assert any("space exploration" in r for r in advice.rationale)
+
+    def test_every_recommendation_mentions_repetition_methods(self):
+        for design in (
+                GeneratorDesign(loop="open", time_sensitive=True),
+                GeneratorDesign(loop="open", time_sensitive=False),
+                GeneratorDesign(loop="closed", time_sensitive=True)):
+            advice = recommend(design)
+            assert any("CONFIRM" in r for r in advice.rationale)
+
+    def test_render_is_readable(self):
+        design = GeneratorDesign(loop="open", time_sensitive=True)
+        text = recommend(design).render()
+        assert "Recommendation" in text
+        assert "1." in text

@@ -1,0 +1,148 @@
+"""Tests for SimCore: the serialized event-handling core."""
+
+import numpy as np
+import pytest
+
+from repro.config.presets import HP_CLIENT, LP_CLIENT
+from repro.hardware.core import SimCore
+from repro.parameters import DEFAULT_PARAMETERS
+
+
+def make_core(config, params=DEFAULT_PARAMETERS, **kwargs):
+    return SimCore(params, config, **kwargs)
+
+
+class TestHpCore:
+    """The tuned core: poll idle, performance governor."""
+
+    def test_event_pays_only_work_and_poll_wake(self, params):
+        core = make_core(HP_CLIENT)
+        occ = core.handle_event(100.0, 2.2, wakes_thread=True)
+        expected_work = 2.2 * params.nominal_freq_ghz / params.turbo_freq_ghz
+        assert occ.work_us == pytest.approx(expected_work)
+        assert occ.finish_us == pytest.approx(
+            100.0 + params.poll_wake_us + expected_work)
+        assert occ.cstate == "C0"
+        assert occ.wake_latency_us == 0.0
+
+    def test_no_thread_wake_cost_when_not_waking(self, params):
+        core = make_core(HP_CLIENT)
+        occ = core.handle_event(100.0, 2.2, wakes_thread=False)
+        assert occ.overhead_us == pytest.approx(0.0)
+
+
+class TestLpCore:
+    """The default core: deep C-states, powersave governor."""
+
+    def test_wake_path_includes_cstate_and_ramp(self, params):
+        core = make_core(LP_CLIENT)
+        occ = core.handle_event(10_000.0, 1.0, wakes_thread=True)
+        assert occ.cstate == "C6"
+        # C6 exit + DVFS ramp + context switch land on the path.
+        expected_overhead = (133.0 + params.wake_dvfs_ramp_us
+                             + params.context_switch_us
+                             + params.uncore_dynamic_penalty_us)
+        assert occ.overhead_us == pytest.approx(expected_overhead)
+
+    def test_work_runs_slow_at_min_frequency(self, params):
+        core = make_core(LP_CLIENT)
+        occ = core.handle_event(10.0, 1.0)
+        assert occ.work_us == pytest.approx(
+            1.0 * params.nominal_freq_ghz / params.min_freq_ghz)
+
+    def test_shallow_wake_has_no_dvfs_ramp(self, params):
+        core = make_core(LP_CLIENT)
+        core.handle_event(10.0, 1.0)
+        first_finish = core.available_at
+        occ = core.handle_event(first_finish + 3.0, 1.0)
+        assert occ.cstate == "C1"
+        expected = (2.0 + params.context_switch_us)
+        assert occ.overhead_us == pytest.approx(expected)
+
+    def test_latency_limit_blocks_c6(self, params):
+        core = make_core(LP_CLIENT, cstate_latency_limit_us=20.0)
+        occ = core.handle_event(10_000.0, 1.0)
+        assert occ.cstate == "C1E"
+
+
+class TestQueueing:
+    def test_busy_core_queues_events(self, params):
+        core = make_core(HP_CLIENT)
+        first = core.handle_event(0.0, 10.0, wakes_thread=False)
+        second = core.handle_event(1.0, 10.0, wakes_thread=False)
+        assert second.queue_wait_us == pytest.approx(
+            first.finish_us - 1.0)
+        assert second.start_us == pytest.approx(first.finish_us)
+
+    def test_queued_event_pays_no_wake(self, params):
+        core = make_core(LP_CLIENT)
+        core.handle_event(1_000.0, 50.0)
+        occ = core.handle_event(1_001.0, 1.0)
+        assert occ.wake_latency_us == 0.0
+        assert occ.cstate == "C0"
+
+    def test_out_of_order_arrivals_rejected(self, params):
+        core = make_core(HP_CLIENT)
+        core.handle_event(10.0, 1.0)
+        with pytest.raises(ValueError):
+            core.handle_event(5.0, 1.0)
+
+    def test_counters_accumulate(self, params):
+        core = make_core(HP_CLIENT)
+        core.handle_event(0.0, 1.0)
+        core.handle_event(100.0, 1.0)
+        assert core.events_handled == 2
+        assert core.total_busy_us > 0
+
+
+class TestPollingMode:
+    def test_polling_pays_no_wake_costs(self, params):
+        core = make_core(LP_CLIENT, polling=True)
+        occ = core.handle_event(100_000.0, 1.0, wakes_thread=False)
+        assert occ.cstate == "C0"
+        assert occ.overhead_us == pytest.approx(0.0)
+
+    def test_polling_ramps_frequency_via_spin(self, params):
+        core = make_core(LP_CLIENT, polling=True)
+        core.handle_event(0.0, 1.0, wakes_thread=False)
+        # Far beyond the governor interval: spinning counted as busy.
+        occ = core.handle_event(50_000.0, 1.0, wakes_thread=False)
+        assert occ.freq_ghz == pytest.approx(params.nominal_freq_ghz)
+
+
+class TestOverheadScale:
+    def test_scale_multiplies_overheads(self, params):
+        plain = make_core(LP_CLIENT)
+        scaled = make_core(LP_CLIENT, overhead_scale=2.0)
+        occ_plain = plain.handle_event(10_000.0, 1.0)
+        occ_scaled = scaled.handle_event(10_000.0, 1.0)
+        assert occ_scaled.overhead_us == pytest.approx(
+            2.0 * occ_plain.overhead_us)
+        assert occ_scaled.work_us == pytest.approx(occ_plain.work_us)
+
+    def test_invalid_scale_rejected(self, params):
+        with pytest.raises(ValueError):
+            make_core(LP_CLIENT, overhead_scale=0.0)
+
+
+class TestTimedSleep:
+    def test_deterministic_without_rng(self, params):
+        core = make_core(LP_CLIENT)
+        wake = core.timed_sleep_until(100.0, 0.0)
+        assert wake == pytest.approx(100.0 + params.sleep_slack_us / 2)
+
+    def test_past_target_clamped_to_now(self, params):
+        core = make_core(LP_CLIENT)
+        wake = core.timed_sleep_until(5.0, 10.0)
+        assert wake >= 10.0
+
+    def test_tuned_sleep_has_small_slack(self, params):
+        core = make_core(HP_CLIENT)
+        wake = core.timed_sleep_until(100.0, 0.0)
+        assert wake - 100.0 <= 1.0
+
+    def test_utilization_bounded(self, params):
+        core = make_core(HP_CLIENT)
+        core.handle_event(0.0, 10.0)
+        assert 0.0 < core.utilization(100.0) <= 1.0
+        assert core.utilization(0.0) == 0.0

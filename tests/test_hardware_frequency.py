@@ -1,0 +1,130 @@
+"""Tests for the DVFS frequency model."""
+
+import dataclasses
+
+import pytest
+
+from repro.config.knobs import (
+    FrequencyDriver,
+    FrequencyGovernor,
+    HardwareConfig,
+    UncorePolicy,
+)
+from repro.config.presets import HP_CLIENT, LP_CLIENT, SERVER_BASELINE
+from repro.errors import ConfigurationError
+from repro.hardware.frequency import FrequencyModel
+from repro.parameters import DEFAULT_PARAMETERS
+
+
+def make_config(driver, governor, turbo=True):
+    return HardwareConfig(
+        name="test",
+        enabled_cstates=frozenset({"C0", "C1"}),
+        frequency_driver=driver,
+        frequency_governor=governor,
+        turbo=turbo,
+        smt=True,
+        uncore=UncorePolicy.FIXED,
+        tickless=True,
+    )
+
+
+class TestInitialFrequency:
+    def test_performance_starts_at_max(self, params):
+        model = FrequencyModel(params, HP_CLIENT)
+        assert model.current_freq_ghz == pytest.approx(
+            params.turbo_freq_ghz)
+
+    def test_performance_without_turbo_caps_at_nominal(self, params):
+        config = make_config(FrequencyDriver.ACPI_CPUFREQ,
+                             FrequencyGovernor.PERFORMANCE, turbo=False)
+        model = FrequencyModel(params, config)
+        assert model.current_freq_ghz == pytest.approx(
+            params.nominal_freq_ghz)
+
+    def test_powersave_starts_at_min(self, params):
+        model = FrequencyModel(params, LP_CLIENT)
+        assert model.current_freq_ghz == pytest.approx(
+            params.min_freq_ghz)
+
+
+class TestGovernorEvaluation:
+    def test_no_reevaluation_within_interval(self, params):
+        model = FrequencyModel(params, LP_CLIENT)
+        model.account_busy(5_000.0)
+        decision = model.evaluate(params.governor_interval_us / 2)
+        assert decision.transition_stall_us == 0.0
+        assert decision.freq_ghz == pytest.approx(params.min_freq_ghz)
+
+    def test_pstate_powersave_ramps_with_utilization(self, params):
+        model = FrequencyModel(params, LP_CLIENT)
+        interval = params.governor_interval_us
+        model.account_busy(interval)  # 100% utilization
+        decision = model.evaluate(interval)
+        # intel_pstate powersave caps at nominal, not turbo.
+        assert decision.freq_ghz == pytest.approx(
+            params.nominal_freq_ghz)
+        assert decision.transition_stall_us == pytest.approx(
+            params.dvfs_transition_us)
+
+    def test_idle_powersave_stays_at_min(self, params):
+        model = FrequencyModel(params, LP_CLIENT)
+        decision = model.evaluate(params.governor_interval_us)
+        assert decision.freq_ghz == pytest.approx(params.min_freq_ghz)
+        assert decision.transition_stall_us == 0.0
+
+    def test_acpi_powersave_pins_minimum(self, params):
+        config = make_config(FrequencyDriver.ACPI_CPUFREQ,
+                             FrequencyGovernor.POWERSAVE)
+        model = FrequencyModel(params, config)
+        model.account_busy(params.governor_interval_us)
+        decision = model.evaluate(params.governor_interval_us)
+        assert decision.freq_ghz == pytest.approx(params.min_freq_ghz)
+
+    def test_performance_never_transitions(self, params):
+        model = FrequencyModel(params, HP_CLIENT)
+        for window in range(1, 5):
+            model.account_busy(100.0)
+            decision = model.evaluate(
+                window * params.governor_interval_us)
+            assert decision.transition_stall_us == 0.0
+        assert model.transitions == 0
+
+    def test_ondemand_jumps_to_max_above_threshold(self, params):
+        config = make_config(FrequencyDriver.ACPI_CPUFREQ,
+                             FrequencyGovernor.ONDEMAND)
+        model = FrequencyModel(params, config)
+        model.account_busy(0.9 * params.governor_interval_us)
+        decision = model.evaluate(params.governor_interval_us)
+        assert decision.freq_ghz == pytest.approx(params.turbo_freq_ghz)
+
+    def test_schedutil_scales_with_headroom(self, params):
+        config = make_config(FrequencyDriver.ACPI_CPUFREQ,
+                             FrequencyGovernor.SCHEDUTIL)
+        model = FrequencyModel(params, config)
+        model.account_busy(0.5 * params.governor_interval_us)
+        decision = model.evaluate(params.governor_interval_us)
+        expected = min(params.turbo_freq_ghz,
+                       1.25 * 0.5 * params.turbo_freq_ghz)
+        assert decision.freq_ghz == pytest.approx(expected)
+
+    def test_utilization_window_resets(self, params):
+        model = FrequencyModel(params, LP_CLIENT)
+        interval = params.governor_interval_us
+        model.account_busy(interval)
+        model.evaluate(interval)  # ramps up, resets window
+        decision = model.evaluate(2 * interval)  # idle window
+        assert decision.freq_ghz == pytest.approx(params.min_freq_ghz)
+
+    def test_negative_busy_rejected(self, params):
+        model = FrequencyModel(params, LP_CLIENT)
+        with pytest.raises(ConfigurationError):
+            model.account_busy(-1.0)
+
+    def test_transition_counter(self, params):
+        model = FrequencyModel(params, LP_CLIENT)
+        interval = params.governor_interval_us
+        model.account_busy(interval)
+        model.evaluate(interval)
+        model.evaluate(2 * interval)
+        assert model.transitions == 2  # up then back down

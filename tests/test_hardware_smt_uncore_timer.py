@@ -1,0 +1,104 @@
+"""Tests for the SMT, uncore and timer models."""
+
+import numpy as np
+import pytest
+
+from repro.config.presets import HP_CLIENT, LP_CLIENT
+from repro.hardware.smt import SmtModel
+from repro.hardware.timer import HIGH_RES_SLACK_US, TimerModel
+from repro.hardware.uncore import UNCORE_RAMP_DOWN_GAP_US, UncoreModel
+from repro.parameters import DEFAULT_PARAMETERS
+
+
+class TestSmtModel:
+    def test_logical_threads_doubled_when_enabled(self, params):
+        assert SmtModel(params, True).logical_threads(20) == 40
+        assert SmtModel(params, False).logical_threads(20) == 20
+
+    def test_enabled_has_constant_overhead(self, params):
+        factor = SmtModel(params, True).service_time_factor()
+        assert factor == pytest.approx(1.0 + params.smt_enabled_overhead)
+
+    def test_disabled_has_no_constant_overhead(self, params):
+        assert SmtModel(params, False).service_time_factor() == 1.0
+
+    def test_enabled_has_no_interference(self, params, rng):
+        model = SmtModel(params, True)
+        assert model.interference_us(0.9, rng) == 0.0
+
+    def test_disabled_interference_expectation(self, params):
+        model = SmtModel(params, False)
+        utilization = 0.5
+        expected = (utilization * params.smt_broad_us
+                    + params.smt_off_interference_scale * utilization
+                    * params.smt_interference_us)
+        assert model.interference_us(utilization, None) == pytest.approx(
+            expected)
+
+    def test_interference_grows_with_utilization(self, params):
+        model = SmtModel(params, False)
+        low = model.interference_us(0.1, None)
+        high = model.interference_us(0.9, None)
+        assert high > low
+
+    def test_zero_utilization_no_interference(self, params, rng):
+        model = SmtModel(params, False)
+        assert model.interference_us(0.0, rng) == 0.0
+
+    def test_utilization_clamped(self, params):
+        model = SmtModel(params, False)
+        assert model.interference_us(1.5, None) == pytest.approx(
+            model.interference_us(1.0, None))
+
+    def test_run_intensity_scales_interference(self, params):
+        quiet = SmtModel(params, False, run_intensity=0.5)
+        loud = SmtModel(params, False, run_intensity=2.0)
+        assert (loud.interference_us(0.5, None)
+                > quiet.interference_us(0.5, None))
+
+    def test_negative_run_intensity_rejected(self, params):
+        with pytest.raises(ValueError):
+            SmtModel(params, False, run_intensity=-1.0)
+
+    def test_sampled_interference_nonnegative(self, params, rng):
+        model = SmtModel(params, False)
+        draws = [model.interference_us(0.7, rng) for _ in range(200)]
+        assert all(d >= 0 for d in draws)
+        assert any(d > 0 for d in draws)
+
+
+class TestUncoreModel:
+    def test_fixed_policy_never_penalizes(self, params):
+        model = UncoreModel(params, HP_CLIENT)
+        assert model.wake_penalty_us(10_000.0) == 0.0
+        assert not model.dynamic
+
+    def test_dynamic_penalizes_after_long_idle(self, params):
+        model = UncoreModel(params, LP_CLIENT)
+        assert model.wake_penalty_us(
+            UNCORE_RAMP_DOWN_GAP_US + 1) == pytest.approx(
+            params.uncore_dynamic_penalty_us)
+
+    def test_dynamic_no_penalty_for_short_idle(self, params):
+        model = UncoreModel(params, LP_CLIENT)
+        assert model.wake_penalty_us(UNCORE_RAMP_DOWN_GAP_US) == 0.0
+
+
+class TestTimerModel:
+    def test_tuned_machine_has_high_res_slack(self, params):
+        model = TimerModel(params, HP_CLIENT)
+        assert model.slack_us == pytest.approx(HIGH_RES_SLACK_US)
+
+    def test_untuned_machine_has_default_slack(self, params):
+        model = TimerModel(params, LP_CLIENT)
+        assert model.slack_us == pytest.approx(params.sleep_slack_us)
+
+    def test_expectation_without_rng(self, params):
+        model = TimerModel(params, LP_CLIENT)
+        assert model.sleep_overshoot_us(None) == pytest.approx(
+            params.sleep_slack_us / 2)
+
+    def test_sampled_overshoot_within_bounds(self, params, rng):
+        model = TimerModel(params, LP_CLIENT)
+        draws = [model.sleep_overshoot_us(rng) for _ in range(500)]
+        assert all(0.0 <= d <= params.sleep_slack_us for d in draws)

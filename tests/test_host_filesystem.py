@@ -1,0 +1,116 @@
+"""Tests for the pluggable filesystem and the synthetic sysfs tree."""
+
+import pytest
+
+from repro.errors import SysfsError
+from repro.host.filesystem import (
+    FakeFilesystem,
+    format_cpu_list,
+    make_skylake_tree,
+    parse_cpu_list,
+)
+
+
+class TestFakeFilesystem:
+    def test_read_write_roundtrip(self):
+        fs = FakeFilesystem({"/a": "1"})
+        fs.write_text("/a", "2")
+        assert fs.read_text("/a") == "2"
+
+    def test_read_missing_raises(self):
+        with pytest.raises(SysfsError):
+            FakeFilesystem().read_text("/missing")
+
+    def test_write_missing_raises(self):
+        with pytest.raises(SysfsError):
+            FakeFilesystem().write_text("/missing", "1")
+
+    def test_read_only_paths_reject_writes(self):
+        fs = FakeFilesystem({"/locked": "1"})
+        fs.read_only.add("/locked")
+        with pytest.raises(SysfsError):
+            fs.write_text("/locked", "2")
+
+    def test_journal_records_writes_in_order(self):
+        fs = FakeFilesystem({"/a": "1", "/b": "1"})
+        fs.write_text("/b", "x")
+        fs.write_text("/a", "y")
+        assert fs.journal == [("/b", "x"), ("/a", "y")]
+
+    def test_exists_for_files_and_directories(self):
+        fs = FakeFilesystem({"/dir/file": "1"})
+        assert fs.exists("/dir/file")
+        assert fs.exists("/dir")
+        assert not fs.exists("/other")
+
+    def test_listdir_returns_direct_children(self):
+        fs = FakeFilesystem({
+            "/d/a": "1", "/d/b/c": "2", "/d/b/e": "3", "/x": "4"})
+        assert fs.listdir("/d") == ["a", "b"]
+
+    def test_listdir_missing_raises(self):
+        with pytest.raises(SysfsError):
+            FakeFilesystem().listdir("/nope")
+
+    def test_read_strips_whitespace(self):
+        fs = FakeFilesystem({"/a": " 42\n"})
+        assert fs.read_text("/a") == "42"
+
+
+class TestSkylakeTree:
+    def test_default_tree_has_40_cpus(self):
+        files = make_skylake_tree()
+        assert files["/sys/devices/system/cpu/online"] == "0-39"
+        assert "/sys/devices/system/cpu/cpu39/cpufreq/scaling_governor" \
+            in files
+
+    def test_tree_has_four_cstates_per_cpu(self):
+        files = make_skylake_tree(num_cpus=1)
+        for state in ("state0", "state1", "state2", "state3"):
+            assert (f"/sys/devices/system/cpu/cpu0/cpuidle/{state}/name"
+                    in files)
+
+    def test_tree_has_msr_nodes(self):
+        files = make_skylake_tree(num_cpus=2)
+        assert "/dev/cpu/0/msr@0x1a0" in files
+        assert "/dev/cpu/1/msr@0x620" in files
+
+    def test_tree_has_grub(self):
+        files = make_skylake_tree(num_cpus=1)
+        assert "GRUB_CMDLINE_LINUX_DEFAULT" in files["/etc/default/grub"]
+
+    def test_configurable_driver_and_governor(self):
+        files = make_skylake_tree(
+            num_cpus=1, driver="acpi-cpufreq", governor="performance")
+        base = "/sys/devices/system/cpu/cpu0/cpufreq"
+        assert files[f"{base}/scaling_driver"] == "acpi-cpufreq"
+        assert files[f"{base}/scaling_governor"] == "performance"
+
+
+class TestCpuLists:
+    def test_parse_simple_range(self):
+        assert parse_cpu_list("0-3") == [0, 1, 2, 3]
+
+    def test_parse_mixed(self):
+        assert parse_cpu_list("0-2,5,8-9") == [0, 1, 2, 5, 8, 9]
+
+    def test_parse_empty(self):
+        assert parse_cpu_list("") == []
+
+    def test_parse_malformed_raises(self):
+        for bad in ("a-b", "3-1", "1,,2", "1-"):
+            with pytest.raises(SysfsError):
+                parse_cpu_list(bad)
+
+    def test_format_compacts_ranges(self):
+        assert format_cpu_list([0, 1, 2, 5, 8, 9]) == "0-2,5,8-9"
+
+    def test_format_empty(self):
+        assert format_cpu_list([]) == ""
+
+    def test_roundtrip(self):
+        spec = "0-7,12,14-15,39"
+        assert format_cpu_list(parse_cpu_list(spec)) == spec
+
+    def test_format_deduplicates(self):
+        assert format_cpu_list([3, 3, 2, 1]) == "1-3"

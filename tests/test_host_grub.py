@@ -1,0 +1,104 @@
+"""Tests for grub command-line editing."""
+
+import pytest
+
+from repro.errors import HostToolingError
+from repro.host.filesystem import FakeFilesystem, make_skylake_tree
+from repro.host.grub import GrubConfig
+
+
+@pytest.fixture
+def grub(small_fake_fs):
+    return GrubConfig(small_fake_fs)
+
+
+class TestCmdline:
+    def test_initial_cmdline(self, grub):
+        assert grub.cmdline() == ["quiet", "splash"]
+
+    def test_set_flag_appends(self, grub):
+        grub.set_flag("nohz", "off")
+        assert "nohz=off" in grub.cmdline()
+
+    def test_set_flag_is_idempotent(self, grub):
+        grub.set_flag("nohz", "off")
+        grub.set_flag("nohz", "on")
+        tokens = grub.cmdline()
+        assert tokens.count("nohz=on") == 1
+        assert "nohz=off" not in tokens
+
+    def test_valueless_flag(self, grub):
+        grub.set_flag("mitigations")
+        assert "mitigations" in grub.cmdline()
+
+    def test_clear_flag(self, grub):
+        grub.set_flag("nohz", "on")
+        grub.clear_flag("nohz")
+        assert all(not t.startswith("nohz") for t in grub.cmdline())
+
+    def test_clear_preserves_others(self, grub):
+        grub.clear_flag("quiet")
+        assert grub.cmdline() == ["splash"]
+
+    def test_flags_mapping(self, grub):
+        grub.set_flag("nohz", "on")
+        flags = grub.cmdline_flags()
+        assert flags["nohz"] == "on"
+        assert flags["quiet"] is None
+
+    def test_missing_cmdline_line_raises(self):
+        fs = FakeFilesystem({"/etc/default/grub": "GRUB_DEFAULT=0\n"})
+        with pytest.raises(HostToolingError):
+            GrubConfig(fs).cmdline()
+
+
+class TestPaperKnobs:
+    def test_c0_sets_idle_poll(self, grub):
+        grub.set_max_cstate("C0")
+        flags = grub.cmdline_flags()
+        assert flags.get("idle") == "poll"
+        assert "intel_idle.max_cstate" not in flags
+
+    def test_c1_sets_max_cstate_1(self, grub):
+        grub.set_max_cstate("C1")
+        assert grub.cmdline_flags()["intel_idle.max_cstate"] == "1"
+
+    def test_c1e_sets_max_cstate_2(self, grub):
+        grub.set_max_cstate("C1E")
+        assert grub.cmdline_flags()["intel_idle.max_cstate"] == "2"
+
+    def test_c6_clears_ceiling(self, grub):
+        grub.set_max_cstate("C1")
+        grub.set_max_cstate("C6")
+        flags = grub.cmdline_flags()
+        assert "intel_idle.max_cstate" not in flags
+        assert "idle" not in flags
+
+    def test_switching_ceiling_removes_old_flags(self, grub):
+        grub.set_max_cstate("C0")
+        grub.set_max_cstate("C1")
+        flags = grub.cmdline_flags()
+        assert "idle" not in flags
+        assert flags["intel_idle.max_cstate"] == "1"
+
+    def test_unknown_cstate_raises(self, grub):
+        with pytest.raises(HostToolingError):
+            grub.set_max_cstate("C9")
+
+    def test_pstate_driver_disable(self, grub):
+        grub.set_pstate_driver(False)
+        assert grub.cmdline_flags()["intel_pstate"] == "disable"
+
+    def test_pstate_driver_enable_clears_flag(self, grub):
+        grub.set_pstate_driver(False)
+        grub.set_pstate_driver(True)
+        assert "intel_pstate" not in grub.cmdline_flags()
+
+    def test_tickless(self, grub):
+        grub.set_tickless(True)
+        assert grub.cmdline_flags()["nohz"] == "on"
+        grub.set_tickless(False)
+        assert grub.cmdline_flags()["nohz"] == "off"
+
+    def test_requires_reboot(self, grub):
+        assert grub.requires_reboot()

@@ -1,0 +1,89 @@
+"""Tests for MSR access (turbo 0x1A0, uncore 0x620)."""
+
+import pytest
+
+from repro.errors import MsrError
+from repro.host.filesystem import FakeFilesystem, make_skylake_tree
+from repro.host.msr import (
+    MSR_MISC_ENABLE,
+    MSR_UNCORE_RATIO,
+    TURBO_DISENGAGE_BIT,
+    MsrInterface,
+)
+
+
+@pytest.fixture
+def msr(small_fake_fs):
+    return MsrInterface(small_fake_fs)
+
+
+class TestRawAccess:
+    def test_read_default_value(self, msr):
+        assert msr.read(0, MSR_MISC_ENABLE) == 0x850089
+
+    def test_write_read_roundtrip(self, msr):
+        msr.write(1, MSR_MISC_ENABLE, 0xDEADBEEF)
+        assert msr.read(1, MSR_MISC_ENABLE) == 0xDEADBEEF
+
+    def test_write_all_covers_online_cpus(self, msr):
+        msr.write_all(MSR_UNCORE_RATIO, 0x1818)
+        for cpu in range(4):
+            assert msr.read(cpu, MSR_UNCORE_RATIO) == 0x1818
+
+    def test_missing_register_raises(self, msr):
+        with pytest.raises(MsrError):
+            msr.read(0, 0x999)
+
+    def test_out_of_range_value_rejected(self, msr):
+        with pytest.raises(MsrError):
+            msr.write(0, MSR_MISC_ENABLE, 1 << 64)
+        with pytest.raises(MsrError):
+            msr.write(0, MSR_MISC_ENABLE, -1)
+
+
+class TestTurbo:
+    def test_enabled_by_default(self, msr):
+        assert msr.turbo_enabled()
+
+    def test_disable_sets_bit38(self, msr):
+        msr.set_turbo(False)
+        assert not msr.turbo_enabled()
+        value = msr.read(0, MSR_MISC_ENABLE)
+        assert (value >> TURBO_DISENGAGE_BIT) & 1 == 1
+
+    def test_reenable_clears_bit38(self, msr):
+        msr.set_turbo(False)
+        msr.set_turbo(True)
+        assert msr.turbo_enabled()
+
+    def test_disable_preserves_other_bits(self, msr):
+        before = msr.read(0, MSR_MISC_ENABLE)
+        msr.set_turbo(False)
+        after = msr.read(0, MSR_MISC_ENABLE)
+        assert after == before | (1 << TURBO_DISENGAGE_BIT)
+
+
+class TestUncore:
+    def test_default_limits(self, msr):
+        min_mhz, max_mhz = msr.uncore_ratio_limits()
+        assert (min_mhz, max_mhz) == (700, 2900)
+
+    def test_set_fixed(self, msr):
+        msr.set_uncore_fixed(2400)
+        assert msr.uncore_ratio_limits() == (2400, 2400)
+
+    def test_set_dynamic(self, msr):
+        msr.set_uncore_dynamic(1200, 2400)
+        assert msr.uncore_ratio_limits() == (1200, 2400)
+
+    def test_fixed_rejects_non_ratio_frequency(self, msr):
+        with pytest.raises(MsrError):
+            msr.set_uncore_fixed(2450)
+
+    def test_fixed_rejects_zero(self, msr):
+        with pytest.raises(MsrError):
+            msr.set_uncore_fixed(0)
+
+    def test_dynamic_rejects_inverted_range(self, msr):
+        with pytest.raises(MsrError):
+            msr.set_uncore_dynamic(2400, 1200)

@@ -1,0 +1,102 @@
+"""Tests for the sysfs accessors."""
+
+import pytest
+
+from repro.errors import SysfsError
+from repro.host.filesystem import FakeFilesystem, make_skylake_tree
+from repro.host.sysfs import CpuSysfs
+
+
+@pytest.fixture
+def sysfs(small_fake_fs):
+    return CpuSysfs(small_fake_fs)
+
+
+class TestCpus:
+    def test_online_cpus(self, sysfs):
+        assert sysfs.online_cpus() == [0, 1, 2, 3]
+
+
+class TestCstates:
+    def test_cstate_dirs_sorted(self, sysfs):
+        assert sysfs.cstate_dirs(0) == [
+            "state0", "state1", "state2", "state3"]
+
+    def test_cstate_names(self, sysfs):
+        names = [sysfs.cstate_name(0, d) for d in sysfs.cstate_dirs(0)]
+        assert names == ["POLL", "C1", "C1E", "C6"]
+
+    def test_cstate_latency(self, sysfs):
+        assert sysfs.cstate_latency_us(0, "state3") == 133
+
+    def test_disable_one_state(self, sysfs):
+        sysfs.set_cstate_disabled(1, "state3", True)
+        assert sysfs.cstate_disabled(1, "state3")
+        assert not sysfs.cstate_disabled(0, "state3")
+
+    def test_set_enabled_cstates_disables_others(self, sysfs):
+        sysfs.set_enabled_cstates({"C1"})
+        assert sysfs.enabled_cstates(0) == ["POLL", "C1"]
+        assert sysfs.cstate_disabled(3, "state2")
+        assert sysfs.cstate_disabled(3, "state3")
+
+    def test_set_enabled_cstates_poll_always_on(self, sysfs):
+        sysfs.set_enabled_cstates(set())
+        assert "POLL" in sysfs.enabled_cstates(0)
+
+    def test_reenabling_states(self, sysfs):
+        sysfs.set_enabled_cstates({"C1"})
+        sysfs.set_enabled_cstates({"C1", "C1E", "C6"})
+        assert sysfs.enabled_cstates(2) == ["POLL", "C1", "C1E", "C6"]
+
+
+class TestCpufreq:
+    def test_driver_and_governor(self, sysfs):
+        assert sysfs.scaling_driver() == "intel_pstate"
+        assert sysfs.scaling_governor() == "powersave"
+
+    def test_available_governors(self, sysfs):
+        assert sysfs.available_governors() == ["performance", "powersave"]
+
+    def test_set_governor_all_cpus(self, sysfs):
+        sysfs.set_governor("performance")
+        for cpu in sysfs.online_cpus():
+            assert sysfs.scaling_governor(cpu) == "performance"
+
+    def test_set_unknown_governor_raises(self, sysfs):
+        with pytest.raises(SysfsError):
+            sysfs.set_governor("ondemand")
+
+    def test_freq_range(self, sysfs):
+        assert sysfs.freq_range_khz() == (800_000, 3_000_000)
+
+    def test_pin_frequency(self, sysfs):
+        sysfs.pin_frequency_khz(2_200_000)
+        assert sysfs.freq_range_khz(3) == (2_200_000, 2_200_000)
+
+    def test_pin_frequency_out_of_range(self, sysfs):
+        with pytest.raises(SysfsError):
+            sysfs.pin_frequency_khz(5_000_000)
+
+
+class TestSmt:
+    def test_smt_active_by_default(self, sysfs):
+        assert sysfs.smt_active()
+
+    def test_set_smt_off(self, sysfs):
+        sysfs.set_smt(False)
+        assert not sysfs.smt_active()
+
+    def test_set_smt_roundtrip(self, sysfs):
+        sysfs.set_smt(False)
+        sysfs.set_smt(True)
+        assert sysfs.smt_active()
+
+
+class TestPstate:
+    def test_no_turbo_default_off(self, sysfs):
+        assert not sysfs.pstate_no_turbo()
+
+    def test_set_no_turbo(self, sysfs):
+        sysfs.set_pstate_no_turbo(True)
+        assert sysfs.pstate_no_turbo()

@@ -1,0 +1,137 @@
+"""Tests for the high-level host tuner, cpupower shim and snapshots."""
+
+import pytest
+
+from repro.config.presets import HP_CLIENT, LP_CLIENT, SERVER_BASELINE
+from repro.errors import HostToolingError
+from repro.host.cpupower import CpupowerShim
+from repro.host.filesystem import FakeFilesystem, make_skylake_tree
+from repro.host.msr import MsrInterface
+from repro.host.snapshot import capture_snapshot
+from repro.host.sysfs import CpuSysfs
+from repro.host.tuner import FIXED_UNCORE_MHZ, HostTuner
+
+
+class TestCpupowerShim:
+    def test_set_governor_logs_command(self, small_fake_fs):
+        shim = CpupowerShim(small_fake_fs)
+        shim.frequency_set_governor("performance")
+        assert shim.command_log == [
+            "cpupower frequency-set -g performance"]
+        assert CpuSysfs(small_fake_fs).scaling_governor() == "performance"
+
+    def test_set_fixed_frequency(self, small_fake_fs):
+        shim = CpupowerShim(small_fake_fs)
+        shim.frequency_set_fixed(2_200_000)
+        assert CpuSysfs(small_fake_fs).freq_range_khz() == (
+            2_200_000, 2_200_000)
+
+    def test_idle_set_disable(self, small_fake_fs):
+        shim = CpupowerShim(small_fake_fs)
+        shim.idle_set_disable(3, True)
+        assert CpuSysfs(small_fake_fs).cstate_disabled(0, "state3")
+
+    def test_frequency_info(self, small_fake_fs):
+        info = CpupowerShim(small_fake_fs).frequency_info()
+        assert info["driver"] == "intel_pstate"
+        assert info["governor"] == "powersave"
+
+
+class TestSnapshot:
+    def test_capture_reflects_current_state(self, small_fake_fs):
+        snapshot = capture_snapshot(small_fake_fs)
+        assert snapshot.governor == "powersave"
+        assert snapshot.smt_active
+        assert snapshot.turbo_enabled
+        assert "C6" in snapshot.enabled_cstates
+
+    def test_restore_reverts_runtime_changes(self, small_fake_fs):
+        snapshot = capture_snapshot(small_fake_fs)
+        sysfs = CpuSysfs(small_fake_fs)
+        msr = MsrInterface(small_fake_fs)
+        sysfs.set_smt(False)
+        sysfs.set_enabled_cstates({"C1"})
+        msr.set_turbo(False)
+        actions = snapshot.restore(small_fake_fs)
+        assert sysfs.smt_active()
+        assert msr.turbo_enabled()
+        assert "C6" in sysfs.enabled_cstates()
+        assert actions
+
+
+class TestHostTuner:
+    def test_hp_plan_covers_all_seven_knobs(self, small_fake_fs):
+        # 8 actions: the C-states knob needs both a runtime (cpuidle)
+        # and a boot-time (grub ceiling) action.
+        plan = HostTuner(small_fake_fs).plan(HP_CLIENT)
+        assert len(plan.actions) == 8
+        assert plan.needs_reboot  # driver/grub changes are boot-time
+
+    def test_plan_render_mentions_config_name(self, small_fake_fs):
+        text = HostTuner(small_fake_fs).plan(HP_CLIENT).render()
+        assert "'HP'" in text
+        assert "boot-time" in text and "runtime" in text
+
+    def test_apply_hp_disables_cstates(self, small_fake_fs):
+        tuner = HostTuner(small_fake_fs)
+        result = tuner.apply_config(HP_CLIENT)
+        sysfs = CpuSysfs(small_fake_fs)
+        assert sysfs.enabled_cstates(0) == ["POLL"]
+        assert result.needs_reboot
+
+    def test_apply_hp_pins_uncore(self, small_fake_fs):
+        HostTuner(small_fake_fs).apply_config(HP_CLIENT)
+        msr = MsrInterface(small_fake_fs)
+        assert msr.uncore_ratio_limits() == (
+            FIXED_UNCORE_MHZ, FIXED_UNCORE_MHZ)
+
+    def test_apply_hp_sets_idle_poll_in_grub(self, small_fake_fs):
+        from repro.host.grub import GrubConfig
+        HostTuner(small_fake_fs).apply_config(HP_CLIENT)
+        assert GrubConfig(small_fake_fs).cmdline_flags().get(
+            "idle") == "poll"
+
+    def test_apply_returns_snapshot(self, small_fake_fs):
+        result = HostTuner(small_fake_fs).apply_config(HP_CLIENT)
+        assert result.snapshot is not None
+        assert result.snapshot.governor == "powersave"
+
+    def test_apply_hp_governor_fails_under_pstate_powersave_only(self):
+        """HP wants 'performance'; if the running driver doesn't offer
+        it, the tuner must fail loudly rather than half-apply."""
+        files = make_skylake_tree(num_cpus=2)
+        fs = FakeFilesystem(files)
+        for cpu in range(2):
+            fs.files[
+                f"/sys/devices/system/cpu/cpu{cpu}/cpufreq/"
+                f"scaling_available_governors"] = "powersave"
+        with pytest.raises(HostToolingError):
+            HostTuner(fs).apply_config(HP_CLIENT)
+
+    def test_apply_lp_restores_dynamic_uncore(self, small_fake_fs):
+        tuner = HostTuner(small_fake_fs)
+        tuner.apply_config(HP_CLIENT)
+        tuner.apply_config(LP_CLIENT)
+        min_mhz, max_mhz = MsrInterface(
+            small_fake_fs).uncore_ratio_limits()
+        assert min_mhz < max_mhz
+
+    def test_server_baseline_turbo_off(self, small_fake_fs):
+        files = dict(small_fake_fs.files)
+        fs = FakeFilesystem(files)
+        # The server baseline runs acpi-cpufreq; fake the driver.
+        for cpu in range(4):
+            base = f"/sys/devices/system/cpu/cpu{cpu}/cpufreq"
+            fs.files[f"{base}/scaling_driver"] = "acpi-cpufreq"
+        HostTuner(fs).apply_config(SERVER_BASELINE)
+        assert not MsrInterface(fs).turbo_enabled()
+
+    def test_snapshot_roundtrip_through_tuner(self, small_fake_fs):
+        tuner = HostTuner(small_fake_fs)
+        before = capture_snapshot(small_fake_fs)
+        result = tuner.apply_config(HP_CLIENT)
+        result.snapshot.restore(small_fake_fs)
+        after = capture_snapshot(small_fake_fs)
+        assert after.enabled_cstates == before.enabled_cstates
+        assert after.smt_active == before.smt_active
+        assert after.turbo_enabled == before.turbo_enabled

@@ -1,0 +1,88 @@
+"""Tests for the Lancet-style hygiene checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StatisticsError
+from repro.stats.lancet_checks import (
+    anderson_darling_exponential,
+    dickey_fuller_stationarity,
+    run_all_checks,
+    spearman_independence,
+)
+
+
+class TestAndersonDarling:
+    def test_exponential_gaps_pass(self, rng):
+        gaps = rng.exponential(10.0, size=500)
+        result = anderson_darling_exponential(gaps)
+        assert result.passed
+        assert "A2=" in result.detail
+
+    def test_constant_gaps_fail(self):
+        gaps = np.full(200, 10.0)
+        gaps[0] = 10.5  # avoid a degenerate fit
+        result = anderson_darling_exponential(gaps)
+        assert not result.passed
+
+    def test_uniform_gaps_fail(self, rng):
+        gaps = rng.uniform(9.0, 11.0, size=500)
+        result = anderson_darling_exponential(gaps)
+        assert not result.passed
+
+    def test_negative_gaps_rejected(self):
+        with pytest.raises(StatisticsError):
+            anderson_darling_exponential([-1.0] * 20)
+
+    def test_unknown_significance_rejected(self, rng):
+        with pytest.raises(StatisticsError):
+            anderson_darling_exponential(
+                rng.exponential(1.0, size=50), significance_pct=3.0)
+
+
+class TestDickeyFuller:
+    def test_stationary_noise_passes(self, rng):
+        samples = rng.normal(100, 5, size=200)
+        result = dickey_fuller_stationarity(samples)
+        assert result.passed
+
+    def test_random_walk_fails(self, rng):
+        samples = 100.0 + np.cumsum(rng.normal(0, 1, size=300))
+        result = dickey_fuller_stationarity(samples)
+        assert not result.passed
+
+    def test_constant_series_passes(self):
+        result = dickey_fuller_stationarity([5.0] * 50)
+        assert result.passed
+        assert result.detail == "constant series"
+
+
+class TestSpearman:
+    def test_iid_samples_pass(self, rng):
+        result = spearman_independence(rng.normal(size=300))
+        assert result.passed
+        assert abs(result.statistic) < 0.2
+
+    def test_trending_samples_fail(self):
+        result = spearman_independence(np.arange(100, dtype=float))
+        assert not result.passed
+        assert result.statistic == pytest.approx(1.0)
+
+    def test_invalid_lag(self, rng):
+        with pytest.raises(StatisticsError):
+            spearman_independence(rng.normal(size=20), lag=0)
+
+
+class TestBattery:
+    def test_run_all_checks_returns_three(self, rng):
+        gaps = rng.exponential(10.0, size=200)
+        samples = rng.normal(100, 2, size=50)
+        results = run_all_checks(gaps, samples)
+        assert len(results) == 3
+        assert all(r.format_row() for r in results)
+
+    def test_healthy_experiment_passes_everything(self, rng):
+        gaps = rng.exponential(10.0, size=500)
+        samples = rng.normal(100, 2, size=100)
+        results = run_all_checks(gaps, samples)
+        assert all(r.passed for r in results)

@@ -1,0 +1,57 @@
+"""Tests for inter-arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.loadgen.interarrival import (
+    DeterministicInterarrival,
+    ExponentialInterarrival,
+    LognormalInterarrival,
+)
+
+
+class TestExponential:
+    def test_mean_matches_rate(self, rng):
+        process = ExponentialInterarrival(qps=100_000)
+        draws = [process.sample_us(rng) for _ in range(20_000)]
+        assert np.mean(draws) == pytest.approx(10.0, rel=0.05)
+
+    def test_deterministic_without_rng(self):
+        assert ExponentialInterarrival(1_000_000).sample_us(None) == 1.0
+
+    def test_qps_exposed(self):
+        assert ExponentialInterarrival(5000).qps == 5000
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ExponentialInterarrival(0)
+
+
+class TestDeterministic:
+    def test_constant_gaps(self, rng):
+        process = DeterministicInterarrival(qps=10_000)
+        draws = {process.sample_us(rng) for _ in range(10)}
+        assert draws == {100.0}
+
+
+class TestLognormal:
+    def test_mean_preserved(self, rng):
+        process = LognormalInterarrival(qps=10_000, sigma=1.0)
+        draws = [process.sample_us(rng) for _ in range(50_000)]
+        assert np.mean(draws) == pytest.approx(100.0, rel=0.1)
+
+    def test_burstier_than_exponential(self, rng):
+        exp_process = ExponentialInterarrival(10_000)
+        log_process = LognormalInterarrival(10_000, sigma=1.5)
+        exp_draws = [exp_process.sample_us(rng) for _ in range(20_000)]
+        log_draws = [log_process.sample_us(rng) for _ in range(20_000)]
+        assert np.std(log_draws) > np.std(exp_draws)
+
+    def test_zero_sigma_deterministic(self, rng):
+        process = LognormalInterarrival(10_000, sigma=0.0)
+        assert process.sample_us(rng) == pytest.approx(100.0)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LognormalInterarrival(10_000, sigma=-1.0)

@@ -1,0 +1,95 @@
+"""Tests for points of measurement and run-sample collection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InsufficientSamplesError
+from repro.loadgen.measurement import (
+    PointOfMeasurement,
+    RunSamples,
+    latency_at_point,
+)
+from repro.parameters import DEFAULT_PARAMETERS
+from repro.server.request import Request
+
+
+def make_request(index, send=0.0, nic=50.0, measured=80.0):
+    return Request(
+        request_id=index,
+        intended_send_us=send, actual_send_us=send,
+        client_nic_us=nic, measured_complete_us=measured)
+
+
+class TestLatencyAtPoint:
+    def test_nic_point_is_true_latency(self):
+        request = make_request(0)
+        assert latency_at_point(
+            request, PointOfMeasurement.NIC) == pytest.approx(50.0)
+
+    def test_kernel_point_adds_rx_stack(self):
+        request = make_request(0)
+        assert latency_at_point(
+            request, PointOfMeasurement.KERNEL) == pytest.approx(
+            50.0 + DEFAULT_PARAMETERS.kernel_stack_us)
+
+    def test_generator_point_is_measured(self):
+        request = make_request(0)
+        assert latency_at_point(
+            request, PointOfMeasurement.GENERATOR) == pytest.approx(80.0)
+
+    def test_ordering_nic_kernel_generator(self):
+        request = make_request(0)
+        nic = latency_at_point(request, PointOfMeasurement.NIC)
+        kernel = latency_at_point(request, PointOfMeasurement.KERNEL)
+        generator = latency_at_point(
+            request, PointOfMeasurement.GENERATOR)
+        assert nic < kernel < generator
+
+
+class TestRunSamples:
+    def test_warmup_trims_leading_fraction(self):
+        samples = RunSamples(warmup_fraction=0.2)
+        for index in range(10):
+            samples.record(make_request(index, send=float(index)))
+        assert samples.warmup_count == 2
+        assert len(samples.measured_requests()) == 8
+
+    def test_measured_requests_sorted_by_send(self):
+        samples = RunSamples(warmup_fraction=0.0)
+        samples.record(make_request(1, send=10.0))
+        samples.record(make_request(0, send=5.0))
+        sends = [r.intended_send_us for r in samples.measured_requests()]
+        assert sends == [5.0, 10.0]
+
+    def test_average_and_percentile(self):
+        samples = RunSamples(warmup_fraction=0.0)
+        for index in range(100):
+            samples.record(make_request(
+                index, send=float(index),
+                measured=float(index) + 10.0 + index * 0.0))
+        assert samples.average_latency_us() == pytest.approx(10.0)
+        assert samples.percentile_latency_us(99.0) == pytest.approx(10.0)
+
+    def test_percentile_validation(self):
+        samples = RunSamples(warmup_fraction=0.0)
+        samples.record(make_request(0))
+        with pytest.raises(ValueError):
+            samples.percentile_latency_us(0.0)
+
+    def test_empty_samples_raise(self):
+        with pytest.raises(InsufficientSamplesError):
+            RunSamples().latencies_us()
+
+    def test_invalid_warmup_fraction(self):
+        with pytest.raises(ValueError):
+            RunSamples(warmup_fraction=1.0)
+
+    def test_send_errors_and_overheads(self):
+        samples = RunSamples(warmup_fraction=0.0)
+        request = Request(
+            request_id=0, intended_send_us=0.0, actual_send_us=5.0,
+            client_nic_us=50.0, measured_complete_us=80.0)
+        samples.record(request)
+        assert samples.send_errors_us()[0] == pytest.approx(5.0)
+        # overhead = measured (80-5=75) - true (50-5=45) = 30.
+        assert samples.client_overheads_us()[0] == pytest.approx(30.0)

@@ -1,0 +1,85 @@
+"""Tests for the client power model."""
+
+import pytest
+
+from repro.config.presets import HP_CLIENT, LP_CLIENT
+from repro.errors import ConfigurationError
+from repro.hardware.power import (
+    ACTIVE_WATTS_AT_NOMINAL,
+    PowerModel,
+    compare_client_energy,
+)
+from repro.parameters import DEFAULT_PARAMETERS
+
+
+class TestActivePower:
+    def test_nominal_frequency_is_reference(self, params):
+        model = PowerModel(params, LP_CLIENT)
+        assert model.active_watts(params.nominal_freq_ghz) == \
+            pytest.approx(ACTIVE_WATTS_AT_NOMINAL)
+
+    def test_superlinear_in_frequency(self, params):
+        model = PowerModel(params, LP_CLIENT)
+        low = model.active_watts(params.min_freq_ghz)
+        high = model.active_watts(params.turbo_freq_ghz)
+        freq_ratio = params.turbo_freq_ghz / params.min_freq_ghz
+        assert high / low > freq_ratio  # more than linear
+
+    def test_invalid_frequency_rejected(self, params):
+        with pytest.raises(ConfigurationError):
+            PowerModel(params, LP_CLIENT).active_watts(0.0)
+
+
+class TestIdlePower:
+    def test_lp_idles_in_deep_sleep(self, params):
+        model = PowerModel(params, LP_CLIENT)
+        # C6 residency power: 5% of active.
+        assert model.idle_watts() == pytest.approx(
+            0.05 * ACTIVE_WATTS_AT_NOMINAL)
+
+    def test_hp_poll_idle_burns_near_active(self, params):
+        model = PowerModel(params, HP_CLIENT)
+        assert model.idle_watts() > 0.5 * ACTIVE_WATTS_AT_NOMINAL
+
+    def test_hp_idle_far_above_lp_idle(self, params):
+        lp = PowerModel(params, LP_CLIENT).idle_watts()
+        hp = PowerModel(params, HP_CLIENT).idle_watts()
+        assert hp > 10 * lp
+
+
+class TestRunEnergy:
+    def test_breakdown_sums(self, params):
+        model = PowerModel(params, LP_CLIENT)
+        energy = model.run_energy(
+            busy_us=1e6, idle_us=1e6,
+            busy_freq_ghz=params.nominal_freq_ghz)
+        assert energy.total_joules == pytest.approx(
+            energy.busy_joules + energy.idle_joules)
+        assert energy.average_watts > 0
+
+    def test_negative_time_rejected(self, params):
+        with pytest.raises(ConfigurationError):
+            PowerModel(params, LP_CLIENT).run_energy(-1, 0, 2.2)
+
+    def test_empty_interval_zero_watts(self, params):
+        energy = PowerModel(params, LP_CLIENT).run_energy(0, 0, 2.2)
+        assert energy.average_watts == 0.0
+
+
+class TestComparison:
+    def test_hp_costs_more_energy_when_mostly_idle(self, params):
+        """A mostly-idle client (the common case between requests):
+        the tuned configuration burns several times more energy."""
+        ratio = compare_client_energy(
+            params, LP_CLIENT, HP_CLIENT,
+            busy_us=50_000, horizon_us=1_000_000,
+            lp_freq_ghz=params.min_freq_ghz,
+            hp_freq_ghz=params.turbo_freq_ghz)
+        assert ratio > 3.0
+
+    def test_horizon_validation(self, params):
+        with pytest.raises(ConfigurationError):
+            compare_client_energy(
+                params, LP_CLIENT, HP_CLIENT,
+                busy_us=10, horizon_us=5,
+                lp_freq_ghz=1.0, hp_freq_ghz=3.0)

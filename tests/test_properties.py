@@ -1,0 +1,174 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.config.presets import HP_CLIENT, LP_CLIENT, SERVER_BASELINE
+from repro.hardware.core import SimCore
+from repro.hardware.cstates import CStateGovernor
+from repro.hardware.frequency import FrequencyModel
+from repro.host.filesystem import format_cpu_list, parse_cpu_list
+from repro.parameters import DEFAULT_PARAMETERS
+from repro.sim.engine import Simulator
+from repro.stats.ci import nonparametric_median_ci, parametric_mean_ci
+from repro.stats.descriptive import describe
+from repro.stats.repetitions import parametric_repetitions
+from repro.units import work_cycles_us
+
+finite_floats = st.floats(
+    min_value=1e-3, max_value=1e6, allow_nan=False,
+    allow_infinity=False)
+
+sample_lists = st.lists(finite_floats, min_size=8, max_size=200)
+
+
+class TestCiProperties:
+    @given(sample_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_nonparametric_ci_contains_median(self, samples):
+        interval = nonparametric_median_ci(samples)
+        assert interval.lower <= float(np.median(samples)) \
+            <= interval.upper
+
+    @given(sample_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_nonparametric_bounds_are_sample_values(self, samples):
+        interval = nonparametric_median_ci(samples)
+        values = set(samples) | {float(np.median(samples))}
+        assert interval.lower in values
+        assert interval.upper in values
+
+    @given(sample_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_ci_invariant_under_permutation(self, samples):
+        rng = np.random.default_rng(0)
+        shuffled = list(samples)
+        rng.shuffle(shuffled)
+        a = nonparametric_median_ci(samples)
+        b = nonparametric_median_ci(shuffled)
+        assert a.lower == b.lower and a.upper == b.upper
+
+    @given(sample_lists, st.floats(min_value=0.1, max_value=1e3))
+    @settings(max_examples=60, deadline=None)
+    def test_ci_scales_with_data(self, samples, factor):
+        base = nonparametric_median_ci(samples)
+        scaled = nonparametric_median_ci(
+            [s * factor for s in samples])
+        assert scaled.lower == pytest.approx(
+            base.lower * factor, rel=1e-9)
+        assert scaled.upper == pytest.approx(
+            base.upper * factor, rel=1e-9)
+
+    @given(st.lists(finite_floats, min_size=2, max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_parametric_ci_contains_mean(self, samples):
+        interval = parametric_mean_ci(samples)
+        assert interval.lower <= float(np.mean(samples)) \
+            <= interval.upper
+
+
+class TestRepetitionProperties:
+    @given(st.lists(st.floats(min_value=1.0, max_value=1e4,
+                              allow_nan=False),
+                    min_size=3, max_size=100),
+           st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=60, deadline=None)
+    def test_parametric_repetitions_positive(self, samples, error):
+        assert parametric_repetitions(samples, error_pct=error) >= 1
+
+    @given(st.lists(st.floats(min_value=1.0, max_value=1e4,
+                              allow_nan=False),
+                    min_size=3, max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_smaller_error_never_needs_fewer_runs(self, samples):
+        strict = parametric_repetitions(samples, error_pct=0.5)
+        loose = parametric_repetitions(samples, error_pct=2.0)
+        assert strict >= loose
+
+
+class TestDescribeProperties:
+    @given(sample_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_summary_ordering(self, samples):
+        stats = describe(samples)
+        assert stats.minimum <= stats.median <= stats.maximum
+        assert stats.minimum <= stats.mean <= stats.maximum
+        assert stats.p95 <= stats.p99 <= stats.maximum
+        assert stats.std >= 0
+
+
+class TestSimulatorProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False),
+                    min_size=1, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_events_fire_in_nondecreasing_time(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+
+class TestHardwareProperties:
+    @given(st.floats(min_value=0.0, max_value=1e7, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_wake_latency_bounded_by_deepest_state(self, gap):
+        governor = CStateGovernor(DEFAULT_PARAMETERS, LP_CLIENT)
+        decision = governor.select(gap)
+        assert 0.0 <= decision.wake_latency_us <= 133.0
+        assert decision.wake_latency_us <= max(gap, 0.0)
+
+    @given(st.lists(st.tuples(
+        st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+        st.floats(min_value=0.01, max_value=50.0, allow_nan=False)),
+        min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_core_timeline_monotone(self, events):
+        """Arrivals sorted -> finishes are non-decreasing and never
+        precede arrivals."""
+        core = SimCore(DEFAULT_PARAMETERS, LP_CLIENT)
+        time = 0.0
+        last_finish = 0.0
+        for gap, work in events:
+            time += gap
+            occupancy = core.handle_event(time, work)
+            assert occupancy.finish_us >= time
+            assert occupancy.finish_us >= last_finish
+            assert occupancy.start_us >= time
+            assert occupancy.work_us > 0
+            last_finish = occupancy.finish_us
+
+    @given(st.floats(min_value=0.8, max_value=3.0),
+           st.floats(min_value=0.01, max_value=1e4))
+    @settings(max_examples=80, deadline=None)
+    def test_work_scaling_monotone_in_frequency(self, freq, work):
+        slow = work_cycles_us(work, 2.2, max(0.8, freq - 0.1))
+        fast = work_cycles_us(work, 2.2, freq)
+        assert fast <= slow + 1e-9
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_frequency_within_hardware_bounds(self, utilization):
+        model = FrequencyModel(DEFAULT_PARAMETERS, LP_CLIENT)
+        interval = DEFAULT_PARAMETERS.governor_interval_us
+        model.account_busy(utilization * interval)
+        decision = model.evaluate(interval)
+        assert (DEFAULT_PARAMETERS.min_freq_ghz - 1e-9
+                <= decision.freq_ghz
+                <= DEFAULT_PARAMETERS.turbo_freq_ghz + 1e-9)
+
+
+class TestCpuListProperties:
+    @given(st.sets(st.integers(min_value=0, max_value=500),
+                   max_size=80))
+    @settings(max_examples=80, deadline=None)
+    def test_format_parse_roundtrip(self, cpus):
+        formatted = format_cpu_list(cpus)
+        assert parse_cpu_list(formatted) == sorted(cpus)

@@ -1,0 +1,79 @@
+"""Tests for the QoS capacity / provisioning analysis."""
+
+import pytest
+
+from repro.core.provisioning import (
+    capacity_under_qos,
+    provisioning_error,
+    provisioning_plan,
+)
+from repro.errors import ExperimentError
+
+
+def sweep(**latency_by_qps):
+    return {float(k.lstrip("q")): v
+            for k, v in latency_by_qps.items()}
+
+
+class TestCapacity:
+    def test_paper_example_lp_vs_hp(self):
+        """The paper's example: QoS p99 <= 400us; LP finds 300K, HP
+        finds 500K."""
+        lp = capacity_under_qos(
+            {100e3: 250.0, 200e3: 300.0, 300e3: 380.0,
+             400e3: 450.0, 500e3: 520.0}, 400.0)
+        hp = capacity_under_qos(
+            {100e3: 120.0, 200e3: 150.0, 300e3: 200.0,
+             400e3: 300.0, 500e3: 390.0}, 400.0)
+        assert lp.capacity_qps == 300e3
+        assert lp.violated_at_qps == 400e3
+        assert hp.capacity_qps == 500e3
+        assert hp.sweep_limited
+
+    def test_all_loads_violate(self):
+        result = capacity_under_qos({100.0: 900.0, 200.0: 950.0}, 400.0)
+        assert result.capacity_qps == 0.0
+        assert result.violated_at_qps == 100.0
+
+    def test_unsorted_input_handled(self):
+        result = capacity_under_qos(
+            {300.0: 500.0, 100.0: 100.0, 200.0: 200.0}, 400.0)
+        assert result.capacity_qps == 200.0
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ExperimentError):
+            capacity_under_qos({}, 400.0)
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ExperimentError):
+            capacity_under_qos({100.0: 50.0}, 0.0)
+
+
+class TestProvisioning:
+    def lp_hp(self):
+        lp = capacity_under_qos({300e3: 100.0, 400e3: 500.0}, 400.0)
+        hp = capacity_under_qos({300e3: 80.0, 500e3: 300.0}, 400.0)
+        return lp, hp
+
+    def test_machine_counts_round_up(self):
+        lp, hp = self.lp_hp()
+        assert provisioning_plan(1_000_000, lp).machines == 4  # /300K
+        assert provisioning_plan(1_000_000, hp).machines == 2  # /500K
+
+    def test_paper_1_6x_overprovision(self):
+        """300K vs 500K capacity at large scale: ~1.67x machines."""
+        lp, hp = self.lp_hp()
+        ratios = provisioning_error(
+            {"LP": lp, "HP": hp}, target_qps=30_000_000)
+        assert ratios["HP"] == pytest.approx(1.0)
+        assert ratios["LP"] == pytest.approx(100 / 60, rel=0.01)
+
+    def test_zero_capacity_rejected(self):
+        bad = capacity_under_qos({100.0: 900.0}, 400.0)
+        with pytest.raises(ExperimentError):
+            provisioning_plan(1000, bad)
+
+    def test_invalid_target_rejected(self):
+        lp, _ = self.lp_hp()
+        with pytest.raises(ExperimentError):
+            provisioning_plan(0, lp)

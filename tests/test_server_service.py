@@ -1,0 +1,82 @@
+"""Tests for service-time models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.server.service import (
+    BimodalService,
+    ExponentialService,
+    FixedService,
+    LognormalService,
+)
+
+
+class TestFixedService:
+    def test_constant(self, rng):
+        model = FixedService(12.0)
+        assert model.sample_service_us(rng) == 12.0
+        assert model.mean_service_us() == 12.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedService(-1.0)
+
+
+class TestExponentialService:
+    def test_mean_converges(self, rng):
+        model = ExponentialService(10.0)
+        draws = [model.sample_service_us(rng) for _ in range(20_000)]
+        assert np.mean(draws) == pytest.approx(10.0, rel=0.05)
+
+    def test_deterministic_without_rng(self):
+        assert ExponentialService(10.0).sample_service_us(None) == 10.0
+
+    def test_invalid_mean_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialService(0.0)
+
+
+class TestLognormalService:
+    def test_mean_converges(self, rng):
+        model = LognormalService(10.0, sigma=0.5)
+        draws = [model.sample_service_us(rng) for _ in range(20_000)]
+        assert np.mean(draws) == pytest.approx(10.0, rel=0.05)
+
+    def test_right_skew(self, rng):
+        model = LognormalService(10.0, sigma=0.8)
+        draws = np.array(
+            [model.sample_service_us(rng) for _ in range(20_000)])
+        assert np.median(draws) < np.mean(draws)
+
+    def test_zero_sigma_is_deterministic(self, rng):
+        model = LognormalService(10.0, sigma=0.0)
+        assert model.sample_service_us(rng) == pytest.approx(10.0)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LognormalService(10.0, sigma=-0.1)
+
+    def test_all_samples_positive(self, rng):
+        model = LognormalService(5.0, sigma=1.5)
+        assert all(model.sample_service_us(rng) > 0 for _ in range(1000))
+
+
+class TestBimodalService:
+    def test_mean_formula(self):
+        model = BimodalService(fast_us=10.0, slow_us=100.0,
+                               slow_fraction=0.1)
+        assert model.mean_service_us() == pytest.approx(19.0)
+
+    def test_samples_are_one_of_two_values(self, rng):
+        model = BimodalService(10.0, 100.0, 0.5)
+        draws = {model.sample_service_us(rng) for _ in range(200)}
+        assert draws == {10.0, 100.0}
+
+    def test_fraction_bounds_enforced(self):
+        with pytest.raises(ConfigurationError):
+            BimodalService(10.0, 100.0, 1.5)
+
+    def test_deterministic_without_rng(self):
+        model = BimodalService(10.0, 100.0, 0.25)
+        assert model.sample_service_us(None) == pytest.approx(32.5)

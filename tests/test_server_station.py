@@ -1,0 +1,148 @@
+"""Tests for the service station (workers + server-side knobs)."""
+
+import numpy as np
+import pytest
+
+from repro.config.presets import (
+    SERVER_BASELINE,
+    server_with_c1e,
+    server_with_smt,
+)
+from repro.parameters import DEFAULT_PARAMETERS
+from repro.server.request import Request
+from repro.server.service import FixedService
+from repro.server.station import ServiceStation
+from repro.sim.engine import Simulator
+
+
+def run_one(sim, station, arrival_us=0.0):
+    done = []
+    request = Request(request_id=0)
+
+    def submit():
+        station.submit(request, done.append)
+
+    sim.schedule(arrival_us, submit)
+    sim.run()
+    assert done, "request never completed"
+    return done[0]
+
+
+class TestBasicService:
+    def test_single_request_timeline(self, sim):
+        station = ServiceStation(
+            sim, SERVER_BASELINE, FixedService(10.0), workers=2)
+        request = run_one(sim, station, arrival_us=5.0)
+        assert request.server_arrival_us == pytest.approx(5.0)
+        # Service runs at nominal (performance, turbo off): 10 + kernel,
+        # plus the C1 exit latency of the worker that idled 5 us.
+        expected = 10.0 + DEFAULT_PARAMETERS.kernel_stack_us + 2.0
+        assert request.service_us == pytest.approx(expected)
+        assert request.server_departure_us == pytest.approx(
+            5.0 + expected)
+
+    def test_queue_wait_accumulates(self, sim):
+        station = ServiceStation(
+            sim, SERVER_BASELINE, FixedService(10.0), workers=1)
+        done = []
+        first = Request(request_id=0)
+        second = Request(request_id=1)
+        station.submit(first, done.append)
+        station.submit(second, done.append)
+        sim.run()
+        assert second.queue_wait_us > 0
+        assert first.queue_wait_us == 0
+
+    def test_utilization_tracked(self, sim):
+        station = ServiceStation(
+            sim, SERVER_BASELINE, FixedService(10.0), workers=1)
+        run_one(sim, station)
+        assert station.utilization() > 0
+        assert station.completed == 1
+
+    def test_turbo_server_runs_faster(self, sim):
+        from dataclasses import replace
+        turbo_config = replace(SERVER_BASELINE, turbo=True)
+        baseline = ServiceStation(
+            sim, SERVER_BASELINE, FixedService(10.0), workers=1)
+        turbo = ServiceStation(
+            sim, turbo_config, FixedService(10.0), workers=1)
+        assert turbo.frequency_ghz > baseline.frequency_ghz
+        assert (turbo.expected_service_us()
+                < baseline.expected_service_us())
+
+    def test_env_scale_inflates_service(self, sim):
+        plain = ServiceStation(
+            sim, SERVER_BASELINE, FixedService(10.0), workers=1)
+        inflated = ServiceStation(
+            sim, SERVER_BASELINE, FixedService(10.0), workers=1,
+            env_scale=1.5)
+        request_a = Request(request_id=0)
+        request_b = Request(request_id=1)
+        plain.submit(request_a, lambda r: None)
+        inflated.submit(request_b, lambda r: None)
+        sim.run()
+        assert request_b.service_us == pytest.approx(
+            1.5 * request_a.service_us)
+
+    def test_invalid_env_scale_rejected(self, sim):
+        with pytest.raises(ValueError):
+            ServiceStation(sim, SERVER_BASELINE, FixedService(1.0),
+                           workers=1, env_scale=0.0)
+
+
+class TestServerCstates:
+    def test_c1e_server_pays_wake_after_long_idle(self, sim):
+        station = ServiceStation(
+            sim, server_with_c1e(True), FixedService(10.0), workers=1)
+        warm = run_one(sim, station, arrival_us=0.0)
+        cold = Request(request_id=2)
+        sim.schedule(5_000.0, lambda: station.submit(
+            cold, lambda r: None))
+        sim.run()
+        # The cold request pays the C1E exit latency (10 us).
+        assert cold.service_us == pytest.approx(
+            warm.service_us + 10.0)
+
+    def test_baseline_caps_wake_at_c1(self, sim):
+        station = ServiceStation(
+            sim, SERVER_BASELINE, FixedService(10.0), workers=1)
+        run_one(sim, station, arrival_us=0.0)
+        cold = Request(request_id=2)
+        sim.schedule(5_000.0, lambda: station.submit(
+            cold, lambda r: None))
+        sim.run()
+        expected = 10.0 + DEFAULT_PARAMETERS.kernel_stack_us + 2.0
+        assert cold.service_us == pytest.approx(expected)
+
+
+class TestServerSmt:
+    def test_smt_on_constant_overhead(self, sim):
+        smt_on = ServiceStation(
+            sim, server_with_smt(True), FixedService(10.0), workers=1)
+        request = run_one(sim, smt_on)
+        base = 10.0 + DEFAULT_PARAMETERS.kernel_stack_us
+        assert request.service_us == pytest.approx(
+            base * (1 + DEFAULT_PARAMETERS.smt_enabled_overhead))
+
+    def test_smt_off_interference_needs_load(self, sim, streams):
+        """At zero utilization there is no interference to suffer."""
+        station = ServiceStation(
+            sim, server_with_smt(False), FixedService(10.0), workers=4,
+            rng=streams.get("svc"))
+        request = run_one(sim, station)
+        assert request.service_us == pytest.approx(
+            10.0 + DEFAULT_PARAMETERS.kernel_stack_us, abs=1e-6)
+
+    def test_smt_off_interference_under_load(self, sim, streams):
+        station = ServiceStation(
+            sim, server_with_smt(False), FixedService(50.0), workers=2,
+            rng=streams.get("svc"))
+        requests = [Request(request_id=i) for i in range(40)]
+        for index, request in enumerate(requests):
+            sim.schedule(index * 10.0,
+                         lambda r=request: station.submit(r, lambda x: None))
+        sim.run()
+        base = 50.0 + DEFAULT_PARAMETERS.kernel_stack_us
+        # Later requests saw busy workers; some must exceed the base.
+        assert any(r.service_us > base + 0.1 for r in requests)

@@ -1,0 +1,120 @@
+"""Tests for multi-tier service composition."""
+
+import pytest
+
+from repro.config.presets import SERVER_BASELINE
+from repro.errors import ConfigurationError
+from repro.net.link import NetworkLink
+from repro.parameters import DEFAULT_PARAMETERS
+from repro.server.request import Request
+from repro.server.service import FixedService
+from repro.server.station import ServiceStation
+from repro.server.tiers import TierSpec, TieredService
+
+
+def station(sim, service_us, workers=2):
+    return ServiceStation(
+        sim, SERVER_BASELINE, FixedService(service_us), workers=workers)
+
+
+class TestChaining:
+    def test_two_tier_latency_is_sum(self, sim):
+        service = TieredService(sim, [
+            TierSpec(station=station(sim, 10.0)),
+            TierSpec(station=station(sim, 20.0)),
+        ])
+        request = Request(request_id=0)
+        done = []
+        service.submit(request, done.append)
+        sim.run()
+        kernel = DEFAULT_PARAMETERS.kernel_stack_us
+        # The tier-2 worker idled while tier 1 served, so it pays the
+        # baseline's C1 exit latency (2 us) before serving.
+        assert request.server_departure_us == pytest.approx(
+            (10.0 + kernel) + (20.0 + kernel) + 2.0)
+        assert done == [request]
+
+    def test_hop_link_adds_latency(self, sim, params):
+        service = TieredService(sim, [
+            TierSpec(station=station(sim, 10.0)),
+            TierSpec(station=station(sim, 10.0),
+                     hop_link=NetworkLink(params)),
+        ])
+        request = Request(request_id=0)
+        service.submit(request, lambda r: None)
+        sim.run()
+        kernel = params.kernel_stack_us
+        expected = (2 * (10.0 + kernel)
+                    + 2 * params.network_one_way_us  # out and back
+                    + 2.0)  # tier-2 worker C1 wake after idling
+        assert request.server_departure_us == pytest.approx(expected)
+
+    def test_arrival_stamped_once(self, sim):
+        service = TieredService(sim, [
+            TierSpec(station=station(sim, 5.0)),
+            TierSpec(station=station(sim, 5.0)),
+        ])
+        request = Request(request_id=0)
+        sim.schedule(7.0, lambda: service.submit(request, lambda r: None))
+        sim.run()
+        assert request.server_arrival_us == pytest.approx(7.0)
+
+    def test_empty_tier_list_rejected(self, sim):
+        with pytest.raises(ConfigurationError):
+            TieredService(sim, [])
+
+    def test_expected_service_sums_tiers(self, sim):
+        service = TieredService(sim, [
+            TierSpec(station=station(sim, 10.0)),
+            TierSpec(station=station(sim, 20.0), fanout=2),
+        ])
+        kernel = DEFAULT_PARAMETERS.kernel_stack_us
+        assert service.expected_service_us() == pytest.approx(
+            (10.0 + kernel) + 2 * (20.0 + kernel))
+
+
+class TestFanout:
+    def test_fanout_waits_for_slowest(self, sim):
+        bucket = station(sim, 30.0, workers=1)  # serializes sub-requests
+        service = TieredService(sim, [
+            TierSpec(station=bucket, fanout=3),
+        ])
+        request = Request(request_id=0)
+        service.submit(request, lambda r: None)
+        sim.run()
+        kernel = DEFAULT_PARAMETERS.kernel_stack_us
+        # One worker serves 3 sub-requests back to back.
+        assert request.server_departure_us == pytest.approx(
+            3 * (30.0 + kernel))
+
+    def test_fanout_parallel_workers(self, sim):
+        bucket = station(sim, 30.0, workers=4)
+        service = TieredService(sim, [
+            TierSpec(station=bucket, fanout=3),
+        ])
+        request = Request(request_id=0)
+        service.submit(request, lambda r: None)
+        sim.run()
+        kernel = DEFAULT_PARAMETERS.kernel_stack_us
+        # The slowest sub-request sees the other two busy workers
+        # (util 0.5 on an SMT-off server) and pays the deterministic
+        # interference expectation: 0.5*broad + 0.06*0.5*episodic.
+        params = DEFAULT_PARAMETERS
+        interference = (0.5 * params.smt_broad_us
+                        + params.smt_off_interference_scale * 0.5
+                        * params.smt_interference_us)
+        assert request.server_departure_us == pytest.approx(
+            30.0 + kernel + interference)
+
+    def test_fanout_records_critical_path_on_parent(self, sim):
+        bucket = station(sim, 30.0, workers=1)
+        service = TieredService(sim, [TierSpec(station=bucket, fanout=2)])
+        request = Request(request_id=0)
+        service.submit(request, lambda r: None)
+        sim.run()
+        assert request.service_us > 0
+        assert request.queue_wait_us > 0  # second sub-request queued
+
+    def test_invalid_fanout_rejected(self, sim):
+        with pytest.raises(ConfigurationError):
+            TierSpec(station=station(sim, 1.0), fanout=0)

@@ -1,0 +1,129 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_events_fire_in_time_order(self, sim):
+        fired = []
+        sim.schedule(5.0, fired.append, "late")
+        sim.schedule(1.0, fired.append, "early")
+        sim.schedule(3.0, fired.append, "middle")
+        sim.run()
+        assert fired == ["early", "middle", "late"]
+
+    def test_ties_break_by_insertion_order(self, sim):
+        fired = []
+        for tag in ("a", "b", "c"):
+            sim.schedule(1.0, fired.append, tag)
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self, sim):
+        sim.schedule(2.5, lambda: None)
+        sim.run()
+        assert sim.now == 2.5
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_nan_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(float("nan"), lambda: None)
+
+    def test_schedule_at_absolute_time(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        marks = []
+        sim.schedule_at(4.0, marks.append, "x")
+        sim.run()
+        assert sim.now == 4.0 and marks == ["x"]
+
+    def test_events_scheduled_during_run_fire(self, sim):
+        fired = []
+
+        def chain(depth):
+            fired.append(depth)
+            if depth < 3:
+                sim.schedule(1.0, chain, depth + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert event.cancelled
+
+    def test_other_events_still_fire(self, sim):
+        fired = []
+        victim = sim.schedule(1.0, fired.append, "victim")
+        sim.schedule(2.0, fired.append, "survivor")
+        victim.cancel()
+        sim.run()
+        assert fired == ["survivor"]
+
+
+class TestRunControl:
+    def test_run_returns_fired_count(self, sim):
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        assert sim.run() == 5
+
+    def test_run_max_events(self, sim):
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        assert sim.run(max_events=2) == 2
+        assert sim.pending_events == 3
+
+    def test_run_until_stops_at_boundary(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(2.0, fired.append, 2)
+        sim.schedule(3.0, fired.append, 3)
+        sim.run_until(2.0)
+        assert fired == [1, 2]
+        assert sim.now == 2.0
+
+    def test_run_until_advances_clock_past_empty_queue(self, sim):
+        sim.run_until(10.0)
+        assert sim.now == 10.0
+
+    def test_run_until_rejects_past_target(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run_until(1.0)
+
+    def test_step_on_empty_queue_returns_false(self, sim):
+        assert sim.step() is False
+
+    def test_clear_drops_pending_events(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.clear()
+        assert sim.run() == 0
+
+    def test_events_processed_counter(self, sim):
+        for _ in range(3):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 3

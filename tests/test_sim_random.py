@@ -1,0 +1,56 @@
+"""Tests for deterministic random streams."""
+
+from repro.sim.random import RandomStreams, _stable_name_key
+
+
+class TestDeterminism:
+    def test_same_seed_same_draws(self):
+        a = RandomStreams(1).get("service").random(10)
+        b = RandomStreams(1).get("service").random(10)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).get("service").random(10)
+        b = RandomStreams(2).get("service").random(10)
+        assert not (a == b).all()
+
+    def test_different_names_are_independent(self):
+        streams = RandomStreams(1)
+        a = streams.get("alpha").random(10)
+        b = streams.get("beta").random(10)
+        assert not (a == b).all()
+
+    def test_stream_identity_is_cached(self):
+        streams = RandomStreams(1)
+        assert streams.get("x") is streams.get("x")
+
+    def test_consuming_one_stream_does_not_shift_another(self):
+        reference = RandomStreams(5)
+        expected = reference.get("stable").random(5)
+
+        perturbed = RandomStreams(5)
+        perturbed.get("noisy").random(1000)
+        actual = perturbed.get("stable").random(5)
+        assert (expected == actual).all()
+
+    def test_root_seed_exposed(self):
+        assert RandomStreams(17).root_seed == 17
+
+    def test_names_reports_created_streams(self):
+        streams = RandomStreams(1)
+        streams.get("b")
+        streams.get("a")
+        assert streams.names() == ("a", "b")
+
+
+class TestStableNameKey:
+    def test_deterministic_across_calls(self):
+        assert _stable_name_key("abc") == _stable_name_key("abc")
+
+    def test_distinct_names_distinct_keys(self):
+        assert _stable_name_key("abc") != _stable_name_key("abd")
+
+    def test_key_is_nonnegative_63bit(self):
+        for name in ("", "x", "service", "a-very-long-stream-name"):
+            key = _stable_name_key(name)
+            assert 0 <= key < 2 ** 63

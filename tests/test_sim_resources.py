@@ -1,0 +1,142 @@
+"""Tests for FIFO queues and server pools."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.resources import FifoQueue, ServerPool
+
+
+class TestFifoQueue:
+    def test_fifo_order(self, sim):
+        queue = FifoQueue(sim)
+        queue.push("a")
+        queue.push("b")
+        assert queue.pop()[1] == "a"
+        assert queue.pop()[1] == "b"
+
+    def test_pop_empty_raises(self, sim):
+        with pytest.raises(SimulationError):
+            FifoQueue(sim).pop()
+
+    def test_wait_time_accounting(self, sim):
+        queue = FifoQueue(sim)
+        queue.push("a")
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        waited, item = queue.pop()
+        assert waited == pytest.approx(5.0)
+        assert item == "a"
+
+    def test_capacity_drops(self, sim):
+        queue = FifoQueue(sim, capacity=1)
+        assert queue.push("a") is True
+        assert queue.push("b") is False
+        assert queue.dropped == 1
+        assert len(queue) == 1
+
+    def test_negative_capacity_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            FifoQueue(sim, capacity=-1)
+
+    def test_peek_wait_empty_is_zero(self, sim):
+        assert FifoQueue(sim).peek_wait_us() == 0.0
+
+    def test_total_enqueued_counts_accepted_only(self, sim):
+        queue = FifoQueue(sim, capacity=1)
+        queue.push("a")
+        queue.push("b")
+        assert queue.total_enqueued == 1
+
+
+class TestServerPool:
+    @staticmethod
+    def fixed_service(duration):
+        return lambda job, server, idle_gap: duration
+
+    def test_single_job_completes(self, sim):
+        pool = ServerPool(sim, num_servers=1)
+        done = []
+        pool.submit("job", self.fixed_service(10.0),
+                    lambda job, waited: done.append((job, waited, sim.now)))
+        sim.run()
+        assert done == [("job", 0.0, 10.0)]
+
+    def test_parallel_servers_no_queueing(self, sim):
+        pool = ServerPool(sim, num_servers=2)
+        finish_times = []
+        for index in range(2):
+            pool.submit(index, self.fixed_service(10.0),
+                        lambda job, waited: finish_times.append(sim.now))
+        sim.run()
+        assert finish_times == [10.0, 10.0]
+
+    def test_queueing_when_saturated(self, sim):
+        pool = ServerPool(sim, num_servers=1)
+        waits = []
+        for index in range(3):
+            pool.submit(index, self.fixed_service(10.0),
+                        lambda job, waited: waits.append(waited))
+        sim.run()
+        assert waits == [0.0, 10.0, 20.0]
+
+    def test_busy_time_and_utilization(self, sim):
+        pool = ServerPool(sim, num_servers=2)
+        pool.submit("x", self.fixed_service(10.0), lambda j, w: None)
+        sim.run()
+        assert pool.busy_time_us == pytest.approx(10.0)
+        # 10 us busy over 10 us elapsed on 2 servers = 50%.
+        assert pool.utilization() == pytest.approx(0.5)
+
+    def test_idle_gap_passed_to_service_fn(self, sim):
+        pool = ServerPool(sim, num_servers=1)
+        gaps = []
+
+        def service(job, server, idle_gap):
+            gaps.append(idle_gap)
+            return 1.0
+
+        pool.submit("a", service, lambda j, w: None)
+        sim.run()
+        sim.schedule(9.0, lambda: pool.submit("b", service,
+                                              lambda j, w: None))
+        sim.run()
+        assert gaps[0] == pytest.approx(0.0)
+        # Second job arrives at t=10; the worker went idle at t=1.
+        assert gaps[1] == pytest.approx(9.0)
+
+    def test_negative_service_time_rejected(self, sim):
+        pool = ServerPool(sim, num_servers=1)
+        # The idle-server fast path dispatches immediately, so the
+        # invalid service time surfaces at submit time.
+        with pytest.raises(SimulationError):
+            pool.submit("bad", self.fixed_service(-1.0),
+                        lambda j, w: None)
+
+    def test_zero_servers_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            ServerPool(sim, num_servers=0)
+
+    def test_jobs_completed_counter(self, sim):
+        pool = ServerPool(sim, num_servers=4)
+        for index in range(7):
+            pool.submit(index, self.fixed_service(1.0), lambda j, w: None)
+        sim.run()
+        assert pool.jobs_completed == 7
+
+    def test_lifo_server_reuse_keeps_hot_worker(self, sim):
+        """The most recently freed server picks up the next job."""
+        pool = ServerPool(sim, num_servers=3)
+        pool.submit("a", self.fixed_service(5.0), lambda j, w: None)
+        sim.run()
+        gaps = []
+
+        def service(job, server, idle_gap):
+            gaps.append(idle_gap)
+            return 1.0
+
+        sim.schedule(1.0, lambda: pool.submit("b", service,
+                                              lambda j, w: None))
+        sim.run()
+        # The worker that finished "a" at t=5 serves "b" at t=6.
+        assert gaps == [pytest.approx(1.0)]

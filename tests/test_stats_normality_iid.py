@@ -1,0 +1,137 @@
+"""Tests for normality testing and iid diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InsufficientSamplesError, StatisticsError
+from repro.stats.iid import (
+    autocorrelation,
+    autocorrelation_profile,
+    lag_pairs,
+    turning_point_test,
+)
+from repro.stats.normality import (
+    frequency_chart,
+    render_frequency_chart,
+    shapiro_wilk,
+)
+
+
+class TestShapiroWilk:
+    def test_normal_data_passes(self, rng):
+        result = shapiro_wilk(rng.normal(100, 10, size=50))
+        assert result.normal
+        assert result.verdict == "pass"
+
+    def test_heavily_skewed_data_fails(self, rng):
+        result = shapiro_wilk(rng.lognormal(0, 1.5, size=50))
+        assert not result.normal
+        assert result.verdict == "fail"
+
+    def test_constant_data_fails_hard(self):
+        result = shapiro_wilk([5.0] * 10)
+        assert not result.normal
+        assert result.p_value == 0.0
+
+    def test_too_few_samples(self):
+        with pytest.raises(InsufficientSamplesError):
+            shapiro_wilk([1.0, 2.0])
+
+    def test_invalid_alpha(self, rng):
+        with pytest.raises(StatisticsError):
+            shapiro_wilk(rng.normal(size=10), alpha=0.0)
+
+    def test_alpha_threshold_respected(self, rng):
+        samples = rng.normal(size=50)
+        result = shapiro_wilk(samples, alpha=0.05)
+        assert result.normal == (result.p_value >= 0.05)
+
+
+class TestFrequencyChart:
+    def test_counts_cover_all_samples(self, rng):
+        samples = rng.normal(100, 3, size=50)
+        rows = frequency_chart(samples, num_bins=10)
+        assert sum(count for _, count, _ in rows) == 50
+
+    def test_median_bin_marked_exactly_once_or_twice(self, rng):
+        samples = rng.normal(100, 3, size=50)
+        rows = frequency_chart(samples)
+        marked = [row for row in rows if row[2]]
+        # The median sits on a bin edge at most once; 1-2 marks.
+        assert 1 <= len(marked) <= 2
+
+    def test_more_bin_collects_tail(self, rng):
+        samples = np.concatenate([
+            rng.normal(100, 1, size=48), [500.0, 900.0]])
+        rows = frequency_chart(samples)
+        assert rows[-1][0] == "More"
+        assert rows[-1][1] == 2
+
+    def test_render_contains_median_marker(self, rng):
+        text = render_frequency_chart(rng.normal(100, 3, size=50))
+        assert "median" in text
+
+    def test_invalid_bins(self, rng):
+        with pytest.raises(StatisticsError):
+            frequency_chart(rng.normal(size=10), num_bins=1)
+
+
+class TestAutocorrelation:
+    def test_iid_samples_near_zero(self, rng):
+        samples = rng.normal(size=2000)
+        assert abs(autocorrelation(samples, lag=1)) < 0.1
+
+    def test_trending_samples_positive(self):
+        samples = np.arange(100, dtype=float)
+        assert autocorrelation(samples, lag=1) > 0.9
+
+    def test_alternating_samples_negative(self):
+        samples = np.array([1.0, -1.0] * 50)
+        assert autocorrelation(samples, lag=1) < -0.9
+
+    def test_bounds(self, rng):
+        for _ in range(10):
+            value = autocorrelation(rng.normal(size=100), lag=3)
+            assert -1.0 <= value <= 1.0
+
+    def test_constant_series_is_zero(self):
+        assert autocorrelation([3.0] * 50, lag=1) == 0.0
+
+    def test_invalid_lag(self, rng):
+        with pytest.raises(StatisticsError):
+            autocorrelation(rng.normal(size=10), lag=0)
+        with pytest.raises(StatisticsError):
+            autocorrelation(rng.normal(size=10), lag=10)
+
+    def test_profile_length(self, rng):
+        profile = autocorrelation_profile(rng.normal(size=50),
+                                          max_lag=5)
+        assert len(profile) == 5
+
+
+class TestLagPairs:
+    def test_pair_structure(self):
+        pairs = lag_pairs([1.0, 2.0, 3.0, 4.0], lag=1)
+        assert pairs == [(1.0, 2.0), (2.0, 3.0), (3.0, 4.0)]
+
+    def test_lag_two(self):
+        pairs = lag_pairs([1.0, 2.0, 3.0, 4.0], lag=2)
+        assert pairs == [(1.0, 3.0), (2.0, 4.0)]
+
+
+class TestTurningPoint:
+    def test_random_sequence_passes(self, rng):
+        looks_random, p_value = turning_point_test(rng.normal(size=500))
+        assert looks_random
+        assert p_value > 0.05
+
+    def test_monotone_sequence_fails(self):
+        looks_random, p_value = turning_point_test(
+            np.arange(200, dtype=float))
+        assert not looks_random
+        assert p_value < 0.01
+
+    def test_alternating_sequence_fails(self):
+        samples = np.array([1.0, -1.0] * 100)
+        looks_random, _ = turning_point_test(samples)
+        assert not looks_random

@@ -1,0 +1,111 @@
+"""Tests for repetition-count methods (equation 3 and CONFIRM)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InsufficientSamplesError, StatisticsError
+from repro.stats.littles_law import (
+    concurrency,
+    feasible_qps,
+    max_qps_for_concurrency,
+)
+from repro.stats.repetitions import (
+    confirm_repetitions,
+    parametric_repetitions,
+)
+
+
+class TestParametricRepetitions:
+    def test_textbook_example(self):
+        """Jain's formula: n = (100*z*s / (r*x))^2."""
+        samples = [98.0, 100.0, 102.0]  # mean 100, std 2
+        n = parametric_repetitions(samples, error_pct=1.0)
+        expected = (100 * 1.96 * 2.0 / (1.0 * 100.0)) ** 2
+        assert n == int(np.ceil(expected))
+
+    def test_tight_data_needs_one_run(self):
+        samples = [100.0, 100.001, 99.999, 100.0]
+        assert parametric_repetitions(samples) == 1
+
+    def test_noisier_data_needs_more(self, rng):
+        quiet = rng.normal(100, 0.5, size=50)
+        noisy = rng.normal(100, 10, size=50)
+        assert (parametric_repetitions(noisy)
+                > parametric_repetitions(quiet))
+
+    def test_smaller_error_needs_more(self, rng):
+        samples = rng.normal(100, 5, size=50)
+        assert (parametric_repetitions(samples, error_pct=0.5)
+                > parametric_repetitions(samples, error_pct=5.0))
+
+    def test_invalid_error_rejected(self):
+        with pytest.raises(StatisticsError):
+            parametric_repetitions([1.0, 2.0], error_pct=0.0)
+
+    def test_zero_mean_rejected(self):
+        with pytest.raises(StatisticsError):
+            parametric_repetitions([-1.0, 1.0])
+
+
+class TestConfirm:
+    def test_tight_data_converges_at_minimum(self, rng):
+        samples = rng.normal(100, 0.1, size=50)
+        n = confirm_repetitions(samples, rng=rng, draws=50)
+        assert n == 10  # the method's floor
+
+    def test_noisy_data_needs_more_or_fails(self, rng):
+        samples = rng.lognormal(4.6, 0.5, size=50)
+        n = confirm_repetitions(samples, rng=rng, draws=50)
+        assert n is None or n > 10
+
+    def test_none_when_never_converging(self, rng):
+        samples = rng.lognormal(0.0, 2.0, size=30)
+        n = confirm_repetitions(samples, error=0.001, rng=rng, draws=30)
+        assert n is None
+
+    def test_result_bounded_by_sample_count(self, rng):
+        samples = rng.normal(100, 3, size=40)
+        n = confirm_repetitions(samples, rng=rng, draws=30)
+        assert n is None or 10 <= n <= 40
+
+    def test_deterministic_with_seeded_rng(self):
+        samples = np.random.default_rng(3).normal(100, 2, size=50)
+        a = confirm_repetitions(
+            samples, rng=np.random.default_rng(1), draws=50)
+        b = confirm_repetitions(
+            samples, rng=np.random.default_rng(1), draws=50)
+        assert a == b
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(InsufficientSamplesError):
+            confirm_repetitions([1.0] * 5)
+
+    def test_invalid_error_rejected(self, rng):
+        with pytest.raises(StatisticsError):
+            confirm_repetitions(rng.normal(size=20), error=0.0)
+
+
+class TestLittlesLaw:
+    def test_concurrency(self):
+        # 10K QPS at 1 ms latency: 10 requests in flight.
+        assert concurrency(10_000, 1_000.0) == pytest.approx(10.0)
+
+    def test_max_qps(self):
+        # 10 workers at 100 us: up to 100K QPS.
+        assert max_qps_for_concurrency(100.0, 10) == pytest.approx(
+            100_000.0)
+
+    def test_feasible_filter_matches_paper_method(self):
+        """The paper examines only QPS with concurrency < cores (10)
+        for all delay values; at 410 us the cap is ~24.4K."""
+        candidates = [5_000, 10_000, 15_000, 20_000, 25_000]
+        kept = feasible_qps(candidates, service_us=410.0, workers=10)
+        assert kept == [5_000, 10_000, 15_000, 20_000]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(StatisticsError):
+            concurrency(-1, 10)
+        with pytest.raises(StatisticsError):
+            max_qps_for_concurrency(0.0, 10)
+        with pytest.raises(StatisticsError):
+            max_qps_for_concurrency(10.0, 0)

@@ -1,0 +1,133 @@
+"""Tests for host verification, bootstrap CIs and ASCII charts."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_plot import ascii_chart, chart_from_grid
+from repro.config.presets import HP_CLIENT, LP_CLIENT
+from repro.errors import StatisticsError
+from repro.host.filesystem import FakeFilesystem, make_skylake_tree
+from repro.host.tuner import HostTuner
+from repro.host.verify import verify_host
+from repro.stats.bootstrap import (
+    bootstrap_ci,
+    bootstrap_median_ci,
+    bootstrap_p99_ci,
+)
+from repro.stats.ci import nonparametric_median_ci
+
+
+class TestVerifyHost:
+    def test_fresh_host_matches_lp(self, small_fake_fs):
+        """A default Skylake host is exactly the LP configuration
+        (modulo the boot-time tickless knob, which verify skips)."""
+        report = verify_host(small_fake_fs, LP_CLIENT)
+        assert report.ok, report.render()
+        assert "OK" in report.render()
+
+    def test_fresh_host_diverges_from_hp(self, small_fake_fs):
+        report = verify_host(small_fake_fs, HP_CLIENT)
+        assert not report.ok
+        knobs = {m.knob for m in report.mismatches}
+        assert "C-states" in knobs
+        assert "Frequency Governor" in knobs
+        assert "Uncore Frequency" in knobs
+
+    def test_tuned_host_matches_runtime_knobs(self, small_fake_fs):
+        """After applying HP, all runtime-observable knobs match
+        except the driver (a boot-time change)."""
+        HostTuner(small_fake_fs).apply_config(HP_CLIENT)
+        report = verify_host(small_fake_fs, HP_CLIENT)
+        knobs = {m.knob for m in report.mismatches}
+        assert knobs == {"Frequency Driver"}  # needs the reboot
+
+    def test_drift_detected(self, small_fake_fs):
+        """Someone flips SMT between runs: verify catches it."""
+        from repro.host.sysfs import CpuSysfs
+        CpuSysfs(small_fake_fs).set_smt(False)
+        report = verify_host(small_fake_fs, LP_CLIENT)
+        assert not report.ok
+        assert any(m.knob == "SMT" for m in report.mismatches)
+        assert "DIVERGES" in report.render()
+
+
+class TestBootstrap:
+    def test_median_ci_contains_median(self, rng):
+        samples = rng.lognormal(3.0, 0.5, size=60)
+        interval = bootstrap_median_ci(samples, rng=rng)
+        assert interval.contains(float(np.median(samples)))
+        assert interval.kind == "bootstrap"
+
+    def test_agrees_with_order_statistic_ci(self, rng):
+        """On normal-ish data the two non-parametric CIs should be
+        similar."""
+        samples = rng.normal(100, 5, size=100)
+        bootstrap = bootstrap_median_ci(samples, rng=rng)
+        order = nonparametric_median_ci(samples)
+        assert abs(bootstrap.lower - order.lower) < 2.0
+        assert abs(bootstrap.upper - order.upper) < 2.0
+
+    def test_p99_ci_contains_p99(self, rng):
+        samples = rng.exponential(10.0, size=200)
+        interval = bootstrap_p99_ci(samples, rng=rng)
+        assert interval.contains(float(np.percentile(samples, 99)))
+
+    def test_custom_statistic(self, rng):
+        samples = rng.normal(50, 3, size=80)
+        interval = bootstrap_ci(
+            samples, statistic=lambda v: float(np.mean(v)), rng=rng)
+        assert interval.contains(float(np.mean(samples)))
+
+    def test_width_shrinks_with_sample_size(self, rng):
+        small = bootstrap_median_ci(rng.normal(100, 5, size=20),
+                                    rng=rng)
+        large = bootstrap_median_ci(rng.normal(100, 5, size=500),
+                                    rng=rng)
+        assert large.width < small.width
+
+    def test_deterministic_with_default_rng(self, rng):
+        samples = rng.normal(100, 5, size=50)
+        a = bootstrap_median_ci(samples)
+        b = bootstrap_median_ci(samples)
+        assert a.lower == b.lower and a.upper == b.upper
+
+    def test_invalid_inputs(self, rng):
+        samples = rng.normal(size=20)
+        with pytest.raises(StatisticsError):
+            bootstrap_ci(samples, confidence=1.0)
+        with pytest.raises(StatisticsError):
+            bootstrap_ci(samples, resamples=10)
+
+
+class TestAsciiChart:
+    def test_chart_contains_all_elements(self):
+        series = {
+            "LP": [(1.0, 10.0), (2.0, 20.0)],
+            "HP": [(1.0, 5.0), (2.0, 6.0)],
+        }
+        text = ascii_chart(series, title="demo", y_label="us")
+        assert "demo" in text
+        assert "legend:" in text
+        assert "* LP" in text and "o HP" in text
+        assert "x: [1, 2]" in text
+
+    def test_single_point_series(self):
+        text = ascii_chart({"only": [(1.0, 1.0)]})
+        assert "legend:" in text
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(StatisticsError):
+            ascii_chart({})
+        with pytest.raises(StatisticsError):
+            ascii_chart({"empty": []})
+
+    def test_tiny_plot_rejected(self):
+        with pytest.raises(StatisticsError):
+            ascii_chart({"a": [(0, 0)]}, width=2, height=2)
+
+    def test_chart_from_grid(self):
+        from repro.analysis.figures import memcached_study
+        grid = memcached_study(knob="smt", qps_list=(50_000,),
+                               runs=3, num_requests=80)
+        text = chart_from_grid(grid, "avg")
+        assert "LP-SMToff" in text

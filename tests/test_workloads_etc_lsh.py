@@ -1,0 +1,110 @@
+"""Tests for the ETC workload model and the LSH index substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.etc import ETC_GET_FRACTION, EtcWorkload
+from repro.workloads.hdsearch_lsh import (
+    LshConfig,
+    LshIndex,
+    default_candidate_counts,
+    default_index,
+)
+
+
+class TestEtcWorkload:
+    def test_key_sizes_in_published_range(self, rng):
+        etc = EtcWorkload(rng)
+        sizes = [etc.sample_key_size_b() for _ in range(2000)]
+        assert all(16 <= s <= 250 for s in sizes)
+
+    def test_value_sizes_heavy_tailed(self, rng):
+        etc = EtcWorkload(rng)
+        sizes = np.array([etc.sample_value_size_b()
+                          for _ in range(5000)])
+        assert np.median(sizes) < 1000      # body is small
+        assert sizes.max() > 5000           # tail exists
+        assert (sizes >= 1).all()
+
+    def test_get_fraction_matches_mix(self, rng):
+        etc = EtcWorkload(rng)
+        gets = sum(etc.sample_is_get() for _ in range(20_000))
+        assert gets / 20_000 == pytest.approx(ETC_GET_FRACTION, abs=0.01)
+
+    def test_message_size_positive(self, rng):
+        etc = EtcWorkload(rng)
+        assert all(etc.sample_message_kb() > 0 for _ in range(100))
+
+    def test_deterministic_without_rng(self):
+        etc = EtcWorkload(None)
+        assert etc.sample_key_size_b() == 31
+        assert etc.sample_value_size_b() == 125
+        assert etc.sample_is_get()
+
+
+class TestLshIndex:
+    def test_candidates_returned_for_dataset_point(self):
+        index = default_index()
+        query = index.points[17]
+        candidates = index.candidates(query)
+        assert 17 in candidates  # a point always hashes to itself
+
+    def test_query_ranks_by_distance(self):
+        index = default_index()
+        query = index.points[5]
+        results = index.query(query, k=5)
+        assert results[0][0] == 5
+        assert results[0][1] == pytest.approx(0.0)
+        distances = [d for _, d in results]
+        assert distances == sorted(distances)
+
+    def test_query_shape_validated(self):
+        index = default_index()
+        with pytest.raises(ConfigurationError):
+            index.candidates(np.zeros(3))
+
+    def test_recall_on_noisy_queries(self):
+        """LSH must usually find the perturbed source point."""
+        index = default_index()
+        rng = np.random.default_rng(11)
+        hits = 0
+        for _ in range(50):
+            source = int(rng.integers(0, index.config.num_points))
+            query = index.points[source] + rng.normal(
+                scale=0.05, size=index.config.dim)
+            results = index.query(query, k=5)
+            if any(point == source for point, _ in results):
+                hits += 1
+        assert hits >= 40
+
+    def test_candidate_counts_reasonable(self):
+        counts = np.array(default_candidate_counts())
+        assert counts.min() >= 0
+        assert counts.max() <= 4000
+        assert counts.mean() > 10  # buckets are not empty
+
+    def test_deterministic_given_seed(self):
+        a = LshIndex(LshConfig(num_points=200, dim=16,
+                               num_tables=2, num_bits=6), seed=5)
+        b = LshIndex(LshConfig(num_points=200, dim=16,
+                               num_tables=2, num_bits=6), seed=5)
+        assert (a.points == b.points).all()
+        query = a.points[3]
+        assert a.candidates(query) == b.candidates(query)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LshConfig(num_points=0)
+        with pytest.raises(ConfigurationError):
+            LshConfig(num_bits=40)
+
+    def test_more_tables_more_candidates(self):
+        few = LshIndex(LshConfig(num_points=500, dim=16,
+                                 num_tables=1, num_bits=8), seed=3)
+        many = LshIndex(LshConfig(num_points=500, dim=16,
+                                  num_tables=6, num_bits=8), seed=3)
+        rng = np.random.default_rng(4)
+        query = few.points[0] + rng.normal(scale=0.1, size=16)
+        assert (len(many.candidates(query))
+                >= len(few.candidates(query)))
