@@ -1,0 +1,82 @@
+"""Campaign orchestration: parallel speedup and store-replay cost.
+
+Runs the same 12-condition Memcached SMT campaign three ways:
+
+* serial inline (the pre-campaign figure-study path),
+* fanned out over every core via the ProcessPoolExecutor path
+  (persisting to the result store as it goes),
+* replayed entirely from the store (cache hits only).
+
+Asserted shapes: parallel results are bit-identical to serial ones,
+and the replay touches zero simulations.  The printed table is the
+number to quote: near-linear speedup with cores on multi-core hosts,
+and a replay that costs milliseconds regardless of campaign size.
+"""
+
+import os
+import time
+
+from benchmarks.conftest import BENCH_REQUESTS, BENCH_RUNS, run_once
+from repro.campaign.executor import execute_campaign
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import ResultStore
+from repro.config.presets import server_with_smt
+
+QPS_LIST = (10_000, 100_000, 500_000)
+
+
+def build_spec():
+    return CampaignSpec(
+        name="bench-campaign",
+        workload="memcached",
+        conditions={"SMToff": server_with_smt(False),
+                    "SMTon": server_with_smt(True)},
+        qps_list=QPS_LIST,
+        runs=BENCH_RUNS,
+        num_requests=BENCH_REQUESTS,
+    )
+
+
+def sample_map(outcome):
+    return {h: result.avg_samples().tolist()
+            for h, result in outcome.results().items()}
+
+
+def test_campaign_parallel_speedup(benchmark, tmp_path):
+    spec = build_spec()
+    workers = os.cpu_count() or 1
+    assert spec.size() == 12
+
+    started = time.perf_counter()
+    serial = execute_campaign(spec, max_workers=1)
+    serial_s = time.perf_counter() - started
+
+    with ResultStore(str(tmp_path / "bench.sqlite")) as store:
+        parallel = run_once(
+            benchmark,
+            lambda: execute_campaign(
+                spec, store=store, max_workers=workers))
+        parallel_s = parallel.elapsed_s
+
+        started = time.perf_counter()
+        replay = execute_campaign(spec, store=store, max_workers=workers)
+        replay_s = time.perf_counter() - started
+
+    print()
+    print(f"Campaign: {spec.size()} conditions x {spec.runs} runs "
+          f"x {spec.num_requests} requests ({workers} workers)")
+    print(f"{'path':<22}{'wall (s)':>10}{'speedup':>10}")
+    print(f"{'serial inline':<22}{serial_s:>10.2f}{1.0:>10.2f}")
+    print(f"{'parallel pool':<22}{parallel_s:>10.2f}"
+          f"{serial_s / parallel_s:>10.2f}")
+    print(f"{'store replay':<22}{replay_s:>10.2f}"
+          f"{serial_s / replay_s:>10.2f}")
+
+    # --- shape assertions -------------------------------------------------
+    assert parallel.ok and len(parallel.executed) == 12
+    assert sample_map(parallel) == sample_map(serial), \
+        "parallel campaign must be bit-identical to the serial path"
+    assert len(replay.hits) == 12 and not replay.executed, \
+        "second invocation must be served entirely from the store"
+    assert replay_s < serial_s / 5, \
+        "store replay must be far cheaper than re-simulation"

@@ -1,9 +1,11 @@
 """Legacy setup shim.
 
-The offline environment ships setuptools but not ``wheel``, so PEP 517
-editable installs (which need ``bdist_wheel``) fail.  This shim lets
-``pip install -e . --no-build-isolation`` take the legacy
-``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+All metadata lives in ``pyproject.toml``; this file exists so
+environments with old setuptools can still take the legacy
+``setup.py develop`` install path.  Fully offline environments that
+lack ``wheel`` cannot ``pip install -e .`` at all (PEP 660 editable
+builds need ``bdist_wheel``) -- there, run from source with
+``PYTHONPATH=src`` as the README describes.
 """
 
 from setuptools import setup

@@ -5,15 +5,25 @@ condition x offered load, each cell being N repetitions.  One grid
 feeds several figures (e.g. the Memcached SMT grid produces Fig. 2a-d,
 Fig. 5a, Fig. 8, Fig. 9 and half of Table IV), so benchmarks build the
 grid once and render multiple artifacts from it.
+
+Since the campaign subsystem landed, every study is a thin wrapper
+over a declarative :class:`~repro.campaign.spec.CampaignSpec` executed
+through the shared campaign path -- the same specs can run in
+parallel, memoized in a :class:`~repro.campaign.store.ResultStore`,
+via ``repro campaign``.  Seeds are cell-identity-derived
+(:func:`repro.campaign.spec.cell_seed`), so a study grid and a
+campaign of the same conditions are bit-identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.campaign.executor import execute_campaign
+from repro.campaign.spec import CampaignSpec
 from repro.config.knobs import HardwareConfig
 from repro.config.presets import (
     HP_CLIENT,
@@ -23,20 +33,15 @@ from repro.config.presets import (
     server_with_smt,
 )
 from repro.core.comparison import Comparison, compare_conditions
-from repro.core.experiment import ExperimentResult, run_experiment
+from repro.core.experiment import ExperimentResult
 from repro.errors import ExperimentError
-from repro.sim.random import _stable_name_key
-from repro.workloads.hdsearch import build_hdsearch_testbed
-from repro.workloads.memcached import build_memcached_testbed
-from repro.workloads.socialnetwork import build_socialnetwork_testbed
-from repro.workloads.synthetic import build_synthetic_testbed
+from repro.workloads.registry import DEFAULT_QPS_SWEEPS
 
 #: The paper's load sweeps.
-MEMCACHED_QPS = (10_000, 50_000, 100_000, 200_000, 300_000,
-                 400_000, 500_000)
-HDSEARCH_QPS = (500, 1_000, 1_500, 2_000, 2_500)
-SOCIALNETWORK_QPS = (100, 200, 300, 400, 500, 600)
-SYNTHETIC_QPS = (5_000, 10_000, 15_000, 20_000)
+MEMCACHED_QPS = DEFAULT_QPS_SWEEPS["memcached"]
+HDSEARCH_QPS = DEFAULT_QPS_SWEEPS["hdsearch"]
+SOCIALNETWORK_QPS = DEFAULT_QPS_SWEEPS["socialnetwork"]
+SYNTHETIC_QPS = DEFAULT_QPS_SWEEPS["synthetic"]
 SYNTHETIC_DELAYS = (0, 100, 200, 300, 400)
 
 CLIENTS: Dict[str, HardwareConfig] = {"LP": LP_CLIENT, "HP": HP_CLIENT}
@@ -145,42 +150,31 @@ def _metric_value(result: ExperimentResult, metric: str) -> float:
     return float(np.median(_metric_samples(result, metric)))
 
 
-def _cell_seed(base_seed: int, client: str, condition: str,
-               qps: float) -> int:
-    """Deterministic, condition-unique seed block for one grid cell."""
-    key = _stable_name_key(f"{client}/{condition}/{qps:g}")
-    return base_seed + (key % 1_000_003) * 10_000
-
-
 def _run_grid(workload: str,
-              builder: Callable[..., object],
               conditions: Dict[str, HardwareConfig],
               qps_list: Sequence[float],
               runs: int, num_requests: int, base_seed: int,
               clients: Optional[Dict[str, HardwareConfig]] = None,
               **extra) -> StudyGrid:
-    clients = clients or CLIENTS
-    grid = StudyGrid(workload=workload, conditions=dict(conditions),
-                     qps_list=tuple(float(q) for q in qps_list))
-    for client_label, client_config in clients.items():
-        for condition_label, server_config in conditions.items():
-            per_qps: Dict[float, ExperimentResult] = {}
-            for qps in grid.qps_list:
-                label = f"{client_label}-{condition_label}"
-                per_qps[qps] = run_experiment(
-                    lambda seed, _q=qps: builder(
-                        seed=seed,
-                        client_config=client_config,
-                        server_config=server_config,
-                        qps=_q,
-                        num_requests=num_requests,
-                        **extra),
-                    runs=runs,
-                    base_seed=_cell_seed(
-                        base_seed, client_label, condition_label, qps),
-                    label=label)
-            grid.cells[(client_label, condition_label)] = per_qps
-    return grid
+    """Run one study grid through the shared campaign path (inline)."""
+    from repro.campaign.report import grid_from_outcome
+
+    spec = CampaignSpec(
+        name=f"{workload}-study",
+        workload=workload,
+        conditions=dict(conditions),
+        qps_list=tuple(float(q) for q in qps_list),
+        clients=dict(clients or CLIENTS),
+        runs=runs,
+        num_requests=num_requests,
+        base_seed=base_seed,
+        extra=dict(extra),
+    )
+    # fail_fast restores the pre-campaign study behavior: a broken
+    # cell raises its original exception immediately instead of
+    # simulating the rest of the grid first.
+    outcome = execute_campaign(spec, max_workers=1, fail_fast=True)
+    return grid_from_outcome(spec, outcome)
 
 
 # ----------------------------------------------------------------- studies
@@ -197,8 +191,8 @@ def memcached_study(knob: str = "smt",
                       "C1Eon": server_with_c1e(True)}
     else:
         raise ExperimentError(f"unknown knob {knob!r}")
-    return _run_grid("memcached", build_memcached_testbed, conditions,
-                     qps_list, runs, num_requests, base_seed)
+    return _run_grid("memcached", conditions, qps_list, runs,
+                     num_requests, base_seed)
 
 
 def hdsearch_study(knob: str = "smt",
@@ -214,8 +208,8 @@ def hdsearch_study(knob: str = "smt",
                       "C1Eon": server_with_c1e(True)}
     else:
         raise ExperimentError(f"unknown knob {knob!r}")
-    return _run_grid("hdsearch", build_hdsearch_testbed, conditions,
-                     qps_list, runs, num_requests, base_seed)
+    return _run_grid("hdsearch", conditions, qps_list, runs,
+                     num_requests, base_seed)
 
 
 def socialnetwork_study(qps_list: Sequence[float] = SOCIALNETWORK_QPS,
@@ -223,8 +217,8 @@ def socialnetwork_study(qps_list: Sequence[float] = SOCIALNETWORK_QPS,
                         base_seed: int = 0) -> StudyGrid:
     """The Fig. 6 Social Network grid (baseline server only)."""
     conditions = {"baseline": SERVER_BASELINE}
-    return _run_grid("socialnetwork", build_socialnetwork_testbed,
-                     conditions, qps_list, runs, num_requests, base_seed)
+    return _run_grid("socialnetwork", conditions, qps_list, runs,
+                     num_requests, base_seed)
 
 
 def synthetic_study(delays_us: Sequence[float] = SYNTHETIC_DELAYS,
@@ -238,8 +232,7 @@ def synthetic_study(delays_us: Sequence[float] = SYNTHETIC_DELAYS,
     grids: Dict[float, StudyGrid] = {}
     for delay in delays_us:
         grids[float(delay)] = _run_grid(
-            "synthetic", build_synthetic_testbed,
-            {"baseline": SERVER_BASELINE},
+            "synthetic", {"baseline": SERVER_BASELINE},
             qps_list, runs, num_requests, base_seed,
             added_delay_us=float(delay))
     return grids

@@ -1,0 +1,332 @@
+"""Campaign execution: store-aware, parallel, failure-isolated.
+
+The executor walks a campaign's expanded condition list and, for each
+condition, either (a) serves it from the result store (cache hit),
+(b) runs it inline (``max_workers <= 1``, the figure studies' path),
+or (c) ships it to a :class:`concurrent.futures.ProcessPoolExecutor`
+worker.  Each :class:`~repro.core.experiment.Experiment` is
+seed-deterministic and shares no state with any other condition, so
+the sweep is embarrassingly parallel and parallel results are
+bit-identical to serial ones.
+
+Failures are captured per condition -- a worker returns an error
+payload instead of raising -- so one bad condition never kills the
+campaign; it is reported, left out of the store, and retried on the
+next invocation.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.campaign.serialize import (
+    experiment_result_from_dict,
+    experiment_result_to_dict,
+)
+from repro.campaign.spec import CampaignSpec, ConditionSpec
+from repro.campaign.store import ResultStore
+from repro.core.experiment import ExperimentResult, run_experiment
+from repro.errors import ExperimentError
+from repro.workloads.registry import builder_by_name
+
+#: Condition status values, in lifecycle order.
+STATUS_HIT = "hit"
+STATUS_DONE = "done"
+STATUS_FAILED = "failed"
+
+#: Progress callback: (outcome, completed_count, total_count).
+ProgressCallback = Callable[["ConditionOutcome", int, int], None]
+
+
+def run_condition(spec: ConditionSpec) -> ExperimentResult:
+    """Run one condition's experiment to completion (any process)."""
+    builder = builder_by_name(spec.workload)
+    extra = spec.extra_kwargs()
+    return run_experiment(
+        lambda seed: builder(
+            seed=seed,
+            client_config=spec.client_config,
+            server_config=spec.server_config,
+            qps=spec.qps,
+            num_requests=spec.num_requests,
+            **extra),
+        runs=spec.runs,
+        base_seed=spec.base_seed,
+        label=spec.label)
+
+
+def _execute_chunk(payloads: Sequence[Dict[str, Any]]
+                   ) -> List[Dict[str, Any]]:
+    """Worker entry point: run a chunk of conditions, never raise.
+
+    Takes and returns plain dicts so the pickle boundary carries only
+    JSON-shaped data, and captures every exception as an error payload
+    so a single bad condition cannot poison its chunk or the pool.
+    """
+    out: List[Dict[str, Any]] = []
+    for payload in payloads:
+        spec = ConditionSpec.from_dict(payload)
+        started = time.perf_counter()
+        try:
+            result = run_condition(spec)
+            out.append({
+                "hash": spec.content_hash(),
+                "ok": True,
+                "result": experiment_result_to_dict(result),
+                "elapsed_s": time.perf_counter() - started,
+            })
+        except Exception as exc:  # noqa: BLE001 -- isolation boundary
+            out.append({
+                "hash": spec.content_hash(),
+                "ok": False,
+                "error": f"{type(exc).__name__}: {exc}",
+                "elapsed_s": time.perf_counter() - started,
+            })
+    return out
+
+
+@dataclass
+class ConditionOutcome:
+    """What happened to one condition of a campaign.
+
+    Attributes:
+        spec: the condition.
+        status: ``"hit"`` (served from the store), ``"done"`` (ran),
+            or ``"failed"``.
+        result: the experiment result (None when failed).
+        error: the captured error string (None unless failed).
+        elapsed_s: wall-clock seconds spent executing (0 for hits).
+    """
+
+    spec: ConditionSpec
+    status: str
+    result: Optional[ExperimentResult] = None
+    error: Optional[str] = None
+    elapsed_s: float = 0.0
+
+
+@dataclass
+class CampaignOutcome:
+    """Everything a finished (or partially-failed) campaign produced.
+
+    Attributes:
+        spec: the campaign that ran.
+        outcomes: one :class:`ConditionOutcome` per condition, in
+            expansion (paper) order.
+        elapsed_s: total wall-clock seconds for the campaign.
+    """
+
+    spec: CampaignSpec
+    outcomes: List[ConditionOutcome] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        """True when every condition has a result."""
+        return all(o.result is not None for o in self.outcomes)
+
+    @property
+    def hits(self) -> List[ConditionOutcome]:
+        """Conditions served from the store."""
+        return [o for o in self.outcomes if o.status == STATUS_HIT]
+
+    @property
+    def executed(self) -> List[ConditionOutcome]:
+        """Conditions actually simulated this invocation."""
+        return [o for o in self.outcomes if o.status == STATUS_DONE]
+
+    @property
+    def failures(self) -> List[ConditionOutcome]:
+        """Conditions that errored this invocation."""
+        return [o for o in self.outcomes if o.status == STATUS_FAILED]
+
+    def results(self) -> Dict[str, ExperimentResult]:
+        """condition hash -> result, for every completed condition."""
+        return {o.spec.content_hash(): o.result
+                for o in self.outcomes if o.result is not None}
+
+    def raise_on_failure(self) -> None:
+        """Raise :class:`ExperimentError` if any condition failed."""
+        if not self.ok:
+            lines = [f"  {o.spec.label} @ {o.spec.qps:g}: {o.error}"
+                     for o in self.failures]
+            raise ExperimentError(
+                f"{len(self.failures)}/{len(self.outcomes)} campaign "
+                "conditions failed:\n" + "\n".join(lines))
+
+    def summary(self) -> str:
+        """One-line human summary of the invocation."""
+        return (f"campaign {self.spec.name!r}: "
+                f"{len(self.outcomes)} conditions, "
+                f"{len(self.hits)} cached, "
+                f"{len(self.executed)} executed, "
+                f"{len(self.failures)} failed "
+                f"in {self.elapsed_s:.2f}s")
+
+
+class CampaignExecutor:
+    """Runs campaigns against an optional store, serially or in parallel.
+
+    Args:
+        store: result store for memoization/resume; None disables
+            persistence (every condition executes).
+        max_workers: process count. ``None`` means ``os.cpu_count()``;
+            values <= 1 run inline in this process (no pool, no pickle
+            round-trip) -- the exact serial path the figure studies
+            used before campaigns existed.
+        chunksize: conditions shipped to a worker per task.  Raise it
+            for campaigns of many tiny conditions to amortize process
+            round-trips.
+        fail_fast: abort on the first failed condition instead of
+            capturing it and continuing.  Inline execution re-raises
+            the original exception (the pre-campaign study behavior);
+            pool execution cancels pending work and raises an
+            :class:`ExperimentError` carrying the worker's error.
+    """
+
+    def __init__(self, store: Optional[ResultStore] = None,
+                 max_workers: Optional[int] = None,
+                 chunksize: int = 1, fail_fast: bool = False) -> None:
+        if chunksize < 1:
+            raise ExperimentError(
+                f"chunksize must be >= 1, got {chunksize}")
+        self.store = store
+        self.max_workers = (os.cpu_count() or 1) if max_workers is None \
+            else int(max_workers)
+        self.chunksize = int(chunksize)
+        self.fail_fast = bool(fail_fast)
+
+    # ------------------------------------------------------------------
+    def run(self, spec: CampaignSpec,
+            progress: Optional[ProgressCallback] = None
+            ) -> CampaignOutcome:
+        """Execute *spec*: serve hits, run the rest, persist as we go."""
+        started = time.perf_counter()
+        conditions = spec.expand()
+        total = len(conditions)
+        by_hash: Dict[str, ConditionOutcome] = {}
+        completed = 0
+
+        def record(outcome: ConditionOutcome) -> None:
+            nonlocal completed
+            by_hash[outcome.spec.content_hash()] = outcome
+            completed += 1
+            if progress is not None:
+                progress(outcome, completed, total)
+
+        pending: List[ConditionSpec] = []
+        for condition in conditions:
+            cached = (self.store.get(condition.content_hash())
+                      if self.store is not None else None)
+            if cached is not None:
+                record(ConditionOutcome(
+                    spec=condition, status=STATUS_HIT, result=cached))
+            else:
+                pending.append(condition)
+
+        if pending:
+            if self.max_workers <= 1:
+                self._run_inline(spec, pending, record)
+            else:
+                self._run_pool(spec, pending, record)
+
+        outcomes = [by_hash[c.content_hash()] for c in conditions]
+        return CampaignOutcome(
+            spec=spec, outcomes=outcomes,
+            elapsed_s=time.perf_counter() - started)
+
+    # ------------------------------------------------------------------
+    def _persist(self, spec: CampaignSpec, condition: ConditionSpec,
+                 result: ExperimentResult) -> None:
+        if self.store is not None:
+            self.store.put(condition, result, campaign=spec.name)
+
+    def _run_inline(self, spec: CampaignSpec,
+                    pending: List[ConditionSpec],
+                    record: Callable[[ConditionOutcome], None]) -> None:
+        for condition in pending:
+            started = time.perf_counter()
+            try:
+                result = run_condition(condition)
+            except Exception as exc:  # noqa: BLE001 -- isolation boundary
+                if self.fail_fast:
+                    raise
+                record(ConditionOutcome(
+                    spec=condition, status=STATUS_FAILED,
+                    error=f"{type(exc).__name__}: {exc}",
+                    elapsed_s=time.perf_counter() - started))
+                continue
+            self._persist(spec, condition, result)
+            record(ConditionOutcome(
+                spec=condition, status=STATUS_DONE, result=result,
+                elapsed_s=time.perf_counter() - started))
+
+    def _run_pool(self, spec: CampaignSpec,
+                  pending: List[ConditionSpec],
+                  record: Callable[[ConditionOutcome], None]) -> None:
+        by_hash = {c.content_hash(): c for c in pending}
+        chunks = [pending[i:i + self.chunksize]
+                  for i in range(0, len(pending), self.chunksize)]
+        workers = min(self.max_workers, len(chunks))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_execute_chunk,
+                            [c.to_dict() for c in chunk]): chunk
+                for chunk in chunks}
+            for future in as_completed(futures):
+                chunk = futures[future]
+                try:
+                    payloads = future.result()
+                except Exception as exc:  # noqa: BLE001 -- pool failure
+                    # The whole chunk is lost (e.g. a worker died);
+                    # fail its conditions rather than the campaign.
+                    for condition in chunk:
+                        record(ConditionOutcome(
+                            spec=condition, status=STATUS_FAILED,
+                            error=f"{type(exc).__name__}: {exc}"))
+                    continue
+                for payload in payloads:
+                    condition = by_hash[payload["hash"]]
+                    elapsed = float(payload.get("elapsed_s", 0.0))
+                    if self.fail_fast and not payload["ok"]:
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        raise ExperimentError(
+                            f"condition {condition.label} @ "
+                            f"{condition.qps:g} failed: "
+                            f"{payload['error']}")
+                    if payload["ok"]:
+                        result = experiment_result_from_dict(
+                            payload["result"])
+                        self._persist(spec, condition, result)
+                        record(ConditionOutcome(
+                            spec=condition, status=STATUS_DONE,
+                            result=result, elapsed_s=elapsed))
+                    else:
+                        record(ConditionOutcome(
+                            spec=condition, status=STATUS_FAILED,
+                            error=payload["error"],
+                            elapsed_s=elapsed))
+
+
+def execute_campaign(spec: CampaignSpec,
+                     store: Optional[ResultStore] = None,
+                     max_workers: Optional[int] = 1,
+                     chunksize: int = 1,
+                     fail_fast: bool = False,
+                     progress: Optional[ProgressCallback] = None
+                     ) -> CampaignOutcome:
+    """Convenience wrapper: build an executor and run *spec* once.
+
+    Defaults to inline serial execution (``max_workers=1``), the
+    right choice for library callers like the figure studies; pass
+    ``max_workers=None`` to use every core.
+    """
+    executor = CampaignExecutor(
+        store=store, max_workers=max_workers, chunksize=chunksize,
+        fail_fast=fail_fast)
+    return executor.run(spec, progress=progress)

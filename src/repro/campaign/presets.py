@@ -1,0 +1,84 @@
+"""Named campaign presets mirroring the paper's figure studies.
+
+Each preset is the declarative form of one study grid, at the paper's
+default scale (50 runs, full QPS sweep).  The CLI exposes them so a
+full figure campaign is one command::
+
+    repro campaign run --preset memcached-smt --store results.sqlite
+
+Scale overrides (``runs``, ``num_requests``, ``qps_list``,
+``base_seed``) apply on top via :meth:`CampaignSpec.with_overrides`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.campaign.spec import CampaignSpec
+from repro.config.presets import (
+    SERVER_BASELINE,
+    server_with_c1e,
+    server_with_smt,
+)
+from repro.errors import ExperimentError
+from repro.workloads.registry import DEFAULT_QPS_SWEEPS
+
+_SMT = {"SMToff": server_with_smt(False), "SMTon": server_with_smt(True)}
+_C1E = {"C1Eoff": server_with_c1e(False), "C1Eon": server_with_c1e(True)}
+
+
+def _study(name: str, workload: str, conditions, num_requests: int,
+           **extra: Any) -> Callable[[], CampaignSpec]:
+    def build() -> CampaignSpec:
+        return CampaignSpec(
+            name=name,
+            workload=workload,
+            conditions=dict(conditions),
+            qps_list=DEFAULT_QPS_SWEEPS[workload],
+            num_requests=num_requests,
+            extra=dict(extra),
+        )
+    return build
+
+
+_PRESETS: Dict[str, Callable[[], CampaignSpec]] = {
+    # Fig. 2 / Fig. 3: the Memcached knob studies.
+    "memcached-smt": _study(
+        "memcached-smt", "memcached", _SMT, num_requests=2_000),
+    "memcached-c1e": _study(
+        "memcached-c1e", "memcached", _C1E, num_requests=2_000),
+    # Fig. 4: HDSearch.
+    "hdsearch-smt": _study(
+        "hdsearch-smt", "hdsearch", _SMT, num_requests=1_000),
+    "hdsearch-c1e": _study(
+        "hdsearch-c1e", "hdsearch", _C1E, num_requests=1_000),
+    # Fig. 6: Social Network, baseline server only.
+    "socialnetwork": _study(
+        "socialnetwork", "socialnetwork",
+        {"baseline": SERVER_BASELINE}, num_requests=800),
+    # Fig. 7 (one delay point): the synthetic sensitivity workload.
+    "synthetic": _study(
+        "synthetic", "synthetic", {"baseline": SERVER_BASELINE},
+        num_requests=2_000, added_delay_us=200.0),
+}
+
+
+def preset_names() -> tuple:
+    """Sorted names of all campaign presets."""
+    return tuple(sorted(_PRESETS))
+
+
+def campaign_by_name(name: str) -> CampaignSpec:
+    """Build the preset campaign called *name*.
+
+    Raises:
+        ExperimentError: on an unknown preset name.
+    """
+    try:
+        build = _PRESETS[str(name)]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown campaign preset {name!r}; available: "
+            f"{', '.join(preset_names())}"
+        ) from None
+    return build()

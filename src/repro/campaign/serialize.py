@@ -1,0 +1,155 @@
+"""Serialization for campaign specs and results.
+
+Everything a campaign touches must survive two boundaries: the pickle
+boundary into worker processes and the JSON boundary into the result
+store.  This module provides the dict round-trips for
+:class:`~repro.config.knobs.HardwareConfig`,
+:class:`~repro.core.testbed.RunMetrics` and
+:class:`~repro.core.experiment.ExperimentResult`, plus the canonical
+JSON encoding that condition content hashes are computed over.
+
+Canonical form: sorted keys, no whitespace, enums as their ``.value``
+strings, C-states as a sorted list.  Two specs with equal canonical
+JSON are the same condition, regardless of which process or session
+built them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Union
+
+from repro.config.knobs import (
+    FrequencyDriver,
+    FrequencyGovernor,
+    HardwareConfig,
+    UncorePolicy,
+)
+from repro.core.experiment import ExperimentResult
+from repro.core.testbed import RunMetrics
+from repro.errors import ExperimentError
+
+
+def canonical_json(data: Any) -> str:
+    """The canonical (sorted, compact) JSON encoding of *data*."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def content_hash(data: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON of *data*."""
+    return hashlib.sha256(canonical_json(data).encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------- HardwareConfig
+def hardware_config_to_dict(config: HardwareConfig) -> Dict[str, Any]:
+    """Flatten a :class:`HardwareConfig` into plain JSON types."""
+    return {
+        "name": config.name,
+        "cstates": sorted(config.enabled_cstates),
+        "frequency_driver": config.frequency_driver.value,
+        "frequency_governor": config.frequency_governor.value,
+        "turbo": config.turbo,
+        "smt": config.smt,
+        "uncore": config.uncore.value,
+        "tickless": config.tickless,
+    }
+
+
+def hardware_config_from_dict(
+        data: Union[str, Dict[str, Any]]) -> HardwareConfig:
+    """Rebuild a :class:`HardwareConfig` from its dict form.
+
+    A plain string is treated as a preset name: ``"LP"``/``"HP"`` (the
+    Table II clients) or ``"baseline"``/``"server-baseline"``.
+    """
+    if isinstance(data, str):
+        return _preset_by_name(data)
+    try:
+        return HardwareConfig(
+            name=str(data["name"]),
+            enabled_cstates=frozenset(data["cstates"]),
+            frequency_driver=FrequencyDriver(data["frequency_driver"]),
+            frequency_governor=FrequencyGovernor(
+                data["frequency_governor"]),
+            turbo=bool(data["turbo"]),
+            smt=bool(data["smt"]),
+            uncore=UncorePolicy(data["uncore"]),
+            tickless=bool(data["tickless"]),
+        )
+    except (KeyError, ValueError) as exc:
+        raise ExperimentError(
+            f"invalid hardware config dict: {exc}") from exc
+
+
+def _preset_by_name(name: str) -> HardwareConfig:
+    from repro.config.presets import SERVER_BASELINE, client_by_name
+
+    if name.lower() in ("baseline", "server-baseline"):
+        return SERVER_BASELINE
+    try:
+        return client_by_name(name)
+    except ValueError as exc:
+        raise ExperimentError(str(exc)) from None
+
+
+# --------------------------------------------------------------- RunMetrics
+def run_metrics_to_dict(metrics: RunMetrics) -> Dict[str, Any]:
+    """Flatten one run's summary into plain JSON types."""
+    return {
+        "avg_us": metrics.avg_us,
+        "p99_us": metrics.p99_us,
+        "true_avg_us": metrics.true_avg_us,
+        "true_p99_us": metrics.true_p99_us,
+        "requests": metrics.requests,
+        "seed": metrics.seed,
+        "server_utilization": metrics.server_utilization,
+    }
+
+
+def run_metrics_from_dict(data: Dict[str, Any]) -> RunMetrics:
+    """Rebuild a :class:`RunMetrics` from its dict form."""
+    try:
+        return RunMetrics(
+            avg_us=float(data["avg_us"]),
+            p99_us=float(data["p99_us"]),
+            true_avg_us=float(data["true_avg_us"]),
+            true_p99_us=float(data["true_p99_us"]),
+            requests=int(data["requests"]),
+            seed=int(data["seed"]),
+            server_utilization=float(data["server_utilization"]),
+        )
+    except KeyError as exc:
+        raise ExperimentError(
+            f"invalid run-metrics dict: missing {exc}") from exc
+
+
+# --------------------------------------------------------- ExperimentResult
+def experiment_result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
+    """Flatten an :class:`ExperimentResult` into plain JSON types.
+
+    JSON float encoding uses ``repr``, which round-trips IEEE doubles
+    exactly, so a stored result is bit-identical to a fresh one.
+    """
+    return {
+        "label": result.label,
+        "workload": result.workload,
+        "qps": result.qps,
+        "runs": [run_metrics_to_dict(run) for run in result.runs],
+        "metadata": dict(result.metadata),
+    }
+
+
+def experiment_result_from_dict(data: Dict[str, Any]) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from its dict form."""
+    try:
+        return ExperimentResult(
+            label=str(data["label"]),
+            workload=str(data["workload"]),
+            qps=float(data["qps"]),
+            runs=[run_metrics_from_dict(run) for run in data["runs"]],
+            metadata=dict(data.get("metadata", {})),
+        )
+    except KeyError as exc:
+        raise ExperimentError(
+            f"invalid experiment-result dict: missing {exc}") from exc

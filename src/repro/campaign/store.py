@@ -1,0 +1,184 @@
+"""Durable result store: SQLite rows keyed by condition hash.
+
+Every completed condition is persisted as (condition hash, condition
+spec JSON, result payload JSON).  The hash is content-derived
+(:meth:`ConditionSpec.content_hash`), so:
+
+* re-running a campaign skips every condition already in the store
+  (a cache hit is byte-identical to a fresh run);
+* a campaign killed mid-flight resumes from exactly the conditions it
+  had not finished -- partial results were committed as they landed;
+* different campaigns that share conditions share results;
+* the analysis layer can rebuild figures and tables from the store
+  without re-simulating anything.
+
+Only successful conditions are stored; failures stay pending so the
+next invocation retries them.  One writer (the campaign parent
+process) is assumed -- workers return results to the parent rather
+than writing concurrently.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.campaign.serialize import (
+    canonical_json,
+    experiment_result_from_dict,
+    experiment_result_to_dict,
+)
+from repro.campaign.spec import ConditionSpec
+from repro.core.experiment import ExperimentResult
+from repro.errors import ExperimentError
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    condition_hash  TEXT PRIMARY KEY,
+    campaign        TEXT NOT NULL,
+    workload        TEXT NOT NULL,
+    label           TEXT NOT NULL,
+    qps             REAL NOT NULL,
+    runs            INTEGER NOT NULL,
+    spec_json       TEXT NOT NULL,
+    payload_json    TEXT NOT NULL,
+    created_at      REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_results_campaign
+    ON results (campaign);
+"""
+
+
+class ResultStore:
+    """SQLite-backed store of per-condition experiment results.
+
+    Args:
+        path: database file path; parent directories are created.
+            ``":memory:"`` gives an ephemeral in-process store (tests).
+    """
+
+    def __init__(self, path: str = "campaign-results.sqlite") -> None:
+        self.path = str(path)
+        if self.path != ":memory:":
+            parent = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(parent, exist_ok=True)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    # ------------------------------------------------------------------
+    def put(self, spec: ConditionSpec, result: ExperimentResult,
+            campaign: str = "") -> None:
+        """Persist one condition's result (idempotent, last write wins)."""
+        self._conn.execute(
+            "INSERT OR REPLACE INTO results (condition_hash, campaign, "
+            "workload, label, qps, runs, spec_json, payload_json, "
+            "created_at) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (spec.content_hash(), str(campaign), spec.workload,
+             spec.label, spec.qps, spec.runs,
+             canonical_json(spec.to_dict()),
+             canonical_json(experiment_result_to_dict(result)),
+             time.time()))
+        self._conn.commit()
+
+    def get(self, condition_hash: str) -> Optional[ExperimentResult]:
+        """The stored result for *condition_hash*, or None."""
+        row = self._conn.execute(
+            "SELECT payload_json FROM results WHERE condition_hash = ?",
+            (condition_hash,)).fetchone()
+        if row is None:
+            return None
+        return experiment_result_from_dict(json.loads(row[0]))
+
+    def get_spec(self, condition_hash: str) -> Optional[ConditionSpec]:
+        """The stored condition spec for *condition_hash*, or None."""
+        row = self._conn.execute(
+            "SELECT spec_json FROM results WHERE condition_hash = ?",
+            (condition_hash,)).fetchone()
+        if row is None:
+            return None
+        return ConditionSpec.from_dict(json.loads(row[0]))
+
+    def __contains__(self, condition_hash: str) -> bool:
+        row = self._conn.execute(
+            "SELECT 1 FROM results WHERE condition_hash = ?",
+            (condition_hash,)).fetchone()
+        return row is not None
+
+    def hashes(self) -> frozenset:
+        """All stored condition hashes."""
+        rows = self._conn.execute(
+            "SELECT condition_hash FROM results").fetchall()
+        return frozenset(row[0] for row in rows)
+
+    def count(self) -> int:
+        """Number of stored conditions."""
+        return int(self._conn.execute(
+            "SELECT COUNT(*) FROM results").fetchone()[0])
+
+    def rows(self) -> Iterator[Tuple[str, str, str, float, int, float]]:
+        """(hash, campaign, label, qps, runs, created_at) per row."""
+        cursor = self._conn.execute(
+            "SELECT condition_hash, campaign, label, qps, runs, "
+            "created_at FROM results ORDER BY created_at")
+        yield from cursor
+
+    # ------------------------------------------------------------------
+    def missing(self, conditions: List[ConditionSpec]
+                ) -> List[ConditionSpec]:
+        """The subset of *conditions* not yet in the store."""
+        stored = self.hashes()
+        return [c for c in conditions if c.content_hash() not in stored]
+
+    def results_for(self, conditions: List[ConditionSpec]
+                    ) -> Dict[str, ExperimentResult]:
+        """hash -> result for every stored member of *conditions*."""
+        out: Dict[str, ExperimentResult] = {}
+        for condition in conditions:
+            result = self.get(condition.content_hash())
+            if result is not None:
+                out[condition.content_hash()] = result
+        return out
+
+    def delete(self, condition_hash: str) -> bool:
+        """Drop one condition; True if a row was deleted."""
+        cursor = self._conn.execute(
+            "DELETE FROM results WHERE condition_hash = ?",
+            (condition_hash,))
+        self._conn.commit()
+        return cursor.rowcount > 0
+
+    def clear(self) -> int:
+        """Drop every row; returns the number deleted."""
+        cursor = self._conn.execute("DELETE FROM results")
+        self._conn.commit()
+        return cursor.rowcount
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._conn.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def open_store(path: Optional[str]) -> Optional[ResultStore]:
+    """Open a store, or pass None through (store-less execution)."""
+    if path is None:
+        return None
+    return ResultStore(path)
+
+
+def require_store(path: str) -> ResultStore:
+    """Open an existing store; raise if the file does not exist yet."""
+    if path != ":memory:" and not os.path.exists(path):
+        raise ExperimentError(
+            f"no result store at {path!r}; run the campaign first")
+    return ResultStore(path)

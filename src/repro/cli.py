@@ -1,16 +1,20 @@
 """Command-line interface.
 
-Four subcommands mirror the library's faces::
+Five subcommands mirror the library's faces::
 
     repro study --workload memcached --knob smt --qps 10000 100000
     repro tune --config HP [--real] [--apply]
     repro recommend --loop open --interarrival block-wait
     repro capacity --qos-p99 400 --target-qps 1000000
+    repro campaign run --preset memcached-smt --store results.sqlite
 
 ``repro study`` runs a scaled study grid and prints the paper-style
 series; ``repro tune`` plans (and optionally applies) a host
 configuration; ``repro recommend`` prints the Section VI advice;
-``repro capacity`` runs the provisioning analysis of Section V-A.
+``repro capacity`` runs the provisioning analysis of Section V-A;
+``repro campaign`` runs declarative experiment sweeps in parallel
+against a persistent result store (``run``/``status``/``report``) --
+killed campaigns resume, finished ones are served from cache.
 """
 
 from __future__ import annotations
@@ -65,6 +69,8 @@ def _build_parser() -> argparse.ArgumentParser:
     study.add_argument("--requests", type=int, default=500)
     study.add_argument("--metric", default="avg",
                        choices=["avg", "p99", "true_avg", "stdev_avg"])
+    study.add_argument("--seed", type=int, default=0,
+                       help="base seed for the repetition protocol")
 
     tune = commands.add_parser(
         "tune", help="plan/apply a host configuration")
@@ -96,6 +102,48 @@ def _build_parser() -> argparse.ArgumentParser:
                                    400_000, 500_000])
     capacity.add_argument("--runs", type=int, default=10)
     capacity.add_argument("--requests", type=int, default=500)
+    capacity.add_argument("--seed", type=int, default=0,
+                          help="base seed for the repetition protocol")
+
+    campaign = commands.add_parser(
+        "campaign", help="parallel, resumable experiment sweeps")
+    campaign_commands = campaign.add_subparsers(
+        dest="campaign_command", required=True)
+    for verb, help_text in (
+            ("run", "execute a campaign (skips stored conditions)"),
+            ("status", "show completion state against the store"),
+            ("report", "render paper-style series from the store")):
+        sub = campaign_commands.add_parser(verb, help=help_text)
+        source = sub.add_mutually_exclusive_group(required=True)
+        source.add_argument("--spec", metavar="FILE",
+                            help="campaign spec JSON file")
+        source.add_argument("--preset",
+                            help="named preset, e.g. memcached-smt "
+                                 "(see repro.campaign.presets)")
+        sub.add_argument("--store", default="campaign-results.sqlite",
+                         help="SQLite result store path")
+        sub.add_argument("--qps", type=float, nargs="+", default=None,
+                         help="override the spec's QPS sweep")
+        sub.add_argument("--runs", type=int, default=None,
+                         help="override repetitions per condition")
+        sub.add_argument("--requests", type=int, default=None,
+                         help="override requests per run")
+        sub.add_argument("--seed", type=int, default=None,
+                         help="override the campaign base seed")
+        if verb == "run":
+            parallelism = sub.add_mutually_exclusive_group()
+            parallelism.add_argument(
+                "--workers", type=int, default=None,
+                help="worker processes (default: all cores)")
+            parallelism.add_argument(
+                "--serial", action="store_true",
+                help="run inline in this process")
+            sub.add_argument("--chunksize", type=int, default=1,
+                             help="conditions per worker task")
+        if verb == "report":
+            sub.add_argument("--metric", default="avg",
+                             choices=["avg", "p99", "true_avg",
+                                      "stdev_avg"])
     return parser
 
 
@@ -103,13 +151,13 @@ def _cmd_study(args: argparse.Namespace) -> int:
     builders = {
         "memcached": lambda: memcached_study(
             knob=args.knob, qps_list=args.qps, runs=args.runs,
-            num_requests=args.requests),
+            num_requests=args.requests, base_seed=args.seed),
         "hdsearch": lambda: hdsearch_study(
             knob=args.knob, qps_list=args.qps, runs=args.runs,
-            num_requests=args.requests),
+            num_requests=args.requests, base_seed=args.seed),
         "socialnetwork": lambda: socialnetwork_study(
             qps_list=args.qps, runs=args.runs,
-            num_requests=args.requests),
+            num_requests=args.requests, base_seed=args.seed),
     }
     grid = builders[args.workload]()
     print(render_latency_series(grid, args.metric))
@@ -164,7 +212,7 @@ def _cmd_capacity(args: argparse.Namespace) -> int:
                 lambda seed, c=config, q=qps: build_memcached_testbed(
                     seed, client_config=c, qps=q,
                     num_requests=args.requests),
-                runs=args.runs)
+                runs=args.runs, base_seed=args.seed)
             latency_by_qps[qps] = float(
                 np.median(result.p99_samples()))
         observers[name] = capacity_under_qos(
@@ -186,6 +234,69 @@ def _cmd_capacity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_campaign_spec(args: argparse.Namespace):
+    """The campaign spec named by --spec/--preset, with overrides."""
+    from repro.campaign.presets import campaign_by_name
+    from repro.campaign.spec import CampaignSpec
+
+    if args.spec:
+        spec = CampaignSpec.load(args.spec)
+    else:
+        spec = campaign_by_name(args.preset)
+    overrides = {}
+    if args.qps is not None:
+        overrides["qps_list"] = tuple(args.qps)
+    if args.runs is not None:
+        overrides["runs"] = args.runs
+    if args.requests is not None:
+        overrides["num_requests"] = args.requests
+    if args.seed is not None:
+        overrides["base_seed"] = args.seed
+    return spec.with_overrides(**overrides) if overrides else spec
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign.executor import CampaignExecutor
+    from repro.campaign.report import (
+        render_campaign_report,
+        render_campaign_status,
+    )
+    from repro.campaign.store import ResultStore, require_store
+    from repro.errors import ReproError
+
+    try:
+        spec = _load_campaign_spec(args)
+        if args.campaign_command == "run":
+            workers = 1 if args.serial else args.workers
+            with ResultStore(args.store) as store:
+                executor = CampaignExecutor(
+                    store=store, max_workers=workers,
+                    chunksize=args.chunksize)
+
+                def progress(outcome, completed, total):
+                    condition = outcome.spec
+                    detail = (f" [{outcome.error}]"
+                              if outcome.status == "failed" else "")
+                    print(f"[{completed}/{total}] {outcome.status:<6} "
+                          f"{condition.label} @ {condition.qps:g}"
+                          f"{detail}")
+
+                outcome = executor.run(spec, progress=progress)
+            print()
+            print(outcome.summary())
+            print(f"store: {args.store}")
+            return 0 if outcome.ok else 1
+        with require_store(args.store) as store:
+            if args.campaign_command == "status":
+                print(render_campaign_status(spec, store))
+                return 0
+            print(render_campaign_report(spec, store, args.metric))
+            return 0
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
@@ -194,6 +305,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "tune": _cmd_tune,
         "recommend": _cmd_recommend,
         "capacity": _cmd_capacity,
+        "campaign": _cmd_campaign,
     }
     return handlers[args.command](args)
 

@@ -19,11 +19,21 @@ from repro.workloads.memcached import build_memcached_testbed
 from repro.workloads.hdsearch import build_hdsearch_testbed
 from repro.workloads.socialnetwork import build_socialnetwork_testbed
 from repro.workloads.synthetic import build_synthetic_testbed
+from repro.workloads.registry import (
+    DEFAULT_QPS_SWEEPS,
+    builder_by_name,
+    register_builder,
+    registered_workloads,
+)
 
 __all__ = [
+    "DEFAULT_QPS_SWEEPS",
     "EtcWorkload",
     "build_memcached_testbed",
     "build_hdsearch_testbed",
     "build_socialnetwork_testbed",
     "build_synthetic_testbed",
+    "builder_by_name",
+    "register_builder",
+    "registered_workloads",
 ]

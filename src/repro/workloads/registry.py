@@ -1,0 +1,87 @@
+"""Builder registry: testbed builders addressable by workload name.
+
+Campaign specs are *data* (dicts, JSON, database rows), so they cannot
+hold a builder callable directly -- and multiprocessing workers need to
+reconstruct the builder on the far side of a pickle boundary.  The
+registry gives every workload a stable string name; a spec carries the
+name, and whichever process executes the condition resolves it back to
+the callable.
+
+The four paper workloads register themselves here.  Extensions (new
+scenarios, alternative service models) call :func:`register_builder`
+at import time; anything importable in the worker process is usable in
+a campaign.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence, Tuple
+
+from repro.core.testbed import Testbed
+from repro.errors import ExperimentError
+from repro.workloads.hdsearch import build_hdsearch_testbed
+from repro.workloads.memcached import build_memcached_testbed
+from repro.workloads.socialnetwork import build_socialnetwork_testbed
+from repro.workloads.synthetic import build_synthetic_testbed
+
+#: A testbed builder: ``builder(seed=..., client_config=...,
+#: server_config=..., qps=..., num_requests=..., **extra) -> Testbed``.
+TestbedBuilder = Callable[..., Testbed]
+
+#: The paper's load sweeps, per workload (Section IV-B).
+DEFAULT_QPS_SWEEPS: Dict[str, Tuple[float, ...]] = {
+    "memcached": (10_000, 50_000, 100_000, 200_000, 300_000,
+                  400_000, 500_000),
+    "hdsearch": (500, 1_000, 1_500, 2_000, 2_500),
+    "socialnetwork": (100, 200, 300, 400, 500, 600),
+    "synthetic": (5_000, 10_000, 15_000, 20_000),
+}
+
+_BUILDERS: Dict[str, TestbedBuilder] = {}
+
+
+def register_builder(name: str, builder: TestbedBuilder,
+                     replace: bool = False) -> None:
+    """Register *builder* under *name*.
+
+    Args:
+        name: stable workload name, e.g. ``"memcached"``.
+        builder: the testbed factory.
+        replace: allow overwriting an existing registration (tests).
+
+    Raises:
+        ExperimentError: on duplicate registration without *replace*.
+    """
+    key = str(name)
+    if not replace and key in _BUILDERS:
+        raise ExperimentError(
+            f"builder {key!r} is already registered; "
+            f"pass replace=True to override")
+    _BUILDERS[key] = builder
+
+
+def builder_by_name(name: str) -> TestbedBuilder:
+    """Resolve a workload name to its testbed builder.
+
+    Raises:
+        ExperimentError: if no builder is registered under *name*.
+    """
+    try:
+        return _BUILDERS[str(name)]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown workload {name!r}; registered: "
+            f"{registered_workloads()}"
+        ) from None
+
+
+def registered_workloads() -> Sequence[str]:
+    """Sorted names of all registered workloads."""
+    return tuple(sorted(_BUILDERS))
+
+
+# The paper's four workloads.
+register_builder("memcached", build_memcached_testbed)
+register_builder("hdsearch", build_hdsearch_testbed)
+register_builder("socialnetwork", build_socialnetwork_testbed)
+register_builder("synthetic", build_synthetic_testbed)

@@ -1,0 +1,132 @@
+"""Tests for the SQLite result store."""
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import ResultStore, open_store, require_store
+from repro.config.presets import LP_CLIENT, server_with_smt
+from repro.core.experiment import run_experiment
+from repro.errors import ExperimentError
+from repro.workloads.memcached import build_memcached_testbed
+
+
+@pytest.fixture
+def spec():
+    return CampaignSpec(
+        name="store-test",
+        workload="memcached",
+        conditions={"SMToff": server_with_smt(False)},
+        qps_list=(10_000, 50_000),
+        clients={"LP": LP_CLIENT},
+        runs=2,
+        num_requests=60,
+    )
+
+
+@pytest.fixture
+def store():
+    with ResultStore(":memory:") as memory_store:
+        yield memory_store
+
+
+def run_one(condition):
+    return run_experiment(
+        lambda seed: build_memcached_testbed(
+            seed, client_config=condition.client_config,
+            server_config=condition.server_config, qps=condition.qps,
+            num_requests=condition.num_requests),
+        runs=condition.runs, base_seed=condition.base_seed,
+        label=condition.label)
+
+
+class TestRoundTrip:
+    def test_put_get_is_exact(self, spec, store):
+        condition = spec.expand()[0]
+        result = run_one(condition)
+        store.put(condition, result, campaign=spec.name)
+        fetched = store.get(condition.content_hash())
+        assert fetched.runs == result.runs
+        assert fetched.label == result.label
+        assert fetched.qps == result.qps
+
+    def test_get_missing_returns_none(self, store):
+        assert store.get("no-such-hash") is None
+        assert store.get_spec("no-such-hash") is None
+
+    def test_contains_and_count(self, spec, store):
+        condition = spec.expand()[0]
+        assert condition.content_hash() not in store
+        store.put(condition, run_one(condition))
+        assert condition.content_hash() in store
+        assert store.count() == 1
+
+    def test_put_is_idempotent(self, spec, store):
+        condition = spec.expand()[0]
+        result = run_one(condition)
+        store.put(condition, result)
+        store.put(condition, result)
+        assert store.count() == 1
+
+    def test_spec_round_trip(self, spec, store):
+        condition = spec.expand()[0]
+        store.put(condition, run_one(condition))
+        assert store.get_spec(condition.content_hash()) == condition
+
+
+class TestQueries:
+    def test_missing_partitions_conditions(self, spec, store):
+        conditions = spec.expand()
+        store.put(conditions[0], run_one(conditions[0]))
+        missing = store.missing(conditions)
+        assert missing == conditions[1:]
+
+    def test_results_for(self, spec, store):
+        conditions = spec.expand()
+        store.put(conditions[0], run_one(conditions[0]))
+        results = store.results_for(conditions)
+        assert set(results) == {conditions[0].content_hash()}
+
+    def test_rows_carry_campaign_metadata(self, spec, store):
+        condition = spec.expand()[0]
+        store.put(condition, run_one(condition), campaign=spec.name)
+        rows = list(store.rows())
+        assert len(rows) == 1
+        row_hash, campaign, label, qps, runs, created = rows[0]
+        assert row_hash == condition.content_hash()
+        assert campaign == "store-test"
+        assert label == "LP-SMToff"
+        assert qps == condition.qps
+        assert runs == condition.runs
+        assert created > 0
+
+    def test_delete_and_clear(self, spec, store):
+        conditions = spec.expand()
+        for condition in conditions:
+            store.put(condition, run_one(condition))
+        assert store.delete(conditions[0].content_hash())
+        assert not store.delete(conditions[0].content_hash())
+        assert store.clear() == len(conditions) - 1
+        assert store.count() == 0
+
+
+class TestPersistence:
+    def test_results_survive_reopen(self, spec, tmp_path):
+        path = str(tmp_path / "results.sqlite")
+        condition = spec.expand()[0]
+        with ResultStore(path) as store:
+            store.put(condition, run_one(condition))
+        with ResultStore(path) as store:
+            assert store.count() == 1
+            assert store.get(condition.content_hash()) is not None
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = str(tmp_path / "nested" / "dir" / "results.sqlite")
+        with ResultStore(path) as store:
+            assert store.count() == 0
+
+    def test_open_store_passes_none_through(self):
+        assert open_store(None) is None
+
+    def test_require_store_demands_existing_file(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            require_store(str(tmp_path / "absent.sqlite"))
