@@ -6,8 +6,6 @@ declare C1E harmful (CIs disjoint), and do the clients disagree
 anywhere (Finding 2)?
 """
 
-import numpy as np
-
 from benchmarks.conftest import BENCH_REQUESTS, BENCH_RUNS, run_once
 from repro.analysis.figures import (
     MEMCACHED_QPS,

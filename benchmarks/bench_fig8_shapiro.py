@@ -6,9 +6,7 @@ high QPS (queueing skew).  We regenerate the p-value series for the
 same six scenarios and assert the concentration shape.
 """
 
-import numpy as np
-
-from benchmarks.conftest import BENCH_REQUESTS, BENCH_RUNS, run_once
+from benchmarks.conftest import BENCH_REQUESTS, run_once
 from repro.analysis.figures import memcached_study
 from repro.stats.normality import shapiro_wilk
 

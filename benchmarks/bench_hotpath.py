@@ -1,0 +1,337 @@
+"""End-to-end hot-path benchmark: columnar pipeline vs. the seed path.
+
+Runs the same open-loop Memcached testbed (Mutilate-style, LP client)
+twice with identical seeds:
+
+* **legacy object path** -- a faithful replica of the seed
+  implementation kept in this file: a heap of ``Event`` objects
+  compared via Python ``__lt__``, per-event ``step()`` dispatch, and a
+  list-of-``Request`` sample store whose accessors re-sort on every
+  call;
+* **columnar path** -- the current implementation: tuple-entry event
+  heap, batch-scheduled arrival train, and
+  :class:`~repro.telemetry.SampleColumns` struct-of-arrays telemetry.
+
+Both paths must produce bit-identical run metrics (asserted); the
+interesting output is the end-to-end speedup.  Results are written to
+``BENCH_hotpath.json`` so CI can track the perf trajectory.
+
+Usage::
+
+    python benchmarks/bench_hotpath.py            # 50k requests
+    python benchmarks/bench_hotpath.py --quick    # 5k requests, 1 rep
+"""
+
+from __future__ import annotations
+
+import argparse
+import heapq
+import itertools
+import json
+import os
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    os.pardir, "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.config.presets import LP_CLIENT, SERVER_BASELINE  # noqa: E402
+from repro.core.testbed import Testbed  # noqa: E402
+from repro.errors import SimulationError  # noqa: E402
+from repro.loadgen.measurement import (  # noqa: E402
+    PointOfMeasurement,
+    latency_at_point,
+)
+from repro.loadgen.mutilate import build_mutilate  # noqa: E402
+from repro.parameters import DEFAULT_PARAMETERS  # noqa: E402
+from repro.server.request import Request  # noqa: E402
+from repro.server.station import ServiceStation  # noqa: E402
+from repro.sim.random import RandomStreams  # noqa: E402
+from repro.workloads.common import server_env_scale  # noqa: E402
+from repro.workloads.memcached import (  # noqa: E402
+    MEMCACHED_WORKERS,
+    EtcServiceModel,
+)
+from repro.workloads.etc import EtcWorkload  # noqa: E402
+
+
+# --------------------------------------------------------------- legacy sim
+class _LegacyEvent:
+    """The seed's Event: a heap-resident object with Python ordering."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired")
+
+    def __init__(self, time_us, seq, callback, args):
+        self.time = time_us
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self):
+        self.cancelled = True
+
+    def __lt__(self, other):
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class LegacySimulator:
+    """The seed engine, verbatim, plus ``post*`` aliases that allocate
+    an Event per call -- exactly what every call site paid before the
+    fast path existed."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap: List[_LegacyEvent] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+
+    @property
+    def now(self):
+        return self._now
+
+    @property
+    def events_processed(self):
+        return self._events_processed
+
+    @property
+    def pending_events(self):
+        return len(self._heap)
+
+    @property
+    def live_pending_events(self):
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def schedule(self, delay, callback, *args):
+        if not (delay >= 0.0):
+            raise SimulationError(f"cannot schedule in the past: {delay!r}")
+        event = _LegacyEvent(self._now + delay, next(self._seq),
+                             callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time_us, callback, *args):
+        return self.schedule(time_us - self._now, callback, *args)
+
+    # The modern producer API, routed through the object path.
+    post = schedule
+    post_at = schedule_at
+
+    def post_at_batch(self, items):
+        count = 0
+        for time_us, callback, args in items:
+            self.schedule_at(time_us, callback, *args)
+            count += 1
+        return count
+
+    def step(self):
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.time < self._now - 1e-9:
+                raise SimulationError(
+                    f"event at t={event.time} is behind clock t={self._now}")
+            self._now = max(self._now, event.time)
+            event.fired = True
+            self._events_processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, max_events=None):
+        fired = 0
+        while self.step():
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                break
+        return fired
+
+
+@dataclass
+class LegacyRequest:
+    """The seed's request record: a plain dataclass with a per-instance
+    ``__dict__`` (the seed predates the ``__slots__`` conversion)."""
+
+    request_id: int
+    size_kb: float = 0.0
+    intended_send_us: float = 0.0
+    actual_send_us: float = 0.0
+    server_arrival_us: float = 0.0
+    queue_wait_us: float = 0.0
+    service_us: float = 0.0
+    server_departure_us: float = 0.0
+    client_nic_us: float = 0.0
+    measured_complete_us: float = 0.0
+
+    @property
+    def send_error_us(self):
+        return self.actual_send_us - self.intended_send_us
+
+    @property
+    def true_latency_us(self):
+        return self.client_nic_us - self.actual_send_us
+
+    @property
+    def measured_latency_us(self):
+        return self.measured_complete_us - self.actual_send_us
+
+
+class LegacyRunSamples:
+    """The seed sample store: retained Request objects, re-sorted and
+    re-materialized into arrays on every accessor call."""
+
+    def __init__(self, warmup_fraction=0.1):
+        self._warmup_fraction = warmup_fraction
+        self._requests: List[Request] = []
+
+    def record(self, request):
+        self._requests.append(request)
+
+    def __len__(self):
+        return len(self._requests)
+
+    @property
+    def warmup_count(self):
+        return int(len(self._requests) * self._warmup_fraction)
+
+    @property
+    def measured_count(self):
+        return len(self.measured_requests())
+
+    def measured_requests(self):
+        ordered = sorted(self._requests, key=lambda r: r.intended_send_us)
+        return ordered[self.warmup_count:]
+
+    def latencies_us(self, point=PointOfMeasurement.GENERATOR,
+                     params=DEFAULT_PARAMETERS):
+        return np.array([latency_at_point(r, point, params)
+                         for r in self.measured_requests()])
+
+    def average_latency_us(self, point=PointOfMeasurement.GENERATOR):
+        return float(np.mean(self.latencies_us(point)))
+
+    def percentile_latency_us(self, percentile=99.0,
+                              point=PointOfMeasurement.GENERATOR):
+        return float(np.percentile(self.latencies_us(point), percentile))
+
+
+# ---------------------------------------------------------------- the bench
+def build_testbed(sim: Any, seed: int, qps: float,
+                  num_requests: int,
+                  samples_factory: Optional[Callable[..., Any]] = None,
+                  request_cls: type = Request) -> Testbed:
+    """The Memcached testbed assembly with an injectable simulator."""
+    streams = RandomStreams(seed)
+    etc = EtcWorkload(streams.get("etc"))
+    station = ServiceStation(
+        sim, SERVER_BASELINE, EtcServiceModel(etc),
+        workers=MEMCACHED_WORKERS,
+        rng=streams.get("service"),
+        name="memcached",
+        env_scale=server_env_scale(streams, DEFAULT_PARAMETERS))
+    generator = build_mutilate(
+        sim, streams, LP_CLIENT, station, qps, num_requests,
+        request_factory=lambda index: request_cls(
+            request_id=index, size_kb=etc.sample_message_kb()))
+    if samples_factory is not None:
+        generator.samples = samples_factory(warmup_fraction=0.1)
+    return Testbed(
+        sim, streams, generator, station,
+        workload="memcached", qps=qps,
+        client_config=LP_CLIENT, server_config=SERVER_BASELINE)
+
+
+def time_path(make_sim, seed, qps, num_requests, repetitions,
+              samples_factory=None, request_cls=Request):
+    """Best-of-N wall time for one pipeline flavor."""
+    best_s = float("inf")
+    metrics = None
+    events = 0
+    for _ in range(repetitions):
+        testbed = build_testbed(
+            make_sim(), seed, qps, num_requests,
+            samples_factory=samples_factory, request_cls=request_cls)
+        started = time.perf_counter()
+        metrics = testbed.run()
+        elapsed = time.perf_counter() - started
+        best_s = min(best_s, elapsed)
+        events = testbed.sim.events_processed
+    return {
+        "best_seconds": round(best_s, 4),
+        "events_per_sec": round(events / best_s, 1),
+        "requests_per_sec": round(num_requests / best_s, 1),
+    }, metrics
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="5k requests, 1 repetition (CI smoke)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests per run (default 50000)")
+    parser.add_argument("--qps", type=float, default=200_000.0)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--repetitions", type=int, default=None,
+                        help="take the best of N runs (default 3)")
+    parser.add_argument("--json", default="BENCH_hotpath.json",
+                        help="output path (default ./BENCH_hotpath.json)")
+    args = parser.parse_args(argv)
+
+    num_requests = args.requests or (5_000 if args.quick else 50_000)
+    repetitions = args.repetitions or (1 if args.quick else 3)
+
+    print(f"open-loop memcached, {num_requests} requests @ "
+          f"{args.qps:g} QPS, seed {args.seed}, best of {repetitions}")
+
+    legacy, legacy_metrics = time_path(
+        LegacySimulator, args.seed, args.qps, num_requests, repetitions,
+        samples_factory=LegacyRunSamples, request_cls=LegacyRequest)
+    print(f"  legacy object path : {legacy['best_seconds']:8.3f}s  "
+          f"({legacy['events_per_sec']:>10.0f} ev/s)")
+
+    from repro.sim.engine import Simulator
+    columnar, columnar_metrics = time_path(
+        Simulator, args.seed, args.qps, num_requests, repetitions)
+    print(f"  columnar pipeline  : {columnar['best_seconds']:8.3f}s  "
+          f"({columnar['events_per_sec']:>10.0f} ev/s)")
+
+    identical = legacy_metrics == columnar_metrics
+    assert identical, (
+        f"pipelines diverged: legacy={legacy_metrics} "
+        f"columnar={columnar_metrics}")
+
+    speedup = legacy["best_seconds"] / columnar["best_seconds"]
+    print(f"  speedup            : {speedup:8.2f}x  "
+          f"(metrics bit-identical: {identical})")
+
+    payload = {
+        "benchmark": "hotpath",
+        "workload": "memcached-open-loop",
+        "qps": args.qps,
+        "num_requests": num_requests,
+        "seed": args.seed,
+        "repetitions": repetitions,
+        "quick": bool(args.quick),
+        "legacy_object_path": legacy,
+        "columnar_path": columnar,
+        "speedup": round(speedup, 3),
+        "metrics_identical": identical,
+        "avg_us": columnar_metrics.avg_us,
+        "p99_us": columnar_metrics.p99_us,
+    }
+    with open(args.json, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"  wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

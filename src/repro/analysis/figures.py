@@ -132,16 +132,22 @@ class StudyGrid:
         return output
 
 
+#: metric name -> unbound ExperimentResult accessor.  The accessors
+#: serve cached read-only arrays, so series/ratio/comparison renderers
+#: that revisit the same cell never rebuild the sample array.
+_METRIC_ACCESSORS = {
+    "avg": ExperimentResult.avg_samples,
+    "p99": ExperimentResult.p99_samples,
+    "true_avg": ExperimentResult.true_avg_samples,
+    "true_p99": ExperimentResult.true_p99_samples,
+}
+
+
 def _metric_samples(result: ExperimentResult, metric: str) -> np.ndarray:
-    accessor = {
-        "avg": result.avg_samples,
-        "p99": result.p99_samples,
-        "true_avg": result.true_avg_samples,
-        "true_p99": result.true_p99_samples,
-    }.get(metric)
+    accessor = _METRIC_ACCESSORS.get(metric)
     if accessor is None:
         raise ExperimentError(f"unknown metric {metric!r}")
-    return accessor()
+    return accessor(result)
 
 
 def _metric_value(result: ExperimentResult, metric: str) -> float:

@@ -9,7 +9,7 @@ normality) -- the artifact a user would attach to a paper or ticket.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 

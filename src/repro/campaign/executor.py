@@ -242,9 +242,14 @@ class CampaignExecutor:
 
     # ------------------------------------------------------------------
     def _persist(self, spec: CampaignSpec, condition: ConditionSpec,
-                 result: ExperimentResult) -> None:
+                 result: ExperimentResult,
+                 result_dict: Optional[Dict[str, Any]] = None) -> None:
+        # Pool workers ship results as dicts already; forwarding that
+        # form to the store skips one full re-serialization per
+        # condition.
         if self.store is not None:
-            self.store.put(condition, result, campaign=spec.name)
+            self.store.put(condition, result, campaign=spec.name,
+                           result_dict=result_dict)
 
     def _run_inline(self, spec: CampaignSpec,
                     pending: List[ConditionSpec],
@@ -302,7 +307,8 @@ class CampaignExecutor:
                     if payload["ok"]:
                         result = experiment_result_from_dict(
                             payload["result"])
-                        self._persist(spec, condition, result)
+                        self._persist(spec, condition, result,
+                                      result_dict=payload["result"])
                         record(ConditionOutcome(
                             spec=condition, status=STATUS_DONE,
                             result=result, elapsed_s=elapsed))

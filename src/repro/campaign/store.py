@@ -24,7 +24,7 @@ import json
 import os
 import sqlite3
 import time
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.campaign.serialize import (
     canonical_json,
@@ -71,8 +71,20 @@ class ResultStore:
 
     # ------------------------------------------------------------------
     def put(self, spec: ConditionSpec, result: ExperimentResult,
-            campaign: str = "") -> None:
-        """Persist one condition's result (idempotent, last write wins)."""
+            campaign: str = "",
+            result_dict: Optional[Dict[str, Any]] = None) -> None:
+        """Persist one condition's result (idempotent, last write wins).
+
+        Args:
+            spec: the condition the result belongs to.
+            result: the experiment result.
+            campaign: owning campaign name, for listings.
+            result_dict: the result's dict form, when the caller
+                already has it (pool workers ship results across the
+                pickle boundary as dicts) -- skips re-serializing.
+        """
+        if result_dict is None:
+            result_dict = experiment_result_to_dict(result)
         self._conn.execute(
             "INSERT OR REPLACE INTO results (condition_hash, campaign, "
             "workload, label, qps, runs, spec_json, payload_json, "
@@ -80,7 +92,7 @@ class ResultStore:
             (spec.content_hash(), str(campaign), spec.workload,
              spec.label, spec.qps, spec.runs,
              canonical_json(spec.to_dict()),
-             canonical_json(experiment_result_to_dict(result)),
+             canonical_json(result_dict),
              time.time()))
         self._conn.commit()
 

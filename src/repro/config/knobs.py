@@ -10,7 +10,7 @@ both the simulator (:mod:`repro.hardware`) and the real-host tooling
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, FrozenSet, Tuple
 
 from repro.errors import ConfigurationError

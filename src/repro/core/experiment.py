@@ -11,7 +11,7 @@ latencies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 import numpy as np
 
@@ -42,23 +42,38 @@ class ExperimentResult:
     qps: float
     runs: List[RunMetrics]
     metadata: Dict[str, float] = field(default_factory=dict)
+    #: Lazily-built per-metric sample arrays.  Figure studies read the
+    #: same series many times (medians, ratios, CI comparisons); each
+    #: array is built from the runs once and then shared, returned
+    #: read-only.  Rebuilt never -- runs are append-complete by the
+    #: time a result is consumed.
+    _sample_cache: Dict[str, np.ndarray] = field(
+        default_factory=dict, repr=False, compare=False)
 
     # ------------------------------------------------------------------
+    def _samples(self, attr: str) -> np.ndarray:
+        cached = self._sample_cache.get(attr)
+        if cached is None:
+            cached = np.array([getattr(run, attr) for run in self.runs])
+            cached.setflags(write=False)
+            self._sample_cache[attr] = cached
+        return cached
+
     def avg_samples(self) -> np.ndarray:
         """Per-run average response times (the Fig. 2a/3a samples)."""
-        return np.array([run.avg_us for run in self.runs])
+        return self._samples("avg_us")
 
     def p99_samples(self) -> np.ndarray:
         """Per-run 99th-percentile latencies (Fig. 2b/3b samples)."""
-        return np.array([run.p99_us for run in self.runs])
+        return self._samples("p99_us")
 
     def true_avg_samples(self) -> np.ndarray:
         """Per-run NIC-point averages (ground truth)."""
-        return np.array([run.true_avg_us for run in self.runs])
+        return self._samples("true_avg_us")
 
     def true_p99_samples(self) -> np.ndarray:
         """Per-run NIC-point 99th percentiles (ground truth)."""
-        return np.array([run.true_p99_us for run in self.runs])
+        return self._samples("true_p99_us")
 
     # ------------------------------------------------------------------
     def median_avg_ci(self, confidence: float = 0.95

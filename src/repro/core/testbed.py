@@ -10,7 +10,6 @@ experiment, exactly matching the paper's one-sample-per-run protocol.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.config.knobs import HardwareConfig
 from repro.errors import ExperimentError
@@ -84,11 +83,15 @@ class Testbed:
         self.generator.start()
         self.sim.run()
         expected = self.generator.num_requests
-        if self.generator.completed != expected:
+        if not self.generator.drained:
             raise ExperimentError(
                 f"run ended with {self.generator.completed}/{expected} "
-                f"requests completed"
+                f"requests completed and {self.sim.live_pending_events} "
+                f"live events pending"
             )
+        # The summary reads the columnar buffer directly: each latency
+        # column is computed once and shared between the average and
+        # percentile accessors; no Request objects are materialized.
         samples = self.generator.samples
         utilization = self._first_station_utilization()
         return RunMetrics(
@@ -98,7 +101,7 @@ class Testbed:
             true_avg_us=samples.average_latency_us(PointOfMeasurement.NIC),
             true_p99_us=samples.percentile_latency_us(
                 99.0, PointOfMeasurement.NIC),
-            requests=len(samples.measured_requests()),
+            requests=samples.measured_count,
             seed=self.streams.root_seed,
             server_utilization=utilization,
         )

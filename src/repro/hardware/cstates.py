@@ -14,7 +14,7 @@ The paper quotes 2 us - 200 us for this transition; our Skylake table
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

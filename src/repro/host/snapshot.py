@@ -10,12 +10,12 @@ next boot.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List
 
 from repro.host.filesystem import Filesystem
 from repro.host.grub import GrubConfig
-from repro.host.msr import MSR_UNCORE_RATIO, MsrInterface
+from repro.host.msr import MsrInterface
 from repro.host.sysfs import CpuSysfs
 
 

@@ -7,7 +7,7 @@ live host through :class:`~repro.host.filesystem.RealFilesystem`.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
 from repro.errors import SysfsError
 from repro.host.filesystem import Filesystem, parse_cpu_list

@@ -5,8 +5,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
-import numpy as np
-
 from repro.errors import ConfigurationError
 from repro.loadgen.client_machine import ClientMachine
 from repro.loadgen.measurement import PointOfMeasurement, RunSamples
@@ -99,6 +97,20 @@ class LoadGenerator:
         """Register a callback fired when the last request completes."""
         self._on_all_done = callback
 
+    @property
+    def drained(self) -> bool:
+        """True when every request completed and no live work remains.
+
+        The testbed's end-of-run check: ``completed`` catches requests
+        lost *or double-counted* in the round-trip wiring (exact
+        equality, as the seed implementation enforced),
+        ``live_pending_events`` catches stray work still armed after
+        the last completion (cancelled events awaiting lazy removal do
+        not count).
+        """
+        return (self.completed == self.num_requests
+                and self._sim.live_pending_events == 0)
+
     # ------------------------------------------------------------------
     def _launch(self, machine: ClientMachine, request: Request) -> None:
         """Begin the send path for *request* on *machine* (at its
@@ -111,13 +123,13 @@ class LoadGenerator:
               actual_send_us: float) -> None:
         request.actual_send_us = actual_send_us
         delay = self._link_to_server.sample_latency_us(request.size_kb)
-        self._sim.schedule(
+        self._sim.post(
             delay, self.service.submit, request,
             lambda req: self._served(machine, req))
 
     def _served(self, machine: ClientMachine, request: Request) -> None:
         delay = self._link_to_client.sample_latency_us(request.size_kb)
-        self._sim.schedule(delay, self._at_client_nic, machine, request)
+        self._sim.post(delay, self._at_client_nic, machine, request)
 
     def _at_client_nic(self, machine: ClientMachine,
                        request: Request) -> None:
@@ -128,6 +140,8 @@ class LoadGenerator:
     def _measured(self, machine: ClientMachine, request: Request,
                   timestamp_us: float) -> None:
         request.measured_complete_us = timestamp_us
+        # Columnar recording: the timestamps land in SampleColumns and
+        # the Request object is dropped once in-flight use ends.
         self.samples.record(request)
         self.completed += 1
         self._after_completion(machine, request)

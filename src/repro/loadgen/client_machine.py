@@ -97,9 +97,9 @@ class ClientMachine:
         if self.time_sensitive:
             wake = self.core.timed_sleep_until(
                 intended_send_us, self._sim.now)
-            self._sim.schedule_at(wake, self._do_send, True, on_sent)
+            self._sim.post_at(wake, self._do_send, True, on_sent)
         else:
-            self._sim.schedule_at(
+            self._sim.post_at(
                 intended_send_us, self._do_send, False, on_sent)
 
     def _do_send(self, wakes_thread: bool,
@@ -107,7 +107,7 @@ class ClientMachine:
         occupancy = self.core.handle_event(
             self._sim.now, self.send_work_us, wakes_thread=wakes_thread)
         self.requests_sent += 1
-        self._sim.schedule_at(
+        self._sim.post_at(
             occupancy.finish_us, on_sent, occupancy.finish_us)
 
     # ------------------------------------------------------------------
@@ -123,5 +123,5 @@ class ClientMachine:
             self._sim.now, self.recv_work_us,
             wakes_thread=self.time_sensitive)
         self.responses_handled += 1
-        self._sim.schedule_at(
+        self._sim.post_at(
             occupancy.finish_us, on_measured, occupancy.finish_us)

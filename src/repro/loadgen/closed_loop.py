@@ -74,7 +74,7 @@ class ClosedLoopGenerator(LoadGenerator):
         self._next_index += 1
         request = self._request_factory(index)
         request.intended_send_us = at_us
-        self._sim.schedule_at(at_us, self._launch, machine, request)
+        self._sim.post_at(at_us, self._launch, machine, request)
 
     def start(self) -> None:
         """Arm one in-flight request per connection."""

@@ -6,18 +6,26 @@ client-side delay between the NIC and the generator's own clock read;
 a NIC point is the ground truth the hardware delivered.  Comparing the
 two is exactly how this library quantifies client-caused measurement
 error.
+
+Samples live in a :class:`~repro.telemetry.SampleColumns`
+struct-of-arrays buffer: recording a completion stores the request's
+timestamps into preallocated numpy columns (the request object itself
+is not retained), and every accessor is vectorized column arithmetic
+over a cached, warmup-trimmed sort order instead of a re-sorted Python
+list.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import List, Sequence
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from repro.errors import InsufficientSamplesError
 from repro.parameters import DEFAULT_PARAMETERS, SkylakeParameters
 from repro.server.request import Request
+from repro.telemetry import SampleColumns
 
 
 class PointOfMeasurement(enum.Enum):
@@ -50,6 +58,11 @@ class RunSamples:
     summary statistics derived from it (average, 99th percentile) are
     the per-run samples on which the paper's confidence intervals and
     normality tests operate.
+
+    Derived arrays (sort order, per-point latencies) are cached and
+    invalidated on :meth:`record`, so computing a run summary touches
+    each column once no matter how many accessors consume it.  Cached
+    arrays are returned read-only; copy before mutating.
     """
 
     def __init__(self, warmup_fraction: float = 0.1) -> None:
@@ -58,37 +71,93 @@ class RunSamples:
                 f"warmup_fraction must be in [0, 1), got {warmup_fraction}"
             )
         self._warmup_fraction = warmup_fraction
-        self._requests: List[Request] = []
+        self._columns = SampleColumns()
+        self._order: np.ndarray = None
+        self._latency_cache: Dict[Tuple[PointOfMeasurement, float],
+                                  np.ndarray] = {}
+        self._array_cache: Dict[str, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     def record(self, request: Request) -> None:
-        """Record one completed request."""
-        self._requests.append(request)
+        """Record one completed request (the request is not retained)."""
+        self._columns.append(request)
+        self._order = None
+        self._latency_cache.clear()
+        self._array_cache.clear()
 
     def __len__(self) -> int:
-        return len(self._requests)
+        return len(self._columns)
+
+    @property
+    def columns(self) -> SampleColumns:
+        """The underlying struct-of-arrays buffer (warmup included)."""
+        return self._columns
 
     @property
     def warmup_count(self) -> int:
         """Completed requests discarded as warmup."""
-        return int(len(self._requests) * self._warmup_fraction)
+        return int(len(self._columns) * self._warmup_fraction)
 
-    def measured_requests(self) -> Sequence[Request]:
-        """Requests after warmup, in send order."""
-        ordered = sorted(self._requests, key=lambda r: r.intended_send_us)
-        return ordered[self.warmup_count:]
+    @property
+    def measured_count(self) -> int:
+        """Completed requests after warmup trimming."""
+        return len(self._columns) - self.warmup_count
+
+    def measured_order(self) -> np.ndarray:
+        """Row indices after warmup, sorted by intended send time.
+
+        The stable sort matches the seed implementation's
+        ``sorted(key=intended_send_us)`` tie-breaking exactly, so
+        every derived array is bit-identical to the object path.
+        """
+        if self._order is None:
+            send = self._columns.column("intended_send_us")
+            order = np.argsort(send, kind="stable")[self.warmup_count:]
+            # Shared with every derived array; freeze it like them.
+            order.setflags(write=False)
+            self._order = order
+        return self._order
+
+    def measured_requests(self) -> List[Request]:
+        """Requests after warmup, in send order, materialized on demand.
+
+        The object-shaped escape hatch (timeline validation, tests);
+        summary statistics stay columnar and never call this.
+        """
+        columns = self._columns
+        return [columns.row(int(index)) for index in self.measured_order()]
 
     # ------------------------------------------------------------------
+    def _measured(self, values: np.ndarray, what: str) -> np.ndarray:
+        """Warmup-trim and order a full-length derived column."""
+        order = self.measured_order()
+        if order.size == 0:
+            raise InsufficientSamplesError(1, 0, what)
+        out = values[order]
+        out.setflags(write=False)
+        return out
+
     def latencies_us(self, point: PointOfMeasurement
                      = PointOfMeasurement.GENERATOR,
                      params: SkylakeParameters = DEFAULT_PARAMETERS
                      ) -> np.ndarray:
         """Per-request latencies at *point*, warmup excluded."""
-        requests = self.measured_requests()
-        if not requests:
-            raise InsufficientSamplesError(1, 0, "latency array")
-        return np.array(
-            [latency_at_point(r, point, params) for r in requests])
+        key = (point, params.kernel_stack_us)
+        cached = self._latency_cache.get(key)
+        if cached is not None:
+            return cached
+        columns = self._columns
+        actual = columns.column("actual_send_us")
+        if point is PointOfMeasurement.GENERATOR:
+            values = columns.column("measured_complete_us") - actual
+        elif point is PointOfMeasurement.NIC:
+            values = columns.column("client_nic_us") - actual
+        else:  # KERNEL: one RX-stack traversal above the NIC.
+            values = (columns.column("client_nic_us") - actual
+                      + params.kernel_stack_us)
+        out = self._measured(values, "latency array")
+        self._latency_cache[key] = out
+        return out
 
     def average_latency_us(self, point: PointOfMeasurement
                            = PointOfMeasurement.GENERATOR) -> float:
@@ -107,14 +176,25 @@ class RunSamples:
 
     def send_errors_us(self) -> np.ndarray:
         """Per-request send-timing errors (inter-arrival disruption)."""
-        requests = self.measured_requests()
-        if not requests:
-            raise InsufficientSamplesError(1, 0, "send error array")
-        return np.array([r.send_error_us for r in requests])
+        cached = self._array_cache.get("send_errors")
+        if cached is not None:
+            return cached
+        columns = self._columns
+        values = (columns.column("actual_send_us")
+                  - columns.column("intended_send_us"))
+        out = self._measured(values, "send error array")
+        self._array_cache["send_errors"] = out
+        return out
 
     def client_overheads_us(self) -> np.ndarray:
         """Per-request client measurement error (generator - NIC)."""
-        requests = self.measured_requests()
-        if not requests:
-            raise InsufficientSamplesError(1, 0, "overhead array")
-        return np.array([r.client_overhead_us for r in requests])
+        cached = self._array_cache.get("client_overheads")
+        if cached is not None:
+            return cached
+        columns = self._columns
+        actual = columns.column("actual_send_us")
+        measured = columns.column("measured_complete_us") - actual
+        true = columns.column("client_nic_us") - actual
+        out = self._measured(measured - true, "overhead array")
+        self._array_cache["client_overheads"] = out
+        return out

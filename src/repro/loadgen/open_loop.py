@@ -48,12 +48,26 @@ class OpenLoopGenerator(LoadGenerator):
         self._arrival_rng = arrival_rng
 
     def start(self) -> None:
-        """Draw the whole arrival schedule and arm the send events."""
-        now = self._sim.now
-        send_at = now
-        for index in range(self.num_requests):
-            send_at += self.interarrival.sample_us(self._arrival_rng)
-            request = self._request_factory(index)
-            request.intended_send_us = send_at
-            machine = self.machines[index % len(self.machines)]
-            self._sim.schedule_at(send_at, self._launch, machine, request)
+        """Draw the whole arrival schedule and arm the send events.
+
+        The arrival train is armed in one batch: the entries land in
+        the simulator's tuple fast path and are heapified once, so a
+        run's startup cost is O(n) instead of n sift-ups.
+        """
+        sample_us = self.interarrival.sample_us
+        rng = self._arrival_rng
+        factory = self._request_factory
+        machines = self.machines
+        num_machines = len(machines)
+        launch = self._launch
+
+        def arrivals():
+            send_at = self._sim.now
+            for index in range(self.num_requests):
+                send_at += sample_us(rng)
+                request = factory(index)
+                request.intended_send_us = send_at
+                yield (send_at, launch,
+                       (machines[index % num_machines], request))
+
+        self._sim.post_at_batch(arrivals())

@@ -27,7 +27,6 @@ class NetworkLink:
                  rng: Optional[np.random.Generator] = None,
                  mean_latency_us: Optional[float] = None) -> None:
         self._params = params
-        self._rng = rng
         self._mean = (params.network_one_way_us
                       if mean_latency_us is None else float(mean_latency_us))
         if self._mean <= 0:
@@ -37,6 +36,9 @@ class NetworkLink:
         self._sigma = params.network_sigma
         # lognormal(mu, sigma) has mean exp(mu + sigma^2/2).
         self._mu = math.log(self._mean) - 0.5 * self._sigma ** 2
+        # Bind the sampler once: one attribute lookup per message on
+        # the hot path instead of a generator-object traversal.
+        self._draw = None if rng is None else rng.lognormal
 
     @property
     def mean_latency_us(self) -> float:
@@ -49,8 +51,9 @@ class NetworkLink:
         Args:
             message_kb: payload size; adds serialization delay.
         """
-        if self._rng is None:
-            base = self._mean
-        else:
-            base = float(self._rng.lognormal(self._mu, self._sigma))
-        return base + max(0.0, message_kb) * US_PER_KB_10GBE
+        draw = self._draw
+        base = (self._mean if draw is None
+                else float(draw(self._mu, self._sigma)))
+        if message_kb > 0.0:
+            return base + message_kb * US_PER_KB_10GBE
+        return base

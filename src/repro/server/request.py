@@ -5,15 +5,18 @@ any *point of measurement* (Section II): the intended send time (what
 the inter-arrival distribution asked for), the actual send time (after
 client-side timing error), NIC arrival back at the client, and the
 generator's own completion timestamp.
+
+A :class:`Request` is the *in-flight* representation only: it exists
+while the request traverses client, links and service tiers, and its
+timestamps are flushed into the run's columnar
+:class:`~repro.telemetry.SampleColumns` buffer at the point of
+measurement.  It is a plain ``__slots__`` class (not a dataclass) so
+the hot path allocates no per-instance ``__dict__``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
 
-
-@dataclass
 class Request:
     """One request flowing through the testbed.
 
@@ -30,16 +33,44 @@ class Request:
         measured_complete_us: generator's completion timestamp.
     """
 
-    request_id: int
-    size_kb: float = 0.0
-    intended_send_us: float = 0.0
-    actual_send_us: float = 0.0
-    server_arrival_us: float = 0.0
-    queue_wait_us: float = 0.0
-    service_us: float = 0.0
-    server_departure_us: float = 0.0
-    client_nic_us: float = 0.0
-    measured_complete_us: float = 0.0
+    __slots__ = (
+        "request_id",
+        "size_kb",
+        "intended_send_us",
+        "actual_send_us",
+        "server_arrival_us",
+        "queue_wait_us",
+        "service_us",
+        "server_departure_us",
+        "client_nic_us",
+        "measured_complete_us",
+    )
+
+    def __init__(self, request_id: int,
+                 size_kb: float = 0.0,
+                 intended_send_us: float = 0.0,
+                 actual_send_us: float = 0.0,
+                 server_arrival_us: float = 0.0,
+                 queue_wait_us: float = 0.0,
+                 service_us: float = 0.0,
+                 server_departure_us: float = 0.0,
+                 client_nic_us: float = 0.0,
+                 measured_complete_us: float = 0.0) -> None:
+        self.request_id = request_id
+        self.size_kb = size_kb
+        self.intended_send_us = intended_send_us
+        self.actual_send_us = actual_send_us
+        self.server_arrival_us = server_arrival_us
+        self.queue_wait_us = queue_wait_us
+        self.service_us = service_us
+        self.server_departure_us = server_departure_us
+        self.client_nic_us = client_nic_us
+        self.measured_complete_us = measured_complete_us
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Request(request_id={self.request_id}, "
+                f"intended_send_us={self.intended_send_us}, "
+                f"measured_complete_us={self.measured_complete_us})")
 
     # ------------------------------------------------------------------
     @property

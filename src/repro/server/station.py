@@ -120,6 +120,17 @@ class ServiceStation:
         wake = self._cstates.select(idle_gap_us, self._rng).wake_latency_us
         return scaled + wake
 
+    def _service_time(self, job: Request, server_index: int,
+                      idle_gap_us: float) -> float:
+        """Pool callback: sample and account one request's occupancy.
+
+        A bound method rather than a per-submit closure -- one less
+        allocation per request on the hot path.
+        """
+        occupancy = self._sample_occupancy_us(job, idle_gap_us)
+        job.service_us += occupancy
+        return occupancy
+
     # ------------------------------------------------------------------
     def submit(self, request: Request,
                done_fn: Callable[[Request], None]) -> None:
@@ -132,15 +143,9 @@ class ServiceStation:
         if request.server_arrival_us == 0.0:
             request.server_arrival_us = self._sim.now
 
-        def service_time_fn(job: Request, server_index: int,
-                            idle_gap_us: float) -> float:
-            occupancy = self._sample_occupancy_us(job, idle_gap_us)
-            job.service_us += occupancy
-            return occupancy
-
         def pool_done(job: Request, waited_us: float) -> None:
             job.queue_wait_us += waited_us
             job.server_departure_us = self._sim.now
             done_fn(job)
 
-        self._pool.submit(request, service_time_fn, pool_done)
+        self._pool.submit(request, self._service_time, pool_done)

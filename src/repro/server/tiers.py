@@ -82,7 +82,7 @@ class TieredService:
         spec = self._tiers[index]
         hop = (spec.hop_link.sample_latency_us(request.size_kb)
                if spec.hop_link is not None else 0.0)
-        self._sim.schedule(hop, self._run_tier, request, index, done_fn)
+        self._sim.post(hop, self._run_tier, request, index, done_fn)
 
     def _run_tier(self, request: Request, index: int,
                   done_fn: Callable[[Request], None]) -> None:
@@ -96,7 +96,7 @@ class TieredService:
                 return_hop = (
                     spec.hop_link.sample_latency_us(request.size_kb)
                     if spec.hop_link is not None else 0.0)
-                self._sim.schedule(
+                self._sim.post(
                     return_hop, self._leave_tier, request, index, done_fn)
 
         if spec.fanout == 1:

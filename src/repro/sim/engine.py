@@ -3,41 +3,65 @@
 Time is a float in microseconds.  Events are callbacks scheduled at an
 absolute simulated time; ties are broken by insertion order so runs are
 fully deterministic for a given seed.
+
+The heap holds two kinds of entries, both plain tuples so ordering is
+resolved by C-level tuple comparison instead of a Python ``__lt__``:
+
+* ``(time, seq, callback, args)`` -- the fire-and-forget fast path
+  (:meth:`Simulator.post` / :meth:`Simulator.post_at` /
+  :meth:`Simulator.post_at_batch`).  No handle object is allocated.
+* ``(time, seq, event)`` -- the cancellable path
+  (:meth:`Simulator.schedule` / :meth:`Simulator.schedule_at`), which
+  returns an :class:`Event` handle supporting ``cancel()``.
+
+Sequence numbers are unique, so tuple comparison never reaches the
+third element and the two entry shapes can share one heap.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
-from typing import Any, Callable, List, Optional
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
+#: Heap size below which cancelled entries are never compacted (the
+#: rebuild would cost more than lazily discarding them on pop).
+_COMPACT_MIN_HEAP = 64
+
 
 class Event:
-    """A scheduled callback. Returned by :meth:`Simulator.schedule`.
+    """A scheduled callback handle. Returned by :meth:`Simulator.schedule`.
 
     Events are single-shot.  Cancelling an event before it fires is
-    O(1); the heap entry is lazily discarded when popped.
+    O(1); the heap entry is lazily discarded when popped (or dropped
+    in bulk when cancelled entries dominate the heap).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired",
+                 "_sim")
 
     def __init__(self, time: float, seq: int,
-                 callback: Callable[..., Any], args: tuple):
+                 callback: Callable[..., Any], args: tuple,
+                 sim: "Simulator") -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
         self.fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent this event from firing. Idempotent."""
-        self.cancelled = True
-
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        if not self.cancelled:
+            self.cancelled = True
+            # _sim is None once the event left the heap via clear();
+            # fired covers normal pops.  Either way there is no heap
+            # entry left to account for.
+            if not self.fired and self._sim is not None:
+                self._sim._note_cancelled()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else (
@@ -55,6 +79,7 @@ class Simulator:
         >>> _ = sim.schedule(5.0, fired.append, "a")
         >>> _ = sim.schedule(1.0, fired.append, "b")
         >>> sim.run()
+        2
         >>> fired
         ['b', 'a']
         >>> sim.now
@@ -63,10 +88,11 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now: float = 0.0
-        self._heap: List[Event] = []
+        self._heap: List[tuple] = []
         self._seq = itertools.count()
-        self._running = False
         self._events_processed = 0
+        #: cancelled Event entries still sitting in the heap.
+        self._cancelled_in_heap = 0
 
     # ------------------------------------------------------------------
     @property
@@ -81,21 +107,92 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events in the queue, including cancelled ones."""
+        """Number of entries in the queue, including cancelled ones."""
         return len(self._heap)
 
+    @property
+    def live_pending_events(self) -> int:
+        """Number of queued events that will actually fire.
+
+        Unlike :attr:`pending_events` this excludes cancelled entries
+        awaiting lazy removal, so it is the right drain check: a run
+        has ended cleanly when no *live* work remains.
+        """
+        return len(self._heap) - self._cancelled_in_heap
+
     # ------------------------------------------------------------------
-    def schedule(self, delay: float, callback: Callable[..., Any],
-                 *args: Any) -> Event:
-        """Schedule *callback(*args)* to fire ``delay`` us from now.
+    def post(self, delay: float, callback: Callable[..., Any],
+             *args: Any) -> None:
+        """Fire-and-forget: schedule *callback(*args)* ``delay`` us out.
+
+        The fast path: no :class:`Event` handle is allocated, so the
+        entry cannot be cancelled.  Use :meth:`schedule` when the
+        caller needs ``cancel()``.
 
         Raises:
             SimulationError: if *delay* is negative or not finite.
         """
         if not (delay >= 0.0):  # also rejects NaN
             raise SimulationError(f"cannot schedule in the past: {delay!r}")
-        event = Event(self._now + delay, next(self._seq), callback, args)
-        heapq.heappush(self._heap, event)
+        heappush(self._heap,
+                 (self._now + delay, next(self._seq), callback, args))
+
+    def post_at(self, time: float, callback: Callable[..., Any],
+                *args: Any) -> None:
+        """Fire-and-forget at absolute simulated time ``time``."""
+        # The fire time is now + (time - now) -- the exact arithmetic
+        # of schedule_at() -- so absolute-time callers see bit-identical
+        # timestamps on either path.  Inlined from post(): this runs
+        # several times per request.
+        now = self._now
+        delay = time - now
+        if not (delay >= 0.0):  # also rejects NaN
+            raise SimulationError(f"cannot schedule in the past: {delay!r}")
+        heappush(self._heap, (now + delay, next(self._seq), callback, args))
+
+    def post_at_batch(self, items: Iterable[
+            Tuple[float, Callable[..., Any], tuple]]) -> int:
+        """Bulk fire-and-forget scheduling for event trains.
+
+        Args:
+            items: iterable of ``(time, callback, args)`` with *time*
+                absolute; insertion order breaks same-time ties.
+
+        Returns:
+            The number of entries scheduled.
+
+        Raises:
+            SimulationError: if any time is before the current clock
+                (no entries are scheduled in that case).
+
+        One heapify over the extended heap replaces per-entry sift-up,
+        which is the win for interarrival trains scheduled up-front.
+        """
+        now = self._now
+        seq = self._seq
+        entries = [(now + (time - now), next(seq), callback, args)
+                   for time, callback, args in items]
+        for entry in entries:
+            if not (entry[0] >= now):  # also rejects NaN
+                raise SimulationError(
+                    f"cannot schedule in the past: {entry[0]!r}")
+        self._heap.extend(entries)
+        heapify(self._heap)
+        return len(entries)
+
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., Any],
+                 *args: Any) -> Event:
+        """Schedule *callback(*args)* ``delay`` us from now, cancellable.
+
+        Raises:
+            SimulationError: if *delay* is negative or not finite.
+        """
+        if not (delay >= 0.0):  # also rejects NaN
+            raise SimulationError(f"cannot schedule in the past: {delay!r}")
+        event = Event(self._now + delay, next(self._seq), callback, args,
+                      self)
+        heappush(self._heap, (event.time, event.seq, event))
         return event
 
     def schedule_at(self, time: float, callback: Callable[..., Any],
@@ -104,22 +201,47 @@ class Simulator:
         return self.schedule(time - self._now, callback, *args)
 
     # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """Account one newly-cancelled in-heap event; compact lazily."""
+        self._cancelled_in_heap += 1
+        heap = self._heap
+        if (len(heap) >= _COMPACT_MIN_HEAP
+                and self._cancelled_in_heap * 2 > len(heap)):
+            self._heap = [entry for entry in heap
+                          if len(entry) == 4 or not entry[2].cancelled]
+            heapify(self._heap)
+            self._cancelled_in_heap = 0
+
+    def _pop_next(self) -> Optional[Tuple[float, Callable[..., Any], tuple]]:
+        """Pop the next live entry as ``(time, callback, args)``."""
+        heap = self._heap
+        while heap:
+            entry = heappop(heap)
+            if len(entry) == 4:
+                return (entry[0], entry[2], entry[3])
+            event = entry[2]
+            if event.cancelled:
+                self._cancelled_in_heap -= 1
+                continue
+            event.fired = True
+            return (event.time, event.callback, event.args)
+        return None
+
     def step(self) -> bool:
         """Fire the next pending event. Return False if queue is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            if event.time < self._now - 1e-9:
-                raise SimulationError(
-                    f"event at t={event.time} is behind clock t={self._now}"
-                )
-            self._now = max(self._now, event.time)
-            event.fired = True
-            self._events_processed += 1
-            event.callback(*event.args)
-            return True
-        return False
+        popped = self._pop_next()
+        if popped is None:
+            return False
+        time, callback, args = popped
+        if time < self._now - 1e-9:
+            raise SimulationError(
+                f"event at t={time} is behind clock t={self._now}"
+            )
+        if time > self._now:
+            self._now = time
+        self._events_processed += 1
+        callback(*args)
+        return True
 
     def run(self, max_events: Optional[int] = None) -> int:
         """Run until the event queue drains (or *max_events* fire).
@@ -127,11 +249,46 @@ class Simulator:
         Returns:
             The number of events fired by this call.
         """
+        if max_events is not None:
+            fired = 0
+            while fired < max_events and self.step():
+                fired += 1
+            return fired
+
+        # Hot loop: pop/fire inline instead of bouncing through
+        # step(), with heap, clock and counters in locals.  Callbacks
+        # may schedule new work, so re-read nothing but the list
+        # object itself (schedule/post mutate it in place; only
+        # _note_cancelled rebinds it, hence the refresh at the top).
         fired = 0
-        while self.step():
-            fired += 1
-            if max_events is not None and fired >= max_events:
+        now = self._now
+        while True:
+            heap = self._heap
+            if not heap:
                 break
+            entry = heappop(heap)
+            if len(entry) == 4:
+                time, _, callback, args = entry
+            else:
+                event = entry[2]
+                if event.cancelled:
+                    self._cancelled_in_heap -= 1
+                    continue
+                event.fired = True
+                time = entry[0]
+                callback = event.callback
+                args = event.args
+            if time > now:
+                now = time
+                self._now = time
+            elif time < now - 1e-9:
+                raise SimulationError(
+                    f"event at t={time} is behind clock t={now}"
+                )
+            fired += 1
+            self._events_processed += 1
+            callback(*args)
+            now = self._now
         return fired
 
     def run_until(self, time: float) -> int:
@@ -145,12 +302,16 @@ class Simulator:
                 f"run_until target {time} is before current time {self._now}"
             )
         fired = 0
-        while self._heap:
-            head = self._heap[0]
-            if head.cancelled:
-                heapq.heappop(self._heap)
+        while True:
+            heap = self._heap
+            if not heap:
+                break
+            head = heap[0]
+            if len(head) == 3 and head[2].cancelled:
+                heappop(heap)
+                self._cancelled_in_heap -= 1
                 continue
-            if head.time > time:
+            if head[0] > time:
                 break
             self.step()
             fired += 1
@@ -159,4 +320,10 @@ class Simulator:
 
     def clear(self) -> None:
         """Drop all pending events (the clock is left where it is)."""
+        # Detach surviving Event handles so a later cancel() cannot
+        # decrement accounting for entries that no longer exist.
+        for entry in self._heap:
+            if len(entry) == 3:
+                entry[2]._sim = None
         self._heap.clear()
+        self._cancelled_in_heap = 0

@@ -141,7 +141,7 @@ class ServerPool:
                     f"negative service time {service_us} for job {job!r}"
                 )
             self.busy_time_us += service_us
-            self._sim.schedule(
+            self._sim.post(
                 service_us, self._finish, server, job, waited, done_fn)
 
     def _finish(self, server: int, job: Any, waited: float,

@@ -21,7 +21,7 @@ from typing import Sequence, Tuple
 import numpy as np
 from scipy import stats as scipy_stats
 
-from repro.errors import InsufficientSamplesError, StatisticsError
+from repro.errors import StatisticsError
 from repro.stats.descriptive import _as_clean_array
 
 

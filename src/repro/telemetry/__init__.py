@@ -1,0 +1,15 @@
+"""Struct-of-arrays telemetry for the request lifecycle.
+
+The hot path of every experiment is the per-request simulation loop;
+this package holds the columnar buffers it records into.  Completed
+requests land in a :class:`~repro.telemetry.columns.SampleColumns`
+buffer -- one preallocated, grow-by-doubling numpy column per
+timestamp -- instead of a list of retained
+:class:`~repro.server.request.Request` objects, so per-run summaries
+(average, percentiles, send-error and overhead arrays) are vectorized
+column arithmetic rather than Python loops over an object graph.
+"""
+
+from repro.telemetry.columns import COLUMN_FIELDS, SampleColumns
+
+__all__ = ["COLUMN_FIELDS", "SampleColumns"]

@@ -1,0 +1,139 @@
+"""The columnar sample buffer behind per-run telemetry.
+
+:class:`SampleColumns` stores one float64 column per request-record
+field (see :data:`COLUMN_FIELDS`).  Columns are preallocated and grown
+by doubling, so recording a completion is a handful of scalar stores
+with no per-request object retention; reading a column is a zero-copy
+slice of the filled prefix.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.server.request import Request
+
+#: Column names, matching :class:`~repro.server.request.Request`
+#: attributes one-to-one so a row can be materialized back into a
+#: request record when object form is genuinely needed (debugging,
+#: timeline validation).
+COLUMN_FIELDS = (
+    "request_id",
+    "size_kb",
+    "intended_send_us",
+    "actual_send_us",
+    "server_arrival_us",
+    "queue_wait_us",
+    "service_us",
+    "server_departure_us",
+    "client_nic_us",
+    "measured_complete_us",
+)
+
+#: Initial per-column capacity (rows).
+DEFAULT_CAPACITY = 1024
+
+
+class SampleColumns:
+    """Struct-of-arrays buffer of completed-request telemetry.
+
+    Example:
+        >>> cols = SampleColumns(capacity=2)
+        >>> cols.append(Request(request_id=0, client_nic_us=50.0))
+        >>> cols.append(Request(request_id=1, client_nic_us=60.0))
+        >>> cols.append(Request(request_id=2, client_nic_us=70.0))  # grows
+        >>> len(cols)
+        3
+        >>> cols.column("client_nic_us")
+        array([50., 60., 70.])
+    """
+
+    __slots__ = ("_size", "_capacity", "_data")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._size = 0
+        self._capacity = int(capacity)
+        self._data = {name: np.empty(self._capacity, dtype=np.float64)
+                      for name in COLUMN_FIELDS}
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def capacity(self) -> int:
+        """Allocated rows (grows by doubling as needed)."""
+        return self._capacity
+
+    # ------------------------------------------------------------------
+    def _grow(self) -> None:
+        self._capacity *= 2
+        for name, column in self._data.items():
+            grown = np.empty(self._capacity, dtype=np.float64)
+            grown[:self._size] = column[:self._size]
+            self._data[name] = grown
+
+    def append(self, request: Request) -> None:
+        """Record one completed request's full timestamp timeline."""
+        row = self._size
+        if row == self._capacity:
+            self._grow()
+        data = self._data
+        data["request_id"][row] = request.request_id
+        data["size_kb"][row] = request.size_kb
+        data["intended_send_us"][row] = request.intended_send_us
+        data["actual_send_us"][row] = request.actual_send_us
+        data["server_arrival_us"][row] = request.server_arrival_us
+        data["queue_wait_us"][row] = request.queue_wait_us
+        data["service_us"][row] = request.service_us
+        data["server_departure_us"][row] = request.server_departure_us
+        data["client_nic_us"][row] = request.client_nic_us
+        data["measured_complete_us"][row] = request.measured_complete_us
+        self._size = row + 1
+
+    # ------------------------------------------------------------------
+    def column(self, name: str) -> np.ndarray:
+        """The filled prefix of one column (a zero-copy, read-only view).
+
+        The view is frozen so consumers cannot corrupt the live buffer;
+        copy before mutating.  Appends keep writing through the base
+        array unaffected.
+
+        Raises:
+            KeyError: for a name not in :data:`COLUMN_FIELDS`.
+        """
+        view = self._data[name][:self._size]
+        view.setflags(write=False)
+        return view
+
+    def rows(self) -> Iterator[Request]:
+        """Materialize rows back into request records, in record order.
+
+        This is the slow, object-shaped escape hatch; summary paths
+        should stay on :meth:`column` arithmetic.
+        """
+        for row in range(self._size):
+            yield self.row(row)
+
+    def row(self, index: int) -> Request:
+        """Materialize one row as a request record."""
+        if not 0 <= index < self._size:
+            raise IndexError(
+                f"row {index} out of range for {self._size} samples")
+        data = self._data
+        return Request(
+            request_id=int(data["request_id"][index]),
+            size_kb=float(data["size_kb"][index]),
+            intended_send_us=float(data["intended_send_us"][index]),
+            actual_send_us=float(data["actual_send_us"][index]),
+            server_arrival_us=float(data["server_arrival_us"][index]),
+            queue_wait_us=float(data["queue_wait_us"][index]),
+            service_us=float(data["service_us"][index]),
+            server_departure_us=float(data["server_departure_us"][index]),
+            client_nic_us=float(data["client_nic_us"][index]),
+            measured_complete_us=float(
+                data["measured_complete_us"][index]),
+        )

@@ -9,9 +9,6 @@ paper's most client-sensitive one.
 
 from __future__ import annotations
 
-from typing import Optional
-
-import numpy as np
 
 from repro.config.knobs import HardwareConfig
 from repro.config.presets import SERVER_BASELINE

@@ -1,10 +1,8 @@
 """Tests for the analysis layer: survey, tables, figures."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.figures import (
-    StudyGrid,
     memcached_study,
     render_latency_series,
     render_ratio_series,

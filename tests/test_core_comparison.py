@@ -1,6 +1,5 @@
 """Tests for condition comparison and conflict detection."""
 
-import numpy as np
 import pytest
 
 from repro.core.comparison import (

@@ -1,6 +1,5 @@
 """Tests for the Table IV evaluation-time estimator."""
 
-import numpy as np
 import pytest
 
 from repro.core.evaluation_time import estimate_evaluation_time

@@ -1,9 +1,8 @@
 """Tests for the experiment runner and result summaries."""
 
-import numpy as np
 import pytest
 
-from repro.config.presets import HP_CLIENT, LP_CLIENT
+from repro.config.presets import HP_CLIENT
 from repro.core.experiment import Experiment, run_experiment
 from repro.errors import ExperimentError
 from repro.workloads.memcached import build_memcached_testbed

@@ -1,6 +1,5 @@
 """Tests for the Table III taxonomy and Section VI recommendations."""
 
-import pytest
 
 from repro.config.presets import HP_CLIENT, LP_CLIENT
 from repro.core.recommendations import recommend

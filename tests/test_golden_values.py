@@ -1,0 +1,75 @@
+"""Golden-value tests: the columnar pipeline is behavior-preserving.
+
+The pinned numbers below were captured from the *seed* (pre-columnar)
+implementation -- heap of Event objects, list-of-Request samples,
+per-accessor ``sorted()`` -- at commit ``a703f58``, one seed per
+workload.  The refactored pipeline (tuple-entry event heap, batch
+arrival scheduling, :class:`~repro.telemetry.SampleColumns` telemetry)
+must reproduce them **bit-identically**: same event order, same RNG
+draw order, same float arithmetic, same stable sort.
+
+If one of these fails after an intentional semantic change, recapture
+the constants in the same commit that changes them -- and say so in
+the commit message, because every stored campaign result silently
+changes meaning at that point.
+"""
+
+import pytest
+
+from repro.config.presets import LP_CLIENT, SERVER_BASELINE
+from repro.workloads.registry import builder_by_name
+
+#: workload -> (qps, num_requests, avg_us, p99_us, true_avg_us,
+#:              true_p99_us, measured_requests); root seed 1234.
+GOLDEN = {
+    "memcached": (
+        50_000, 400,
+        92.05270124287591, 110.83425088804036,
+        40.85396398552536, 53.6832444905004, 360),
+    "hdsearch": (
+        1_000, 200,
+        575.3908164276042, 835.5742187417833,
+        424.0981663402566, 681.5484531545002, 180),
+    "synthetic": (
+        10_000, 400,
+        95.93226054954478, 117.42871368345781,
+        44.283576243771556, 55.07284266632111, 360),
+}
+
+GOLDEN_SEED = 1234
+
+
+@pytest.mark.parametrize("workload", sorted(GOLDEN))
+def test_golden_run_metrics_bit_identical(workload):
+    qps, num_requests, avg, p99, true_avg, true_p99, requests = \
+        GOLDEN[workload]
+    testbed = builder_by_name(workload)(
+        seed=GOLDEN_SEED,
+        client_config=LP_CLIENT,
+        server_config=SERVER_BASELINE,
+        qps=qps,
+        num_requests=num_requests)
+    metrics = testbed.run()
+    # Exact equality on purpose: the acceptance bar is bit-identity
+    # with the object-path implementation, not approximate agreement.
+    assert metrics.avg_us == avg
+    assert metrics.p99_us == p99
+    assert metrics.true_avg_us == true_avg
+    assert metrics.true_p99_us == true_p99
+    assert metrics.requests == requests
+
+
+@pytest.mark.parametrize("workload", sorted(GOLDEN))
+def test_golden_runs_are_reproducible_within_session(workload):
+    """Two fresh testbeds with the same seed agree with each other."""
+    qps, num_requests = GOLDEN[workload][:2]
+    build = builder_by_name(workload)
+
+    def run_once():
+        return build(
+            seed=GOLDEN_SEED, client_config=LP_CLIENT,
+            server_config=SERVER_BASELINE, qps=qps,
+            num_requests=num_requests).run()
+
+    first, second = run_once(), run_once()
+    assert first == second

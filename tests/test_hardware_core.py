@@ -1,6 +1,5 @@
 """Tests for SimCore: the serialized event-handling core."""
 
-import numpy as np
 import pytest
 
 from repro.config.presets import HP_CLIENT, LP_CLIENT

@@ -1,12 +1,11 @@
 """Tests for C-state governor behaviour."""
 
-import numpy as np
 import pytest
 
 from repro.config.presets import HP_CLIENT, LP_CLIENT, SERVER_BASELINE
 from repro.config.presets import server_with_c1e
 from repro.hardware.cstates import CStateGovernor
-from repro.parameters import DEFAULT_PARAMETERS, cstates_by_name
+from repro.parameters import cstates_by_name
 
 
 class TestSelection:

@@ -1,6 +1,5 @@
 """Tests for the DVFS frequency model."""
 
-import dataclasses
 
 import pytest
 
@@ -10,10 +9,9 @@ from repro.config.knobs import (
     HardwareConfig,
     UncorePolicy,
 )
-from repro.config.presets import HP_CLIENT, LP_CLIENT, SERVER_BASELINE
+from repro.config.presets import HP_CLIENT, LP_CLIENT
 from repro.errors import ConfigurationError
 from repro.hardware.frequency import FrequencyModel
-from repro.parameters import DEFAULT_PARAMETERS
 
 
 def make_config(driver, governor, turbo=True):

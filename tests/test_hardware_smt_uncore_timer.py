@@ -1,13 +1,11 @@
 """Tests for the SMT, uncore and timer models."""
 
-import numpy as np
 import pytest
 
 from repro.config.presets import HP_CLIENT, LP_CLIENT
 from repro.hardware.smt import SmtModel
 from repro.hardware.timer import HIGH_RES_SLACK_US, TimerModel
 from repro.hardware.uncore import UNCORE_RAMP_DOWN_GAP_US, UncoreModel
-from repro.parameters import DEFAULT_PARAMETERS
 
 
 class TestSmtModel:

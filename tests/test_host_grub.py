@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import HostToolingError
-from repro.host.filesystem import FakeFilesystem, make_skylake_tree
+from repro.host.filesystem import FakeFilesystem
 from repro.host.grub import GrubConfig
 
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import MsrError
-from repro.host.filesystem import FakeFilesystem, make_skylake_tree
 from repro.host.msr import (
     MSR_MISC_ENABLE,
     MSR_UNCORE_RATIO,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import SysfsError
-from repro.host.filesystem import FakeFilesystem, make_skylake_tree
 from repro.host.sysfs import CpuSysfs
 
 

@@ -5,7 +5,6 @@ These are the acceptance tests of the reproduction -- each asserts the
 microsecond values.
 """
 
-import numpy as np
 import pytest
 
 from repro.config.presets import HP_CLIENT, LP_CLIENT

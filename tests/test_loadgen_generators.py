@@ -1,6 +1,5 @@
 """Tests for client machines and open/closed-loop generators."""
 
-import numpy as np
 import pytest
 
 from repro.config.presets import HP_CLIENT, LP_CLIENT, SERVER_BASELINE
@@ -14,8 +13,6 @@ from repro.net.link import NetworkLink
 from repro.parameters import DEFAULT_PARAMETERS
 from repro.server.service import FixedService
 from repro.server.station import ServiceStation
-from repro.sim.engine import Simulator
-from repro.sim.random import RandomStreams
 
 
 def make_setup(sim, streams, client_config=HP_CLIENT,

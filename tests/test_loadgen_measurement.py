@@ -93,3 +93,69 @@ class TestRunSamples:
         assert samples.send_errors_us()[0] == pytest.approx(5.0)
         # overhead = measured (80-5=75) - true (50-5=45) = 30.
         assert samples.client_overheads_us()[0] == pytest.approx(30.0)
+
+
+class TestColumnarSamples:
+    """The struct-of-arrays backing of RunSamples."""
+
+    def test_requests_are_not_retained(self):
+        samples = RunSamples(warmup_fraction=0.0)
+        request = make_request(0)
+        samples.record(request)
+        rebuilt = samples.measured_requests()[0]
+        assert rebuilt is not request
+        assert rebuilt.measured_complete_us == request.measured_complete_us
+
+    def test_measured_count_matches_measured_requests(self):
+        samples = RunSamples(warmup_fraction=0.2)
+        for index in range(10):
+            samples.record(make_request(index, send=float(index)))
+        assert samples.measured_count == 8
+        assert samples.measured_count == len(samples.measured_requests())
+
+    def test_columns_expose_raw_timestamps(self):
+        samples = RunSamples(warmup_fraction=0.0)
+        samples.record(make_request(0, send=5.0))
+        assert samples.columns.column("intended_send_us")[0] == 5.0
+
+    def test_latency_arrays_are_cached(self):
+        samples = RunSamples(warmup_fraction=0.0)
+        for index in range(4):
+            samples.record(make_request(index, send=float(index)))
+        assert samples.latencies_us() is samples.latencies_us()
+        assert samples.send_errors_us() is samples.send_errors_us()
+
+    def test_record_invalidates_caches(self):
+        samples = RunSamples(warmup_fraction=0.0)
+        samples.record(make_request(0, send=0.0, measured=80.0))
+        first = samples.latencies_us()
+        samples.record(make_request(1, send=1.0, measured=90.0))
+        second = samples.latencies_us()
+        assert first is not second
+        assert len(second) == 2
+
+    def test_cached_arrays_are_read_only(self):
+        samples = RunSamples(warmup_fraction=0.0)
+        samples.record(make_request(0))
+        array = samples.latencies_us()
+        with pytest.raises(ValueError):
+            array[0] = 0.0
+
+    def test_kernel_point_is_vectorized_identically(self):
+        samples = RunSamples(warmup_fraction=0.0)
+        for index in range(3):
+            samples.record(make_request(index, send=float(index)))
+        kernel = samples.latencies_us(PointOfMeasurement.KERNEL)
+        nic = samples.latencies_us(PointOfMeasurement.NIC)
+        expected = nic + DEFAULT_PARAMETERS.kernel_stack_us
+        assert np.array_equal(kernel, expected)
+
+    def test_sort_order_matches_object_path(self):
+        """Ties on intended send keep insertion order (stable sort),
+        exactly like the seed's sorted(key=...)."""
+        samples = RunSamples(warmup_fraction=0.0)
+        samples.record(make_request(0, send=10.0))
+        samples.record(make_request(1, send=5.0))
+        samples.record(make_request(2, send=5.0))
+        ids = [r.request_id for r in samples.measured_requests()]
+        assert ids == [1, 2, 0]

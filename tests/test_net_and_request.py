@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.net.link import US_PER_KB_10GBE, NetworkLink
-from repro.parameters import DEFAULT_PARAMETERS
 from repro.server.request import Request
 
 

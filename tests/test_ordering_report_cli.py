@@ -1,6 +1,5 @@
 """Tests for run ordering, the report writer and the CLI."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.figures import memcached_study

@@ -9,7 +9,6 @@ from repro.hardware.power import (
     PowerModel,
     compare_client_energy,
 )
-from repro.parameters import DEFAULT_PARAMETERS
 
 
 class TestActivePower:

@@ -1,13 +1,12 @@
 """Property-based tests (hypothesis) on core invariants."""
 
-import math
 
 import numpy as np
 import pytest
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.config.presets import HP_CLIENT, LP_CLIENT, SERVER_BASELINE
+from repro.config.presets import LP_CLIENT
 from repro.hardware.core import SimCore
 from repro.hardware.cstates import CStateGovernor
 from repro.hardware.frequency import FrequencyModel

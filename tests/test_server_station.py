@@ -1,6 +1,5 @@
 """Tests for the service station (workers + server-side knobs)."""
 
-import numpy as np
 import pytest
 
 from repro.config.presets import (
@@ -12,7 +11,6 @@ from repro.parameters import DEFAULT_PARAMETERS
 from repro.server.request import Request
 from repro.server.service import FixedService
 from repro.server.station import ServiceStation
-from repro.sim.engine import Simulator
 
 
 def run_one(sim, station, arrival_us=0.0):

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.engine import Simulator
 
 
 class TestScheduling:
@@ -127,3 +126,141 @@ class TestRunControl:
             sim.schedule(1.0, lambda: None)
         sim.run()
         assert sim.events_processed == 3
+
+
+class TestFastPath:
+    """The fire-and-forget tuple path (post / post_at / post_at_batch)."""
+
+    def test_post_fires_in_time_order(self, sim):
+        fired = []
+        sim.post(5.0, fired.append, "late")
+        sim.post(1.0, fired.append, "early")
+        assert sim.run() == 2
+        assert fired == ["early", "late"]
+        assert sim.now == 5.0
+
+    def test_post_returns_no_handle(self, sim):
+        assert sim.post(1.0, lambda: None) is None
+
+    def test_post_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.post(-1.0, lambda: None)
+
+    def test_post_nan_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.post(float("nan"), lambda: None)
+
+    def test_post_at_past_rejected(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.post_at(1.0, lambda: None)
+
+    def test_post_at_batch_schedules_train(self, sim):
+        fired = []
+        count = sim.post_at_batch(
+            (float(t), fired.append, (t,)) for t in (3, 1, 2))
+        assert count == 3
+        sim.run()
+        assert fired == [1, 2, 3]
+
+    def test_post_at_batch_rejects_past_times(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.post_at_batch([(1.0, lambda: None, ())])
+
+    def test_tie_break_by_insertion_across_both_paths(self, sim):
+        """>= 3 same-time events, mixing cancellable and fast-path
+        entries, fire in exact insertion order."""
+        fired = []
+        sim.post(1.0, fired.append, "a")
+        sim.schedule(1.0, fired.append, "b")
+        sim.post_at_batch([(1.0, fired.append, ("c",)),
+                           (1.0, fired.append, ("d",))])
+        sim.post(1.0, fired.append, "e")
+        sim.run()
+        assert fired == ["a", "b", "c", "d", "e"]
+
+    def test_schedule_at_exactly_now_fires_at_now(self, sim):
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        fired = []
+        sim.schedule_at(sim.now, fired.append, "now")
+        sim.post_at(sim.now, fired.append, "now-fast")
+        sim.run()
+        assert fired == ["now", "now-fast"]
+        assert sim.now == 2.0
+
+    def test_step_interleaves_both_entry_kinds(self, sim):
+        fired = []
+        sim.post(1.0, fired.append, "fast")
+        sim.schedule(2.0, fired.append, "slow")
+        assert sim.step() and sim.step()
+        assert sim.step() is False
+        assert fired == ["fast", "slow"]
+        assert sim.events_processed == 2
+
+
+class TestCancellationAccounting:
+    def test_live_pending_excludes_cancelled(self, sim):
+        keep = [sim.schedule(float(i), lambda: None) for i in range(5)]
+        keep[1].cancel()
+        keep[3].cancel()
+        assert sim.pending_events == 5
+        assert sim.live_pending_events == 3
+
+    def test_cancel_after_fire_does_not_corrupt_count(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        event.cancel()
+        assert sim.live_pending_events == 0
+
+    def test_run_until_with_cancelled_head_event(self, sim):
+        fired = []
+        head = sim.schedule(1.0, fired.append, "head")
+        sim.schedule(2.0, fired.append, "kept")
+        sim.schedule(5.0, fired.append, "beyond")
+        head.cancel()
+        assert sim.run_until(3.0) == 1
+        assert fired == ["kept"]
+        assert sim.now == 3.0
+        assert sim.live_pending_events == 1
+
+    def test_compaction_drops_cancelled_majority(self, sim):
+        events = [sim.schedule(float(i), lambda: None)
+                  for i in range(200)]
+        for event in events[:150]:
+            event.cancel()
+        # Lazy compaction rebuilt the heap once cancelled entries
+        # outnumbered live ones: most tombstones are physically gone
+        # (not just flagged), and live accounting stays exact.
+        assert sim.live_pending_events == 50
+        assert sim.live_pending_events <= sim.pending_events < 150
+        assert sim.run() == 50
+
+    def test_small_heaps_skip_compaction(self, sim):
+        events = [sim.schedule(float(i), lambda: None) for i in range(10)]
+        for event in events[:9]:
+            event.cancel()
+        assert sim.pending_events == 10
+        assert sim.live_pending_events == 1
+        assert sim.run() == 1
+
+    def test_clear_resets_cancelled_accounting(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        sim.clear()
+        assert sim.pending_events == 0
+        assert sim.live_pending_events == 0
+
+    def test_cancel_after_clear_does_not_corrupt_count(self, sim):
+        """A handle whose entry was dropped by clear() must not
+        decrement accounting for events scheduled afterwards."""
+        stale = sim.schedule(1.0, lambda: None)
+        sim.clear()
+        stale.cancel()
+        assert sim.live_pending_events == 0
+        sim.post(1.0, lambda: None)
+        assert sim.live_pending_events == 1
+        assert sim.run() == 1

@@ -1,0 +1,85 @@
+"""Tests for the struct-of-arrays sample buffer."""
+
+import numpy as np
+import pytest
+
+from repro.server.request import Request
+from repro.telemetry import COLUMN_FIELDS, SampleColumns
+
+
+def make_request(index):
+    return Request(
+        request_id=index, size_kb=0.5,
+        intended_send_us=10.0 * index,
+        actual_send_us=10.0 * index + 1.0,
+        server_arrival_us=10.0 * index + 2.0,
+        queue_wait_us=0.5, service_us=3.0,
+        server_departure_us=10.0 * index + 5.0,
+        client_nic_us=10.0 * index + 6.0,
+        measured_complete_us=10.0 * index + 8.0)
+
+
+class TestSampleColumns:
+    def test_starts_empty(self):
+        assert len(SampleColumns()) == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SampleColumns(capacity=0)
+
+    def test_append_stores_every_field(self):
+        columns = SampleColumns()
+        request = make_request(3)
+        columns.append(request)
+        for name in COLUMN_FIELDS:
+            assert columns.column(name)[0] == getattr(request, name)
+
+    def test_column_is_trimmed_to_size(self):
+        columns = SampleColumns(capacity=16)
+        for index in range(5):
+            columns.append(make_request(index))
+        assert columns.column("intended_send_us").shape == (5,)
+
+    def test_grows_by_doubling(self):
+        columns = SampleColumns(capacity=2)
+        for index in range(9):
+            columns.append(make_request(index))
+        assert len(columns) == 9
+        assert columns.capacity == 16
+        np.testing.assert_array_equal(
+            columns.column("request_id"), np.arange(9.0))
+
+    def test_growth_preserves_recorded_values(self):
+        columns = SampleColumns(capacity=1)
+        requests = [make_request(index) for index in range(7)]
+        for request in requests:
+            columns.append(request)
+        sends = columns.column("intended_send_us")
+        assert list(sends) == [r.intended_send_us for r in requests]
+
+    def test_row_materializes_a_request(self):
+        columns = SampleColumns()
+        original = make_request(4)
+        columns.append(original)
+        rebuilt = columns.row(0)
+        for name in COLUMN_FIELDS:
+            assert getattr(rebuilt, name) == getattr(original, name)
+        rebuilt.validate()
+
+    def test_row_out_of_range(self):
+        columns = SampleColumns()
+        columns.append(make_request(0))
+        with pytest.raises(IndexError):
+            columns.row(1)
+        with pytest.raises(IndexError):
+            columns.row(-1)
+
+    def test_rows_iterates_in_record_order(self):
+        columns = SampleColumns()
+        for index in (2, 0, 1):
+            columns.append(make_request(index))
+        assert [r.request_id for r in columns.rows()] == [2, 0, 1]
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(KeyError):
+            SampleColumns().column("no_such_field")

@@ -6,7 +6,6 @@ import pytest
 from repro.analysis.ascii_plot import ascii_chart, chart_from_grid
 from repro.config.presets import HP_CLIENT, LP_CLIENT
 from repro.errors import StatisticsError
-from repro.host.filesystem import FakeFilesystem, make_skylake_tree
 from repro.host.tuner import HostTuner
 from repro.host.verify import verify_host
 from repro.stats.bootstrap import (

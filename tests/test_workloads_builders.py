@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.config.presets import HP_CLIENT, LP_CLIENT, SERVER_BASELINE
+from repro.config.presets import HP_CLIENT, LP_CLIENT
 from repro.errors import ConfigurationError, ExperimentError
 from repro.units import MS
 from repro.workloads.memcached import build_memcached_testbed
