@@ -17,9 +17,8 @@ from repro.config.knobs import (
     FrequencyGovernor,
     UncorePolicy,
 )
+from repro.api import experiment
 from repro.config.presets import HP_CLIENT, LP_CLIENT
-from repro.core.experiment import run_experiment
-from repro.workloads.memcached import build_memcached_testbed
 
 QPS = 100_000
 
@@ -43,13 +42,13 @@ def knob_walk():
 
 
 def build():
+    plan = (experiment("memcached")
+            .load(qps=QPS, num_requests=BENCH_REQUESTS)
+            .policy(runs=BENCH_RUNS, base_seed=7_000)
+            .build())
     rows = []
     for label, config in knob_walk():
-        result = run_experiment(
-            lambda seed, c=config: build_memcached_testbed(
-                seed, client_config=c, qps=QPS,
-                num_requests=BENCH_REQUESTS),
-            runs=BENCH_RUNS, base_seed=7_000)
+        result = plan.with_client(config).run()
         rows.append((label, float(np.mean(result.avg_samples()))))
     return rows
 

@@ -9,19 +9,21 @@ bias appearing only as the point moves up the client stack.
 import numpy as np
 
 from benchmarks.conftest import BENCH_REQUESTS, BENCH_RUNS, run_once
+from repro.api import experiment
 from repro.config.presets import HP_CLIENT, LP_CLIENT
 from repro.loadgen.measurement import PointOfMeasurement
-from repro.workloads.memcached import build_memcached_testbed
 
 QPS = 100_000
 
 
 def collect(client_config):
+    plan = (experiment("memcached")
+            .client(client_config)
+            .load(qps=QPS, num_requests=BENCH_REQUESTS)
+            .build())
     per_point = {point: [] for point in PointOfMeasurement}
     for seed in range(BENCH_RUNS):
-        testbed = build_memcached_testbed(
-            seed=seed, client_config=client_config, qps=QPS,
-            num_requests=BENCH_REQUESTS)
+        testbed = plan.testbed(seed)
         testbed.run()
         samples = testbed.samples
         for point in PointOfMeasurement:

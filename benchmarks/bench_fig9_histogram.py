@@ -9,22 +9,21 @@ chart (with the median bin marked) and assert the skew.
 import numpy as np
 
 from benchmarks.conftest import BENCH_REQUESTS, run_once
+from repro.api import experiment
 from repro.config.presets import HP_CLIENT, server_with_smt
-from repro.core.experiment import run_experiment
 from repro.stats.normality import render_frequency_chart
-from repro.workloads.memcached import build_memcached_testbed
 
 RUNS = 50  # the paper's histogram uses all 50 runs
 QPS = 400_000
 
 
 def build_samples():
-    result = run_experiment(
-        lambda seed: build_memcached_testbed(
-            seed, client_config=HP_CLIENT,
-            server_config=server_with_smt(False),
-            qps=QPS, num_requests=BENCH_REQUESTS),
-        runs=RUNS, base_seed=4_000)
+    result = (experiment("memcached")
+              .client(HP_CLIENT)
+              .server(server_with_smt(False), label="SMToff")
+              .load(qps=QPS, num_requests=BENCH_REQUESTS)
+              .policy(runs=RUNS, base_seed=4_000)
+              .run())
     return result.avg_samples()
 
 

@@ -15,29 +15,30 @@ the capacities diverge exactly as in the paper's example.
 import numpy as np
 
 from benchmarks.conftest import BENCH_REQUESTS, BENCH_RUNS, run_once
+from repro.api import experiment
 from repro.config.presets import HP_CLIENT, LP_CLIENT
-from repro.core.experiment import run_experiment
 from repro.core.provisioning import (
     capacity_under_qos,
     provisioning_error,
     provisioning_plan,
 )
-from repro.workloads.memcached import build_memcached_testbed
 
 QPS_LIST = (100_000, 200_000, 300_000, 400_000, 500_000)
 TARGET_QPS = 5_000_000
 
 
 def build():
+    base = (experiment("memcached")
+            .load(num_requests=BENCH_REQUESTS)
+            .policy(runs=BENCH_RUNS, base_seed=9_000)
+            .build())
     sweeps = {}
     for config in (LP_CLIENT, HP_CLIENT):
+        plan = base.with_client(config)
         sweeps[config.name] = {
-            qps: float(np.median(run_experiment(
-                lambda seed, c=config, q=qps: build_memcached_testbed(
-                    seed, client_config=c, qps=q,
-                    num_requests=BENCH_REQUESTS),
-                runs=BENCH_RUNS, base_seed=9_000).p99_samples()))
-            for qps in QPS_LIST
+            qps: float(np.median(result.p99_samples()))
+            for qps, result in zip(QPS_LIST,
+                                   plan.sweep(qps=QPS_LIST))
         }
     return sweeps
 

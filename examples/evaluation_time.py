@@ -15,12 +15,10 @@ Run:
 import numpy as np
 
 from repro import (
-    HP_CLIENT,
     LP_CLIENT,
-    build_memcached_testbed,
     estimate_evaluation_time,
+    experiment,
     recommend,
-    run_experiment,
 )
 from repro.loadgen.base import GeneratorDesign
 
@@ -31,20 +29,20 @@ LOADS = (10_000, 500_000)
 
 def main() -> None:
     rng = np.random.default_rng(0)
+    pilot = (experiment("memcached")
+             .load(num_requests=REQUESTS)
+             .policy(runs=PILOT_RUNS)
+             .build())
     print(f"Pilot: {PILOT_RUNS} runs per condition\n")
     print(f"{'condition':<16}{'parametric':>11}{'CONFIRM':>9}"
           f"{'Shapiro':>9}{'eval time':>12}")
-    for config in (LP_CLIENT, HP_CLIENT):
+    for name in ("LP", "HP"):
         for qps in LOADS:
-            result = run_experiment(
-                lambda seed, c=config, q=qps: build_memcached_testbed(
-                    seed, client_config=c, qps=q,
-                    num_requests=REQUESTS),
-                runs=PILOT_RUNS)
+            result = pilot.with_client(name).with_qps(qps).run()
             estimate = estimate_evaluation_time(
                 result.avg_samples(), rng=rng)
             minutes = estimate.evaluation_seconds / 60
-            label = f"{config.name}@{qps // 1000}K"
+            label = f"{name}@{qps // 1000}K"
             print(f"{label:<16}{estimate.parametric_runs:>11d}"
                   f"{estimate.confirm_display():>9}"
                   f"{estimate.normality.verdict:>9}"

@@ -8,23 +8,29 @@ Memcached experiment under both client configurations, extracts each
 client core's busy/idle split and frequency from the simulation, and
 feeds them to the power model.
 
+A single :class:`repro.api.ExperimentPlan` describes the experiment;
+``plan.testbed(seed)`` hands back the live testbed so the power model
+can inspect the generator cores after the run.
+
 Run:
     python examples/power_tradeoff.py
 """
 
-import numpy as np
-
-from repro import HP_CLIENT, LP_CLIENT, build_memcached_testbed
+from repro import HP_CLIENT, LP_CLIENT, experiment
 from repro.hardware.power import PowerModel
 from repro.parameters import DEFAULT_PARAMETERS
 
 QPS = 100_000
 REQUESTS = 2_000
 
+PLAN = (experiment("memcached")
+        .load(qps=QPS, num_requests=REQUESTS)
+        .policy(base_seed=1)
+        .build())
+
 
 def client_energy(config):
-    testbed = build_memcached_testbed(
-        seed=1, client_config=config, qps=QPS, num_requests=REQUESTS)
+    testbed = PLAN.with_client(config).testbed()
     metrics = testbed.run()
     horizon_us = testbed.sim.now
     model = PowerModel(DEFAULT_PARAMETERS, config)

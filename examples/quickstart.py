@@ -6,16 +6,15 @@ Runs the same Memcached experiment twice -- once with the default
 configuration -- and compares what each client *reports* against the
 hardware ground truth at the NIC.
 
+Experiments are authored as :class:`repro.api.ExperimentPlan` specs:
+validated at construction, serializable, and executed with
+``plan.run()``.
+
 Run:
     python examples/quickstart.py
 """
 
-from repro import (
-    HP_CLIENT,
-    LP_CLIENT,
-    build_memcached_testbed,
-    run_experiment,
-)
+from repro import experiment
 
 QPS = 100_000
 RUNS = 10
@@ -25,13 +24,12 @@ REQUESTS = 800
 def main() -> None:
     print(f"Memcached @ {QPS // 1000}K QPS, {RUNS} runs of "
           f"{REQUESTS} requests each\n")
-    results = {}
-    for config in (LP_CLIENT, HP_CLIENT):
-        results[config.name] = run_experiment(
-            lambda seed, c=config: build_memcached_testbed(
-                seed, client_config=c, qps=QPS,
-                num_requests=REQUESTS),
-            runs=RUNS, label=config.name)
+    base = (experiment("memcached")
+            .load(qps=QPS, num_requests=REQUESTS)
+            .policy(runs=RUNS)
+            .build())
+    results = {name: base.with_client(name).with_label(name).run()
+               for name in ("LP", "HP")}
 
     print(f"{'client':<8}{'measured avg (median CI)':<32}"
           f"{'true avg (NIC)':<16}{'p99':<12}")

@@ -6,13 +6,15 @@ Memcached's tail latency?  We run the study twice, once measured by an
 LP client and once by an HP client, and print the speedups and the
 CI-overlap conclusions each client would report.
 
+The study grid is declared once and compiled through the
+:mod:`repro.api` plan layer -- the same conditions can run as a
+parallel ``repro campaign``, and ``repro plan --workload memcached
+--knob smt`` prints the expansion without running it.
+
 Run:
     python examples/smt_study.py
 """
 
-import numpy as np
-
-from repro import HP_CLIENT, LP_CLIENT, server_with_smt
 from repro.analysis.figures import memcached_study, render_ratio_series
 from repro.core.comparison import detect_conflicts
 

@@ -7,18 +7,16 @@ toward 1.0 as the service slows down -- the client only corrupts
 measurements when its own overhead is the same order of magnitude as
 the thing being measured (paper, Finding 3).
 
+The whole sweep is one :class:`repro.api.ExperimentPlan` expanded
+over the ``added_delay_us`` axis with ``plan.sweep(...)``.
+
 Run:
     python examples/synthetic_sensitivity.py
 """
 
 import numpy as np
 
-from repro import (
-    HP_CLIENT,
-    LP_CLIENT,
-    build_synthetic_testbed,
-    run_experiment,
-)
+from repro import experiment
 from repro.stats.littles_law import concurrency
 
 QPS = 10_000
@@ -30,17 +28,18 @@ REQUESTS = 600
 def main() -> None:
     print(f"Synthetic workload @ {QPS // 1000}K QPS "
           f"({RUNS} runs per point)\n")
+    base = (experiment("synthetic")
+            .load(qps=QPS, num_requests=REQUESTS)
+            .policy(runs=RUNS)
+            .build())
+    sweeps = {name: base.with_client(name).sweep(added_delay_us=DELAYS)
+              for name in ("HP", "LP")}
+
     print(f"{'delay(us)':>10}{'HP avg':>10}{'LP avg':>10}"
           f"{'LP/HP':>8}{'concurrency':>13}")
-    for delay in DELAYS:
-        means = {}
-        for config in (HP_CLIENT, LP_CLIENT):
-            result = run_experiment(
-                lambda seed, c=config, d=delay: build_synthetic_testbed(
-                    seed, client_config=c, qps=QPS, added_delay_us=d,
-                    num_requests=REQUESTS),
-                runs=RUNS)
-            means[config.name] = float(np.mean(result.avg_samples()))
+    for index, delay in enumerate(DELAYS):
+        means = {name: float(np.mean(results[index].avg_samples()))
+                 for name, results in sweeps.items()}
         gap = means["LP"] / means["HP"]
         in_flight = concurrency(QPS, means["HP"])
         print(f"{delay:>10.0f}{means['HP']:>10.1f}{means['LP']:>10.1f}"

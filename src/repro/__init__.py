@@ -15,18 +15,36 @@ The library has three faces:
   Shapiro-Wilk, CONFIRM, conclusion-conflict detection and the
   Section VI recommendation rules.
 
+All of it is driven through one public surface, :mod:`repro.api`:
+typed, frozen, serializable :class:`ExperimentPlan` specs that the
+CLI, campaign sweeps, figure studies and examples all compile down
+to.
+
 Quickstart::
 
-    from repro import (LP_CLIENT, HP_CLIENT, build_memcached_testbed,
-                       run_experiment)
-    result = run_experiment(
-        lambda seed: build_memcached_testbed(
-            seed, client_config=LP_CLIENT, qps=100_000,
-            num_requests=1_000),
-        runs=10)
+    from repro import experiment
+
+    result = (experiment("memcached")
+              .client("LP")
+              .load(qps=100_000, num_requests=1_000)
+              .policy(runs=10)
+              .run())
     print(result.median_avg_ci().format("us"))
+
+The legacy ``build_*_testbed`` / ``run_experiment`` entry points
+remain as deprecated shims; see the README's "Public API" migration
+table.
 """
 
+from repro.api import (
+    ExperimentPlan,
+    HardwareSpec,
+    LoadSpec,
+    PlanBuilder,
+    RunPolicy,
+    WorkloadSpec,
+    experiment,
+)
 from repro.config import (
     HP_CLIENT,
     LP_CLIENT,
@@ -67,10 +85,19 @@ from repro.workloads import (
     build_synthetic_testbed,
 )
 
-__version__ = "1.0.0"
+#: Kept in sync with ``version`` in pyproject.toml.
+__version__ = "0.3.0"
 
 __all__ = [
     "__version__",
+    # the unified experiment API (repro.api)
+    "ExperimentPlan",
+    "WorkloadSpec",
+    "LoadSpec",
+    "HardwareSpec",
+    "RunPolicy",
+    "PlanBuilder",
+    "experiment",
     # configuration
     "HardwareConfig",
     "FrequencyDriver",

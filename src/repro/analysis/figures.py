@@ -6,11 +6,14 @@ feeds several figures (e.g. the Memcached SMT grid produces Fig. 2a-d,
 Fig. 5a, Fig. 8, Fig. 9 and half of Table IV), so benchmarks build the
 grid once and render multiple artifacts from it.
 
-Since the campaign subsystem landed, every study is a thin wrapper
-over a declarative :class:`~repro.campaign.spec.CampaignSpec` executed
-through the shared campaign path -- the same specs can run in
-parallel, memoized in a :class:`~repro.campaign.store.ResultStore`,
-via ``repro campaign``.  Seeds are cell-identity-derived
+Every study is a thin wrapper over a declarative
+:class:`~repro.campaign.spec.CampaignSpec` executed through the
+shared campaign path, whose conditions compile into
+:class:`~repro.api.ExperimentPlan`s -- the single execution surface
+everything in the library funnels through.  The same specs can run
+in parallel, memoized in a :class:`~repro.campaign.store.ResultStore`,
+via ``repro campaign``; ``repro plan`` prints a grid's expansion
+without running it.  Seeds are cell-identity-derived
 (:func:`repro.campaign.spec.cell_seed`), so a study grid and a
 campaign of the same conditions are bit-identical.
 """
@@ -29,8 +32,7 @@ from repro.config.presets import (
     HP_CLIENT,
     LP_CLIENT,
     SERVER_BASELINE,
-    server_with_c1e,
-    server_with_smt,
+    knob_conditions,
 )
 from repro.core.comparison import Comparison, compare_conditions
 from repro.core.experiment import ExperimentResult
@@ -189,16 +191,8 @@ def memcached_study(knob: str = "smt",
                     runs: int = 50, num_requests: int = 2_000,
                     base_seed: int = 0) -> StudyGrid:
     """The Fig. 2 (knob="smt") / Fig. 3 (knob="c1e") Memcached grid."""
-    if knob == "smt":
-        conditions = {"SMToff": server_with_smt(False),
-                      "SMTon": server_with_smt(True)}
-    elif knob == "c1e":
-        conditions = {"C1Eoff": server_with_c1e(False),
-                      "C1Eon": server_with_c1e(True)}
-    else:
-        raise ExperimentError(f"unknown knob {knob!r}")
-    return _run_grid("memcached", conditions, qps_list, runs,
-                     num_requests, base_seed)
+    return _run_grid("memcached", knob_conditions(knob), qps_list,
+                     runs, num_requests, base_seed)
 
 
 def hdsearch_study(knob: str = "smt",
@@ -206,16 +200,8 @@ def hdsearch_study(knob: str = "smt",
                    runs: int = 50, num_requests: int = 1_000,
                    base_seed: int = 0) -> StudyGrid:
     """The Fig. 4 HDSearch grid (SMT or C1E server conditions)."""
-    if knob == "smt":
-        conditions = {"SMToff": server_with_smt(False),
-                      "SMTon": server_with_smt(True)}
-    elif knob == "c1e":
-        conditions = {"C1Eoff": server_with_c1e(False),
-                      "C1Eon": server_with_c1e(True)}
-    else:
-        raise ExperimentError(f"unknown knob {knob!r}")
-    return _run_grid("hdsearch", conditions, qps_list, runs,
-                     num_requests, base_seed)
+    return _run_grid("hdsearch", knob_conditions(knob), qps_list,
+                     runs, num_requests, base_seed)
 
 
 def socialnetwork_study(qps_list: Sequence[float] = SOCIALNETWORK_QPS,

@@ -1,0 +1,125 @@
+"""Fluent construction of :class:`~repro.api.specs.ExperimentPlan`.
+
+The chainable front door for interactive use and examples::
+
+    from repro.api import experiment
+
+    result = (experiment("memcached")
+              .client("LP")
+              .load(qps=100_000, num_requests=1_000)
+              .policy(runs=10)
+              .run())
+
+Every step validates immediately (an unknown workload or parameter
+fails on the ``experiment(...)`` call, not deep inside a worker), and
+:meth:`PlanBuilder.build` returns the frozen plan for hashing,
+serialization or sweeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Optional, Union
+
+from repro.api.specs import (
+    ExperimentPlan,
+    HardwareSpec,
+    LoadSpec,
+    RunPolicy,
+    WorkloadSpec,
+    _as_config,
+)
+from repro.config.knobs import HardwareConfig
+from repro.config.presets import LP_CLIENT
+from repro.core.experiment import ExperimentResult
+
+__all__ = ["PlanBuilder", "experiment"]
+
+
+class PlanBuilder:
+    """Accumulates an :class:`ExperimentPlan`, one chained call at a time.
+
+    Defaults: LP client (the paper's "untuned experimenter"
+    baseline), server baseline, the workload's own default load and
+    request count, and the paper's 50-run policy.
+    """
+
+    def __init__(self, workload: str, **params: Any) -> None:
+        self._workload = WorkloadSpec.create(workload, **params)
+        definition = self._workload.definition
+        self._load = LoadSpec(
+            qps=definition.default_qps,
+            num_requests=definition.default_num_requests)
+        self._hardware = HardwareSpec(client=LP_CLIENT)
+        self._policy = RunPolicy()
+
+    # ------------------------------------------------------------------
+    def params(self, **params: Any) -> "PlanBuilder":
+        """Merge workload parameters (validated against the schema)."""
+        merged = {**self._workload.param_dict(), **params}
+        self._workload = WorkloadSpec.create(
+            self._workload.name, **merged)
+        return self
+
+    def client(self, config: Union[str, HardwareConfig],
+               label: str = "") -> "PlanBuilder":
+        """Set the client configuration (preset name or config)."""
+        resolved = _as_config(config, "client")
+        self._hardware = replace(
+            self._hardware, client=resolved,
+            client_label=label or resolved.name)
+        return self
+
+    def server(self, config: Union[str, HardwareConfig],
+               label: str = "") -> "PlanBuilder":
+        """Set the server configuration (preset name or config)."""
+        resolved = _as_config(config, "server")
+        self._hardware = replace(
+            self._hardware, server=resolved,
+            server_label=label or resolved.name)
+        return self
+
+    def load(self, qps: Optional[float] = None,
+             num_requests: Optional[int] = None,
+             warmup_fraction: Optional[float] = None,
+             generator: Optional[str] = None) -> "PlanBuilder":
+        """Set load fields; omitted arguments keep their value."""
+        self._load = LoadSpec(
+            qps=self._load.qps if qps is None else qps,
+            num_requests=(self._load.num_requests
+                          if num_requests is None else num_requests),
+            warmup_fraction=(self._load.warmup_fraction
+                             if warmup_fraction is None
+                             else warmup_fraction),
+            generator=(self._load.generator
+                       if generator is None else generator))
+        return self
+
+    def policy(self, runs: Optional[int] = None,
+               base_seed: Optional[int] = None,
+               label: Optional[str] = None) -> "PlanBuilder":
+        """Set run-policy fields; omitted arguments keep their value."""
+        self._policy = RunPolicy(
+            runs=self._policy.runs if runs is None else runs,
+            base_seed=(self._policy.base_seed
+                       if base_seed is None else base_seed),
+            label=self._policy.label if label is None else label)
+        return self
+
+    # ------------------------------------------------------------------
+    def build(self) -> ExperimentPlan:
+        """The frozen, validated plan."""
+        return ExperimentPlan(
+            workload=self._workload,
+            load=self._load,
+            hardware=self._hardware,
+            policy=self._policy)
+
+    def run(self) -> ExperimentResult:
+        """Build and execute in one step."""
+        return self.build().run()
+
+
+def experiment(workload: str, **params: Any) -> PlanBuilder:
+    """Start a fluent plan for *workload* (the public entry point)."""
+    return PlanBuilder(workload, **params)

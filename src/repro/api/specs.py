@@ -1,0 +1,474 @@
+"""Typed, frozen experiment specs and their compiled execution.
+
+An experiment is authored once as a validated, serializable
+:class:`ExperimentPlan` -- four small frozen dataclasses composed
+together -- and *compiled* into execution on demand:
+
+* :class:`WorkloadSpec` -- which workload, with which parameters,
+  validated against the registry's per-workload schema at
+  construction (unknown workload -> did-you-mean error; unknown
+  parameter -> schema error naming the valid keys);
+* :class:`LoadSpec` -- offered load, requests per run, warmup
+  fraction and load-generator choice;
+* :class:`HardwareSpec` -- the client and server
+  :class:`~repro.config.knobs.HardwareConfig` pair, with sweep
+  labels;
+* :class:`RunPolicy` -- repetitions, base seed and result label.
+
+Every spec is hashable data: ``plan.to_json()`` round-trips exactly
+(``ExperimentPlan.from_json(plan.to_json()) == plan``) and
+``plan.content_hash()`` is stable across processes and sessions, so
+plans can key result stores and ship to remote executors unchanged.
+``plan.run()`` executes the paper's repetition protocol and returns
+the existing :class:`~repro.core.experiment.ExperimentResult`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from itertools import product
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from repro.config.serialize import (
+    content_hash,
+    hardware_config_from_dict,
+    hardware_config_to_dict,
+)
+from repro.config.knobs import HardwareConfig
+from repro.config.presets import SERVER_BASELINE
+from repro.core.experiment import (
+    DEFAULT_RUNS,
+    Experiment,
+    ExperimentResult,
+)
+from repro.core.testbed import Testbed
+from repro.errors import SpecValidationError
+from repro.workloads.registry import WorkloadDefinition, workload_by_name
+
+#: ``LoadSpec.generator`` value meaning "the workload's own generator".
+DEFAULT_GENERATOR = "default"
+
+
+def _check_keys(data: Mapping[str, Any], allowed: Tuple[str, ...],
+                what: str) -> None:
+    """Reject unknown keys: a misspelled field in a spec file must
+    fail loudly, not silently fall back to a default."""
+    unknown = sorted(set(map(str, data)) - set(allowed))
+    if unknown:
+        raise SpecValidationError(
+            f"unknown key(s) {', '.join(map(repr, unknown))} in "
+            f"{what} spec; valid keys: {', '.join(allowed)}")
+
+
+def _as_config(value: Union[str, Mapping[str, Any], HardwareConfig],
+               what: str) -> HardwareConfig:
+    """Coerce a config, preset name, or dict into a HardwareConfig."""
+    if isinstance(value, HardwareConfig):
+        return value
+    if isinstance(value, (str, Mapping)):
+        return hardware_config_from_dict(
+            value if isinstance(value, str) else dict(value))
+    raise SpecValidationError(
+        f"{what} must be a HardwareConfig, preset name or config "
+        f"dict, got {type(value).__name__}")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Which workload to run, with which typed parameters.
+
+    Attributes:
+        name: registered workload name (see
+            :mod:`repro.workloads.registry`).
+        params: workload parameters as sorted ``(name, value)`` pairs
+            -- validated and normalized against the workload's
+            registered schema at construction.
+    """
+
+    name: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", str(self.name))
+        definition = workload_by_name(self.name)
+        normalized = definition.validate_params(dict(self.params))
+        object.__setattr__(
+            self, "params", tuple(sorted(normalized.items())))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, name: str, **params: Any) -> "WorkloadSpec":
+        """Build a spec from keyword parameters."""
+        return cls(name=name, params=tuple(params.items()))
+
+    @property
+    def definition(self) -> WorkloadDefinition:
+        """The registry definition backing this spec."""
+        return workload_by_name(self.name)
+
+    def param_dict(self) -> Dict[str, Any]:
+        """The parameters as a plain dict."""
+        return dict(self.params)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadSpec":
+        _check_keys(data, ("name", "params"), "workload")
+        return cls(name=str(data["name"]),
+                   params=tuple(dict(data.get("params", {})).items()))
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """How hard and how long to drive the testbed.
+
+    Attributes:
+        qps: offered load.
+        num_requests: requests per run.
+        warmup_fraction: leading samples to discard; ``None`` keeps
+            the workload builder's default.
+        generator: load-generator choice; ``"default"`` keeps the
+            workload's own (Mutilate, wrk2, the HDSearch client).
+    """
+
+    qps: float
+    num_requests: int = 1_000
+    warmup_fraction: Optional[float] = None
+    generator: str = DEFAULT_GENERATOR
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "qps", float(self.qps))
+        object.__setattr__(self, "num_requests", int(self.num_requests))
+        object.__setattr__(self, "generator", str(self.generator))
+        if self.qps <= 0:
+            raise SpecValidationError(
+                f"qps must be > 0, got {self.qps!r}")
+        if self.num_requests < 1:
+            raise SpecValidationError(
+                f"num_requests must be >= 1, got {self.num_requests!r}")
+        if self.warmup_fraction is not None:
+            warmup = float(self.warmup_fraction)
+            if not 0.0 <= warmup < 1.0:
+                raise SpecValidationError(
+                    f"warmup_fraction must be in [0, 1), got {warmup!r}")
+            object.__setattr__(self, "warmup_fraction", warmup)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "qps": self.qps,
+            "num_requests": self.num_requests,
+            "warmup_fraction": self.warmup_fraction,
+            "generator": self.generator,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LoadSpec":
+        _check_keys(data, ("qps", "num_requests", "warmup_fraction",
+                           "generator"), "load")
+        return cls(
+            qps=data["qps"],
+            num_requests=data.get("num_requests", 1_000),
+            warmup_fraction=data.get("warmup_fraction"),
+            generator=data.get("generator") or DEFAULT_GENERATOR,
+        )
+
+
+@dataclass(frozen=True)
+class HardwareSpec:
+    """The client/server hardware pair under study.
+
+    Attributes:
+        client: client machine configuration (LP, HP, or custom);
+            accepts a preset name or config dict at construction.
+        server: server machine configuration (default: the Table II
+            baseline).
+        client_label: sweep label, defaulting to ``client.name``.
+        server_label: condition label, defaulting to ``server.name``.
+    """
+
+    client: HardwareConfig
+    server: HardwareConfig = SERVER_BASELINE
+    client_label: str = ""
+    server_label: str = ""
+
+    def __post_init__(self) -> None:
+        client = _as_config(self.client, "client")
+        server = _as_config(self.server, "server")
+        object.__setattr__(self, "client", client)
+        object.__setattr__(self, "server", server)
+        object.__setattr__(
+            self, "client_label",
+            str(self.client_label) or client.name)
+        object.__setattr__(
+            self, "server_label",
+            str(self.server_label) or server.name)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "client": hardware_config_to_dict(self.client),
+            "server": hardware_config_to_dict(self.server),
+            "client_label": self.client_label,
+            "server_label": self.server_label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "HardwareSpec":
+        _check_keys(data, ("client", "server", "client_label",
+                           "server_label"), "hardware")
+        # `or ""`: a JSON null label means "use the default", not the
+        # literal string "None".
+        return cls(
+            client=data["client"],
+            server=data.get("server") or SERVER_BASELINE,
+            client_label=str(data.get("client_label") or ""),
+            server_label=str(data.get("server_label") or ""),
+        )
+
+
+@dataclass(frozen=True)
+class RunPolicy:
+    """The repetition protocol: how many runs, from which seeds.
+
+    Attributes:
+        runs: repetitions (the paper: 50).
+        base_seed: first root seed; repetition *i* uses
+            ``base_seed + i``.
+        label: result label; empty means the workload name.
+    """
+
+    runs: int = DEFAULT_RUNS
+    base_seed: int = 0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "runs", int(self.runs))
+        object.__setattr__(self, "base_seed", int(self.base_seed))
+        object.__setattr__(self, "label", str(self.label))
+        if self.runs < 1:
+            raise SpecValidationError(
+                f"runs must be >= 1, got {self.runs!r}")
+
+    def seed_schedule(self) -> Tuple[int, ...]:
+        """The root seed of every repetition, in run order."""
+        return tuple(range(self.base_seed, self.base_seed + self.runs))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"runs": self.runs, "base_seed": self.base_seed,
+                "label": self.label}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunPolicy":
+        _check_keys(data, ("runs", "base_seed", "label"), "policy")
+        return cls(
+            runs=data.get("runs", DEFAULT_RUNS),
+            base_seed=data.get("base_seed", 0),
+            label=str(data.get("label") or ""),
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentPlan:
+    """One complete, validated, serializable experiment.
+
+    The single public entry point to the simulator: the CLI, the
+    campaign subsystem, the figure studies and the examples all
+    compile down to plans.  A plan is pure data -- compare it, hash
+    it, ship it over JSON -- until :meth:`run` executes it.
+    """
+
+    workload: WorkloadSpec
+    load: LoadSpec
+    hardware: HardwareSpec
+    policy: RunPolicy = field(default_factory=RunPolicy)
+
+    def __post_init__(self) -> None:
+        definition = self.workload.definition
+        generator = self.load.generator
+        if generator not in (DEFAULT_GENERATOR, definition.generator):
+            raise SpecValidationError(
+                f"workload {self.workload.name!r} drives load with "
+                f"{definition.generator!r}; got generator="
+                f"{generator!r} (supported: '{DEFAULT_GENERATOR}', "
+                f"{definition.generator!r})")
+        if generator != DEFAULT_GENERATOR:
+            # Naming the workload's own generator explicitly is the
+            # same plan as the default: normalize so the two forms
+            # share one content hash (plans are store/cache keys).
+            object.__setattr__(
+                self, "load",
+                replace(self.load, generator=DEFAULT_GENERATOR))
+
+    # ------------------------------------------------------------ identity
+    @property
+    def label(self) -> str:
+        """The result label this plan will produce."""
+        return self.policy.label or self.workload.name
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON form (the hash input and wire format)."""
+        return {
+            "workload": self.workload.to_dict(),
+            "load": self.load.to_dict(),
+            "hardware": self.hardware.to_dict(),
+            "policy": self.policy.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentPlan":
+        """Rebuild (and re-validate) a plan from its dict form.
+
+        Strict on keys: a misspelled section or field raises instead
+        of silently running with defaults.  ``policy`` itself may be
+        omitted (all its fields have defaults).
+        """
+        _check_keys(data, ("workload", "load", "hardware", "policy"),
+                    "experiment plan")
+        try:
+            return cls(
+                workload=WorkloadSpec.from_dict(data["workload"]),
+                load=LoadSpec.from_dict(data["load"]),
+                hardware=HardwareSpec.from_dict(data["hardware"]),
+                policy=RunPolicy.from_dict(data.get("policy", {})),
+            )
+        except KeyError as exc:
+            raise SpecValidationError(
+                f"invalid experiment plan: missing {exc}") from exc
+
+    def to_json(self, indent: int = 2) -> str:
+        """JSON text form (what a plan file contains)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentPlan":
+        """Rebuild a plan from JSON text."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecValidationError(
+                f"experiment plan is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def content_hash(self) -> str:
+        """Stable identity of this plan across processes/sessions."""
+        return content_hash(self.to_dict())
+
+    # ------------------------------------------------------- fluent copies
+    def with_params(self, **params: Any) -> "ExperimentPlan":
+        """Copy with workload parameters merged in."""
+        merged = {**self.workload.param_dict(), **params}
+        return replace(self, workload=WorkloadSpec.create(
+            self.workload.name, **merged))
+
+    def with_load(self, **changes: Any) -> "ExperimentPlan":
+        """Copy with load fields replaced."""
+        return replace(self, load=replace(self.load, **changes))
+
+    def with_qps(self, qps: float) -> "ExperimentPlan":
+        """Copy at a different offered load."""
+        return self.with_load(qps=float(qps))
+
+    def with_client(self, client: Union[str, HardwareConfig],
+                    label: str = "") -> "ExperimentPlan":
+        """Copy measured by a different client configuration."""
+        config = _as_config(client, "client")
+        return replace(self, hardware=replace(
+            self.hardware, client=config,
+            client_label=label or config.name))
+
+    def with_server(self, server: Union[str, HardwareConfig],
+                    label: str = "") -> "ExperimentPlan":
+        """Copy against a different server configuration."""
+        config = _as_config(server, "server")
+        return replace(self, hardware=replace(
+            self.hardware, server=config,
+            server_label=label or config.name))
+
+    def with_policy(self, **changes: Any) -> "ExperimentPlan":
+        """Copy with run-policy fields replaced."""
+        return replace(self, policy=replace(self.policy, **changes))
+
+    def with_seed(self, base_seed: int) -> "ExperimentPlan":
+        """Copy starting from a different base seed."""
+        return self.with_policy(base_seed=int(base_seed))
+
+    def with_label(self, label: str) -> "ExperimentPlan":
+        """Copy producing a different result label."""
+        return self.with_policy(label=str(label))
+
+    # ---------------------------------------------------------- execution
+    def builder(self) -> Callable[[int], Testbed]:
+        """The compiled seed -> :class:`Testbed` factory."""
+        definition = self.workload.definition
+        kwargs = self.workload.param_dict()
+        if self.load.warmup_fraction is not None:
+            kwargs["warmup_fraction"] = self.load.warmup_fraction
+
+        def build(seed: int) -> Testbed:
+            return definition.build_testbed(
+                seed,
+                client_config=self.hardware.client,
+                server_config=self.hardware.server,
+                qps=self.load.qps,
+                num_requests=self.load.num_requests,
+                **kwargs)
+
+        return build
+
+    def testbed(self, seed: Optional[int] = None) -> Testbed:
+        """One single-use testbed (default seed: the policy's base)."""
+        base = self.policy.base_seed if seed is None else int(seed)
+        return self.builder()(base)
+
+    def experiment(self) -> Experiment:
+        """The repetition-protocol executor for this plan."""
+        return Experiment(
+            self.builder(),
+            runs=self.policy.runs,
+            base_seed=self.policy.base_seed,
+            label=self.policy.label)
+
+    def run(self) -> ExperimentResult:
+        """Execute all repetitions; returns the per-run results."""
+        return self.experiment().run()
+
+    # ------------------------------------------------------------- sweeps
+    def variants(self, *, qps: Optional[Iterable[float]] = None,
+                 **param_axes: Iterable[Any]) -> List["ExperimentPlan"]:
+        """Expand this plan over one or more axes, without running.
+
+        ``qps`` sweeps the offered load; any other keyword must be a
+        registered workload parameter and sweeps its values.  Axes
+        combine cartesian-style with qps innermost, matching campaign
+        expansion order.
+        """
+        qps_values = ([self.load.qps] if qps is None
+                      else [float(q) for q in qps])
+        axes = [(name, list(values))
+                for name, values in param_axes.items()]
+        plans: List[ExperimentPlan] = []
+        for combo in product(*(values for _, values in axes)):
+            overrides = {name: value
+                         for (name, _), value in zip(axes, combo)}
+            base = self.with_params(**overrides) if overrides else self
+            for value in qps_values:
+                plans.append(base.with_qps(value))
+        return plans
+
+    def sweep(self, *, qps: Optional[Iterable[float]] = None,
+              **param_axes: Iterable[Any]) -> List[ExperimentResult]:
+        """Run :meth:`variants` and return their results, in order."""
+        return [plan.run() for plan in self.variants(
+            qps=qps, **param_axes)]

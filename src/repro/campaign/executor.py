@@ -23,15 +23,15 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.api.specs import ExperimentPlan
 from repro.campaign.serialize import (
     experiment_result_from_dict,
     experiment_result_to_dict,
 )
 from repro.campaign.spec import CampaignSpec, ConditionSpec
 from repro.campaign.store import ResultStore
-from repro.core.experiment import ExperimentResult, run_experiment
+from repro.core.experiment import ExperimentResult
 from repro.errors import ExperimentError
-from repro.workloads.registry import builder_by_name
 
 #: Condition status values, in lifecycle order.
 STATUS_HIT = "hit"
@@ -43,45 +43,41 @@ ProgressCallback = Callable[["ConditionOutcome", int, int], None]
 
 
 def run_condition(spec: ConditionSpec) -> ExperimentResult:
-    """Run one condition's experiment to completion (any process)."""
-    builder = builder_by_name(spec.workload)
-    extra = spec.extra_kwargs()
-    return run_experiment(
-        lambda seed: builder(
-            seed=seed,
-            client_config=spec.client_config,
-            server_config=spec.server_config,
-            qps=spec.qps,
-            num_requests=spec.num_requests,
-            **extra),
-        runs=spec.runs,
-        base_seed=spec.base_seed,
-        label=spec.label)
+    """Run one condition's experiment to completion (any process).
+
+    Conditions compile into :class:`~repro.api.ExperimentPlan`s; the
+    plan layer resolves the workload registry and validates the
+    parameters before anything simulates.
+    """
+    return spec.to_plan().run()
 
 
 def _execute_chunk(payloads: Sequence[Dict[str, Any]]
                    ) -> List[Dict[str, Any]]:
-    """Worker entry point: run a chunk of conditions, never raise.
+    """Worker entry point: run a chunk of plans, never raise.
 
-    Takes and returns plain dicts so the pickle boundary carries only
-    JSON-shaped data, and captures every exception as an error payload
-    so a single bad condition cannot poison its chunk or the pool.
+    Each payload is ``{"hash": <condition hash>, "plan": <plan
+    dict>}`` -- workers receive serialized
+    :class:`~repro.api.ExperimentPlan`s, not label/kwargs tuples, so
+    the pickle boundary carries only JSON-shaped data.  Every
+    exception is captured as an error payload so a single bad
+    condition cannot poison its chunk or the pool.
     """
     out: List[Dict[str, Any]] = []
     for payload in payloads:
-        spec = ConditionSpec.from_dict(payload)
         started = time.perf_counter()
         try:
-            result = run_condition(spec)
+            plan = ExperimentPlan.from_dict(payload["plan"])
+            result = plan.run()
             out.append({
-                "hash": spec.content_hash(),
+                "hash": payload["hash"],
                 "ok": True,
                 "result": experiment_result_to_dict(result),
                 "elapsed_s": time.perf_counter() - started,
             })
         except Exception as exc:  # noqa: BLE001 -- isolation boundary
             out.append({
-                "hash": spec.content_hash(),
+                "hash": payload["hash"],
                 "ok": False,
                 "error": f"{type(exc).__name__}: {exc}",
                 "elapsed_s": time.perf_counter() - started,
@@ -274,19 +270,44 @@ class CampaignExecutor:
     def _run_pool(self, spec: CampaignSpec,
                   pending: List[ConditionSpec],
                   record: Callable[[ConditionOutcome], None]) -> None:
-        by_hash = {c.content_hash(): c for c in pending}
-        chunks = [pending[i:i + self.chunksize]
-                  for i in range(0, len(pending), self.chunksize)]
+        # Compile conditions to plan payloads before shipping,
+        # computing each condition hash exactly once; a condition
+        # that fails to plan (unknown workload, bad parameter) is a
+        # recorded failure, not a dead campaign.
+        by_hash: Dict[str, ConditionSpec] = {}
+        plannable: List[ConditionSpec] = []
+        payloads: List[Dict[str, Any]] = []
+        for condition in pending:
+            condition_hash = condition.content_hash()
+            try:
+                payload = {
+                    "hash": condition_hash,
+                    "plan": condition.to_plan().to_dict(),
+                }
+            except Exception as exc:  # noqa: BLE001 -- isolation boundary
+                if self.fail_fast:
+                    raise
+                record(ConditionOutcome(
+                    spec=condition, status=STATUS_FAILED,
+                    error=f"{type(exc).__name__}: {exc}"))
+                continue
+            by_hash[condition_hash] = condition
+            plannable.append(condition)
+            payloads.append(payload)
+        chunks = [(plannable[i:i + self.chunksize],
+                   payloads[i:i + self.chunksize])
+                  for i in range(0, len(plannable), self.chunksize)]
         workers = min(self.max_workers, len(chunks))
+        if not chunks:
+            return
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
-                pool.submit(_execute_chunk,
-                            [c.to_dict() for c in chunk]): chunk
-                for chunk in chunks}
+                pool.submit(_execute_chunk, chunk_payloads): chunk
+                for chunk, chunk_payloads in chunks}
             for future in as_completed(futures):
                 chunk = futures[future]
                 try:
-                    payloads = future.result()
+                    chunk_results = future.result()
                 except Exception as exc:  # noqa: BLE001 -- pool failure
                     # The whole chunk is lost (e.g. a worker died);
                     # fail its conditions rather than the campaign.
@@ -295,7 +316,7 @@ class CampaignExecutor:
                             spec=condition, status=STATUS_FAILED,
                             error=f"{type(exc).__name__}: {exc}"))
                     continue
-                for payload in payloads:
+                for payload in chunk_results:
                     condition = by_hash[payload["hash"]]
                     elapsed = float(payload.get("elapsed_s", 0.0))
                     if self.fail_fast and not payload["ok"]:

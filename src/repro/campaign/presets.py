@@ -15,16 +15,12 @@ from __future__ import annotations
 from typing import Any, Callable, Dict
 
 from repro.campaign.spec import CampaignSpec
-from repro.config.presets import (
-    SERVER_BASELINE,
-    server_with_c1e,
-    server_with_smt,
-)
+from repro.config.presets import SERVER_BASELINE, knob_conditions
 from repro.errors import ExperimentError
 from repro.workloads.registry import DEFAULT_QPS_SWEEPS
 
-_SMT = {"SMToff": server_with_smt(False), "SMTon": server_with_smt(True)}
-_C1E = {"C1Eoff": server_with_c1e(False), "C1Eon": server_with_c1e(True)}
+_SMT = knob_conditions("smt")
+_C1E = knob_conditions("c1e")
 
 
 def _study(name: str, workload: str, conditions, num_requests: int,

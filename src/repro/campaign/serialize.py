@@ -3,10 +3,12 @@
 Everything a campaign touches must survive two boundaries: the pickle
 boundary into worker processes and the JSON boundary into the result
 store.  This module provides the dict round-trips for
-:class:`~repro.config.knobs.HardwareConfig`,
 :class:`~repro.core.testbed.RunMetrics` and
-:class:`~repro.core.experiment.ExperimentResult`, plus the canonical
-JSON encoding that condition content hashes are computed over.
+:class:`~repro.core.experiment.ExperimentResult`, and re-exports the
+lower-level :class:`~repro.config.knobs.HardwareConfig` round-trip
+and canonical-JSON/hash primitives from
+:mod:`repro.config.serialize` (shared with the :mod:`repro.api` spec
+layer).
 
 Canonical form: sorted keys, no whitespace, enums as their ``.value``
 strings, C-states as a sorted list.  Two specs with equal canonical
@@ -16,81 +18,32 @@ built them.
 
 from __future__ import annotations
 
-import hashlib
-import json
-from typing import Any, Dict, Union
+from typing import Any, Dict
 
-from repro.config.knobs import (
-    FrequencyDriver,
-    FrequencyGovernor,
-    HardwareConfig,
-    UncorePolicy,
+from repro.config.serialize import (
+    canonical_json,
+    content_hash,
+    hardware_config_from_dict,
+    hardware_config_to_dict,
 )
 from repro.core.experiment import ExperimentResult
 from repro.core.testbed import RunMetrics
 from repro.errors import ExperimentError
 
-
-def canonical_json(data: Any) -> str:
-    """The canonical (sorted, compact) JSON encoding of *data*."""
-    return json.dumps(data, sort_keys=True, separators=(",", ":"))
-
-
-def content_hash(data: Any) -> str:
-    """SHA-256 hex digest of the canonical JSON of *data*."""
-    return hashlib.sha256(canonical_json(data).encode("utf-8")).hexdigest()
-
-
-# ----------------------------------------------------------- HardwareConfig
-def hardware_config_to_dict(config: HardwareConfig) -> Dict[str, Any]:
-    """Flatten a :class:`HardwareConfig` into plain JSON types."""
-    return {
-        "name": config.name,
-        "cstates": sorted(config.enabled_cstates),
-        "frequency_driver": config.frequency_driver.value,
-        "frequency_governor": config.frequency_governor.value,
-        "turbo": config.turbo,
-        "smt": config.smt,
-        "uncore": config.uncore.value,
-        "tickless": config.tickless,
-    }
-
-
-def hardware_config_from_dict(
-        data: Union[str, Dict[str, Any]]) -> HardwareConfig:
-    """Rebuild a :class:`HardwareConfig` from its dict form.
-
-    A plain string is treated as a preset name: ``"LP"``/``"HP"`` (the
-    Table II clients) or ``"baseline"``/``"server-baseline"``.
-    """
-    if isinstance(data, str):
-        return _preset_by_name(data)
-    try:
-        return HardwareConfig(
-            name=str(data["name"]),
-            enabled_cstates=frozenset(data["cstates"]),
-            frequency_driver=FrequencyDriver(data["frequency_driver"]),
-            frequency_governor=FrequencyGovernor(
-                data["frequency_governor"]),
-            turbo=bool(data["turbo"]),
-            smt=bool(data["smt"]),
-            uncore=UncorePolicy(data["uncore"]),
-            tickless=bool(data["tickless"]),
-        )
-    except (KeyError, ValueError) as exc:
-        raise ExperimentError(
-            f"invalid hardware config dict: {exc}") from exc
-
-
-def _preset_by_name(name: str) -> HardwareConfig:
-    from repro.config.presets import SERVER_BASELINE, client_by_name
-
-    if name.lower() in ("baseline", "server-baseline"):
-        return SERVER_BASELINE
-    try:
-        return client_by_name(name)
-    except ValueError as exc:
-        raise ExperimentError(str(exc)) from None
+__all__ = [
+    # Low-level primitives, re-exported from repro.config.serialize
+    # (moved there so the repro.api spec layer can hash and
+    # round-trip hardware configs without touching this package).
+    "canonical_json",
+    "content_hash",
+    "hardware_config_from_dict",
+    "hardware_config_to_dict",
+    # Result serialization, defined here.
+    "run_metrics_to_dict",
+    "run_metrics_from_dict",
+    "experiment_result_to_dict",
+    "experiment_result_from_dict",
+]
 
 
 # --------------------------------------------------------------- RunMetrics

@@ -19,7 +19,19 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Mapping, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:
+    from repro.api.specs import ExperimentPlan
 
 from repro.campaign.serialize import (
     content_hash,
@@ -36,6 +48,10 @@ from repro.config.presets import (
 from repro.core.experiment import DEFAULT_RUNS
 from repro.errors import ExperimentError
 from repro.sim.random import _stable_name_key
+from repro.workloads.registry import (
+    UNIVERSAL_BUILDER_PARAMS,
+    find_workload,
+)
 
 #: The default client sweep: both Table II configurations.
 DEFAULT_CLIENTS: Dict[str, HardwareConfig] = {
@@ -156,6 +172,44 @@ class ConditionSpec:
         """Stable identity of this condition across processes/sessions."""
         return content_hash(self.to_dict())
 
+    def to_plan(self) -> "ExperimentPlan":
+        """Compile this condition into an :class:`~repro.api.ExperimentPlan`.
+
+        The plan is what actually executes -- executor workers receive
+        plans, not label/kwargs tuples.  ``warmup_fraction``, if a
+        legacy ``extra`` carries it, moves into the plan's
+        :class:`~repro.api.LoadSpec`; everything else in ``extra`` is
+        a workload parameter validated against the registry schema.
+        The condition's :meth:`content_hash` stays the store key, so
+        stored campaign results keep their identity.
+        """
+        from repro.api.specs import (
+            ExperimentPlan,
+            HardwareSpec,
+            LoadSpec,
+            RunPolicy,
+            WorkloadSpec,
+        )
+
+        extra = self.extra_kwargs()
+        # Every universal builder param maps to the LoadSpec field of
+        # the same name (the contract a new UNIVERSAL_BUILDER_PARAMS
+        # entry must uphold); everything left is a workload param.
+        load_kwargs = {spec.name: extra.pop(spec.name)
+                       for spec in UNIVERSAL_BUILDER_PARAMS
+                       if spec.name in extra}
+        return ExperimentPlan(
+            workload=WorkloadSpec.create(self.workload, **extra),
+            load=LoadSpec(qps=self.qps, num_requests=self.num_requests,
+                          **load_kwargs),
+            hardware=HardwareSpec(
+                client=self.client_config, server=self.server_config,
+                client_label=self.client_label,
+                server_label=self.condition_label),
+            policy=RunPolicy(runs=self.runs, base_seed=self.base_seed,
+                             label=self.label),
+        )
+
 
 def _coerce_server_condition(
         label: str,
@@ -240,6 +294,15 @@ class CampaignSpec:
         if not self.clients:
             raise ExperimentError("clients must be non-empty")
         self.extra = _normalize_extra(self.extra)
+        # Validate extra against the workload's registered parameter
+        # schema *now*, naming the offending key -- not at execution
+        # time deep inside a worker process.  A workload the driving
+        # process has not registered (a plugin the executor imports)
+        # defers validation to plan-build time.
+        definition = find_workload(self.workload)
+        if definition is not None:
+            self.extra = definition.validate_params(
+                self.extra, include_universal=True)
 
     # ------------------------------------------------------------------
     def expand(self) -> List[ConditionSpec]:

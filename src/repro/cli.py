@@ -1,12 +1,13 @@
 """Command-line interface.
 
-Five subcommands mirror the library's faces::
+Six subcommands mirror the library's faces::
 
     repro study --workload memcached --knob smt --qps 10000 100000
     repro tune --config HP [--real] [--apply]
     repro recommend --loop open --interarrival block-wait
     repro capacity --qos-p99 400 --target-qps 1000000
     repro campaign run --preset memcached-smt --store results.sqlite
+    repro plan --preset memcached-smt
 
 ``repro study`` runs a scaled study grid and prints the paper-style
 series; ``repro tune`` plans (and optionally applies) a host
@@ -14,7 +15,13 @@ configuration; ``repro recommend`` prints the Section VI advice;
 ``repro capacity`` runs the provisioning analysis of Section V-A;
 ``repro campaign`` runs declarative experiment sweeps in parallel
 against a persistent result store (``run``/``status``/``report``) --
-killed campaigns resume, finished ones are served from cache.
+killed campaigns resume, finished ones are served from cache; ``repro
+plan`` validates and expands a campaign into its condition list with
+content hashes and seed schedules *without running anything* (the
+dry run for expensive sweeps).
+
+Every experiment the CLI launches is constructed through the
+:mod:`repro.api` plan layer.
 """
 
 from __future__ import annotations
@@ -144,6 +151,38 @@ def _build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--metric", default="avg",
                              choices=["avg", "p99", "true_avg",
                                       "stdev_avg"])
+
+    plan = commands.add_parser(
+        "plan", help="validate + expand a campaign without running "
+                     "(dry run)")
+    plan_source = plan.add_mutually_exclusive_group(required=True)
+    plan_source.add_argument("--spec", metavar="FILE",
+                             help="campaign spec JSON file")
+    plan_source.add_argument("--preset",
+                             help="named preset, e.g. memcached-smt")
+    plan_source.add_argument("--workload",
+                             help="build an ad-hoc campaign for this "
+                                  "workload instead")
+    plan.add_argument("--knob", default=None,
+                      choices=["smt", "c1e"],
+                      help="server knob for an ad-hoc --workload "
+                           "campaign (default: baseline server only)")
+    plan.add_argument("--clients", nargs="+", default=None,
+                      metavar="NAME",
+                      help="client presets for an ad-hoc campaign "
+                           "(default: LP HP)")
+    plan.add_argument("--param", action="append", default=[],
+                      metavar="KEY=VALUE",
+                      help="workload parameter, e.g. "
+                           "added_delay_us=200 (repeatable)")
+    plan.add_argument("--qps", type=float, nargs="+", default=None,
+                      help="override the QPS sweep")
+    plan.add_argument("--runs", type=int, default=None,
+                      help="override repetitions per condition")
+    plan.add_argument("--requests", type=int, default=None,
+                      help="override requests per run")
+    plan.add_argument("--seed", type=int, default=None,
+                      help="override the campaign base seed")
     return parser
 
 
@@ -200,19 +239,19 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
 
 
 def _cmd_capacity(args: argparse.Namespace) -> int:
-    from repro.core.experiment import run_experiment
-    from repro.workloads.memcached import build_memcached_testbed
+    from repro.api import experiment
 
     observers = {}
     for name in ("LP", "HP"):
         config = client_by_name(name)
+        base_plan = (experiment("memcached")
+                     .client(config)
+                     .load(num_requests=args.requests)
+                     .policy(runs=args.runs, base_seed=args.seed)
+                     .build())
         latency_by_qps = {}
         for qps in args.qps:
-            result = run_experiment(
-                lambda seed, c=config, q=qps: build_memcached_testbed(
-                    seed, client_config=c, qps=q,
-                    num_requests=args.requests),
-                runs=args.runs, base_seed=args.seed)
+            result = base_plan.with_qps(qps).run()
             latency_by_qps[qps] = float(
                 np.median(result.p99_samples()))
         observers[name] = capacity_under_qos(
@@ -234,15 +273,8 @@ def _cmd_capacity(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_campaign_spec(args: argparse.Namespace):
-    """The campaign spec named by --spec/--preset, with overrides."""
-    from repro.campaign.presets import campaign_by_name
-    from repro.campaign.spec import CampaignSpec
-
-    if args.spec:
-        spec = CampaignSpec.load(args.spec)
-    else:
-        spec = campaign_by_name(args.preset)
+def _spec_overrides(args: argparse.Namespace) -> dict:
+    """CampaignSpec overrides from the shared CLI flags."""
     overrides = {}
     if args.qps is not None:
         overrides["qps_list"] = tuple(args.qps)
@@ -252,6 +284,19 @@ def _load_campaign_spec(args: argparse.Namespace):
         overrides["num_requests"] = args.requests
     if args.seed is not None:
         overrides["base_seed"] = args.seed
+    return overrides
+
+
+def _load_campaign_spec(args: argparse.Namespace):
+    """The campaign spec named by --spec/--preset, with overrides."""
+    from repro.campaign.presets import campaign_by_name
+    from repro.campaign.spec import CampaignSpec
+
+    if args.spec:
+        spec = CampaignSpec.load(args.spec)
+    else:
+        spec = campaign_by_name(args.preset)
+    overrides = _spec_overrides(args)
     return spec.with_overrides(**overrides) if overrides else spec
 
 
@@ -297,6 +342,115 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         return 1
 
 
+def _parse_param(text: str):
+    """``KEY=VALUE`` -> (key, value), numbers parsed as floats."""
+    from repro.errors import ExperimentError
+
+    key, sep, raw = text.partition("=")
+    if not sep or not key:
+        raise ExperimentError(
+            f"--param expects KEY=VALUE, got {text!r}")
+    try:
+        value = float(raw)
+    except ValueError:
+        value = raw
+    return key, value
+
+
+def _plan_campaign_spec(args: argparse.Namespace):
+    """The campaign named by --spec/--preset, or an ad-hoc one."""
+    from repro.campaign.spec import CampaignSpec
+    from repro.config.presets import SERVER_BASELINE, knob_conditions
+    from repro.errors import ExperimentError
+    from repro.workloads.registry import find_workload
+
+    if args.workload is None:
+        # A dry run must never show a different campaign than the
+        # flags describe: the ad-hoc-only flags are meaningless next
+        # to --spec/--preset, so reject them instead of dropping them.
+        for flag, value in (("--param", args.param or None),
+                            ("--knob", args.knob),
+                            ("--clients", args.clients)):
+            if value is not None:
+                raise ExperimentError(
+                    f"{flag} only applies to an ad-hoc --workload "
+                    f"campaign; a --spec/--preset campaign already "
+                    f"defines it")
+        return _load_campaign_spec(args)
+    conditions = (knob_conditions(args.knob) if args.knob is not None
+                  else {"baseline": SERVER_BASELINE})
+    clients = None
+    if args.clients is not None:
+        try:
+            clients = {name: client_by_name(name)
+                       for name in args.clients}
+        except ValueError as exc:
+            raise ExperimentError(str(exc)) from None
+    definition = find_workload(args.workload)
+    if definition is not None and definition.qps_sweep:
+        default_sweep = definition.qps_sweep
+    elif definition is not None:
+        default_sweep = (definition.default_qps,)
+    else:
+        # Unregistered workload: expansion below raises the
+        # did-you-mean error; any placeholder sweep will do.
+        default_sweep = (1_000.0,)
+    spec = CampaignSpec(
+        name=f"{args.workload}-plan",
+        workload=args.workload,
+        conditions=conditions,
+        qps_list=default_sweep,
+        extra=dict(_parse_param(p) for p in args.param),
+    )
+    if clients is not None:
+        spec = spec.with_overrides(clients=clients)
+    overrides = _spec_overrides(args)
+    return spec.with_overrides(**overrides) if overrides else spec
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    """Dry run: validate, expand and print -- simulate nothing."""
+    from repro.errors import ReproError
+
+    try:
+        spec = _plan_campaign_spec(args)
+        conditions = spec.expand()
+        plans = [c.to_plan() for c in conditions]
+        total_runs = sum(c.runs for c in conditions)
+        total_requests = sum(c.runs * c.num_requests
+                             for c in conditions)
+        print(f"campaign {spec.name!r}: workload={spec.workload}, "
+              f"{len(spec.clients)} clients x "
+              f"{len(spec.conditions)} conditions x "
+              f"{len(spec.qps_list)} loads = {len(conditions)} "
+              f"experiments")
+        print(f"totals: {total_runs} runs, {total_requests} "
+              f"simulated requests")
+        if spec.extra:
+            print(f"workload parameters: {spec.extra}")
+        print()
+        header = (f"{'#':>4} {'label':<16}{'qps':>10}  "
+                  f"{'seed schedule':<24}{'condition hash':<16}"
+                  f"{'plan hash':<16}")
+        print(header)
+        for index, (condition, plan) in enumerate(
+                zip(conditions, plans), start=1):
+            seeds = plan.policy.seed_schedule()
+            schedule = (f"{seeds[0]}" if len(seeds) == 1
+                        else f"{seeds[0]}..{seeds[-1]}")
+            print(f"{index:>4} {condition.label:<16}"
+                  f"{condition.qps:>10g}  {schedule:<24}"
+                  f"{condition.content_hash()[:12]:<16}"
+                  f"{plan.content_hash()[:12]:<16}")
+        print()
+        print(f"dry run: validated {len(plans)} plans; "
+              "nothing executed")
+        return 0
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
@@ -306,6 +460,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "recommend": _cmd_recommend,
         "capacity": _cmd_capacity,
         "campaign": _cmd_campaign,
+        "plan": _cmd_plan,
     }
     return handlers[args.command](args)
 

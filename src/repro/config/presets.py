@@ -85,3 +85,26 @@ def client_by_name(name: str) -> HardwareConfig:
             f"unknown client preset {name!r}; expected one of "
             f"{sorted(presets)}"
         ) from None
+
+
+def knob_conditions(knob: str) -> "dict[str, HardwareConfig]":
+    """The server-condition pair for one knob study, labeled.
+
+    The single source of truth for the Fig. 2/3/4 condition grids:
+    the figure studies, the campaign presets and the CLI all derive
+    their ``{"SMToff": ..., "SMTon": ...}`` dicts here.
+
+    Raises:
+        ExperimentError: on an unknown knob name.
+    """
+    from repro.errors import ExperimentError
+
+    key = str(knob).lower()
+    if key == "smt":
+        return {"SMToff": server_with_smt(False),
+                "SMTon": server_with_smt(True)}
+    if key == "c1e":
+        return {"C1Eoff": server_with_c1e(False),
+                "C1Eon": server_with_c1e(True)}
+    raise ExperimentError(
+        f"unknown knob {knob!r}; expected 'smt' or 'c1e'")

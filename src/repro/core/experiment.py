@@ -10,6 +10,7 @@ latencies.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List
 
@@ -138,6 +139,19 @@ class Experiment:
 def run_experiment(builder: Callable[[int], Testbed],
                    runs: int = DEFAULT_RUNS, base_seed: int = 0,
                    label: str = "") -> ExperimentResult:
-    """Convenience wrapper: build, run and summarize an experiment."""
+    """Deprecated shim: build, run and summarize an experiment.
+
+    Construct an :class:`~repro.api.ExperimentPlan` instead -- it
+    reaches the same :class:`Experiment` machinery through a
+    validated, serializable spec::
+
+        from repro.api import experiment
+        result = (experiment("memcached").client("LP")
+                  .load(qps=100_000).policy(runs=10).run())
+    """
+    warnings.warn(
+        "run_experiment() is deprecated; construct an ExperimentPlan "
+        "via repro.api (experiment(...).build()) and call plan.run()",
+        DeprecationWarning, stacklevel=2)
     return Experiment(builder, runs=runs, base_seed=base_seed,
                       label=label).run()

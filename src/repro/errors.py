@@ -50,3 +50,15 @@ class InsufficientSamplesError(StatisticsError):
 
 class ExperimentError(ReproError):
     """An experiment specification or run failed."""
+
+
+class SpecValidationError(ExperimentError):
+    """An experiment/campaign spec failed validation at construction.
+
+    Raised by the :mod:`repro.api` spec layer and the workload
+    registry's parameter schemas: unknown workload names (with a
+    did-you-mean suggestion), unknown or ill-typed workload
+    parameters, and impossible load/policy values.  Always names the
+    offending field so a spec file can be fixed without reading
+    source.
+    """

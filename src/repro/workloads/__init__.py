@@ -9,9 +9,11 @@
 * :mod:`repro.workloads.synthetic` -- the tunable-service-latency
   sensitivity workload.
 
-Each module exposes ``build_*_testbed(seed, client_config,
-server_config, qps, num_requests, ...)`` returning a single-use
-:class:`~repro.core.testbed.Testbed`.
+Each workload registers a :class:`~repro.workloads.registry.\
+WorkloadDefinition` -- builder + typed parameter schema -- in
+:mod:`repro.workloads.registry`, the plugin protocol the
+:mod:`repro.api` plan layer compiles against.  The legacy
+``build_*_testbed(...)`` entry points remain as deprecated shims.
 """
 
 from repro.workloads.etc import EtcWorkload
@@ -21,19 +23,29 @@ from repro.workloads.socialnetwork import build_socialnetwork_testbed
 from repro.workloads.synthetic import build_synthetic_testbed
 from repro.workloads.registry import (
     DEFAULT_QPS_SWEEPS,
+    ParamSpec,
+    WorkloadDefinition,
     builder_by_name,
+    find_workload,
     register_builder,
+    register_workload,
     registered_workloads,
+    workload_by_name,
 )
 
 __all__ = [
     "DEFAULT_QPS_SWEEPS",
     "EtcWorkload",
+    "ParamSpec",
+    "WorkloadDefinition",
     "build_memcached_testbed",
     "build_hdsearch_testbed",
     "build_socialnetwork_testbed",
     "build_synthetic_testbed",
     "builder_by_name",
+    "find_workload",
     "register_builder",
+    "register_workload",
     "registered_workloads",
+    "workload_by_name",
 ]

@@ -14,6 +14,8 @@ index in :mod:`repro.workloads.hdsearch_lsh`.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.config.knobs import HardwareConfig
@@ -69,7 +71,7 @@ class BucketServiceModel:
         return self._mean
 
 
-def build_hdsearch_testbed(
+def _hdsearch_testbed(
         seed: int,
         client_config: HardwareConfig,
         server_config: HardwareConfig = SERVER_BASELINE,
@@ -131,3 +133,20 @@ def build_hdsearch_testbed(
         workload="hdsearch", qps=qps,
         client_config=client_config, server_config=server_config,
     )
+
+
+def build_hdsearch_testbed(*args, **kwargs) -> Testbed:
+    """Deprecated shim for the hdsearch builder.
+
+    Construct an :class:`~repro.api.ExperimentPlan` instead::
+
+        from repro.api import experiment
+        plan = experiment("hdsearch").client("LP").build()
+        testbed = plan.testbed(seed)
+    """
+    warnings.warn(
+        "build_hdsearch_testbed() is deprecated; construct an "
+        "ExperimentPlan via repro.api (experiment('hdsearch')...) "
+        "and use plan.testbed(seed) / plan.run()",
+        DeprecationWarning, stacklevel=2)
+    return _hdsearch_testbed(*args, **kwargs)

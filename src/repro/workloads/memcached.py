@@ -9,6 +9,7 @@ paper's most client-sensitive one.
 
 from __future__ import annotations
 
+import warnings
 
 from repro.config.knobs import HardwareConfig
 from repro.config.presets import SERVER_BASELINE
@@ -53,7 +54,7 @@ class EtcServiceModel:
         return MEMCACHED_SERVICE_US + 0.2 * self.US_PER_KB
 
 
-def build_memcached_testbed(
+def _memcached_testbed(
         seed: int,
         client_config: HardwareConfig,
         server_config: HardwareConfig = SERVER_BASELINE,
@@ -103,3 +104,20 @@ def build_memcached_testbed(
         workload="memcached", qps=qps,
         client_config=client_config, server_config=server_config,
     )
+
+
+def build_memcached_testbed(*args, **kwargs) -> Testbed:
+    """Deprecated shim for the Memcached builder.
+
+    Construct an :class:`~repro.api.ExperimentPlan` instead::
+
+        from repro.api import experiment
+        plan = experiment("memcached").client("LP").build()
+        testbed = plan.testbed(seed)
+    """
+    warnings.warn(
+        "build_memcached_testbed() is deprecated; construct an "
+        "ExperimentPlan via repro.api (experiment('memcached')...) "
+        "and use plan.testbed(seed) / plan.run()",
+        DeprecationWarning, stacklevel=2)
+    return _memcached_testbed(*args, **kwargs)

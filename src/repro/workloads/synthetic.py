@@ -10,6 +10,8 @@ sleep time), exactly as the paper specifies.
 
 from __future__ import annotations
 
+import warnings
+
 from repro.config.knobs import HardwareConfig
 from repro.config.presets import SERVER_BASELINE
 from repro.core.testbed import Testbed
@@ -50,7 +52,7 @@ class DelayedService:
         return SYNTHETIC_BASE_US + self.added_delay_us
 
 
-def build_synthetic_testbed(
+def _synthetic_testbed(
         seed: int,
         client_config: HardwareConfig,
         server_config: HardwareConfig = SERVER_BASELINE,
@@ -97,3 +99,20 @@ def build_synthetic_testbed(
         workload="synthetic", qps=qps,
         client_config=client_config, server_config=server_config,
     )
+
+
+def build_synthetic_testbed(*args, **kwargs) -> Testbed:
+    """Deprecated shim for the synthetic builder.
+
+    Construct an :class:`~repro.api.ExperimentPlan` instead::
+
+        from repro.api import experiment
+        plan = experiment("synthetic").client("LP").build()
+        testbed = plan.testbed(seed)
+    """
+    warnings.warn(
+        "build_synthetic_testbed() is deprecated; construct an "
+        "ExperimentPlan via repro.api (experiment('synthetic')...) "
+        "and use plan.testbed(seed) / plan.run()",
+        DeprecationWarning, stacklevel=2)
+    return _synthetic_testbed(*args, **kwargs)

@@ -1,0 +1,62 @@
+"""API-surface snapshot: repro.api.__all__ is a compatibility contract.
+
+If this test fails, you changed the public API surface.  That may be
+intentional -- new capability, deliberate deprecation -- but it must
+be deliberate: update ``EXPECTED_SURFACE`` in the same commit and say
+so in the commit message, because downstream spec files, stored
+plans and remote executors program against these names.
+"""
+
+import inspect
+
+import repro.api
+
+EXPECTED_SURFACE = (
+    "ExperimentPlan",
+    "HardwareSpec",
+    "LoadSpec",
+    "ParamSpec",
+    "PlanBuilder",
+    "RunPolicy",
+    "SpecValidationError",
+    "WorkloadDefinition",
+    "WorkloadSpec",
+    "experiment",
+    "register_workload",
+    "registered_workloads",
+    "workload_by_name",
+)
+
+
+def test_api_all_matches_snapshot():
+    assert tuple(sorted(repro.api.__all__)) == EXPECTED_SURFACE
+
+
+def test_every_name_in_all_resolves():
+    for name in repro.api.__all__:
+        assert getattr(repro.api, name) is not None
+
+
+def test_no_extra_public_callables():
+    """Public (non-underscore) module attributes that are classes or
+    functions defined by repro must all be declared in __all__ --
+    nothing slips into the public surface implicitly."""
+    declared = set(repro.api.__all__)
+    for name, value in vars(repro.api).items():
+        if name.startswith("_") or inspect.ismodule(value):
+            continue
+        if not (inspect.isclass(value) or inspect.isfunction(value)):
+            continue
+        module = getattr(value, "__module__", "")
+        if module.startswith("repro"):
+            assert name in declared, (
+                f"{name} is public in repro.api but not in __all__")
+
+
+def test_plan_methods_are_stable():
+    """The ExperimentPlan verbs every consumer programs against."""
+    for method in ("run", "sweep", "variants", "testbed", "builder",
+                   "to_json", "from_json", "to_dict", "from_dict",
+                   "content_hash", "with_qps", "with_params",
+                   "with_client", "with_server", "with_policy"):
+        assert callable(getattr(repro.api.ExperimentPlan, method))

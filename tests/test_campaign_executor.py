@@ -21,7 +21,9 @@ from repro.errors import ExperimentError
 from repro.workloads.registry import (
     builder_by_name,
     register_builder,
+    register_workload,
     registered_workloads,
+    workload_by_name,
 )
 
 
@@ -55,10 +57,18 @@ class TestRegistry:
             builder_by_name("quake3")
 
     def test_duplicate_registration_rejected(self):
+        original = workload_by_name("memcached")
         builder = builder_by_name("memcached")
-        with pytest.raises(ExperimentError):
-            register_builder("memcached", builder)
-        register_builder("memcached", builder, replace=True)
+        try:
+            with pytest.raises(ExperimentError):
+                register_builder("memcached", builder)
+            register_builder("memcached", builder, replace=True)
+        finally:
+            # Restore the typed definition even on failure: the
+            # legacy shim registers a schema-less one, which would
+            # mask parameter validation for the rest of the session.
+            register_workload(original, replace=True)
+        assert workload_by_name("memcached") is original
 
 
 class TestRunCondition:

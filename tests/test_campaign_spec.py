@@ -151,7 +151,10 @@ class TestContentHash:
     @pytest.mark.parametrize("override", [
         {"runs": 4}, {"num_requests": 81}, {"base_seed": 1},
         {"workload": "synthetic"},
-        {"extra": {"added_delay_us": 10.0}},
+        # A universal param valid for memcached: proves `extra` alone
+        # perturbs the hash, with no other knob changing.
+        {"extra": {"warmup_fraction": 0.2}},
+        {"workload": "synthetic", "extra": {"added_delay_us": 10.0}},
     ])
     def test_hash_tracks_every_knob(self, override):
         baseline = {c.content_hash() for c in small_spec().expand()}
