@@ -31,7 +31,7 @@ def run_design(design: str, seed: int) -> tuple:
     streams = RandomStreams(seed)
     station = ServiceStation(
         sim, SERVER_BASELINE, LognormalService(6.0, 0.35), workers=10,
-        rng=streams.get("service"))
+        rng=streams.stream("service"))
     time_sensitive = design != "open-busy"
     machines = [
         ClientMachine(sim, LP_CLIENT, time_sensitive=time_sensitive,
@@ -39,7 +39,7 @@ def run_design(design: str, seed: int) -> tuple:
                       name=f"c{index}")
         for index in range(8)
     ]
-    link_rng = streams.get("network")
+    link_rng = streams.stream("network")
     links = (NetworkLink(DEFAULT_PARAMETERS, link_rng),
              NetworkLink(DEFAULT_PARAMETERS, link_rng))
     if design == "closed-block":
@@ -50,12 +50,12 @@ def run_design(design: str, seed: int) -> tuple:
         generator = ClosedLoopGenerator(
             sim, machines, station, links[0], links[1],
             connections=connections, think_time_us=think,
-            think_rng=streams.get("think"),
+            think_rng=streams.stream("think"),
             time_sensitive=True, num_requests=BENCH_REQUESTS)
     else:
         generator = OpenLoopGenerator(
             sim, machines, station, links[0], links[1],
-            ExponentialInterarrival(QPS), streams.get("arrivals"),
+            ExponentialInterarrival(QPS), streams.stream("arrivals"),
             time_sensitive=time_sensitive,
             num_requests=BENCH_REQUESTS)
     generator.start()

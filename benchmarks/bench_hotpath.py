@@ -14,7 +14,12 @@ twice with identical seeds:
 
 Both paths must produce bit-identical run metrics (asserted); the
 interesting output is the end-to-end speedup.  Results are written to
-``BENCH_hotpath.json`` so CI can track the perf trajectory.
+``BENCH_hotpath.json`` so CI can track the perf trajectory; the file
+also consolidates per-stage timings (arrival-train construction, event
+loop, summary), the batched-sampling stream counters, the pinned
+pre-batching mainline reference, and -- when
+``benchmarks/bench_sampling.py`` ran first -- its per-distribution
+microbenchmark results.
 
 Usage::
 
@@ -222,6 +227,23 @@ class LegacyRunSamples:
         return float(np.percentile(self.latencies_us(point), percentile))
 
 
+#: End-to-end reference for the pre-batching mainline (commit 7be11ee,
+#: "Unified typed experiment API"), measured on the same machine and
+#: flags as the default full run (50k requests @ 200k QPS, seed 7, best
+#: of 3) immediately before the draw-ahead sampling rewrite landed.
+#: ``speedup_vs_pre_batching`` is only reported when the current
+#: invocation uses that exact configuration; on other hardware the
+#: number is indicative, not a measurement.
+MAIN_PRE_BATCHING = {
+    "commit": "7be11ee",
+    "best_seconds": 3.486,
+    "events_per_sec": 100398.0,
+    "num_requests": 50_000,
+    "qps": 200_000.0,
+    "seed": 7,
+}
+
+
 # ---------------------------------------------------------------- the bench
 def build_testbed(sim: Any, seed: int, qps: float,
                   num_requests: int,
@@ -233,7 +255,7 @@ def build_testbed(sim: Any, seed: int, qps: float,
     station = ServiceStation(
         sim, SERVER_BASELINE, EtcServiceModel(etc),
         workers=MEMCACHED_WORKERS,
-        rng=streams.get("service"),
+        rng=streams.stream("service"),
         name="memcached",
         env_scale=server_env_scale(streams, DEFAULT_PARAMETERS))
     generator = build_mutilate(
@@ -268,6 +290,40 @@ def time_path(make_sim, seed, qps, num_requests, repetitions,
         "events_per_sec": round(events / best_s, 1),
         "requests_per_sec": round(num_requests / best_s, 1),
     }, metrics
+
+
+def time_stages(seed, qps, num_requests):
+    """One instrumented run split into its pipeline stages.
+
+    Separate from :func:`time_path` (whose runs stay uninstrumented)
+    so stage boundaries cannot perturb the headline timing.
+    """
+    from repro.loadgen.measurement import PointOfMeasurement
+    from repro.sim.engine import Simulator
+
+    testbed = build_testbed(Simulator(), seed, qps, num_requests)
+    started = time.perf_counter()
+    testbed.generator.start()
+    start_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    testbed.sim.run()
+    run_s = time.perf_counter() - started
+
+    samples = testbed.generator.samples
+    started = time.perf_counter()
+    samples.average_latency_us(PointOfMeasurement.GENERATOR)
+    samples.percentile_latency_us(99.0, PointOfMeasurement.GENERATOR)
+    samples.average_latency_us(PointOfMeasurement.NIC)
+    samples.percentile_latency_us(99.0, PointOfMeasurement.NIC)
+    summarize_s = time.perf_counter() - started
+
+    streams = testbed.streams.batched_stats()
+    return {
+        "arrival_train_seconds": round(start_s, 4),
+        "event_loop_seconds": round(run_s, 4),
+        "summarize_seconds": round(summarize_s, 4),
+    }, streams
 
 
 def main(argv=None) -> int:
@@ -311,6 +367,12 @@ def main(argv=None) -> int:
     print(f"  speedup            : {speedup:8.2f}x  "
           f"(metrics bit-identical: {identical})")
 
+    stages, stream_stats = time_stages(args.seed, args.qps, num_requests)
+    print(f"  stages             : arrival train "
+          f"{stages['arrival_train_seconds']:.3f}s, event loop "
+          f"{stages['event_loop_seconds']:.3f}s, summarize "
+          f"{stages['summarize_seconds']:.3f}s")
+
     payload = {
         "benchmark": "hotpath",
         "workload": "memcached-open-loop",
@@ -321,11 +383,35 @@ def main(argv=None) -> int:
         "quick": bool(args.quick),
         "legacy_object_path": legacy,
         "columnar_path": columnar,
+        "speedup_vs_seed": round(speedup, 3),
+        # Kept under the historical key too so existing trajectory
+        # tooling keeps parsing older artifacts alongside new ones.
         "speedup": round(speedup, 3),
         "metrics_identical": identical,
+        "per_stage": stages,
+        "sampling_streams": stream_stats,
+        "main_pre_batching": MAIN_PRE_BATCHING,
         "avg_us": columnar_metrics.avg_us,
         "p99_us": columnar_metrics.p99_us,
     }
+    reference_config = (
+        num_requests == MAIN_PRE_BATCHING["num_requests"]
+        and args.qps == MAIN_PRE_BATCHING["qps"]
+        and args.seed == MAIN_PRE_BATCHING["seed"])
+    if reference_config:
+        vs_main = (MAIN_PRE_BATCHING["best_seconds"]
+                   / columnar["best_seconds"])
+        payload["speedup_vs_pre_batching"] = round(vs_main, 3)
+        print(f"  vs pre-batching    : {vs_main:8.2f}x  "
+              f"(mainline {MAIN_PRE_BATCHING['commit']}, "
+              f"{MAIN_PRE_BATCHING['best_seconds']}s)")
+
+    sampling_path = os.path.join(
+        os.path.dirname(os.path.abspath(args.json)), "BENCH_sampling.json")
+    if os.path.exists(sampling_path):
+        with open(sampling_path) as handle:
+            payload["sampling_microbench"] = json.load(handle)
+
     with open(args.json, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

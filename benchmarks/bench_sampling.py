@@ -1,0 +1,165 @@
+"""Microbenchmark: scalar generator draws vs draw-ahead batched serving.
+
+Times every distribution the simulator draws on its request hot path
+-- exponential, lognormal, normal, uniform -- three ways:
+
+* **scalar** -- one ``numpy.random.Generator`` method call per draw
+  (the pre-batching implementation);
+* **batched** -- the same draws served through
+  :class:`~repro.sim.sampling.BatchedStream` block mode;
+* **train** -- the whole-vector pull used for open-loop arrival
+  schedules (exponential/lognormal only).
+
+Each mode is also checked for bit-identity against the scalar
+sequence, so the benchmark doubles as a smoke test.  The process exits
+non-zero when the batched path is *slower* than the scalar path
+(geometric-mean speedup < 1), which is the CI regression gate for the
+sampling layer.
+
+Usage::
+
+    python benchmarks/bench_sampling.py            # 200k draws/dist
+    python benchmarks/bench_sampling.py --quick    # 20k draws (CI)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    os.pardir, "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.sim.sampling import BatchedStream  # noqa: E402
+
+SEED = 4242
+
+#: (label, method, args) -- the scalar draw shapes used in the tree.
+DISTRIBUTIONS = (
+    ("exponential", "exponential", (6.0,)),
+    ("lognormal", "lognormal", (1.7917594692280558, 0.35)),
+    ("normal", "normal", (1.0, 0.25)),
+    ("uniform", "random", ()),
+)
+
+
+def _time_loop(fn, count: int) -> float:
+    started = time.perf_counter()
+    for _ in range(count):
+        fn()
+    return time.perf_counter() - started
+
+
+def bench_distribution(label: str, method: str, args: tuple,
+                       count: int, repetitions: int) -> dict:
+    """Best-of-N per-draw timings for one distribution, all modes."""
+    scalar_s = batched_s = float("inf")
+    for _ in range(repetitions):
+        gen = np.random.default_rng(SEED)
+        bound = getattr(gen, method)
+        scalar_s = min(scalar_s, _time_loop(lambda: bound(*args), count))
+
+        stream = BatchedStream(np.random.default_rng(SEED))
+        bound = getattr(stream, method)
+        batched_s = min(batched_s, _time_loop(lambda: bound(*args), count))
+
+    # Bit-identity: the batched sequence must equal the scalar one.
+    gen = np.random.default_rng(SEED)
+    stream = BatchedStream(np.random.default_rng(SEED))
+    check = min(count, 50_000)
+    scalar_seq = [float(getattr(gen, method)(*args)) for _ in range(check)]
+    batched_seq = [getattr(stream, method)(*args) for _ in range(check)]
+    identical = scalar_seq == batched_seq
+
+    result = {
+        "scalar_us_per_draw": round(scalar_s / count * 1e6, 4),
+        "batched_us_per_draw": round(batched_s / count * 1e6, 4),
+        "speedup": round(scalar_s / batched_s, 3),
+        "bit_identical": identical,
+    }
+
+    if label in ("exponential", "lognormal"):
+        train_s = float("inf")
+        for _ in range(repetitions):
+            stream = BatchedStream(np.random.default_rng(SEED))
+            started = time.perf_counter()
+            if label == "exponential":
+                stream.exponential_train(args[0], count)
+            else:
+                stream.lognormal_train(args[0], args[1], count)
+            train_s = min(train_s, time.perf_counter() - started)
+        result["train_us_per_draw"] = round(train_s / count * 1e6, 4)
+        result["train_speedup"] = round(scalar_s / train_s, 1)
+
+    return result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="20k draws per distribution (CI smoke)")
+    parser.add_argument("--draws", type=int, default=None)
+    parser.add_argument("--repetitions", type=int, default=3)
+    parser.add_argument("--json", default="BENCH_sampling.json",
+                        help="output path (default ./BENCH_sampling.json)")
+    args = parser.parse_args(argv)
+    count = args.draws or (20_000 if args.quick else 200_000)
+
+    print(f"sampling microbenchmark, {count} draws per distribution, "
+          f"best of {args.repetitions}")
+    print(f"  {'distribution':<14}{'scalar':>10}{'batched':>10}"
+          f"{'speedup':>9}{'train':>10}  identical")
+
+    results = {}
+    speedups = []
+    all_identical = True
+    for label, method, dist_args in DISTRIBUTIONS:
+        row = bench_distribution(
+            label, method, dist_args, count, args.repetitions)
+        results[label] = row
+        speedups.append(row["speedup"])
+        all_identical &= row["bit_identical"]
+        train = (f"{row['train_us_per_draw']:>8.3f}us"
+                 if "train_us_per_draw" in row else f"{'-':>10}")
+        print(f"  {label:<14}{row['scalar_us_per_draw']:>8.3f}us"
+              f"{row['batched_us_per_draw']:>8.3f}us"
+              f"{row['speedup']:>8.2f}x{train}  {row['bit_identical']}")
+
+    geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+    print(f"  geometric-mean batched speedup: {geomean:.2f}x "
+          f"(bit-identical: {all_identical})")
+
+    payload = {
+        "benchmark": "sampling",
+        "draws_per_distribution": count,
+        "repetitions": args.repetitions,
+        "quick": bool(args.quick),
+        "distributions": results,
+        "geomean_speedup": round(geomean, 3),
+        "bit_identical": all_identical,
+    }
+    with open(args.json, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"  wrote {args.json}")
+
+    if not all_identical:
+        print("FAIL: batched sequence diverged from scalar sequence",
+              file=sys.stderr)
+        return 1
+    if geomean < 1.0:
+        print(f"FAIL: batched path slower than scalar path "
+              f"({geomean:.2f}x < 1.0x)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

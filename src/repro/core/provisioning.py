@@ -33,28 +33,47 @@ class CapacityResult:
             when even the lowest load violates it.
         violated_at_qps: first examined load violating the target, or
             ``None`` if none did (capacity is sweep-limited).
+        interpolated_capacity_qps: load at which linear interpolation
+            between the last passing and first violating sweep points
+            crosses the QoS target; ``None`` unless interpolation was
+            requested and both bracketing points exist.  Lets a coarse
+            sweep provision almost as accurately as a fine one.
     """
 
     qos_target_us: float
     metric: str
     capacity_qps: float
     violated_at_qps: Optional[float]
+    interpolated_capacity_qps: Optional[float] = None
 
     @property
     def sweep_limited(self) -> bool:
         """True when the sweep never reached a violation."""
         return self.violated_at_qps is None
 
+    @property
+    def best_capacity_qps(self) -> float:
+        """The interpolated capacity when available, else the grid one."""
+        if self.interpolated_capacity_qps is not None:
+            return self.interpolated_capacity_qps
+        return self.capacity_qps
+
 
 def capacity_under_qos(latency_by_qps: Mapping[float, float],
                        qos_target_us: float,
-                       metric: str = "p99") -> CapacityResult:
+                       metric: str = "p99",
+                       interpolate: bool = False) -> CapacityResult:
     """Find the highest load whose measured latency meets the target.
 
     Args:
         latency_by_qps: load -> measured latency (one observer's view).
         qos_target_us: the QoS latency bound.
         metric: label recorded in the result.
+        interpolate: also estimate where the latency curve crosses the
+            target between the last passing and first violating loads
+            (linear in QPS), recovering the resolution a coarse sweep
+            grid loses.  The grid answer in ``capacity_qps`` is
+            unchanged either way.
 
     Raises:
         ExperimentError: on an empty sweep or non-positive target.
@@ -66,16 +85,28 @@ def capacity_under_qos(latency_by_qps: Mapping[float, float],
             f"QoS target must be positive, got {qos_target_us}"
         )
     capacity = 0.0
+    passed_any = False
     violated_at: Optional[float] = None
     for qps in sorted(latency_by_qps):
         if latency_by_qps[qps] <= qos_target_us:
             capacity = qps
+            passed_any = True
         else:
             violated_at = qps
             break
+    interpolated: Optional[float] = None
+    if interpolate and passed_any and violated_at is not None:
+        latency_pass = latency_by_qps[capacity]
+        latency_viol = latency_by_qps[violated_at]
+        # latency_pass <= target < latency_viol, so the span is
+        # strictly positive and the crossing fraction lies in [0, 1).
+        span = latency_viol - latency_pass
+        fraction = (qos_target_us - latency_pass) / span
+        interpolated = capacity + (violated_at - capacity) * fraction
     return CapacityResult(
         qos_target_us=qos_target_us, metric=metric,
-        capacity_qps=capacity, violated_at_qps=violated_at)
+        capacity_qps=capacity, violated_at_qps=violated_at,
+        interpolated_capacity_qps=interpolated)
 
 
 @dataclass(frozen=True)

@@ -22,11 +22,16 @@ The finish time includes, in order:
 A core created with ``polling=True`` models a busy-wait event loop
 (the HDSearch client): it never sleeps, pays no wake or context-switch
 costs, and its frequency governor sees 100% utilization.
+
+Per-event accounting runs a few times per simulated request, so the
+hot path (:meth:`SimCore.handle_event_finish_us`) returns only the
+finish timestamp; :meth:`SimCore.handle_event` layers the full
+:class:`CoreOccupancy` record on the same arithmetic for tests and
+diagnostics.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -37,13 +42,11 @@ from repro.hardware.frequency import FrequencyModel
 from repro.hardware.timer import TimerModel
 from repro.hardware.uncore import UncoreModel
 from repro.parameters import SkylakeParameters
-from repro.units import work_cycles_us
 
 #: Target residency at and beyond which a wake implies a voltage ramp.
 _DEEP_SLEEP_RESIDENCY_US = 20.0
 
 
-@dataclass(frozen=True)
 class CoreOccupancy:
     """Timeline record of one handled event.
 
@@ -58,19 +61,45 @@ class CoreOccupancy:
         freq_ghz: core frequency during execution.
     """
 
-    arrival_us: float
-    start_us: float
-    finish_us: float
-    wake_latency_us: float
-    queue_wait_us: float
-    work_us: float
-    cstate: str
-    freq_ghz: float
+    __slots__ = ("arrival_us", "start_us", "finish_us", "wake_latency_us",
+                 "queue_wait_us", "work_us", "cstate", "freq_ghz")
+
+    def __init__(self, arrival_us: float, start_us: float, finish_us: float,
+                 wake_latency_us: float, queue_wait_us: float,
+                 work_us: float, cstate: str, freq_ghz: float) -> None:
+        self.arrival_us = arrival_us
+        self.start_us = start_us
+        self.finish_us = finish_us
+        self.wake_latency_us = wake_latency_us
+        self.queue_wait_us = queue_wait_us
+        self.work_us = work_us
+        self.cstate = cstate
+        self.freq_ghz = freq_ghz
 
     @property
     def overhead_us(self) -> float:
         """Everything except the event's own work."""
         return (self.finish_us - self.arrival_us) - self.work_us
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CoreOccupancy):
+            return NotImplemented
+        return (self.arrival_us == other.arrival_us
+                and self.start_us == other.start_us
+                and self.finish_us == other.finish_us
+                and self.wake_latency_us == other.wake_latency_us
+                and self.queue_wait_us == other.queue_wait_us
+                and self.work_us == other.work_us
+                and self.cstate == other.cstate
+                and self.freq_ghz == other.freq_ghz)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CoreOccupancy(arrival_us={self.arrival_us!r}, "
+                f"start_us={self.start_us!r}, finish_us={self.finish_us!r}, "
+                f"wake_latency_us={self.wake_latency_us!r}, "
+                f"queue_wait_us={self.queue_wait_us!r}, "
+                f"work_us={self.work_us!r}, cstate={self.cstate!r}, "
+                f"freq_ghz={self.freq_ghz!r})")
 
 
 class SimCore:
@@ -84,7 +113,9 @@ class SimCore:
         params: calibrated machine constants.
         config: the machine's hardware configuration.
         rng: random stream for governor prediction noise and timer
-            slack; ``None`` makes the core fully deterministic.
+            slack; ``None`` makes the core fully deterministic.  A
+            :class:`~repro.sim.sampling.BatchedStream` is accepted
+            anywhere a generator is.
         polling: model a busy-wait loop that never idles.
         overhead_scale: run-level multiplicative factor on all overhead
             components (uncontrolled environment state; sampled once
@@ -117,6 +148,13 @@ class SimCore:
         self.events_handled = 0
         self.total_busy_us = 0.0
         self.total_wake_us = 0.0
+        # Per-event constants hoisted off the hot path.
+        self._thread_wake_us = (params.poll_wake_us if config.idle_poll
+                                else params.context_switch_us)
+        self._nominal_ghz = params.nominal_freq_ghz
+        self._wake_dvfs_ramp_us = params.wake_dvfs_ramp_us
+        self._governor_ramps = (
+            config.frequency_governor is not FrequencyGovernor.PERFORMANCE)
 
     # ------------------------------------------------------------------
     @property
@@ -129,11 +167,76 @@ class SimCore:
         return max(0.0, arrival_us - self._available_at)
 
     def _thread_wake_cost(self) -> float:
-        if self._config.idle_poll:
-            return self._params.poll_wake_us
-        return self._params.context_switch_us
+        return self._thread_wake_us
 
     # ------------------------------------------------------------------
+    def handle_event_finish_us(self, arrival_us: float,
+                               work_us_nominal: float,
+                               wakes_thread: bool = True) -> float:
+        """Handle an event; return only the finish timestamp.
+
+        The request hot path: identical accounting and float
+        arithmetic to :meth:`handle_event`, without materializing the
+        :class:`CoreOccupancy` record.
+        """
+        if arrival_us < self._last_arrival - 1e-9:
+            raise ValueError(
+                f"event at {arrival_us} precedes earlier arrival "
+                f"{self._last_arrival}"
+            )
+        self._last_arrival = arrival_us
+
+        available = self._available_at
+        gap = available - arrival_us
+        if gap > 0.0:
+            queue_wait = gap
+            idle_gap = 0.0
+        else:
+            queue_wait = 0.0
+            idle_gap = -gap if gap < 0.0 else 0.0
+        start = arrival_us + queue_wait
+
+        wake_latency = 0.0
+        dvfs_ramp = 0.0
+        uncore_penalty = 0.0
+        ctx = 0.0
+
+        frequency = self.frequency
+        if self.polling:
+            # A busy-wait loop burned the gap spinning: no sleep, no
+            # wake path, and the governor sees the spin as busy time.
+            if idle_gap > 0:
+                frequency.account_busy(idle_gap)
+        elif queue_wait == 0.0:
+            wake_latency, state = self.cstates.wake_and_state(
+                idle_gap, self._rng)
+            if (wake_latency > 0.0
+                    and state.target_residency_us >= _DEEP_SLEEP_RESIDENCY_US
+                    and self._governor_ramps):
+                dvfs_ramp = self._wake_dvfs_ramp_us
+            uncore_penalty = self.uncore.wake_penalty_us(idle_gap)
+            if wakes_thread:
+                ctx = self._thread_wake_us
+
+        freq, stall = frequency.evaluate_fast(start)
+        if self.polling:
+            # A busy-wait loop absorbs the transition while spinning;
+            # it never lands on an event's observable path.
+            stall = 0.0
+
+        overhead = (wake_latency + dvfs_ramp + uncore_penalty + ctx
+                    + stall) * self.overhead_scale
+        work = work_us_nominal * (self._nominal_ghz / freq)
+        finish = start + overhead + work
+
+        busy = finish - start
+        frequency.account_busy(busy)
+        self.total_busy_us += busy
+        self.total_wake_us += wake_latency
+        self.events_handled += 1
+        self._available_at = finish
+        return finish
+
     def handle_event(self, arrival_us: float, work_us_nominal: float,
                      wakes_thread: bool = True) -> CoreOccupancy:
         """Handle an event arriving at *arrival_us*.
@@ -148,6 +251,10 @@ class SimCore:
         Returns:
             The :class:`CoreOccupancy` record, whose ``finish_us`` is
             the earliest time software could observe the event.
+
+        Mirrors :meth:`handle_event_finish_us` exactly (same branches,
+        same float expressions); a change to one must be made to both.
+        ``tests/test_sampling_batched.py`` pins the two in lockstep.
         """
         if arrival_us < self._last_arrival - 1e-9:
             raise ValueError(
@@ -172,22 +279,18 @@ class SimCore:
             if idle_gap > 0:
                 self.frequency.account_busy(idle_gap)
         elif queue_wait == 0.0:
-            decision = self.cstates.select(idle_gap, self._rng)
-            wake_latency = decision.wake_latency_us
-            cstate_name = decision.state.name
+            wake_latency, state = self.cstates.wake_and_state(
+                idle_gap, self._rng)
+            cstate_name = state.name
             if (wake_latency > 0.0
-                    and decision.state.target_residency_us
-                    >= _DEEP_SLEEP_RESIDENCY_US
-                    and self._config.frequency_governor
-                    is not FrequencyGovernor.PERFORMANCE):
-                dvfs_ramp = self._params.wake_dvfs_ramp_us
+                    and state.target_residency_us >= _DEEP_SLEEP_RESIDENCY_US
+                    and self._governor_ramps):
+                dvfs_ramp = self._wake_dvfs_ramp_us
             uncore_penalty = self.uncore.wake_penalty_us(idle_gap)
             if wakes_thread:
-                ctx = self._thread_wake_cost()
+                ctx = self._thread_wake_us
 
-        freq_decision = self.frequency.evaluate(start)
-        freq = freq_decision.freq_ghz
-        stall = freq_decision.transition_stall_us
+        freq, stall = self.frequency.evaluate_fast(start)
         if self.polling:
             # A busy-wait loop absorbs the transition while spinning;
             # it never lands on an event's observable path.
@@ -195,8 +298,7 @@ class SimCore:
 
         overhead = (wake_latency + dvfs_ramp + uncore_penalty + ctx
                     + stall) * self.overhead_scale
-        work = work_cycles_us(
-            work_us_nominal, self._params.nominal_freq_ghz, freq)
+        work = work_us_nominal * (self._nominal_ghz / freq)
         finish = start + overhead + work
 
         busy = finish - start

@@ -13,8 +13,7 @@ The paper quotes 2 us - 200 us for this transition; our Skylake table
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -22,7 +21,6 @@ from repro.config.knobs import HardwareConfig
 from repro.parameters import CStateSpec, SkylakeParameters
 
 
-@dataclass(frozen=True)
 class IdleDecision:
     """Outcome of one idle period.
 
@@ -32,9 +30,25 @@ class IdleDecision:
         residency_us: how long the core was resident in the state.
     """
 
-    state: CStateSpec
-    wake_latency_us: float
-    residency_us: float
+    __slots__ = ("state", "wake_latency_us", "residency_us")
+
+    def __init__(self, state: CStateSpec, wake_latency_us: float,
+                 residency_us: float) -> None:
+        self.state = state
+        self.wake_latency_us = wake_latency_us
+        self.residency_us = residency_us
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, IdleDecision):
+            return NotImplemented
+        return (self.state == other.state
+                and self.wake_latency_us == other.wake_latency_us
+                and self.residency_us == other.residency_us)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"IdleDecision(state={self.state!r}, "
+                f"wake_latency_us={self.wake_latency_us!r}, "
+                f"residency_us={self.residency_us!r})")
 
 
 class CStateGovernor:
@@ -73,6 +87,11 @@ class CStateGovernor:
         # Deepest-last ordering is guaranteed by the parameters module.
         self._enabled: Sequence[CStateSpec] = tuple(table)
         self._poll = config.idle_poll
+        self._c0 = params.cstate_table()[0]
+        #: (target_residency_us, spec) pairs, locals-friendly for the
+        #: per-request selection loop.
+        self._table: Tuple[Tuple[float, CStateSpec], ...] = tuple(
+            (spec.target_residency_us, spec) for spec in table)
         #: Tick period that bounds sleep depth on non-tickless kernels.
         self._tick_limit_us: Optional[float] = (
             None if config.tickless else 4_000.0)
@@ -81,6 +100,45 @@ class CStateGovernor:
     def enabled_states(self) -> Sequence[CStateSpec]:
         """The C-states this governor may select, shallowest first."""
         return self._enabled
+
+    def wake_and_state(self, idle_gap_us: float,
+                       rng=None) -> Tuple[float, CStateSpec]:
+        """Hot-path form of :meth:`select`: no decision record.
+
+        Returns ``(wake_latency_us, state)`` for an idle period of
+        *idle_gap_us*.  Same draw sequence and float arithmetic as
+        :meth:`select` -- the two are interchangeable per call.
+        """
+        if idle_gap_us < 0:
+            idle_gap_us = 0.0
+        if self._poll:
+            return (0.0, self._c0)
+
+        predicted = idle_gap_us
+        if rng is not None and idle_gap_us > 0:
+            # loc + scale * z matches Generator.normal(loc, scale)
+            # bit-for-bit while skipping its kwargs dispatch; rng may
+            # be a Generator or a BatchedStream.
+            noise = 1.0 + self.PREDICTION_NOISE * rng.standard_normal()
+            if noise < 0.0:
+                noise = 0.0
+            predicted = idle_gap_us * noise
+        tick_limit = self._tick_limit_us
+        if tick_limit is not None and predicted > tick_limit:
+            predicted = tick_limit
+
+        table = self._table
+        chosen = table[0][1]
+        for target_residency, spec in table:
+            if target_residency <= predicted:
+                chosen = spec
+        # A core cannot pay more wake latency than it slept: if the gap
+        # ends before the entry completes the exit is proportionally
+        # cheaper (entry aborted early).
+        wake = chosen.exit_latency_us
+        if wake > idle_gap_us:
+            wake = idle_gap_us
+        return (wake, chosen)
 
     def select(self, idle_gap_us: float,
                rng: Optional[np.random.Generator] = None) -> IdleDecision:
@@ -97,23 +155,5 @@ class CStateGovernor:
         """
         if idle_gap_us < 0:
             idle_gap_us = 0.0
-        if self._poll or not self._enabled:
-            c0 = self._params.cstate_table()[0]
-            return IdleDecision(c0, 0.0, idle_gap_us)
-
-        predicted = idle_gap_us
-        if rng is not None and idle_gap_us > 0:
-            noise = rng.normal(loc=1.0, scale=self.PREDICTION_NOISE)
-            predicted = idle_gap_us * max(0.0, noise)
-        if self._tick_limit_us is not None:
-            predicted = min(predicted, self._tick_limit_us)
-
-        chosen = self._enabled[0]
-        for spec in self._enabled:
-            if spec.target_residency_us <= predicted:
-                chosen = spec
-        # A core cannot pay more wake latency than it slept: if the gap
-        # ends before the entry completes the exit is proportionally
-        # cheaper (entry aborted early).
-        wake = min(chosen.exit_latency_us, max(idle_gap_us, 0.0))
+        wake, chosen = self.wake_and_state(idle_gap_us, rng)
         return IdleDecision(chosen, wake, idle_gap_us)

@@ -59,6 +59,8 @@ class FrequencyModel:
         self._window_start = 0.0
         self._busy_accum_us = 0.0
         self.transitions = 0
+        self._interval_us = params.governor_interval_us
+        self._steady = (self._freq, 0.0)
 
     # ------------------------------------------------------------------
     def _initial_freq(self) -> float:
@@ -84,15 +86,17 @@ class FrequencyModel:
             raise ConfigurationError(f"negative busy time {busy_us!r}")
         self._busy_accum_us += busy_us
 
-    def evaluate(self, now_us: float) -> FrequencyDecision:
-        """Re-run the governor if its evaluation interval has elapsed.
+    def evaluate_fast(self, now_us: float) -> "tuple[float, float]":
+        """Hot-path governor evaluation: ``(freq_ghz, stall_us)``.
 
-        Returns:
-            The frequency in effect and any DVFS stall to pay now.
+        Same decisions and float arithmetic as :meth:`evaluate`
+        without allocating a :class:`FrequencyDecision` per event (the
+        steady-state tuple is cached and reused until the frequency
+        actually changes).
         """
         elapsed = now_us - self._window_start
-        if elapsed < self._params.governor_interval_us:
-            return FrequencyDecision(self._freq, 0.0)
+        if elapsed < self._interval_us:
+            return self._steady
 
         utilization = min(1.0, max(0.0, self._busy_accum_us / elapsed))
         self._window_start = now_us
@@ -100,10 +104,20 @@ class FrequencyModel:
 
         target = self._target_freq(utilization)
         if abs(target - self._freq) < 1e-9:
-            return FrequencyDecision(self._freq, 0.0)
+            return self._steady
         self._freq = target
+        self._steady = (target, 0.0)
         self.transitions += 1
-        return FrequencyDecision(self._freq, self._params.dvfs_transition_us)
+        return (target, self._params.dvfs_transition_us)
+
+    def evaluate(self, now_us: float) -> FrequencyDecision:
+        """Re-run the governor if its evaluation interval has elapsed.
+
+        Returns:
+            The frequency in effect and any DVFS stall to pay now.
+        """
+        freq, stall = self.evaluate_fast(now_us)
+        return FrequencyDecision(freq, stall)
 
     # ------------------------------------------------------------------
     def _target_freq(self, utilization: float) -> float:

@@ -41,6 +41,10 @@ class SmtModel:
         self._params = params
         self.smt_enabled = bool(smt_enabled)
         self.run_intensity = float(run_intensity)
+        # Hot-path constants (read per request by interference_us).
+        self._broad_us = params.smt_broad_us
+        self._interference_scale = params.smt_off_interference_scale
+        self._interference_mean_us = params.smt_interference_us
 
     def logical_threads(self, physical_cores: int) -> int:
         """Number of hardware threads exposed by *physical_cores*."""
@@ -74,15 +78,19 @@ class SmtModel:
         """
         if self.smt_enabled:
             return 0.0
-        utilization = min(1.0, max(0.0, utilization))
-        broad = (utilization * self.run_intensity
-                 * self._params.smt_broad_us)
-        probability = min(1.0, self._params.smt_off_interference_scale
-                          * utilization * self.run_intensity)
-        mean = self._params.smt_interference_us
+        if utilization < 0.0:
+            utilization = 0.0
+        elif utilization > 1.0:
+            utilization = 1.0
+        intensity = self.run_intensity
+        broad = utilization * intensity * self._broad_us
+        probability = self._interference_scale * utilization * intensity
+        if probability > 1.0:
+            probability = 1.0
+        mean = self._interference_mean_us
         if rng is None:
             return broad + probability * mean
-        episodic = 0.0
         if rng.random() < probability:
-            episodic = float(rng.exponential(mean))
-        return broad + episodic
+            # mean * std_exp matches Generator.exponential(mean).
+            return broad + mean * rng.standard_exponential()
+        return broad

@@ -104,11 +104,10 @@ class ClientMachine:
 
     def _do_send(self, wakes_thread: bool,
                  on_sent: Callable[[float], None]) -> None:
-        occupancy = self.core.handle_event(
+        finish_us = self.core.handle_event_finish_us(
             self._sim.now, self.send_work_us, wakes_thread=wakes_thread)
         self.requests_sent += 1
-        self._sim.post_at(
-            occupancy.finish_us, on_sent, occupancy.finish_us)
+        self._sim.post_at(finish_us, on_sent, finish_us)
 
     # ------------------------------------------------------------------
     def deliver_response(self, on_measured: Callable[[float], None]) -> None:
@@ -119,9 +118,8 @@ class ClientMachine:
                 read completes, with that timestamp -- i.e. the
                 in-generator point of measurement.
         """
-        occupancy = self.core.handle_event(
+        finish_us = self.core.handle_event_finish_us(
             self._sim.now, self.recv_work_us,
             wakes_thread=self.time_sensitive)
         self.responses_handled += 1
-        self._sim.post_at(
-            occupancy.finish_us, on_measured, occupancy.finish_us)
+        self._sim.post_at(finish_us, on_measured, finish_us)

@@ -65,7 +65,10 @@ class ClosedLoopGenerator(LoadGenerator):
             return 0.0
         if self._think_rng is None:
             return self.think_time_us
-        return float(self._think_rng.exponential(self.think_time_us))
+        # mean * std_exp == Generator.exponential(mean) bit-for-bit;
+        # a BatchedStream think_rng serves this from a block draw.
+        return self.think_time_us * float(
+            self._think_rng.standard_exponential())
 
     def _issue_next(self, machine: ClientMachine, at_us: float) -> None:
         if self._next_index >= self.num_requests:

@@ -48,13 +48,13 @@ def build_hdsearch_client(
         send_work_us=HDSEARCH_SEND_WORK_US,
         recv_work_us=HDSEARCH_RECV_WORK_US,
         name="hdsearch-client")
-    link_rng = streams.get("network")
+    link_rng = streams.stream("network")
     return OpenLoopGenerator(
         sim, [machine], service,
         link_to_server=NetworkLink(params, link_rng),
         link_to_client=NetworkLink(params, link_rng),
         interarrival=ExponentialInterarrival(qps),
-        arrival_rng=streams.get("arrivals"),
+        arrival_rng=streams.stream("arrivals"),
         time_sensitive=False,
         num_requests=num_requests,
         warmup_fraction=warmup_fraction,

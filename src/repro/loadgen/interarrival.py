@@ -4,6 +4,13 @@ The *load intensity* of a workload generator is its inter-arrival
 distribution (Section II).  Mutilate and wrk2 default to exponential
 inter-arrivals (a Poisson process); deterministic and lognormal
 processes are provided for the generator-design ablations.
+
+Arrival schedules are drawn as whole vectors (:meth:`sample_train_us`):
+one block draw replaces tens of thousands of scalar generator calls
+when an open-loop train is constructed, and numpy block draws are
+bit-identical to the equivalent scalar sequence (see
+:mod:`repro.sim.sampling`).  :meth:`sample_us` remains as the
+single-draw path for closed-loop think-time-style consumers and tests.
 """
 
 from __future__ import annotations
@@ -18,10 +25,15 @@ from repro.units import qps_to_interarrival_us
 
 
 class InterarrivalProcess(Protocol):
-    """Protocol: sample the gap to the next request, in microseconds."""
+    """Protocol: sample gaps to upcoming requests, in microseconds."""
 
     def sample_us(self, rng: Optional[np.random.Generator]) -> float:
         """Sample one inter-arrival gap."""
+        ...
+
+    def sample_train_us(self, rng: Optional[np.random.Generator],
+                        size: int) -> np.ndarray:
+        """Sample *size* consecutive gaps as one vector."""
         ...
 
     def mean_us(self) -> float:
@@ -51,7 +63,14 @@ class ExponentialInterarrival(_RateBased):
     def sample_us(self, rng=None) -> float:
         if rng is None:
             return self._mean_us
-        return float(rng.exponential(self._mean_us))
+        return self._mean_us * float(rng.standard_exponential())
+
+    def sample_train_us(self, rng=None, size: int = 1) -> np.ndarray:
+        if rng is None:
+            return np.full(size, self._mean_us)
+        # scale * standard_exponential(size) is bit-identical to size
+        # scalar Generator.exponential(scale) calls.
+        return rng.standard_exponential(size) * self._mean_us
 
 
 class DeterministicInterarrival(_RateBased):
@@ -59,6 +78,9 @@ class DeterministicInterarrival(_RateBased):
 
     def sample_us(self, rng=None) -> float:
         return self._mean_us
+
+    def sample_train_us(self, rng=None, size: int = 1) -> np.ndarray:
+        return np.full(size, self._mean_us)
 
 
 class LognormalInterarrival(_RateBased):
@@ -75,3 +97,8 @@ class LognormalInterarrival(_RateBased):
         if rng is None or self._sigma == 0:
             return self._mean_us
         return float(rng.lognormal(self._mu, self._sigma))
+
+    def sample_train_us(self, rng=None, size: int = 1) -> np.ndarray:
+        if rng is None or self._sigma == 0:
+            return np.full(size, self._mean_us)
+        return np.asarray(rng.lognormal(self._mu, self._sigma, size))

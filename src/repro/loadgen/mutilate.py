@@ -77,13 +77,13 @@ def build_mutilate(sim: Simulator, streams: RandomStreams,
                 recv_work_us=MUTILATE_RECV_WORK_US,
                 name=f"mutilate-{machine_index}.{thread_index}",
                 overhead_scale=env))
-    link_rng = streams.get("network")
+    link_rng = streams.stream("network")
     return OpenLoopGenerator(
         sim, machines, service,
         link_to_server=NetworkLink(params, link_rng),
         link_to_client=NetworkLink(params, link_rng),
         interarrival=ExponentialInterarrival(qps),
-        arrival_rng=streams.get("arrivals"),
+        arrival_rng=streams.stream("arrivals"),
         time_sensitive=True,
         num_requests=num_requests,
         warmup_fraction=warmup_fraction,

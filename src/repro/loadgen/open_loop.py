@@ -50,24 +50,32 @@ class OpenLoopGenerator(LoadGenerator):
     def start(self) -> None:
         """Draw the whole arrival schedule and arm the send events.
 
-        The arrival train is armed in one batch: the entries land in
-        the simulator's tuple fast path and are heapified once, so a
-        run's startup cost is O(n) instead of n sift-ups.
+        The gaps for the entire run are pulled as **one vector draw**
+        (bit-identical to per-request scalar sampling, see
+        :mod:`repro.sim.sampling`) and turned into absolute send times
+        by a cumulative sum -- the first gap is rebased onto the
+        current clock before summing, so the float accumulation order
+        matches the scalar ``send_at += gap`` loop exactly.  The train
+        is then armed in one batch: the entries land in the
+        simulator's tuple fast path and are heapified once, so a run's
+        startup cost is O(n) instead of n sift-ups.
         """
-        sample_us = self.interarrival.sample_us
-        rng = self._arrival_rng
+        gaps = self.interarrival.sample_train_us(
+            self._arrival_rng, self.num_requests)
+        gaps[0] += self._sim.now
+        send_times = np.cumsum(gaps).tolist()
         factory = self._request_factory
         machines = self.machines
         num_machines = len(machines)
         launch = self._launch
 
         def arrivals():
-            send_at = self._sim.now
-            for index in range(self.num_requests):
-                send_at += sample_us(rng)
+            index = 0
+            for send_at in send_times:
                 request = factory(index)
                 request.intended_send_us = send_at
                 yield (send_at, launch,
                        (machines[index % num_machines], request))
+                index += 1
 
         self._sim.post_at_batch(arrivals())

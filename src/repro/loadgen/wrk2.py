@@ -51,13 +51,13 @@ def build_wrk2(sim: Simulator, streams: RandomStreams,
             overhead_scale=env)
         for thread in range(WRK2_THREADS)
     ]
-    link_rng = streams.get("network")
+    link_rng = streams.stream("network")
     return OpenLoopGenerator(
         sim, machines, service,
         link_to_server=NetworkLink(params, link_rng),
         link_to_client=NetworkLink(params, link_rng),
         interarrival=ExponentialInterarrival(qps),
-        arrival_rng=streams.get("arrivals"),
+        arrival_rng=streams.stream("arrivals"),
         time_sensitive=True,
         num_requests=num_requests,
         warmup_fraction=warmup_fraction,

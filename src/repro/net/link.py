@@ -37,7 +37,10 @@ class NetworkLink:
         # lognormal(mu, sigma) has mean exp(mu + sigma^2/2).
         self._mu = math.log(self._mean) - 0.5 * self._sigma ** 2
         # Bind the sampler once: one attribute lookup per message on
-        # the hot path instead of a generator-object traversal.
+        # the hot path instead of a generator-object traversal.  With
+        # a BatchedStream rng (the builders' wiring) every latency
+        # draw is served from a draw-ahead standard-normal block; a
+        # raw Generator keeps the scalar path.
         self._draw = None if rng is None else rng.lognormal
 
     @property

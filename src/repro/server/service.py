@@ -59,7 +59,10 @@ class ExponentialService:
     def sample_service_us(self, rng=None, request=None) -> float:
         if rng is None:
             return self._mean_us
-        return float(rng.exponential(self._mean_us))
+        # mean * std_exp is bit-identical to Generator.exponential(mean)
+        # and serves from a draw-ahead block when rng is a
+        # BatchedStream (see repro.sim.sampling).
+        return self._mean_us * float(rng.standard_exponential())
 
     def mean_service_us(self) -> float:
         return self._mean_us
@@ -84,7 +87,10 @@ class LognormalService:
     def sample_service_us(self, rng=None, request=None) -> float:
         if rng is None or self._sigma == 0:
             return self._mean_us
-        return float(rng.lognormal(self._mu, self._sigma))
+        # exp(mu + sigma * z) is bit-identical to
+        # Generator.lognormal(mu, sigma) (same libm exp in-process)
+        # and batch-servable via BatchedStream.standard_normal.
+        return math.exp(self._mu + self._sigma * float(rng.standard_normal()))
 
     def mean_service_us(self) -> float:
         return self._mean_us

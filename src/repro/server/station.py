@@ -30,6 +30,7 @@ from repro.server.request import Request
 from repro.server.service import ServiceModel
 from repro.sim.engine import Simulator
 from repro.sim.resources import ServerPool
+from repro.sim.sampling import as_stream
 from repro.units import work_cycles_us
 
 
@@ -49,17 +50,27 @@ class ServiceStation:
         self.config = validate_config(config)
         self.service_model = service_model
         self.params = params
-        self._rng = rng
+        # All of the station's stochastic effects (service times, SMT
+        # interference, C-state wake prediction) draw through one
+        # batched facade over the provided generator; the facade
+        # serves the exact scalar sequence and engages draw-ahead
+        # blocks whenever the configuration's draws stay on a single
+        # primitive (e.g. lognormal service + prediction noise).
+        self._rng = as_stream(rng)
         self._env_scale = float(env_scale)
         self._pool = ServerPool(sim, workers)
         self._cstates = CStateGovernor(params, config)
         run_intensity = 1.0
-        if rng is not None and params.smt_interference_run_sigma > 0:
+        if self._rng is not None and params.smt_interference_run_sigma > 0:
             run_intensity = float(
-                rng.lognormal(0.0, params.smt_interference_run_sigma))
+                self._rng.lognormal(0.0, params.smt_interference_run_sigma))
         self._smt = SmtModel(params, config.smt,
                              run_intensity=run_intensity)
         self._freq_ghz = self._static_frequency()
+        # Per-request constants hoisted off the hot path.
+        self._smt_factor = self._smt.service_time_factor()
+        self._kernel_stack_us = params.kernel_stack_us
+        self._freq_scale = params.nominal_freq_ghz / self._freq_ghz
 
     # ------------------------------------------------------------------
     def _static_frequency(self) -> float:
@@ -109,15 +120,18 @@ class ServiceStation:
         # busy_servers includes the worker picking this job up; the
         # interference a request suffers comes from the *other* work
         # on the machine.
-        utilization = max(0, self._pool.busy_servers - 1) \
-            / self._pool.num_servers
-        base = self.service_model.sample_service_us(self._rng, request)
-        base = (base + self.params.kernel_stack_us) * self._env_scale
-        base *= self._smt.service_time_factor()
-        base += self._smt.interference_us(utilization, self._rng)
-        scaled = work_cycles_us(
-            base, self.params.nominal_freq_ghz, self._freq_ghz)
-        wake = self._cstates.select(idle_gap_us, self._rng).wake_latency_us
+        rng = self._rng
+        pool = self._pool
+        utilization = max(0, pool.busy_servers - 1) / pool.num_servers
+        base = self.service_model.sample_service_us(rng, request)
+        base = (base + self._kernel_stack_us) * self._env_scale
+        base *= self._smt_factor
+        base += self._smt.interference_us(utilization, rng)
+        # Same float expression as work_cycles_us(base, nominal, freq)
+        # with the nominal/freq ratio precomputed once: the station's
+        # worker frequency is static for the whole run.
+        scaled = base * self._freq_scale
+        wake, _ = self._cstates.wake_and_state(idle_gap_us, rng)
         return scaled + wake
 
     def _service_time(self, job: Request, server_index: int,

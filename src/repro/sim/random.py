@@ -15,6 +15,8 @@ from typing import Dict
 
 import numpy as np
 
+from repro.sim.sampling import BatchedStream
+
 
 class RandomStreams:
     """A registry of named, independently-seeded numpy generators.
@@ -31,6 +33,7 @@ class RandomStreams:
         self._seed_seq = np.random.SeedSequence(int(seed))
         self._root_seed = int(seed)
         self._streams: Dict[str, np.random.Generator] = {}
+        self._batched: Dict[str, BatchedStream] = {}
 
     @property
     def root_seed(self) -> int:
@@ -52,6 +55,41 @@ class RandomStreams:
             stream = np.random.default_rng(child)
             self._streams[name] = stream
         return stream
+
+    def stream(self, name: str) -> BatchedStream:
+        """Return (creating if needed) the batched facade for *name*.
+
+        The facade fronts the same generator :meth:`get` returns and
+        serves the identical value sequence (see
+        :mod:`repro.sim.sampling`), pulling block draws when the
+        stream's consumption allows.  Hot-path components should take
+        this; cold call sites may keep the raw generator.  Mixing both
+        for one name is safe only while the facade has no block in
+        flight (``stream(name).flush()`` re-synchronizes).
+        """
+        batched = self._batched.get(name)
+        if batched is None:
+            batched = BatchedStream(self.get(name))
+            self._batched[name] = batched
+        return batched
+
+    def batched_stats(self) -> "Dict[str, Dict[str, int]]":
+        """Per-facade draw-ahead counters, keyed by stream name.
+
+        The supported way to observe how much of a run's randomness
+        was served from blocks vs scalar forwards (benchmarks, perf
+        triage).  Streams never requested via :meth:`stream` do not
+        appear.
+        """
+        return {
+            name: {
+                "batched_served": stream.batched_served,
+                "scalar_served": stream.scalar_served,
+                "blocks_drawn": stream.blocks_drawn,
+                "reconciles": stream.reconciles,
+            }
+            for name, stream in sorted(self._batched.items())
+        }
 
     def names(self) -> tuple:
         """Names of the streams created so far (diagnostic)."""

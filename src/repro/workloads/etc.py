@@ -13,6 +13,7 @@ we model:
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
 import numpy as np
@@ -31,22 +32,30 @@ class EtcWorkload:
         self._rng = rng
 
     # ------------------------------------------------------------------
+    # The draws below use the primitive-sampler forms (exp(mu+sigma*z),
+    # expm1(e/a)); bit-identical to the named Generator distributions
+    # while skipping their kwargs dispatch -- this sampler runs three
+    # times per simulated request.
     def sample_key_size_b(self) -> int:
         """Sample one key size in bytes."""
-        if self._rng is None:
+        rng = self._rng
+        if rng is None:
             return 31
-        size = int(self._rng.lognormal(mean=3.4, sigma=0.35)) + _KEY_MIN_B
+        size = int(math.exp(3.4 + 0.35 * float(rng.standard_normal())))
+        size += _KEY_MIN_B
         return int(min(_KEY_MAX_B, max(_KEY_MIN_B, size)))
 
     def sample_value_size_b(self) -> int:
         """Sample one value size in bytes (heavy-tailed)."""
-        if self._rng is None:
+        rng = self._rng
+        if rng is None:
             return 125
-        if self._rng.random() < 0.95:
-            size = int(self._rng.lognormal(mean=4.8, sigma=1.0))
+        if rng.random() < 0.95:
+            size = int(math.exp(4.8 + 1.0 * float(rng.standard_normal())))
         else:
             # Pareto tail: the rare multi-KB values ETC is known for.
-            size = int(1000 * (1.0 + self._rng.pareto(1.5)))
+            pareto = math.expm1(float(rng.standard_exponential()) / 1.5)
+            size = int(1000 * (1.0 + pareto))
         return int(min(_VALUE_MAX_B, max(1, size)))
 
     def sample_is_get(self) -> bool:

@@ -99,7 +99,7 @@ def _hdsearch_testbed(
         sim, server_config,
         LognormalService(MIDTIER_SERVICE_US, MIDTIER_SIGMA),
         workers=MIDTIER_WORKERS,
-        rng=streams.get("midtier"),
+        rng=streams.stream("midtier"),
         params=params,
         name="hdsearch-midtier",
         env_scale=env,
@@ -108,12 +108,12 @@ def _hdsearch_testbed(
         sim, server_config,
         BucketServiceModel(default_candidate_counts()),
         workers=BUCKET_WORKERS,
-        rng=streams.get("bucket"),
+        rng=streams.stream("bucket"),
         params=params,
         name="hdsearch-bucket",
         env_scale=env,
     )
-    inter_tier = NetworkLink(params, streams.get("network-tiers"))
+    inter_tier = NetworkLink(params, streams.stream("network-tiers"))
     service = TieredService(sim, [
         TierSpec(station=midtier, fanout=1, hop_link=None),
         TierSpec(station=bucket, fanout=BUCKET_FANOUT, hop_link=inter_tier),

@@ -84,7 +84,7 @@ def _memcached_testbed(
     station = ServiceStation(
         sim, server_config, EtcServiceModel(etc),
         workers=MEMCACHED_WORKERS,
-        rng=streams.get("service"),
+        rng=streams.stream("service"),
         params=params,
         name="memcached",
         env_scale=server_env,

@@ -138,19 +138,19 @@ def _socialnetwork_testbed(
         sim, server_config,
         LognormalService(FRONTEND_SERVICE_US, FRONTEND_SIGMA),
         workers=FRONTEND_WORKERS,
-        rng=streams.get("frontend"),
+        rng=streams.stream("frontend"),
         params=params, name="nginx", env_scale=env)
     timeline = ServiceStation(
         sim, server_config,
         TimelineServiceModel(timeline_length_distribution()),
         workers=TIMELINE_WORKERS,
-        rng=streams.get("timeline"),
+        rng=streams.stream("timeline"),
         params=params, name="user-timeline", env_scale=env)
     storage = ServiceStation(
         sim, server_config,
         LognormalService(STORAGE_SERVICE_US, STORAGE_SIGMA),
         workers=STORAGE_WORKERS,
-        rng=streams.get("storage"),
+        rng=streams.stream("storage"),
         params=params, name="post-storage", env_scale=env)
 
     # All services share one node (Docker Swarm on a single machine),

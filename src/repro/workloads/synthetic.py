@@ -79,7 +79,7 @@ def _synthetic_testbed(
     station = ServiceStation(
         sim, server_config, DelayedService(added_delay_us),
         workers=SYNTHETIC_WORKERS,
-        rng=streams.get("service"),
+        rng=streams.stream("service"),
         params=params,
         name="synthetic",
         env_scale=server_env_scale(streams, params),

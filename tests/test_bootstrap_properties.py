@@ -60,3 +60,31 @@ class TestBootstrapProperties:
             if interval.contains(true_median):
                 hits += 1
         assert hits / trials > 0.85
+
+
+class TestVectorizedDefaultPath:
+    def test_matches_per_resample_loop_exactly(self):
+        """The (resamples, n) index-matrix fast path must consume the
+        generator identically to the per-resample loop it replaced."""
+        samples = list(np.random.default_rng(3).lognormal(4.0, 0.5, 40))
+        resamples = 500
+        array = np.asarray(samples, dtype=float)
+        rng = np.random.default_rng(0)
+        n = array.size
+        estimates = np.empty(resamples)
+        for index in range(resamples):
+            estimates[index] = np.median(array[rng.integers(0, n, size=n)])
+        lower = float(np.quantile(estimates, 0.025))
+        upper = float(np.quantile(estimates, 0.975))
+        interval = bootstrap_ci(samples, resamples=resamples)
+        assert interval.lower == min(lower, interval.point)
+        assert interval.upper == max(upper, interval.point)
+
+    def test_callable_statistic_keeps_loop_fallback(self):
+        samples = list(np.random.default_rng(5).exponential(10.0, 50))
+        default = bootstrap_ci(samples)
+        explicit = bootstrap_ci(
+            samples, statistic=lambda v: float(np.median(v)))
+        # Same statistic, same seed, same draw order: identical CI.
+        assert default.lower == explicit.lower
+        assert default.upper == explicit.upper

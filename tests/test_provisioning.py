@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.provisioning import (
+    CapacityResult,
     capacity_under_qos,
     provisioning_error,
     provisioning_plan,
@@ -77,3 +78,49 @@ class TestProvisioning:
         lp, _ = self.lp_hp()
         with pytest.raises(ExperimentError):
             provisioning_plan(0, lp)
+
+
+class TestCapacityInterpolation:
+    SWEEP = {10_000.0: 100.0, 20_000.0: 200.0, 30_000.0: 400.0}
+
+    def test_opt_in_only(self):
+        result = capacity_under_qos(self.SWEEP, qos_target_us=300.0)
+        assert result.interpolated_capacity_qps is None
+        assert result.best_capacity_qps == result.capacity_qps
+
+    def test_linear_crossing_between_grid_points(self):
+        result = capacity_under_qos(
+            self.SWEEP, qos_target_us=300.0, interpolate=True)
+        assert result.capacity_qps == 20_000.0
+        assert result.violated_at_qps == 30_000.0
+        # 300us sits halfway between 200us and 400us.
+        assert result.interpolated_capacity_qps == pytest.approx(25_000.0)
+        assert result.best_capacity_qps == result.interpolated_capacity_qps
+
+    def test_grid_answer_unchanged_by_interpolation(self):
+        plain = capacity_under_qos(self.SWEEP, qos_target_us=300.0)
+        interp = capacity_under_qos(
+            self.SWEEP, qos_target_us=300.0, interpolate=True)
+        assert interp.capacity_qps == plain.capacity_qps
+        assert interp.violated_at_qps == plain.violated_at_qps
+
+    def test_no_interpolation_without_bracketing_points(self):
+        # Sweep-limited: no violation to interpolate toward.
+        passing = capacity_under_qos(
+            {10_000.0: 100.0}, qos_target_us=300.0, interpolate=True)
+        assert passing.interpolated_capacity_qps is None
+        # First load already violates: no passing point to start from.
+        failing = capacity_under_qos(
+            {10_000.0: 500.0}, qos_target_us=300.0, interpolate=True)
+        assert failing.capacity_qps == 0.0
+        assert failing.interpolated_capacity_qps is None
+
+    def test_interpolated_capacity_feeds_provisioning(self):
+        result = capacity_under_qos(
+            self.SWEEP, qos_target_us=300.0, interpolate=True)
+        refined = CapacityResult(
+            qos_target_us=result.qos_target_us, metric=result.metric,
+            capacity_qps=result.best_capacity_qps,
+            violated_at_qps=result.violated_at_qps)
+        plan = provisioning_plan(100_000.0, refined)
+        assert plan.machines == 4  # vs 5 from the coarse 20k grid point
