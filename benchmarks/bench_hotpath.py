@@ -253,7 +253,7 @@ def build_testbed(sim: Any, seed: int, qps: float,
     streams = RandomStreams(seed)
     etc = EtcWorkload(streams.get("etc"))
     station = ServiceStation(
-        sim, SERVER_BASELINE, EtcServiceModel(etc),
+        sim, SERVER_BASELINE, EtcServiceModel(),
         workers=MEMCACHED_WORKERS,
         rng=streams.stream("service"),
         name="memcached",

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Cluster-scale testbeds: one workload, many servers.
+
+Three deployments of the same Memcached workload at the same
+*per-node* load:
+
+* the paper's single-server testbed,
+* a 4-node cluster behind a power-of-two-choices load balancer,
+* a 6-shard deployment fanning each request out to 4 shards and
+  completing on the 3rd response (quorum).
+
+The topology is part of the experiment spec, so each variant is one
+``.cluster(...)`` call on the fluent builder -- hashing, storage and
+determinism all work exactly as for single-server plans.
+
+Run:
+    python examples/cluster_topologies.py
+"""
+
+import numpy as np
+
+from repro.api import experiment
+
+RUNS = 5
+REQUESTS = 400
+PER_NODE_QPS = 100_000.0
+
+
+def summarize(label, result):
+    p99 = float(np.median(result.p99_samples()))
+    print(f"{label:<34} p99 {p99:8.1f} us", end="")
+    utils = result.mean_node_utilizations()
+    if utils:
+        print(f"   per-node util "
+              f"{min(utils):.3f}-{max(utils):.3f}")
+    else:
+        print(f"   server util {result.mean_server_utilization():.3f}")
+
+
+def main() -> None:
+    base = (experiment("memcached")
+            .client("LP")
+            .load(num_requests=REQUESTS)
+            .policy(runs=RUNS, base_seed=0))
+
+    single = base.load(qps=PER_NODE_QPS).build()
+    summarize("single server", single.run())
+
+    balanced = (single
+                .with_qps(PER_NODE_QPS * 4)
+                .with_cluster(nodes=4, lb_policy="power-of-two"))
+    summarize("4 nodes, power-of-two LB", balanced.run())
+
+    sharded = (single
+               .with_qps(PER_NODE_QPS * 2)
+               .with_cluster(shards=6, fanout=4, quorum=3))
+    summarize("6 shards, fanout 4, quorum 3", sharded.run())
+
+    print("\nEvery variant is a frozen, hashable plan:")
+    for plan in (single, balanced, sharded):
+        print(f"  {plan.cluster.describe():<34} "
+              f"{plan.content_hash()[:12]}")
+
+
+if __name__ == "__main__":
+    main()

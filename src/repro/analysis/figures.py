@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.campaign.executor import execute_campaign
 from repro.campaign.spec import CampaignSpec
+from repro.cluster.spec import LB_POLICIES, ClusterSpec
 from repro.config.knobs import HardwareConfig
 from repro.config.presets import (
     HP_CLIENT,
@@ -228,6 +229,139 @@ def synthetic_study(delays_us: Sequence[float] = SYNTHETIC_DELAYS,
             qps_list, runs, num_requests, base_seed,
             added_delay_us=float(delay))
     return grids
+
+
+# ---------------------------------------------------------- cluster study
+@dataclass
+class ClusterStudyGrid:
+    """Results of a cluster-scale study: (nodes, policy) x QPS.
+
+    Attributes:
+        workload: workload name.
+        nodes_list: cluster sizes swept, ascending.
+        policies: LB policies swept, in sweep order.
+        cells: ``(nodes, policy)`` -> {qps -> ExperimentResult}.
+        qps_list: the load sweep, ascending.
+    """
+
+    workload: str
+    nodes_list: Tuple[int, ...]
+    policies: Tuple[str, ...]
+    cells: Dict[Tuple[int, str], Dict[float, ExperimentResult]] = field(
+        default_factory=dict)
+    qps_list: Tuple[float, ...] = ()
+
+    def result(self, nodes: int, policy: str,
+               qps: float) -> ExperimentResult:
+        """One cell of the grid."""
+        try:
+            return self.cells[(nodes, policy)][qps]
+        except KeyError:
+            raise ExperimentError(
+                f"no result for ({nodes} nodes, {policy}) @ {qps}"
+            ) from None
+
+    def series(self, nodes: int, policy: str,
+               metric: str = "p99") -> List[Tuple[float, float]]:
+        """(qps, median-of-metric) pairs for one topology line."""
+        return [(qps, _metric_value(
+            self.result(nodes, policy, qps), metric))
+            for qps in self.qps_list]
+
+    def node_utilization_spread(self, nodes: int, policy: str,
+                                qps: float) -> Tuple[float, float]:
+        """(min, max) per-node utilization -- LB fairness at a glance."""
+        utils = self.result(nodes, policy, qps).mean_node_utilizations()
+        if not utils:
+            raise ExperimentError(
+                f"({nodes} nodes, {policy}) @ {qps} carries no "
+                f"per-node utilization")
+        return (min(utils), max(utils))
+
+
+def cluster_study(workload: str = "memcached",
+                  nodes_list: Sequence[int] = (2, 4, 8),
+                  policies: Sequence[str] = LB_POLICIES,
+                  qps_list: Optional[Sequence[float]] = None,
+                  runs: int = 10, num_requests: int = 500,
+                  base_seed: int = 0,
+                  shards: int = 1, fanout: int = 0, quorum: int = 0,
+                  clients: Optional[Dict[str, HardwareConfig]] = None,
+                  ) -> ClusterStudyGrid:
+    """Sweep cluster size x LB policy for one workload.
+
+    Each (nodes, policy) topology runs as its own campaign through
+    the shared executor path (cell-identity seeds, store-compatible
+    hashes), with the QPS sweep scaled by the node count so per-node
+    load stays at the paper's operating points.
+    """
+    from repro.campaign.report import grid_from_outcome
+
+    if qps_list is None:
+        from repro.workloads.registry import workload_by_name
+        definition = workload_by_name(workload)
+        qps_list = definition.qps_sweep or (definition.default_qps,)
+    clients = dict(clients or {"LP": LP_CLIENT})
+    if len(clients) != 1:
+        # The grid is keyed (nodes, policy) for one observer; a
+        # multi-client sweep would silently discard all but the
+        # first client's runs.
+        raise ExperimentError(
+            f"cluster_study sweeps topologies for exactly one "
+            f"client, got {len(clients)}: {', '.join(clients)}")
+    client_label = next(iter(clients))
+    nodes_list = tuple(int(n) for n in nodes_list)
+    policies = tuple(str(p) for p in policies)
+    grid = ClusterStudyGrid(
+        workload=workload, nodes_list=nodes_list, policies=policies)
+    for nodes in nodes_list:
+        scaled_qps = tuple(float(q) * nodes for q in qps_list)
+        for policy in policies:
+            spec = CampaignSpec(
+                name=f"{workload}-cluster-n{nodes}-{policy}",
+                workload=workload,
+                conditions={"baseline": SERVER_BASELINE},
+                qps_list=scaled_qps,
+                clients=dict(clients),
+                runs=runs,
+                num_requests=num_requests,
+                base_seed=base_seed,
+                cluster=ClusterSpec(
+                    nodes=nodes, lb_policy=policy, shards=shards,
+                    fanout=fanout, quorum=quorum),
+            )
+            outcome = execute_campaign(
+                spec, max_workers=1, fail_fast=True)
+            study = grid_from_outcome(spec, outcome)
+            cell: Dict[float, ExperimentResult] = {}
+            for scaled, original in zip(scaled_qps, qps_list):
+                # Key cells by the *per-node* load so different
+                # cluster sizes line up on one axis.
+                cell[float(original)] = study.result(
+                    client_label, "baseline", scaled)
+            grid.cells[(nodes, policy)] = cell
+    grid.qps_list = tuple(float(q) for q in qps_list)
+    return grid
+
+
+def render_cluster_series(grid: ClusterStudyGrid,
+                          metric: str = "p99",
+                          title: str = "") -> str:
+    """Print one metric's series for every (nodes, policy) line.
+
+    Columns are per-node QPS, so cluster sizes are comparable."""
+    lines = [title or (f"{grid.workload} cluster: {metric} by "
+                       f"per-node QPS")]
+    header = f"{'topology':<28}" + "".join(
+        f"{_format_qps(qps):>10}" for qps in grid.qps_list)
+    lines.append(header)
+    for nodes in grid.nodes_list:
+        for policy in grid.policies:
+            values = grid.series(nodes, policy, metric)
+            row = f"{f'{nodes}n-{policy}':<28}" + "".join(
+                f"{value:>10.1f}" for _, value in values)
+            lines.append(row)
+    return "\n".join(lines)
 
 
 # --------------------------------------------------------------- rendering

@@ -34,6 +34,7 @@ from repro.api.specs import (
     RunPolicy,
     WorkloadSpec,
 )
+from repro.cluster.spec import ClusterSpec
 from repro.errors import SpecValidationError
 from repro.workloads.registry import (
     ParamSpec,
@@ -44,6 +45,7 @@ from repro.workloads.registry import (
 )
 
 __all__ = [
+    "ClusterSpec",
     "ExperimentPlan",
     "HardwareSpec",
     "LoadSpec",

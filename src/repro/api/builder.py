@@ -19,7 +19,7 @@ serialization or sweeping.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Any, Optional, Union
+from typing import Any, Mapping, Optional, Union
 
 from repro.api.specs import (
     ExperimentPlan,
@@ -29,6 +29,8 @@ from repro.api.specs import (
     WorkloadSpec,
     _as_config,
 )
+from repro.cluster.spec import ClusterSpec, as_cluster_spec
+from repro.errors import SpecValidationError
 from repro.config.knobs import HardwareConfig
 from repro.config.presets import LP_CLIENT
 from repro.core.experiment import ExperimentResult
@@ -52,6 +54,7 @@ class PlanBuilder:
             num_requests=definition.default_num_requests)
         self._hardware = HardwareSpec(client=LP_CLIENT)
         self._policy = RunPolicy()
+        self._cluster = ClusterSpec()
 
     # ------------------------------------------------------------------
     def params(self, **params: Any) -> "PlanBuilder":
@@ -106,6 +109,28 @@ class PlanBuilder:
             label=self._policy.label if label is None else label)
         return self
 
+    def cluster(self,
+                spec: Optional[Union[ClusterSpec,
+                                     Mapping[str, Any]]] = None,
+                **fields: Any) -> "PlanBuilder":
+        """Deploy on a cluster topology (spec, dict, or fields)::
+
+            experiment("memcached").cluster(
+                nodes=4, lb_policy="power-of-two")
+
+        Fields merge into the topology accumulated so far; with no
+        arguments the current topology is kept unchanged (unlike
+        ``ExperimentPlan.with_cluster()``, which resets).
+        """
+        if spec is not None and fields:
+            raise SpecValidationError(
+                "pass either a cluster spec or keyword fields, "
+                "not both")
+        if spec is None:
+            spec = self._cluster.with_fields(**fields)
+        self._cluster = as_cluster_spec(spec)
+        return self
+
     # ------------------------------------------------------------------
     def build(self) -> ExperimentPlan:
         """The frozen, validated plan."""
@@ -113,7 +138,8 @@ class PlanBuilder:
             workload=self._workload,
             load=self._load,
             hardware=self._hardware,
-            policy=self._policy)
+            policy=self._policy,
+            cluster=self._cluster)
 
     def run(self) -> ExperimentResult:
         """Build and execute in one step."""

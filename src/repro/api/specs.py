@@ -40,6 +40,11 @@ from typing import (
     Union,
 )
 
+from repro.cluster.spec import (
+    SINGLE_SERVER,
+    ClusterSpec,
+    as_cluster_spec,
+)
 from repro.config.serialize import (
     content_hash,
     hardware_config_from_dict,
@@ -293,8 +298,14 @@ class ExperimentPlan:
     load: LoadSpec
     hardware: HardwareSpec
     policy: RunPolicy = field(default_factory=RunPolicy)
+    #: Server-side topology; the default is the paper's single-server
+    #: testbed (and is omitted from the serialized form, so existing
+    #: plan hashes and store keys are untouched).
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
 
     def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "cluster", as_cluster_spec(self.cluster))
         definition = self.workload.definition
         generator = self.load.generator
         if generator not in (DEFAULT_GENERATOR, definition.generator):
@@ -318,13 +329,21 @@ class ExperimentPlan:
         return self.policy.label or self.workload.name
 
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-JSON form (the hash input and wire format)."""
-        return {
+        """Plain-JSON form (the hash input and wire format).
+
+        A default (single-server) cluster is omitted entirely:
+        ``content_hash()`` of every pre-cluster plan -- and therefore
+        every stored campaign row keyed by one -- is unchanged.
+        """
+        data = {
             "workload": self.workload.to_dict(),
             "load": self.load.to_dict(),
             "hardware": self.hardware.to_dict(),
             "policy": self.policy.to_dict(),
         }
+        if not self.cluster.is_single_server:
+            data["cluster"] = self.cluster.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentPlan":
@@ -334,14 +353,15 @@ class ExperimentPlan:
         of silently running with defaults.  ``policy`` itself may be
         omitted (all its fields have defaults).
         """
-        _check_keys(data, ("workload", "load", "hardware", "policy"),
-                    "experiment plan")
+        _check_keys(data, ("workload", "load", "hardware", "policy",
+                           "cluster"), "experiment plan")
         try:
             return cls(
                 workload=WorkloadSpec.from_dict(data["workload"]),
                 load=LoadSpec.from_dict(data["load"]),
                 hardware=HardwareSpec.from_dict(data["hardware"]),
                 policy=RunPolicy.from_dict(data.get("policy", {})),
+                cluster=as_cluster_spec(data.get("cluster")),
             )
         except KeyError as exc:
             raise SpecValidationError(
@@ -400,6 +420,30 @@ class ExperimentPlan:
         """Copy with run-policy fields replaced."""
         return replace(self, policy=replace(self.policy, **changes))
 
+    def with_cluster(self,
+                     cluster: Optional[Union[ClusterSpec,
+                                             Mapping[str, Any]]] = None,
+                     **fields: Any) -> "ExperimentPlan":
+        """Copy deployed on a different cluster topology.
+
+        Pass a :class:`~repro.cluster.spec.ClusterSpec` (or its dict
+        form), or keyword fields merged into the current topology::
+
+            plan.with_cluster(nodes=4, lb_policy="power-of-two")
+
+        With no arguments the copy **resets to single-server** (the
+        ``with_*`` family always produces the stated change; keeping
+        the topology is spelled ``plan`` itself).
+        """
+        if cluster is not None and fields:
+            raise SpecValidationError(
+                "pass either a cluster spec or keyword fields, "
+                "not both")
+        if cluster is None:
+            cluster = (self.cluster.with_fields(**fields)
+                       if fields else SINGLE_SERVER)
+        return replace(self, cluster=as_cluster_spec(cluster))
+
     def with_seed(self, base_seed: int) -> "ExperimentPlan":
         """Copy starting from a different base seed."""
         return self.with_policy(base_seed=int(base_seed))
@@ -415,6 +459,25 @@ class ExperimentPlan:
         kwargs = self.workload.param_dict()
         if self.load.warmup_fraction is not None:
             kwargs["warmup_fraction"] = self.load.warmup_fraction
+
+        if not self.cluster.is_single_server:
+            # Deferred import: the assembly module pulls in every
+            # workload's building blocks, which only matters once a
+            # plan actually deploys a cluster.
+            from repro.cluster.testbed import build_cluster_testbed
+            cluster = self.cluster
+
+            def build_cluster(seed: int) -> Testbed:
+                return build_cluster_testbed(
+                    self.workload.name, seed,
+                    client_config=self.hardware.client,
+                    server_config=self.hardware.server,
+                    qps=self.load.qps,
+                    num_requests=self.load.num_requests,
+                    cluster=cluster,
+                    **kwargs)
+
+            return build_cluster
 
         def build(seed: int) -> Testbed:
             return definition.build_testbed(

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict
 
 from repro.campaign.spec import CampaignSpec
+from repro.cluster.spec import LB_POWER_OF_TWO, ClusterSpec
 from repro.config.presets import SERVER_BASELINE, knob_conditions
 from repro.errors import ExperimentError
 from repro.workloads.registry import DEFAULT_QPS_SWEEPS
@@ -56,6 +57,28 @@ _PRESETS: Dict[str, Callable[[], CampaignSpec]] = {
     "synthetic": _study(
         "synthetic", "synthetic", {"baseline": SERVER_BASELINE},
         num_requests=2_000, added_delay_us=200.0),
+    # Cluster-scale testbeds: the paper's workloads deployed the way
+    # production runs them.  The memcached sweep is scaled by the
+    # node count so per-node load matches the paper's single-box
+    # operating points.
+    "memcached-cluster": lambda: CampaignSpec(
+        name="memcached-cluster",
+        workload="memcached",
+        conditions={"baseline": SERVER_BASELINE},
+        qps_list=tuple(4 * q for q in DEFAULT_QPS_SWEEPS["memcached"]),
+        num_requests=2_000,
+        cluster=ClusterSpec(nodes=4, lb_policy=LB_POWER_OF_TWO),
+    ),
+    "hdsearch-cluster": lambda: CampaignSpec(
+        name="hdsearch-cluster",
+        workload="hdsearch",
+        conditions={"baseline": SERVER_BASELINE},
+        qps_list=DEFAULT_QPS_SWEEPS["hdsearch"],
+        num_requests=1_000,
+        # No lb_policy: one node, no replicas -> no balancer runs
+        # (ClusterSpec canonicalizes a dead policy away anyway).
+        cluster=ClusterSpec(shards=8, fanout=4),
+    ),
 }
 
 

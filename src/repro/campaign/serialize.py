@@ -48,8 +48,13 @@ __all__ = [
 
 # --------------------------------------------------------------- RunMetrics
 def run_metrics_to_dict(metrics: RunMetrics) -> Dict[str, Any]:
-    """Flatten one run's summary into plain JSON types."""
-    return {
+    """Flatten one run's summary into plain JSON types.
+
+    ``node_utilizations`` is emitted only for cluster runs, so
+    single-server payloads (and every result already in a store)
+    keep their exact historical byte form.
+    """
+    data = {
         "avg_us": metrics.avg_us,
         "p99_us": metrics.p99_us,
         "true_avg_us": metrics.true_avg_us,
@@ -58,6 +63,9 @@ def run_metrics_to_dict(metrics: RunMetrics) -> Dict[str, Any]:
         "seed": metrics.seed,
         "server_utilization": metrics.server_utilization,
     }
+    if metrics.node_utilizations:
+        data["node_utilizations"] = list(metrics.node_utilizations)
+    return data
 
 
 def run_metrics_from_dict(data: Dict[str, Any]) -> RunMetrics:
@@ -71,6 +79,8 @@ def run_metrics_from_dict(data: Dict[str, Any]) -> RunMetrics:
             requests=int(data["requests"]),
             seed=int(data["seed"]),
             server_utilization=float(data["server_utilization"]),
+            node_utilizations=tuple(
+                float(u) for u in data.get("node_utilizations", ())),
         )
     except KeyError as exc:
         raise ExperimentError(

@@ -25,6 +25,7 @@ from typing import (
     Dict,
     List,
     Mapping,
+    Optional,
     Sequence,
     Tuple,
     Union,
@@ -38,6 +39,7 @@ from repro.campaign.serialize import (
     hardware_config_from_dict,
     hardware_config_to_dict,
 )
+from repro.cluster.spec import ClusterSpec, as_cluster_spec
 from repro.config.knobs import HardwareConfig
 from repro.config.presets import (
     HP_CLIENT,
@@ -103,6 +105,13 @@ class ConditionSpec:
         base_seed: first root seed of this condition's seed block.
         extra: extra builder kwargs as sorted ``(name, value)`` pairs
             (e.g. the synthetic workload's ``added_delay_us``).
+        cluster: server-side topology, or ``None`` for the paper's
+            single-server testbed.  A default (single-server) spec is
+            normalized to ``None`` so the condition's content hash --
+            the result-store memoization key -- is canonical: the
+            same deployment always produces the same key, and any
+            non-default cluster field (nodes, lb_policy, shards, ...)
+            produces a distinct one.
     """
 
     workload: str
@@ -115,11 +124,17 @@ class ConditionSpec:
     num_requests: int
     base_seed: int
     extra: Tuple[Tuple[str, Any], ...] = ()
+    cluster: Optional[ClusterSpec] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
             self, "extra",
             tuple(sorted(_normalize_extra(dict(self.extra)).items())))
+        if self.cluster is not None:
+            cluster = as_cluster_spec(self.cluster)
+            object.__setattr__(
+                self, "cluster",
+                None if cluster.is_single_server else cluster)
 
     @property
     def label(self) -> str:
@@ -132,8 +147,13 @@ class ConditionSpec:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-JSON form (the hash input and pickle payload)."""
-        return {
+        """Plain-JSON form (the hash input and pickle payload).
+
+        The cluster key appears only for non-default topologies, so
+        every single-server condition hash -- and therefore every
+        result already sitting in a store -- is unchanged.
+        """
+        data = {
             "workload": self.workload,
             "client_label": self.client_label,
             "client_config": hardware_config_to_dict(self.client_config),
@@ -145,6 +165,9 @@ class ConditionSpec:
             "base_seed": self.base_seed,
             "extra": dict(self.extra),
         }
+        if self.cluster is not None:
+            data["cluster"] = self.cluster.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ConditionSpec":
@@ -163,6 +186,8 @@ class ConditionSpec:
                 num_requests=int(data["num_requests"]),
                 base_seed=int(data["base_seed"]),
                 extra=tuple(sorted(dict(data.get("extra", {})).items())),
+                cluster=(ClusterSpec.from_dict(data["cluster"])
+                         if "cluster" in data else None),
             )
         except KeyError as exc:
             raise ExperimentError(
@@ -208,6 +233,7 @@ class ConditionSpec:
                 server_label=self.condition_label),
             policy=RunPolicy(runs=self.runs, base_seed=self.base_seed,
                              label=self.label),
+            cluster=self.cluster,
         )
 
 
@@ -265,6 +291,8 @@ class CampaignSpec:
         base_seed: campaign-wide base seed; per-condition blocks are
             derived via :func:`cell_seed`.
         extra: extra kwargs forwarded to the testbed builder.
+        cluster: server-side topology every condition deploys on
+            (spec, dict, or ``None`` for single-server).
     """
 
     name: str
@@ -277,8 +305,13 @@ class CampaignSpec:
     num_requests: int = 1_000
     base_seed: int = 0
     extra: Dict[str, Any] = field(default_factory=dict)
+    cluster: Optional[ClusterSpec] = None
 
     def __post_init__(self) -> None:
+        if self.cluster is not None:
+            cluster = as_cluster_spec(self.cluster)
+            self.cluster = (None if cluster.is_single_server
+                            else cluster)
         self.qps_list = tuple(float(q) for q in self.qps_list)
         if not self.name:
             raise ExperimentError("campaign name must be non-empty")
@@ -330,6 +363,7 @@ class CampaignSpec:
                             self.base_seed, client_label,
                             condition_label, qps),
                         extra=extra,
+                        cluster=self.cluster,
                     ))
         return out
 
@@ -344,7 +378,7 @@ class CampaignSpec:
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         """Plain-JSON form of the whole campaign."""
-        return {
+        data = {
             "name": self.name,
             "workload": self.workload,
             "clients": {label: hardware_config_to_dict(config)
@@ -357,6 +391,9 @@ class CampaignSpec:
             "base_seed": self.base_seed,
             "extra": dict(self.extra),
         }
+        if self.cluster is not None:
+            data["cluster"] = self.cluster.to_dict()
+        return data
 
     def to_json(self, indent: int = 2) -> str:
         """JSON text form (what a campaign file contains)."""
@@ -394,6 +431,8 @@ class CampaignSpec:
             num_requests=int(data.get("num_requests", 1_000)),
             base_seed=int(data.get("base_seed", 0)),
             extra=dict(data.get("extra", {})),
+            cluster=(ClusterSpec.from_dict(data["cluster"])
+                     if "cluster" in data else None),
         )
 
     @classmethod

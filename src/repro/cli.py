@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands mirror the library's faces::
+Seven subcommands mirror the library's faces::
 
     repro study --workload memcached --knob smt --qps 10000 100000
     repro tune --config HP [--real] [--apply]
@@ -8,6 +8,7 @@ Six subcommands mirror the library's faces::
     repro capacity --qos-p99 400 --target-qps 1000000
     repro campaign run --preset memcached-smt --store results.sqlite
     repro plan --preset memcached-smt
+    repro cluster --workload memcached --nodes 4 --policy power-of-two
 
 ``repro study`` runs a scaled study grid and prints the paper-style
 series; ``repro tune`` plans (and optionally applies) a host
@@ -18,7 +19,9 @@ against a persistent result store (``run``/``status``/``report``) --
 killed campaigns resume, finished ones are served from cache; ``repro
 plan`` validates and expands a campaign into its condition list with
 content hashes and seed schedules *without running anything* (the
-dry run for expensive sweeps).
+dry run for expensive sweeps); ``repro cluster`` deploys a workload
+on a load-balanced, optionally sharded multi-server topology and
+reports fan-out tail latency plus per-node utilization.
 
 Every experiment the CLI launches is constructed through the
 :mod:`repro.api` plan layer.
@@ -183,6 +186,36 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="override requests per run")
     plan.add_argument("--seed", type=int, default=None,
                       help="override the campaign base seed")
+
+    from repro.cluster.spec import LB_POLICIES
+    cluster = commands.add_parser(
+        "cluster", help="run a workload on a multi-server cluster "
+                        "topology")
+    cluster.add_argument("--workload", default="memcached",
+                         help="registered workload name")
+    cluster.add_argument("--nodes", type=int, default=4,
+                         help="server groups behind the load balancer")
+    cluster.add_argument("--policy", default="power-of-two",
+                         choices=list(LB_POLICIES),
+                         help="load-balancing policy")
+    cluster.add_argument("--shards", type=int, default=1,
+                         help="shard stations per server group")
+    cluster.add_argument("--fanout", type=int, default=0,
+                         help="shards touched per request (0 = all)")
+    cluster.add_argument("--quorum", type=int, default=0,
+                         help="responses completing a request "
+                              "(0 = all of fanout)")
+    cluster.add_argument("--replication", type=int, default=1,
+                         help="replicas per shard")
+    cluster.add_argument("--client", default="LP",
+                         help="client preset (LP or HP)")
+    cluster.add_argument("--qps", type=float, default=None,
+                         help="aggregate offered load (default: the "
+                              "workload's default, scaled by nodes)")
+    cluster.add_argument("--runs", type=int, default=5)
+    cluster.add_argument("--requests", type=int, default=500)
+    cluster.add_argument("--seed", type=int, default=0,
+                         help="base seed for the repetition protocol")
     return parser
 
 
@@ -428,6 +461,8 @@ def _cmd_plan(args: argparse.Namespace) -> int:
               f"simulated requests")
         if spec.extra:
             print(f"workload parameters: {spec.extra}")
+        if spec.cluster is not None:
+            print(f"cluster topology: {spec.cluster.describe()}")
         print()
         header = (f"{'#':>4} {'label':<16}{'qps':>10}  "
                   f"{'seed schedule':<24}{'condition hash':<16}"
@@ -451,6 +486,51 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         return 1
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    """Run one cluster experiment and summarize it per node."""
+    from repro.api import experiment
+    from repro.errors import ReproError
+    from repro.workloads.registry import workload_by_name
+
+    try:
+        definition = workload_by_name(args.workload)
+        qps = (args.qps if args.qps is not None
+               else definition.default_qps * args.nodes)
+        plan = (experiment(args.workload)
+                .client(client_by_name(args.client))
+                .load(qps=qps, num_requests=args.requests)
+                .policy(runs=args.runs, base_seed=args.seed)
+                .cluster(nodes=args.nodes, lb_policy=args.policy,
+                         shards=args.shards, fanout=args.fanout,
+                         quorum=args.quorum,
+                         replication=args.replication)
+                .build())
+        result = plan.run()
+        avg = float(np.median(result.avg_samples()))
+        p99 = float(np.median(result.p99_samples()))
+        true_p99 = float(np.median(result.true_p99_samples()))
+        print(f"{args.workload} on {plan.cluster.describe()} "
+              f"@ {qps:g} QPS ({args.runs} runs x "
+              f"{args.requests} requests, seed {args.seed})")
+        print(f"plan hash: {plan.content_hash()[:12]}")
+        print(f"  median avg latency:  {avg:10.1f} us")
+        print(f"  median p99 latency:  {p99:10.1f} us")
+        print(f"  median true p99:     {true_p99:10.1f} us")
+        utils = result.mean_node_utilizations()
+        if utils:
+            print(f"  per-node utilization "
+                  f"(mean {result.mean_server_utilization():.3f}):")
+            for index, value in enumerate(utils):
+                print(f"    node {index}: {value:.3f}")
+        else:
+            print(f"  server utilization: "
+                  f"{result.mean_server_utilization():.3f}")
+        return 0
+    except (ReproError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
@@ -461,6 +541,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "capacity": _cmd_capacity,
         "campaign": _cmd_campaign,
         "plan": _cmd_plan,
+        "cluster": _cmd_cluster,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,67 @@
+"""repro.cluster: load-balanced, sharded multi-server topologies.
+
+The paper's testbed is one server; this package scales it out.  A
+:class:`ClusterSpec` describes the topology as frozen data (nodes
+behind a load balancer, shards with fan-out and quorum, per-shard
+replication); :class:`LoadBalancer` and :class:`FanoutService`
+implement the request lifecycle with the same ``submit(request,
+done_fn)`` interface as a single
+:class:`~repro.server.station.ServiceStation`; and
+:func:`build_cluster_testbed` assembles any adapter-registered
+workload into a cluster :class:`~repro.core.testbed.Testbed`.
+
+Plans carry the topology::
+
+    from repro.api import experiment
+
+    result = (experiment("memcached")
+              .client("LP")
+              .cluster(nodes=4, lb_policy="power-of-two")
+              .load(qps=400_000)
+              .policy(runs=10)
+              .run())
+"""
+
+from repro.cluster.balancer import (
+    LoadBalancer,
+    least_outstanding_choice,
+    power_of_two_choice,
+)
+from repro.cluster.fanout import FanoutService
+from repro.cluster.spec import (
+    LB_LEAST_OUTSTANDING,
+    LB_POLICIES,
+    LB_POWER_OF_TWO,
+    LB_RANDOM,
+    LB_ROUND_ROBIN,
+    SINGLE_SERVER,
+    ClusterSpec,
+    as_cluster_spec,
+)
+from repro.cluster.testbed import (
+    ClusterAdapter,
+    build_cluster_testbed,
+    cluster_adapter,
+    clustered_workloads,
+    register_cluster_adapter,
+)
+
+__all__ = [
+    "ClusterAdapter",
+    "ClusterSpec",
+    "FanoutService",
+    "LB_LEAST_OUTSTANDING",
+    "LB_POLICIES",
+    "LB_POWER_OF_TWO",
+    "LB_RANDOM",
+    "LB_ROUND_ROBIN",
+    "LoadBalancer",
+    "SINGLE_SERVER",
+    "as_cluster_spec",
+    "build_cluster_testbed",
+    "cluster_adapter",
+    "clustered_workloads",
+    "least_outstanding_choice",
+    "power_of_two_choice",
+    "register_cluster_adapter",
+]

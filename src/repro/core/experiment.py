@@ -104,6 +104,18 @@ class ExperimentResult:
         return float(np.mean(
             [run.server_utilization for run in self.runs]))
 
+    def mean_node_utilizations(self) -> tuple:
+        """Per-node utilization averaged across runs (cluster runs).
+
+        Empty for single-server results.  Runs of one condition share
+        a topology, so the per-run tuples always align.
+        """
+        per_run = [run.node_utilizations for run in self.runs
+                   if run.node_utilizations]
+        if not per_run:
+            return ()
+        return tuple(float(v) for v in np.mean(per_run, axis=0))
+
 
 class Experiment:
     """N repetitions of one condition, with environment reset."""

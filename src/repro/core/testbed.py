@@ -10,6 +10,7 @@ experiment, exactly matching the paper's one-sample-per-run protocol.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 from repro.config.knobs import HardwareConfig
 from repro.errors import ExperimentError
@@ -31,7 +32,11 @@ class RunMetrics:
         requests: measured (post-warmup) request count.
         seed: the run's root seed.
         server_utilization: time-averaged utilization of the first
-            service tier.
+            service tier (for a cluster: the mean across nodes).
+        node_utilizations: per-node utilizations for cluster
+            topologies, in node order; empty for the single-server
+            testbed (so single-server metrics -- and their stored
+            serialized form -- are unchanged).
     """
 
     avg_us: float
@@ -41,11 +46,28 @@ class RunMetrics:
     requests: int
     seed: int
     server_utilization: float
+    node_utilizations: Tuple[float, ...] = ()
 
     @property
     def client_bias_avg_us(self) -> float:
         """Average client-caused measurement error this run."""
         return self.avg_us - self.true_avg_us
+
+
+def service_utilization(service) -> float:
+    """Utilization of any service shape: a station (``utilization``),
+    a tiered service (first tier's station), or 0.0 when unknown.
+
+    The single duck-typing probe shared by the testbed summary and
+    the cluster layer's per-backend accounting, so every consumer
+    agrees on what a service's utilization means.
+    """
+    if hasattr(service, "utilization"):
+        return float(service.utilization())
+    tiers = getattr(service, "tiers", None)
+    if tiers:
+        return float(tiers[0].station.utilization())
+    return 0.0
 
 
 class Testbed:
@@ -93,7 +115,10 @@ class Testbed:
         # column is computed once and shared between the average and
         # percentile accessors; no Request objects are materialized.
         samples = self.generator.samples
-        utilization = self._first_station_utilization()
+        utilization = service_utilization(self.service)
+        per_node = getattr(self.service, "node_utilizations", None)
+        node_utilizations = (tuple(float(u) for u in per_node())
+                             if per_node is not None else ())
         return RunMetrics(
             avg_us=samples.average_latency_us(PointOfMeasurement.GENERATOR),
             p99_us=samples.percentile_latency_us(
@@ -104,16 +129,8 @@ class Testbed:
             requests=samples.measured_count,
             seed=self.streams.root_seed,
             server_utilization=utilization,
+            node_utilizations=node_utilizations,
         )
-
-    def _first_station_utilization(self) -> float:
-        service = self.service
-        if hasattr(service, "utilization"):
-            return float(service.utilization())
-        tiers = getattr(service, "tiers", None)
-        if tiers:
-            return float(tiers[0].station.utilization())
-        return 0.0
 
     @property
     def samples(self) -> RunSamples:

@@ -360,6 +360,19 @@ class BatchedStream:
         """One normal draw."""
         return loc + scale * self.standard_normal()
 
+    def next_index(self, n: int) -> int:
+        """Uniform integer in ``[0, n)`` from one uniform draw.
+
+        The cluster layer's index draw (load-balancer node picks,
+        shard-subset shuffles): block-served like any other uniform,
+        with the ``min`` guarding float rounding at large *n*
+        (``random() < 1.0`` strictly, but ``u * n`` may round up).
+        ``n <= 1`` consumes no draw.
+        """
+        if n <= 1:
+            return 0
+        return min(int(self.random() * n), n - 1)
+
     # ------------------------------------------------------ vector trains
     def exponential_train(self, mean_us: float, size: int) -> np.ndarray:
         """The next *size* exponential(mean) draws as one vector.

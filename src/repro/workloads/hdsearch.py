@@ -71,6 +71,51 @@ class BucketServiceModel:
         return self._mean
 
 
+def _hdsearch_service(sim: Simulator, streams: RandomStreams,
+                      server_config: HardwareConfig,
+                      params: SkylakeParameters = DEFAULT_PARAMETERS,
+                      *, env_scale: float = 1.0,
+                      name: str = "hdsearch",
+                      stream_prefix: str = "") -> TieredService:
+    """One HDSearch midtier+bucket deployment (a replicable group).
+
+    ``stream_prefix`` namespaces the tiers' random streams so cluster
+    nodes draw independently; the empty prefix reproduces the
+    single-server testbed's exact historical stream names.
+    """
+    midtier = ServiceStation(
+        sim, server_config,
+        LognormalService(MIDTIER_SERVICE_US, MIDTIER_SIGMA),
+        workers=MIDTIER_WORKERS,
+        rng=streams.stream(stream_prefix + "midtier"),
+        params=params,
+        name=f"{name}-midtier",
+        env_scale=env_scale,
+    )
+    bucket = ServiceStation(
+        sim, server_config,
+        BucketServiceModel(default_candidate_counts()),
+        workers=BUCKET_WORKERS,
+        rng=streams.stream(stream_prefix + "bucket"),
+        params=params,
+        name=f"{name}-bucket",
+        env_scale=env_scale,
+    )
+    inter_tier = NetworkLink(
+        params, streams.stream(stream_prefix + "network-tiers"))
+    return TieredService(sim, [
+        TierSpec(station=midtier, fanout=1, hop_link=None),
+        TierSpec(station=bucket, fanout=BUCKET_FANOUT, hop_link=inter_tier),
+    ], name=name)
+
+
+def _hdsearch_request_factory(streams: RandomStreams):
+    def request_factory(index: int) -> Request:
+        return Request(request_id=index, size_kb=HDSEARCH_MESSAGE_KB)
+
+    return request_factory
+
+
 def _hdsearch_testbed(
         seed: int,
         client_config: HardwareConfig,
@@ -93,35 +138,11 @@ def _hdsearch_testbed(
     """
     sim = Simulator()
     streams = RandomStreams(seed)
-    env = server_env_scale(streams, params)
-
-    midtier = ServiceStation(
-        sim, server_config,
-        LognormalService(MIDTIER_SERVICE_US, MIDTIER_SIGMA),
-        workers=MIDTIER_WORKERS,
-        rng=streams.stream("midtier"),
-        params=params,
-        name="hdsearch-midtier",
-        env_scale=env,
+    service = _hdsearch_service(
+        sim, streams, server_config, params,
+        env_scale=server_env_scale(streams, params),
     )
-    bucket = ServiceStation(
-        sim, server_config,
-        BucketServiceModel(default_candidate_counts()),
-        workers=BUCKET_WORKERS,
-        rng=streams.stream("bucket"),
-        params=params,
-        name="hdsearch-bucket",
-        env_scale=env,
-    )
-    inter_tier = NetworkLink(params, streams.stream("network-tiers"))
-    service = TieredService(sim, [
-        TierSpec(station=midtier, fanout=1, hop_link=None),
-        TierSpec(station=bucket, fanout=BUCKET_FANOUT, hop_link=inter_tier),
-    ], name="hdsearch")
-
-    def request_factory(index: int) -> Request:
-        return Request(request_id=index, size_kb=HDSEARCH_MESSAGE_KB)
-
+    request_factory = _hdsearch_request_factory(streams)
     generator = build_hdsearch_client(
         sim, streams, client_config, service, qps, num_requests,
         request_factory=request_factory,

@@ -40,8 +40,10 @@ class EtcServiceModel:
     #: Extra service per KB of value copied out at nominal frequency.
     US_PER_KB = 0.25
 
-    def __init__(self, etc: EtcWorkload) -> None:
-        self._etc = etc
+    def __init__(self) -> None:
+        # The ETC table only shapes request *sizes* (client side);
+        # the service model reads the size off the request, so
+        # replicated cluster stations need no ETC state of their own.
         self._base = LognormalService(
             MEMCACHED_SERVICE_US, MEMCACHED_SERVICE_SIGMA)
 
@@ -52,6 +54,39 @@ class EtcServiceModel:
 
     def mean_service_us(self) -> float:
         return MEMCACHED_SERVICE_US + 0.2 * self.US_PER_KB
+
+
+def _memcached_service(sim: Simulator, streams: RandomStreams,
+                       server_config: HardwareConfig,
+                       params: SkylakeParameters = DEFAULT_PARAMETERS,
+                       *, env_scale: float = 1.0,
+                       name: str = "memcached",
+                       stream_prefix: str = "") -> ServiceStation:
+    """One Memcached server instance (a cluster-replicable group).
+
+    ``stream_prefix`` namespaces the station's random stream so every
+    cluster node draws independently; the empty prefix is the
+    single-server testbed's exact historical stream name.
+    """
+    return ServiceStation(
+        sim, server_config, EtcServiceModel(),
+        workers=MEMCACHED_WORKERS,
+        rng=streams.stream(stream_prefix + "service"),
+        params=params,
+        name=name,
+        env_scale=env_scale,
+    )
+
+
+def _memcached_request_factory(streams: RandomStreams):
+    """Request factory drawing ETC value sizes (client side, shared
+    across all server nodes of a run)."""
+    etc = EtcWorkload(streams.get("etc"))
+
+    def request_factory(index: int) -> Request:
+        return Request(request_id=index, size_kb=etc.sample_message_kb())
+
+    return request_factory
 
 
 def _memcached_testbed(
@@ -79,20 +114,11 @@ def _memcached_testbed(
     """
     sim = Simulator()
     streams = RandomStreams(seed)
-    etc = EtcWorkload(streams.get("etc"))
-    server_env = server_env_scale(streams, params)
-    station = ServiceStation(
-        sim, server_config, EtcServiceModel(etc),
-        workers=MEMCACHED_WORKERS,
-        rng=streams.stream("service"),
-        params=params,
-        name="memcached",
-        env_scale=server_env,
+    request_factory = _memcached_request_factory(streams)
+    station = _memcached_service(
+        sim, streams, server_config, params,
+        env_scale=server_env_scale(streams, params),
     )
-
-    def request_factory(index: int) -> Request:
-        return Request(request_id=index, size_kb=etc.sample_message_kb())
-
     generator = build_mutilate(
         sim, streams, client_config, station, qps, num_requests,
         request_factory=request_factory,

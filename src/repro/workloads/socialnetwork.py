@@ -110,6 +110,53 @@ class TimelineServiceModel:
         return self._mean
 
 
+def _socialnetwork_service(sim: Simulator, streams: RandomStreams,
+                           server_config: HardwareConfig,
+                           params: SkylakeParameters = DEFAULT_PARAMETERS,
+                           *, env_scale: float = 1.0,
+                           name: str = "social-network",
+                           stream_prefix: str = "") -> TieredService:
+    """One Social Network node: frontend -> timeline -> storage.
+
+    ``stream_prefix`` namespaces the tiers' random streams so cluster
+    nodes draw independently; the empty prefix reproduces the
+    single-server testbed's exact historical stream names.
+    """
+    frontend = ServiceStation(
+        sim, server_config,
+        LognormalService(FRONTEND_SERVICE_US, FRONTEND_SIGMA),
+        workers=FRONTEND_WORKERS,
+        rng=streams.stream(stream_prefix + "frontend"),
+        params=params, name="nginx", env_scale=env_scale)
+    timeline = ServiceStation(
+        sim, server_config,
+        TimelineServiceModel(timeline_length_distribution()),
+        workers=TIMELINE_WORKERS,
+        rng=streams.stream(stream_prefix + "timeline"),
+        params=params, name="user-timeline", env_scale=env_scale)
+    storage = ServiceStation(
+        sim, server_config,
+        LognormalService(STORAGE_SERVICE_US, STORAGE_SIGMA),
+        workers=STORAGE_WORKERS,
+        rng=streams.stream(stream_prefix + "storage"),
+        params=params, name="post-storage", env_scale=env_scale)
+
+    # All services share one node (Docker Swarm on a single machine),
+    # so inter-tier hops cross loopback: no wire latency.
+    return TieredService(sim, [
+        TierSpec(station=frontend),
+        TierSpec(station=timeline),
+        TierSpec(station=storage),
+    ], name=name)
+
+
+def _socialnetwork_request_factory(streams: RandomStreams):
+    def request_factory(index: int) -> Request:
+        return Request(request_id=index, size_kb=SOCIAL_MESSAGE_KB)
+
+    return request_factory
+
+
 def _socialnetwork_testbed(
         seed: int,
         client_config: HardwareConfig,
@@ -132,38 +179,11 @@ def _socialnetwork_testbed(
     """
     sim = Simulator()
     streams = RandomStreams(seed)
-    env = server_env_scale(streams, params)
-
-    frontend = ServiceStation(
-        sim, server_config,
-        LognormalService(FRONTEND_SERVICE_US, FRONTEND_SIGMA),
-        workers=FRONTEND_WORKERS,
-        rng=streams.stream("frontend"),
-        params=params, name="nginx", env_scale=env)
-    timeline = ServiceStation(
-        sim, server_config,
-        TimelineServiceModel(timeline_length_distribution()),
-        workers=TIMELINE_WORKERS,
-        rng=streams.stream("timeline"),
-        params=params, name="user-timeline", env_scale=env)
-    storage = ServiceStation(
-        sim, server_config,
-        LognormalService(STORAGE_SERVICE_US, STORAGE_SIGMA),
-        workers=STORAGE_WORKERS,
-        rng=streams.stream("storage"),
-        params=params, name="post-storage", env_scale=env)
-
-    # All services share one node (Docker Swarm on a single machine),
-    # so inter-tier hops cross loopback: no wire latency.
-    service = TieredService(sim, [
-        TierSpec(station=frontend),
-        TierSpec(station=timeline),
-        TierSpec(station=storage),
-    ], name="social-network")
-
-    def request_factory(index: int) -> Request:
-        return Request(request_id=index, size_kb=SOCIAL_MESSAGE_KB)
-
+    service = _socialnetwork_service(
+        sim, streams, server_config, params,
+        env_scale=server_env_scale(streams, params),
+    )
+    request_factory = _socialnetwork_request_factory(streams)
     generator = build_wrk2(
         sim, streams, client_config, service, qps, num_requests,
         request_factory=request_factory,

@@ -52,6 +52,31 @@ class DelayedService:
         return SYNTHETIC_BASE_US + self.added_delay_us
 
 
+def _synthetic_service(sim: Simulator, streams: RandomStreams,
+                       server_config: HardwareConfig,
+                       params: SkylakeParameters = DEFAULT_PARAMETERS,
+                       *, env_scale: float = 1.0,
+                       name: str = "synthetic",
+                       stream_prefix: str = "",
+                       added_delay_us: float = 0.0) -> ServiceStation:
+    """One synthetic-workload server instance (a replicable group)."""
+    return ServiceStation(
+        sim, server_config, DelayedService(added_delay_us),
+        workers=SYNTHETIC_WORKERS,
+        rng=streams.stream(stream_prefix + "service"),
+        params=params,
+        name=name,
+        env_scale=env_scale,
+    )
+
+
+def _synthetic_request_factory(streams: RandomStreams):
+    def request_factory(index: int) -> Request:
+        return Request(request_id=index, size_kb=SYNTHETIC_MESSAGE_KB)
+
+    return request_factory
+
+
 def _synthetic_testbed(
         seed: int,
         client_config: HardwareConfig,
@@ -76,18 +101,12 @@ def _synthetic_testbed(
     """
     sim = Simulator()
     streams = RandomStreams(seed)
-    station = ServiceStation(
-        sim, server_config, DelayedService(added_delay_us),
-        workers=SYNTHETIC_WORKERS,
-        rng=streams.stream("service"),
-        params=params,
-        name="synthetic",
+    station = _synthetic_service(
+        sim, streams, server_config, params,
         env_scale=server_env_scale(streams, params),
+        added_delay_us=added_delay_us,
     )
-
-    def request_factory(index: int) -> Request:
-        return Request(request_id=index, size_kb=SYNTHETIC_MESSAGE_KB)
-
+    request_factory = _synthetic_request_factory(streams)
     generator = build_mutilate(
         sim, streams, client_config, station, qps, num_requests,
         request_factory=request_factory,

@@ -1,6 +1,8 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite, plus the test-health gate."""
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
@@ -10,6 +12,31 @@ from repro.host.filesystem import FakeFilesystem, make_skylake_tree
 from repro.parameters import DEFAULT_PARAMETERS
 from repro.sim.engine import Simulator
 from repro.sim.random import RandomStreams
+
+
+# ------------------------------------------------------------ test health
+#: Per-test wall-clock budget in seconds; 0/unset disables the gate.
+#: CI's test-health job sets REPRO_MAX_TEST_SECONDS=30: any single
+#: test exceeding it *fails*, so slow tests can't creep into the
+#: suite unnoticed.
+_MAX_TEST_SECONDS = float(
+    os.environ.get("REPRO_MAX_TEST_SECONDS", "0") or 0)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    # Every phase is budgeted -- slow creep must not hide in fixture
+    # setup or teardown.
+    outcome = yield
+    report = outcome.get_result()
+    if (_MAX_TEST_SECONDS
+            and report.passed
+            and call.duration > _MAX_TEST_SECONDS):
+        report.outcome = "failed"
+        report.longrepr = (
+            f"{item.nodeid} exceeded the {_MAX_TEST_SECONDS:g}s "
+            f"per-test budget in its {report.when} phase: took "
+            f"{call.duration:.1f}s (REPRO_MAX_TEST_SECONDS gate)")
 
 
 @pytest.fixture

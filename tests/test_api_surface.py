@@ -12,6 +12,7 @@ import inspect
 import repro.api
 
 EXPECTED_SURFACE = (
+    "ClusterSpec",
     "ExperimentPlan",
     "HardwareSpec",
     "LoadSpec",
@@ -58,5 +59,6 @@ def test_plan_methods_are_stable():
     for method in ("run", "sweep", "variants", "testbed", "builder",
                    "to_json", "from_json", "to_dict", "from_dict",
                    "content_hash", "with_qps", "with_params",
-                   "with_client", "with_server", "with_policy"):
+                   "with_client", "with_server", "with_policy",
+                   "with_cluster"):
         assert callable(getattr(repro.api.ExperimentPlan, method))

@@ -130,3 +130,62 @@ class TestPersistence:
     def test_require_store_demands_existing_file(self, tmp_path):
         with pytest.raises(ExperimentError):
             require_store(str(tmp_path / "absent.sqlite"))
+
+
+class TestClusterHashCoverage:
+    """Cluster parameters must participate in memoization keys.
+
+    Regression for the ISSUE-5 hazard: if the cluster topology were
+    left out of :meth:`ConditionSpec.content_hash`, two campaigns
+    differing only in ``lb_policy`` (or any other cluster field)
+    would collide in the store and silently replay each other's
+    results.
+    """
+
+    def cluster_spec(self, policy, nodes=2):
+        from repro.cluster import ClusterSpec
+
+        return CampaignSpec(
+            name="cluster-store-test",
+            workload="memcached",
+            conditions={"SMToff": server_with_smt(False)},
+            qps_list=(50_000,),
+            clients={"LP": LP_CLIENT},
+            runs=1,
+            num_requests=40,
+            cluster=ClusterSpec(nodes=nodes, lb_policy=policy),
+        )
+
+    def test_lb_policy_never_collides_in_the_store(self, store):
+        round_robin = self.cluster_spec("round-robin").expand()[0]
+        power_of_two = self.cluster_spec("power-of-two").expand()[0]
+        assert (round_robin.content_hash()
+                != power_of_two.content_hash())
+
+        first = round_robin.to_plan().run()
+        second = power_of_two.to_plan().run()
+        store.put(round_robin, first)
+        store.put(power_of_two, second)
+        assert store.count() == 2
+        for condition, result in ((round_robin, first),
+                                  (power_of_two, second)):
+            fetched = store.get(condition.content_hash())
+            assert fetched.runs == result.runs
+            spec = store.get_spec(condition.content_hash())
+            assert spec.cluster == condition.cluster
+
+    def test_cluster_condition_does_not_collide_with_single(
+            self, spec, store):
+        single = spec.with_overrides(
+            qps_list=(50_000,), runs=1, num_requests=40).expand()[0]
+        clustered = self.cluster_spec("round-robin").expand()[0]
+        assert single.content_hash() != clustered.content_hash()
+
+    def test_memoization_replays_cluster_results_exactly(self, store):
+        condition = self.cluster_spec("power-of-two").expand()[0]
+        result = condition.to_plan().run()
+        store.put(condition, result)
+        replayed = store.get(condition.content_hash())
+        assert ([run.node_utilizations for run in replayed.runs]
+                == [run.node_utilizations for run in result.runs])
+        assert replayed.runs == result.runs

@@ -16,6 +16,7 @@ changes meaning at that point.
 
 import pytest
 
+from repro.cluster import ClusterSpec, build_cluster_testbed
 from repro.config.presets import LP_CLIENT, SERVER_BASELINE
 from repro.workloads.registry import builder_by_name
 
@@ -72,4 +73,57 @@ def test_golden_runs_are_reproducible_within_session(workload):
             num_requests=num_requests).run()
 
     first, second = run_once(), run_once()
+    assert first == second
+
+
+# ---------------------------------------------------------------- clusters
+#: scenario -> (workload, cluster, qps, num_requests, avg_us, p99_us,
+#:              true_avg_us, true_p99_us, measured_requests); captured
+#: from the cluster subsystem's introducing commit at root seed 1234.
+#: Per-node load matches the single-server goldens above (memcached:
+#: 4 x 50K aggregate through a round-robin balancer).
+CLUSTER_GOLDEN = {
+    "memcached-rr4": (
+        "memcached", ClusterSpec(nodes=4, lb_policy="round-robin"),
+        200_000, 400,
+        92.3049036499047, 109.0987004070108,
+        40.50920870319649, 49.35850658198505, 360),
+    "hdsearch-shard8": (
+        "hdsearch", ClusterSpec(shards=8, fanout=4),
+        2_000, 200,
+        680.5289735565309, 998.0148660926322,
+        518.5472492595583, 767.9451078624642, 180),
+}
+
+
+def _cluster_testbed(scenario):
+    workload, cluster, qps, num_requests = CLUSTER_GOLDEN[scenario][:4]
+    return build_cluster_testbed(
+        workload, seed=GOLDEN_SEED,
+        client_config=LP_CLIENT, server_config=SERVER_BASELINE,
+        qps=qps, num_requests=num_requests, cluster=cluster)
+
+
+@pytest.mark.parametrize("scenario", sorted(CLUSTER_GOLDEN))
+def test_cluster_golden_run_metrics_bit_identical(scenario):
+    (_, cluster, _, _, avg, p99, true_avg, true_p99,
+     requests) = CLUSTER_GOLDEN[scenario]
+    metrics = _cluster_testbed(scenario).run()
+    assert metrics.avg_us == avg
+    assert metrics.p99_us == p99
+    assert metrics.true_avg_us == true_avg
+    assert metrics.true_p99_us == true_p99
+    assert metrics.requests == requests
+    # Per-node telemetry must be present and non-degenerate: every
+    # node actually served traffic.
+    assert len(metrics.node_utilizations) == max(
+        cluster.nodes, cluster.shards)
+    assert all(value > 0 for value in metrics.node_utilizations)
+
+
+@pytest.mark.parametrize("scenario", sorted(CLUSTER_GOLDEN))
+def test_cluster_golden_runs_are_reproducible(scenario):
+    """Two fresh cluster testbeds with the same seed agree exactly."""
+    first = _cluster_testbed(scenario).run()
+    second = _cluster_testbed(scenario).run()
     assert first == second

@@ -307,3 +307,37 @@ def test_core_occupancy_value_equality():
 
     assert occupancy() == occupancy()
     assert occupancy() != object()
+
+
+class TestNextIndex:
+    """The cluster layer's bounded-index draw (LB picks, shard
+    shuffles): one uniform per draw, block-served, exact scalar
+    replay."""
+
+    def test_matches_scalar_uniform_formula(self):
+        import numpy as np
+        from repro.sim.sampling import BatchedStream
+
+        batched = BatchedStream(np.random.default_rng(SEED))
+        scalar = np.random.default_rng(SEED)
+        for n in (2, 3, 7, 1000):
+            for _ in range(50):
+                expected = min(int(scalar.random() * n), n - 1)
+                assert batched.next_index(n) == expected
+
+    def test_in_range_and_full_coverage(self):
+        import numpy as np
+        from repro.sim.sampling import BatchedStream
+
+        stream = BatchedStream(np.random.default_rng(SEED))
+        seen = {stream.next_index(4) for _ in range(300)}
+        assert seen == {0, 1, 2, 3}
+
+    def test_degenerate_sizes_consume_no_draw(self):
+        import numpy as np
+        from repro.sim.sampling import BatchedStream
+
+        stream = BatchedStream(np.random.default_rng(SEED))
+        assert stream.next_index(1) == 0
+        assert stream.next_index(0) == 0
+        assert stream.batched_served + stream.scalar_served == 0

@@ -1,0 +1,54 @@
+"""The per-test wall-clock budget gate (conftest REPRO_MAX_TEST_SECONDS).
+
+CI's test-health job runs the suite with a 30 s budget; these tests
+prove the gate actually fails slow tests and passes fast ones, by
+running a miniature suite in a subprocess with a tight budget.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+
+CONFTEST = (Path(__file__).parent / "conftest.py").read_text()
+
+MINI_SUITE = """
+import time
+
+
+def test_fast():
+    pass
+
+
+def test_slow():
+    time.sleep(0.4)
+"""
+
+
+def run_mini_suite(tmp_path, budget):
+    suite = tmp_path / "suite"
+    suite.mkdir()
+    (suite / "conftest.py").write_text(CONFTEST)
+    (suite / "test_mini.py").write_text(MINI_SUITE)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(repro.__file__).resolve().parents[1])
+    env["REPRO_MAX_TEST_SECONDS"] = budget
+    return subprocess.run(
+        [sys.executable, "-m", "pytest", "-q", "-p", "no:cacheprovider",
+         str(suite)],
+        capture_output=True, text=True, env=env)
+
+
+def test_budget_fails_slow_tests(tmp_path):
+    proc = run_mini_suite(tmp_path, budget="0.1")
+    assert proc.returncode == 1
+    assert "exceeded the 0.1s per-test budget" in proc.stdout
+    assert "1 failed, 1 passed" in proc.stdout
+
+
+def test_budget_disabled_by_default(tmp_path):
+    proc = run_mini_suite(tmp_path, budget="")
+    assert proc.returncode == 0
+    assert "2 passed" in proc.stdout
