@@ -17,7 +17,9 @@ interesting output is the end-to-end speedup.  Results are written to
 ``BENCH_hotpath.json`` so CI can track the perf trajectory; the file
 also consolidates per-stage timings (arrival-train construction, event
 loop, summary), the batched-sampling stream counters, the pinned
-pre-batching mainline reference, and -- when
+pre-batching mainline reference, an observability-off vs
+observability-on comparison (lifecycle tracing and the streaming
+sink, both against the uninstrumented columnar run), and -- when
 ``benchmarks/bench_sampling.py`` ran first -- its per-distribution
 microbenchmark results.
 
@@ -25,6 +27,7 @@ Usage::
 
     python benchmarks/bench_hotpath.py            # 50k requests
     python benchmarks/bench_hotpath.py --quick    # 5k requests, 1 rep
+    python benchmarks/bench_hotpath.py --quick --check-overhead  # CI gate
 """
 
 from __future__ import annotations
@@ -243,6 +246,26 @@ MAIN_PRE_BATCHING = {
     "seed": 7,
 }
 
+#: Pinned observability-off reference: the legacy/columnar speedup
+#: ratio measured at the commit that introduced the repro.obs hooks
+#: (null-object attribute checks on the request hot path).  The ratio
+#: is hardware-neutral -- both flavors run in the same invocation --
+#: so the ``--check-overhead`` gate compares the current run's
+#: ``speedup_vs_seed`` against the pin for its mode: a drop past
+#: ``OVERHEAD_MARGIN`` means the disabled-observability hot path got
+#: slower relative to the seed and the gate fails.  The pins carry
+#: headroom below the locally measured ratios (quick 1.30-1.50x,
+#: full 1.84x) to absorb best-of-1 CI-runner jitter; the margin on
+#: top of that is the observability budget proper.
+OBS_OFF_REFERENCE = {
+    "commit": "obs-hooks",
+    "speedup_vs_seed_quick": 1.20,
+    "speedup_vs_seed_full": 1.65,
+}
+#: Allowed relative regression of speedup_vs_seed before the
+#: ``--check-overhead`` gate fails (the ISSUE's 3% budget).
+OVERHEAD_MARGIN = 0.03
+
 
 # ---------------------------------------------------------------- the bench
 def build_testbed(sim: Any, seed: int, qps: float,
@@ -326,6 +349,51 @@ def time_stages(seed, qps, num_requests):
     }, streams
 
 
+def time_observability(seed, qps, num_requests, repetitions,
+                       baseline, baseline_metrics):
+    """Observability-on flavors vs the uninstrumented columnar run.
+
+    Tracing must leave the run metrics bit-identical (asserted, after
+    stripping the harvested ``obs_metrics``); the streaming sink is
+    an approximation by design, so its latency deltas are reported
+    rather than asserted.
+    """
+    from dataclasses import replace
+
+    from repro.obs import Observability
+    from repro.sim.engine import Simulator
+
+    traced, traced_metrics = time_path(
+        lambda: Observability(trace=True).install(Simulator()),
+        seed, qps, num_requests, repetitions)
+    stripped = replace(traced_metrics, obs_metrics=())
+    assert stripped == baseline_metrics, (
+        f"tracing perturbed the run: traced={stripped} "
+        f"baseline={baseline_metrics}")
+    traced_overhead = (traced["best_seconds"]
+                       / baseline["best_seconds"] - 1.0)
+
+    streaming, streaming_metrics = time_path(
+        lambda: Observability(sink="streaming").install(Simulator()),
+        seed, qps, num_requests, repetitions)
+    streaming_overhead = (streaming["best_seconds"]
+                          / baseline["best_seconds"] - 1.0)
+    return {
+        "traced": traced,
+        "tracing_overhead_pct": round(100.0 * traced_overhead, 2),
+        "traced_metrics_identical": True,
+        "streaming_sink": streaming,
+        "streaming_overhead_pct": round(
+            100.0 * streaming_overhead, 2),
+        "streaming_avg_delta_pct": round(
+            100.0 * (streaming_metrics.avg_us
+                     / baseline_metrics.avg_us - 1.0), 4),
+        "streaming_p99_delta_pct": round(
+            100.0 * (streaming_metrics.p99_us
+                     / baseline_metrics.p99_us - 1.0), 4),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -338,6 +406,11 @@ def main(argv=None) -> int:
                         help="take the best of N runs (default 3)")
     parser.add_argument("--json", default="BENCH_hotpath.json",
                         help="output path (default ./BENCH_hotpath.json)")
+    parser.add_argument("--check-overhead", action="store_true",
+                        help="fail (exit 1) when the obs-off hot path "
+                             "regresses more than "
+                             f"{OVERHEAD_MARGIN:.0%} below the pinned "
+                             "speedup reference")
     args = parser.parse_args(argv)
 
     num_requests = args.requests or (5_000 if args.quick else 50_000)
@@ -367,6 +440,18 @@ def main(argv=None) -> int:
     print(f"  speedup            : {speedup:8.2f}x  "
           f"(metrics bit-identical: {identical})")
 
+    observability = time_observability(
+        args.seed, args.qps, num_requests, repetitions,
+        columnar, columnar_metrics)
+    print(f"  tracing on         : "
+          f"{observability['traced']['best_seconds']:8.3f}s  "
+          f"({observability['tracing_overhead_pct']:+.1f}%, "
+          f"metrics bit-identical)")
+    print(f"  streaming sink     : "
+          f"{observability['streaming_sink']['best_seconds']:8.3f}s  "
+          f"({observability['streaming_overhead_pct']:+.1f}%, "
+          f"p99 {observability['streaming_p99_delta_pct']:+.3f}%)")
+
     stages, stream_stats = time_stages(args.seed, args.qps, num_requests)
     print(f"  stages             : arrival train "
           f"{stages['arrival_train_seconds']:.3f}s, event loop "
@@ -388,9 +473,11 @@ def main(argv=None) -> int:
         # tooling keeps parsing older artifacts alongside new ones.
         "speedup": round(speedup, 3),
         "metrics_identical": identical,
+        "observability": observability,
         "per_stage": stages,
         "sampling_streams": stream_stats,
         "main_pre_batching": MAIN_PRE_BATCHING,
+        "obs_off_reference": OBS_OFF_REFERENCE,
         "avg_us": columnar_metrics.avg_us,
         "p99_us": columnar_metrics.p99_us,
     }
@@ -416,6 +503,19 @@ def main(argv=None) -> int:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"  wrote {args.json}")
+
+    if args.check_overhead:
+        pin_key = ("speedup_vs_seed_quick" if args.quick
+                   else "speedup_vs_seed_full")
+        pinned = OBS_OFF_REFERENCE[pin_key]
+        floor = pinned * (1.0 - OVERHEAD_MARGIN)
+        if speedup < floor:
+            print(f"  obs-overhead gate  : FAIL -- speedup_vs_seed "
+                  f"{speedup:.2f}x fell below {floor:.2f}x "
+                  f"(pinned {pinned}x - {OVERHEAD_MARGIN:.0%} margin)")
+            return 1
+        print(f"  obs-overhead gate  : ok ({speedup:.2f}x >= "
+              f"{floor:.2f}x)")
     return 0
 
 

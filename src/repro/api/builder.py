@@ -100,13 +100,17 @@ class PlanBuilder:
 
     def policy(self, runs: Optional[int] = None,
                base_seed: Optional[int] = None,
-               label: Optional[str] = None) -> "PlanBuilder":
+               label: Optional[str] = None,
+               sink: Optional[str] = None,
+               trace: Optional[bool] = None) -> "PlanBuilder":
         """Set run-policy fields; omitted arguments keep their value."""
         self._policy = RunPolicy(
             runs=self._policy.runs if runs is None else runs,
             base_seed=(self._policy.base_seed
                        if base_seed is None else base_seed),
-            label=self._policy.label if label is None else label)
+            label=self._policy.label if label is None else label,
+            sink=self._policy.sink if sink is None else sink,
+            trace=self._policy.trace if trace is None else trace)
         return self
 
     def cluster(self,

@@ -13,7 +13,8 @@ together -- and *compiled* into execution on demand:
 * :class:`HardwareSpec` -- the client and server
   :class:`~repro.config.knobs.HardwareConfig` pair, with sweep
   labels;
-* :class:`RunPolicy` -- repetitions, base seed and result label.
+* :class:`RunPolicy` -- repetitions, base seed, result label and the
+  observability knobs (telemetry sink, lifecycle tracing).
 
 Every spec is hashable data: ``plan.to_json()`` round-trips exactly
 (``ExperimentPlan.from_json(plan.to_json()) == plan``) and
@@ -29,6 +30,7 @@ import json
 from dataclasses import dataclass, field, replace
 from itertools import product
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
     Dict,
@@ -59,7 +61,11 @@ from repro.core.experiment import (
 )
 from repro.core.testbed import Testbed
 from repro.errors import SpecValidationError
+from repro.obs.sinks import DEFAULT_SINK, validate_sink_name
 from repro.workloads.registry import WorkloadDefinition, workload_by_name
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.obs.core import Observability
 
 #: ``LoadSpec.generator`` value meaning "the workload's own generator".
 DEFAULT_GENERATOR = "default"
@@ -252,16 +258,25 @@ class RunPolicy:
         base_seed: first root seed; repetition *i* uses
             ``base_seed + i``.
         label: result label; empty means the workload name.
+        sink: telemetry sink name (see :mod:`repro.obs.sinks`); the
+            default ``"columnar"`` is the exact per-request buffer.
+        trace: record request-lifecycle spans (off by default; spans
+            cost memory but never perturb the simulation).
     """
 
     runs: int = DEFAULT_RUNS
     base_seed: int = 0
     label: str = ""
+    sink: str = DEFAULT_SINK
+    trace: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "runs", int(self.runs))
         object.__setattr__(self, "base_seed", int(self.base_seed))
         object.__setattr__(self, "label", str(self.label))
+        object.__setattr__(self, "sink",
+                           validate_sink_name(self.sink))
+        object.__setattr__(self, "trace", bool(self.trace))
         if self.runs < 1:
             raise SpecValidationError(
                 f"runs must be >= 1, got {self.runs!r}")
@@ -270,17 +285,41 @@ class RunPolicy:
         """The root seed of every repetition, in run order."""
         return tuple(range(self.base_seed, self.base_seed + self.runs))
 
+    @property
+    def observed(self) -> bool:
+        """True when runs need an :class:`~repro.obs.Observability`."""
+        return self.trace or self.sink != DEFAULT_SINK
+
+    def observability(self) -> Optional["Observability"]:
+        """A fresh per-run observability context, or None when the
+        policy keeps the defaults (the zero-overhead path)."""
+        if not self.observed:
+            return None
+        from repro.obs.core import Observability
+        return Observability(trace=self.trace, sink=self.sink)
+
     def to_dict(self) -> Dict[str, Any]:
-        return {"runs": self.runs, "base_seed": self.base_seed,
+        """Serialize; the observability fields are emitted only when
+        non-default, so pre-existing plan hashes and campaign store
+        keys stay byte-stable."""
+        data = {"runs": self.runs, "base_seed": self.base_seed,
                 "label": self.label}
+        if self.sink != DEFAULT_SINK:
+            data["sink"] = self.sink
+        if self.trace:
+            data["trace"] = True
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunPolicy":
-        _check_keys(data, ("runs", "base_seed", "label"), "policy")
+        _check_keys(data, ("runs", "base_seed", "label", "sink",
+                           "trace"), "policy")
         return cls(
             runs=data.get("runs", DEFAULT_RUNS),
             base_seed=data.get("base_seed", 0),
             label=str(data.get("label") or ""),
+            sink=str(data.get("sink", DEFAULT_SINK)),
+            trace=bool(data.get("trace", False)),
         )
 
 
@@ -459,6 +498,7 @@ class ExperimentPlan:
         kwargs = self.workload.param_dict()
         if self.load.warmup_fraction is not None:
             kwargs["warmup_fraction"] = self.load.warmup_fraction
+        policy = self.policy
 
         if not self.cluster.is_single_server:
             # Deferred import: the assembly module pulls in every
@@ -468,6 +508,14 @@ class ExperimentPlan:
             cluster = self.cluster
 
             def build_cluster(seed: int) -> Testbed:
+                # A fresh Observability per run: contexts are
+                # single-use like testbeds.  The kwarg is only passed
+                # when observability is on, so builders that predate
+                # it keep working untouched.
+                extra = dict(kwargs)
+                obs = policy.observability()
+                if obs is not None:
+                    extra["obs"] = obs
                 return build_cluster_testbed(
                     self.workload.name, seed,
                     client_config=self.hardware.client,
@@ -475,18 +523,22 @@ class ExperimentPlan:
                     qps=self.load.qps,
                     num_requests=self.load.num_requests,
                     cluster=cluster,
-                    **kwargs)
+                    **extra)
 
             return build_cluster
 
         def build(seed: int) -> Testbed:
+            extra = dict(kwargs)
+            obs = policy.observability()
+            if obs is not None:
+                extra["obs"] = obs
             return definition.build_testbed(
                 seed,
                 client_config=self.hardware.client,
                 server_config=self.hardware.server,
                 qps=self.load.qps,
                 num_requests=self.load.num_requests,
-                **kwargs)
+                **extra)
 
         return build
 

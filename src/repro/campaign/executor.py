@@ -239,13 +239,15 @@ class CampaignExecutor:
     # ------------------------------------------------------------------
     def _persist(self, spec: CampaignSpec, condition: ConditionSpec,
                  result: ExperimentResult,
-                 result_dict: Optional[Dict[str, Any]] = None) -> None:
+                 result_dict: Optional[Dict[str, Any]] = None,
+                 elapsed_s: float = 0.0) -> None:
         # Pool workers ship results as dicts already; forwarding that
         # form to the store skips one full re-serialization per
         # condition.
         if self.store is not None:
             self.store.put(condition, result, campaign=spec.name,
-                           result_dict=result_dict)
+                           result_dict=result_dict,
+                           elapsed_s=elapsed_s)
 
     def _run_inline(self, spec: CampaignSpec,
                     pending: List[ConditionSpec],
@@ -262,10 +264,11 @@ class CampaignExecutor:
                     error=f"{type(exc).__name__}: {exc}",
                     elapsed_s=time.perf_counter() - started))
                 continue
-            self._persist(spec, condition, result)
+            elapsed = time.perf_counter() - started
+            self._persist(spec, condition, result, elapsed_s=elapsed)
             record(ConditionOutcome(
                 spec=condition, status=STATUS_DONE, result=result,
-                elapsed_s=time.perf_counter() - started))
+                elapsed_s=elapsed))
 
     def _run_pool(self, spec: CampaignSpec,
                   pending: List[ConditionSpec],
@@ -329,7 +332,8 @@ class CampaignExecutor:
                         result = experiment_result_from_dict(
                             payload["result"])
                         self._persist(spec, condition, result,
-                                      result_dict=payload["result"])
+                                      result_dict=payload["result"],
+                                      elapsed_s=elapsed)
                         record(ConditionOutcome(
                             spec=condition, status=STATUS_DONE,
                             result=result, elapsed_s=elapsed))

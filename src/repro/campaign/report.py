@@ -106,6 +106,45 @@ def render_campaign_status(spec: CampaignSpec,
     else:
         lines.append("  all conditions stored; "
                      "reports render without re-simulation")
+    timing = render_timing_table(stored, store)
+    if timing:
+        lines.append("")
+        lines.append(timing)
+    return "\n".join(lines)
+
+
+def render_timing_table(stored: List[ConditionSpec],
+                        store: Optional[ResultStore]) -> str:
+    """Compact per-condition wall-time table for stored conditions.
+
+    Returns an empty string when nothing has a recorded timing (no
+    store, no stored conditions, or only pre-timing rows whose
+    ``elapsed_s`` reads back as 0.0).
+    """
+    if store is None or not stored:
+        return ""
+    timings = store.timings_for(stored)
+    rows = [(label, qps, runs, elapsed)
+            for (label, qps, runs, elapsed) in timings.values()
+            if elapsed > 0.0]
+    if not rows:
+        return ""
+    rows.sort(key=lambda row: row[3], reverse=True)
+    label_width = max(len("condition"),
+                      max(len(row[0]) for row in rows))
+    total = sum(row[3] for row in rows)
+    lines = [
+        "  timings (stored conditions, slowest first):",
+        f"    {'condition':<{label_width}}  {'qps':>9}  "
+        f"{'runs':>4}  {'wall':>8}",
+    ]
+    for label, qps, runs, elapsed in rows:
+        lines.append(
+            f"    {label:<{label_width}}  {qps:>9g}  "
+            f"{runs:>4d}  {elapsed:>7.2f}s")
+    lines.append(
+        f"    {'total':<{label_width}}  {'':>9}  {'':>4}  "
+        f"{total:>7.2f}s")
     return "\n".join(lines)
 
 

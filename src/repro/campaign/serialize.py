@@ -50,9 +50,10 @@ __all__ = [
 def run_metrics_to_dict(metrics: RunMetrics) -> Dict[str, Any]:
     """Flatten one run's summary into plain JSON types.
 
-    ``node_utilizations`` is emitted only for cluster runs, so
-    single-server payloads (and every result already in a store)
-    keep their exact historical byte form.
+    ``node_utilizations`` and ``obs_metrics`` are emitted only when
+    non-empty (cluster runs / observed runs), so single-server
+    unobserved payloads (and every result already in a store) keep
+    their exact historical byte form.
     """
     data = {
         "avg_us": metrics.avg_us,
@@ -65,6 +66,9 @@ def run_metrics_to_dict(metrics: RunMetrics) -> Dict[str, Any]:
     }
     if metrics.node_utilizations:
         data["node_utilizations"] = list(metrics.node_utilizations)
+    if metrics.obs_metrics:
+        data["obs_metrics"] = [[name, value]
+                               for name, value in metrics.obs_metrics]
     return data
 
 
@@ -81,6 +85,9 @@ def run_metrics_from_dict(data: Dict[str, Any]) -> RunMetrics:
             server_utilization=float(data["server_utilization"]),
             node_utilizations=tuple(
                 float(u) for u in data.get("node_utilizations", ())),
+            obs_metrics=tuple(
+                (str(name), float(value))
+                for name, value in data.get("obs_metrics", ())),
         )
     except KeyError as exc:
         raise ExperimentError(

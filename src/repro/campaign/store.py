@@ -45,7 +45,8 @@ CREATE TABLE IF NOT EXISTS results (
     runs            INTEGER NOT NULL,
     spec_json       TEXT NOT NULL,
     payload_json    TEXT NOT NULL,
-    created_at      REAL NOT NULL
+    created_at      REAL NOT NULL,
+    elapsed_s       REAL NOT NULL DEFAULT 0.0
 );
 CREATE INDEX IF NOT EXISTS idx_results_campaign
     ON results (campaign);
@@ -67,12 +68,29 @@ class ResultStore:
             os.makedirs(parent, exist_ok=True)
         self._conn = sqlite3.connect(self.path)
         self._conn.executescript(_SCHEMA)
+        self._migrate()
         self._conn.commit()
+
+    def _migrate(self) -> None:
+        """Bring a pre-existing database up to the current schema.
+
+        ``CREATE TABLE IF NOT EXISTS`` never alters an existing
+        table, so columns added after a store was created (the
+        per-condition ``elapsed_s`` timing) are patched in here;
+        pre-migration rows read back as 0.0 ("timing unknown").
+        """
+        columns = {row[1] for row in self._conn.execute(
+            "PRAGMA table_info(results)")}
+        if "elapsed_s" not in columns:
+            self._conn.execute(
+                "ALTER TABLE results ADD COLUMN elapsed_s REAL "
+                "NOT NULL DEFAULT 0.0")
 
     # ------------------------------------------------------------------
     def put(self, spec: ConditionSpec, result: ExperimentResult,
             campaign: str = "",
-            result_dict: Optional[Dict[str, Any]] = None) -> None:
+            result_dict: Optional[Dict[str, Any]] = None,
+            elapsed_s: float = 0.0) -> None:
         """Persist one condition's result (idempotent, last write wins).
 
         Args:
@@ -82,18 +100,21 @@ class ResultStore:
             result_dict: the result's dict form, when the caller
                 already has it (pool workers ship results across the
                 pickle boundary as dicts) -- skips re-serializing.
+            elapsed_s: wall time the condition took to simulate; 0.0
+                means "unknown" (e.g. rows written by older code).
         """
         if result_dict is None:
             result_dict = experiment_result_to_dict(result)
         self._conn.execute(
             "INSERT OR REPLACE INTO results (condition_hash, campaign, "
             "workload, label, qps, runs, spec_json, payload_json, "
-            "created_at) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            "created_at, elapsed_s) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
             (spec.content_hash(), str(campaign), spec.workload,
              spec.label, spec.qps, spec.runs,
              canonical_json(spec.to_dict()),
              canonical_json(result_dict),
-             time.time()))
+             time.time(), float(elapsed_s)))
         self._conn.commit()
 
     def get(self, condition_hash: str) -> Optional[ExperimentResult]:
@@ -137,6 +158,25 @@ class ResultStore:
             "SELECT condition_hash, campaign, label, qps, runs, "
             "created_at FROM results ORDER BY created_at")
         yield from cursor
+
+    def timings_for(self, conditions: List[ConditionSpec]
+                    ) -> Dict[str, Tuple[str, float, int, float]]:
+        """hash -> (label, qps, runs, elapsed_s) for stored conditions.
+
+        Conditions absent from the store are omitted; an elapsed_s of
+        0.0 marks a row stored before timings were recorded.
+        """
+        out: Dict[str, Tuple[str, float, int, float]] = {}
+        for condition in conditions:
+            row = self._conn.execute(
+                "SELECT label, qps, runs, elapsed_s FROM results "
+                "WHERE condition_hash = ?",
+                (condition.content_hash(),)).fetchone()
+            if row is not None:
+                out[condition.content_hash()] = (
+                    str(row[0]), float(row[1]), int(row[2]),
+                    float(row[3]))
+        return out
 
     # ------------------------------------------------------------------
     def missing(self, conditions: List[ConditionSpec]

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands mirror the library's faces::
+Eight subcommands mirror the library's faces::
 
     repro study --workload memcached --knob smt --qps 10000 100000
     repro tune --config HP [--real] [--apply]
@@ -9,6 +9,7 @@ Seven subcommands mirror the library's faces::
     repro campaign run --preset memcached-smt --store results.sqlite
     repro plan --preset memcached-smt
     repro cluster --workload memcached --nodes 4 --policy power-of-two
+    repro trace --workload memcached --output trace.json
 
 ``repro study`` runs a scaled study grid and prints the paper-style
 series; ``repro tune`` plans (and optionally applies) a host
@@ -21,7 +22,10 @@ plan`` validates and expands a campaign into its condition list with
 content hashes and seed schedules *without running anything* (the
 dry run for expensive sweeps); ``repro cluster`` deploys a workload
 on a load-balanced, optionally sharded multi-server topology and
-reports fan-out tail latency plus per-node utilization.
+reports fan-out tail latency plus per-node utilization; ``repro
+trace`` runs one experiment with request-lifecycle tracing on and
+writes a Chrome trace-event JSON (load it at https://ui.perfetto.dev)
+plus a per-stage latency-breakdown table.
 
 Every experiment the CLI launches is constructed through the
 :mod:`repro.api` plan layer.
@@ -31,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import List, Optional
 
 import numpy as np
@@ -186,6 +191,12 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="override requests per run")
     plan.add_argument("--seed", type=int, default=None,
                       help="override the campaign base seed")
+    plan.add_argument("--sink", default=None,
+                      help="telemetry sink the run policy would use "
+                           "(columnar or streaming)")
+    plan.add_argument("--trace", action="store_true",
+                      help="preview the policy with lifecycle "
+                           "tracing on")
 
     from repro.cluster.spec import LB_POLICIES
     cluster = commands.add_parser(
@@ -216,6 +227,25 @@ def _build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--requests", type=int, default=500)
     cluster.add_argument("--seed", type=int, default=0,
                          help="base seed for the repetition protocol")
+
+    trace = commands.add_parser(
+        "trace", help="run one traced experiment and export a "
+                      "Chrome trace (Perfetto-loadable)")
+    trace.add_argument("--workload", default="memcached",
+                       help="registered workload name")
+    trace.add_argument("--client", default="LP",
+                       help="client preset (LP or HP)")
+    trace.add_argument("--qps", type=float, default=None,
+                       help="offered load (default: the workload's)")
+    trace.add_argument("--requests", type=int, default=None,
+                       help="requests to simulate "
+                            "(default: the workload's)")
+    trace.add_argument("--seed", type=int, default=0,
+                       help="root seed for the traced run")
+    trace.add_argument("--sink", default=None,
+                       help="telemetry sink (columnar or streaming)")
+    trace.add_argument("--output", "-o", default="trace.json",
+                       help="Chrome trace JSON output path")
     return parser
 
 
@@ -353,11 +383,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
                 def progress(outcome, completed, total):
                     condition = outcome.spec
+                    timing = ("cached" if outcome.status == "hit"
+                              else f"{outcome.elapsed_s:.2f}s")
                     detail = (f" [{outcome.error}]"
                               if outcome.status == "failed" else "")
                     print(f"[{completed}/{total}] {outcome.status:<6} "
-                          f"{condition.label} @ {condition.qps:g}"
-                          f"{detail}")
+                          f"{condition.label} @ {condition.qps:g} "
+                          f"({timing}){detail}")
 
                 outcome = executor.run(spec, progress=progress)
             print()
@@ -444,8 +476,13 @@ def _plan_campaign_spec(args: argparse.Namespace):
 def _cmd_plan(args: argparse.Namespace) -> int:
     """Dry run: validate, expand and print -- simulate nothing."""
     from repro.errors import ReproError
+    from repro.obs.sinks import describe_sink, validate_sink_name
 
     try:
+        # Validate the sink first so a typo fails with the registry's
+        # did-you-mean before any campaign expansion output.
+        sink = (validate_sink_name(args.sink)
+                if args.sink is not None else None)
         spec = _plan_campaign_spec(args)
         conditions = spec.expand()
         plans = [c.to_plan() for c in conditions]
@@ -463,6 +500,19 @@ def _cmd_plan(args: argparse.Namespace) -> int:
             print(f"workload parameters: {spec.extra}")
         if spec.cluster is not None:
             print(f"cluster topology: {spec.cluster.describe()}")
+        policy = plans[0].policy
+        overrides = {}
+        if sink is not None:
+            overrides["sink"] = sink
+        if args.trace:
+            overrides["trace"] = True
+        if overrides:
+            policy = replace(policy, **overrides)
+        print(f"observability: sink={policy.sink} "
+              f"({describe_sink(policy.sink)}), "
+              f"tracing={'on' if policy.trace else 'off'}"
+              + ("" if policy.observed
+                 else " -- hot path runs unobserved"))
         print()
         header = (f"{'#':>4} {'label':<16}{'qps':>10}  "
                   f"{'seed schedule':<24}{'condition hash':<16}"
@@ -531,6 +581,56 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         return 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run one traced experiment; write the trace, print the table."""
+    from repro.api import experiment
+    from repro.errors import ReproError
+    from repro.obs.export import (
+        latency_breakdown,
+        render_breakdown_table,
+        write_chrome_trace,
+    )
+
+    try:
+        builder = (experiment(args.workload)
+                   .client(client_by_name(args.client)))
+        load_kwargs = {}
+        if args.qps is not None:
+            load_kwargs["qps"] = args.qps
+        if args.requests is not None:
+            load_kwargs["num_requests"] = args.requests
+        if load_kwargs:
+            builder = builder.load(**load_kwargs)
+        plan = (builder
+                .policy(runs=1, base_seed=args.seed, trace=True,
+                        sink=args.sink)
+                .build())
+        testbed = plan.testbed(args.seed)
+        metrics = testbed.run()
+        tracer = testbed.sim.obs.tracer
+        label = (f"{args.workload} @ {plan.load.qps:g} QPS "
+                 f"(seed {args.seed})")
+        payload = write_chrome_trace(tracer, args.output, label=label)
+        breakdown = latency_breakdown(tracer)
+        request_total = breakdown.get("request", {}).get("total_us")
+        print(f"{args.workload} @ {plan.load.qps:g} QPS, "
+              f"{plan.load.num_requests} requests, seed {args.seed}: "
+              f"{metrics.requests} measured, "
+              f"avg {metrics.avg_us:.1f} us, "
+              f"p99 {metrics.p99_us:.1f} us")
+        print(f"wrote {len(payload['traceEvents'])} trace events to "
+              f"{args.output} (load at https://ui.perfetto.dev)")
+        if tracer.dropped:
+            print(f"warning: {tracer.dropped} spans dropped at the "
+                  f"{tracer.max_spans} span cap")
+        print()
+        print(render_breakdown_table(breakdown, request_total))
+        return 0
+    except (ReproError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
@@ -542,6 +642,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "campaign": _cmd_campaign,
         "plan": _cmd_plan,
         "cluster": _cmd_cluster,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

@@ -105,6 +105,14 @@ class LoadBalancer:
         #: outstanding_snapshot)`` at each dispatch decision.
         self.on_dispatch: Optional[
             Callable[[int, List[int]], None]] = None
+        #: Peak in-flight requests on any single backend (tracked only
+        #: under an Observability context).
+        self.peak_outstanding = 0
+        obs = getattr(sim, "obs", None)
+        self._obs = obs
+        self._trace = obs.tracer if obs is not None else None
+        if obs is not None:
+            obs.on_balancer(self)
 
     # ------------------------------------------------------------------
     @property
@@ -148,6 +156,14 @@ class LoadBalancer:
             self.on_dispatch(index, list(self.outstanding))
         self.outstanding[index] += 1
         self.dispatched[index] += 1
+        if self._obs is not None:
+            if self.outstanding[index] > self.peak_outstanding:
+                self.peak_outstanding = self.outstanding[index]
+            trace = self._trace
+            if trace is not None:
+                trace.instant("lb.dispatch", self._sim.now,
+                              request.request_id, self.name,
+                              detail=index)
 
         def backend_done(job: Request) -> None:
             self.outstanding[index] -= 1

@@ -98,6 +98,10 @@ class FanoutService:
         self.subs_completed = 0
         #: Sub-requests dispatched per shard (conservation checks).
         self.shard_dispatched: List[int] = [0] * count
+        obs = getattr(sim, "obs", None)
+        self._trace = obs.tracer if obs is not None else None
+        if obs is not None:
+            obs.on_fanout(self)
 
     # ------------------------------------------------------------------
     @property
@@ -148,7 +152,7 @@ class FanoutService:
             )
             link = self._links[shard_index]
             collector = self._make_collector(
-                request, state, shard_index, done_fn)
+                request, state, shard_index, done_fn, self._sim.now)
             if link is None:
                 self._shards[shard_index].submit(sub, collector)
             else:
@@ -158,22 +162,33 @@ class FanoutService:
 
     def _make_collector(self, root: Request, state: _RootState,
                         shard_index: int,
-                        done_fn: Callable[[Request], None]):
+                        done_fn: Callable[[Request], None],
+                        dispatched_at: float = 0.0):
         def shard_served(sub: Request) -> None:
             # The shard finished serving; the response still crosses
             # the shard's return link before it reaches the root.
             link = self._links[shard_index]
             if link is None:
-                self._at_root(root, state, sub, done_fn)
+                self._at_root(root, state, sub, done_fn,
+                              shard_index, dispatched_at)
             else:
                 self._sim.post(
                     link.sample_latency_us(sub.size_kb),
-                    self._at_root, root, state, sub, done_fn)
+                    self._at_root, root, state, sub, done_fn,
+                    shard_index, dispatched_at)
         return shard_served
 
     def _at_root(self, root: Request, state: _RootState, sub: Request,
-                 done_fn: Callable[[Request], None]) -> None:
+                 done_fn: Callable[[Request], None],
+                 shard_index: int = -1,
+                 dispatched_at: float = 0.0) -> None:
         self.subs_completed += 1
+        trace = self._trace
+        if trace is not None:
+            # One child span per shard sub-request: root dispatch to
+            # response back at the root (stragglers included).
+            trace.span("fanout.rpc", dispatched_at, self._sim.now,
+                       root.request_id, self.name, detail=shard_index)
         if state.completed:
             return  # straggler past the quorum: drains, never counts
         if sub.service_us > state.max_service_us:

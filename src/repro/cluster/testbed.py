@@ -194,6 +194,7 @@ def build_cluster_testbed(
         cluster: ClusterSpec = ClusterSpec(),
         warmup_fraction: float = 0.1,
         params: SkylakeParameters = DEFAULT_PARAMETERS,
+        obs: Any = None,
         **workload_params: Any) -> Testbed:
     """Assemble one single-use cluster testbed for *workload*.
 
@@ -212,19 +213,26 @@ def build_cluster_testbed(
         cluster: the topology to deploy.
         warmup_fraction: leading samples to discard.
         params: machine timing constants.
+        obs: optional :class:`~repro.obs.Observability` context,
+            installed on the simulator before any component builds.
         **workload_params: workload-specific parameters (e.g. the
             synthetic workload's ``added_delay_us``).
     """
     if cluster.is_single_server:
+        extra = dict(workload_params)
+        if obs is not None:
+            extra["obs"] = obs
         return workload_by_name(workload).build_testbed(
             seed, client_config=client_config,
             server_config=server_config, qps=qps,
             num_requests=num_requests,
             warmup_fraction=warmup_fraction,
             params=params,
-            **workload_params)
+            **extra)
     adapter = cluster_adapter(workload)
     sim = Simulator()
+    if obs is not None:
+        obs.install(sim)
     streams = RandomStreams(seed)
     groups = [
         _build_group(adapter, sim, streams, server_config, params,

@@ -37,6 +37,11 @@ class RunMetrics:
             topologies, in node order; empty for the single-server
             testbed (so single-server metrics -- and their stored
             serialized form -- are unchanged).
+        obs_metrics: flattened ``(name, value)`` pairs harvested from
+            the run's :class:`~repro.obs.core.Observability` context;
+            empty when observability is off (the default), so
+            unobserved metrics -- and their stored serialized form --
+            are unchanged.
     """
 
     avg_us: float
@@ -47,6 +52,7 @@ class RunMetrics:
     seed: int
     server_utilization: float
     node_utilizations: Tuple[float, ...] = ()
+    obs_metrics: Tuple[Tuple[str, float], ...] = ()
 
     @property
     def client_bias_avg_us(self) -> float:
@@ -119,6 +125,8 @@ class Testbed:
         per_node = getattr(self.service, "node_utilizations", None)
         node_utilizations = (tuple(float(u) for u in per_node())
                              if per_node is not None else ())
+        obs = getattr(self.sim, "obs", None)
+        obs_metrics = obs.finalize(self) if obs is not None else ()
         return RunMetrics(
             avg_us=samples.average_latency_us(PointOfMeasurement.GENERATOR),
             p99_us=samples.percentile_latency_us(
@@ -130,6 +138,7 @@ class Testbed:
             seed=self.streams.root_seed,
             server_utilization=utilization,
             node_utilizations=node_utilizations,
+            obs_metrics=obs_metrics,
         )
 
     @property

@@ -87,6 +87,15 @@ class LoadGenerator:
             lambda index: Request(request_id=index))
         self.completed = 0
         self._on_all_done: Optional[Callable[[], None]] = None
+        # Observability (null-object contract): when the run carries
+        # an Observability context it may swap in a different sink and
+        # hands out the tracer; otherwise _trace stays None and every
+        # hook below is a single attribute check.
+        obs = getattr(sim, "obs", None)
+        self._trace = None
+        if obs is not None:
+            obs.on_generator(self)
+            self._trace = obs.tracer
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -123,12 +132,24 @@ class LoadGenerator:
               actual_send_us: float) -> None:
         request.actual_send_us = actual_send_us
         delay = self._link_to_server.sample_latency_us(request.size_kb)
+        trace = self._trace
+        if trace is not None:
+            rid = request.request_id
+            trace.span("client.send", request.intended_send_us,
+                       actual_send_us, rid, "client")
+            trace.span("net.out", actual_send_us,
+                       actual_send_us + delay, rid, "net")
         self._sim.post(
             delay, self.service.submit, request,
             lambda req: self._served(machine, req))
 
     def _served(self, machine: ClientMachine, request: Request) -> None:
         delay = self._link_to_client.sample_latency_us(request.size_kb)
+        trace = self._trace
+        if trace is not None:
+            now = self._sim.now
+            trace.span("net.in", now, now + delay,
+                       request.request_id, "net")
         self._sim.post(delay, self._at_client_nic, machine, request)
 
     def _at_client_nic(self, machine: ClientMachine,
@@ -140,6 +161,14 @@ class LoadGenerator:
     def _measured(self, machine: ClientMachine, request: Request,
                   timestamp_us: float) -> None:
         request.measured_complete_us = timestamp_us
+        trace = self._trace
+        if trace is not None:
+            rid = request.request_id
+            trace.span("client.recv", request.client_nic_us,
+                       timestamp_us, rid, "client")
+            # The root span: dur is exactly the measured latency.
+            trace.span("request", request.actual_send_us,
+                       timestamp_us, rid, "client")
         # Columnar recording: the timestamps land in SampleColumns and
         # the Request object is dropped once in-flight use ends.
         self.samples.record(request)

@@ -89,6 +89,11 @@ class RunSamples:
         return len(self._columns)
 
     @property
+    def warmup_fraction(self) -> float:
+        """Leading fraction of samples discarded as warmup."""
+        return self._warmup_fraction
+
+    @property
     def columns(self) -> SampleColumns:
         """The underlying struct-of-arrays buffer (warmup included)."""
         return self._columns

@@ -42,6 +42,9 @@ class NetworkLink:
         # draw is served from a draw-ahead standard-normal block; a
         # raw Generator keeps the scalar path.
         self._draw = None if rng is None else rng.lognormal
+        #: optional :class:`~repro.obs.core.LinkObserver` (null-object
+        #: contract: one None test per message when unobserved).
+        self.observer = None
 
     @property
     def mean_latency_us(self) -> float:
@@ -57,6 +60,9 @@ class NetworkLink:
         draw = self._draw
         base = (self._mean if draw is None
                 else float(draw(self._mu, self._sigma)))
+        observer = self.observer
+        if observer is not None:
+            observer.on_message(message_kb)
         if message_kb > 0.0:
             return base + message_kb * US_PER_KB_10GBE
         return base

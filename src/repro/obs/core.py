@@ -1,0 +1,195 @@
+"""The per-run observability context.
+
+One :class:`Observability` instance is installed on one
+:class:`~repro.sim.engine.Simulator` (``sim.obs``) before the
+testbed's components are built.  Components discover it at
+construction via the null-object contract::
+
+    obs = getattr(sim, "obs", None)
+    self._trace = obs.tracer if obs is not None else None
+
+so a disabled run (``sim.obs is None``, the default) pays exactly one
+cached-attribute check per hook on the hot path, and an enabled run
+appends spans / bumps plain counters with no extra indirection.
+
+Metrics follow the pull model: hot components accumulate into plain
+attributes they already keep (events processed, dispatch counts,
+busy time); :meth:`Observability.finalize` harvests them all into the
+:class:`~repro.obs.metrics.MetricsRegistry` once, after the run
+drains, and returns the flattened pairs that ride on
+:class:`~repro.core.testbed.RunMetrics.obs_metrics`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.obs.metrics import MetricPairs, MetricsRegistry
+from repro.obs.sinks import (
+    DEFAULT_SINK,
+    SINK_COLUMNAR,
+    make_sink,
+    validate_sink_name,
+)
+from repro.obs.trace import DEFAULT_MAX_SPANS, Tracer
+
+
+class LinkObserver:
+    """Message accounting attached to one network link.
+
+    The link calls :meth:`on_message` per sampled transit -- two plain
+    attribute adds -- only when an observer is attached.
+    """
+
+    __slots__ = ("name", "messages", "kb")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.messages = 0
+        self.kb = 0.0
+
+    def on_message(self, message_kb: float) -> None:
+        self.messages += 1
+        self.kb += message_kb
+
+
+class Observability:
+    """Run-scoped observability switchboard.
+
+    Args:
+        trace: record lifecycle spans (off by default; tracing costs
+            a few tuple appends per request and the span memory).
+        sink: telemetry sink name (see :mod:`repro.obs.sinks`);
+            validated immediately so typos fail before a run starts.
+        max_spans: span-list bound when tracing.
+
+    Example:
+        >>> from repro.sim.engine import Simulator
+        >>> obs = Observability(trace=True)
+        >>> sim = obs.install(Simulator())
+        >>> sim.obs is obs
+        True
+    """
+
+    def __init__(self, trace: bool = False, sink: str = DEFAULT_SINK,
+                 max_spans: int = DEFAULT_MAX_SPANS) -> None:
+        self.sink_name = validate_sink_name(sink)
+        self.tracer: Optional[Tracer] = (
+            Tracer(max_spans) if trace else None)
+        self.registry = MetricsRegistry()
+        self._generators: List[Any] = []
+        self._stations: List[Any] = []
+        self._balancers: List[Any] = []
+        self._fanouts: List[Any] = []
+        self._links: List[LinkObserver] = []
+        self._finalized: Optional[MetricPairs] = None
+
+    @property
+    def tracing(self) -> bool:
+        """True when lifecycle spans are being recorded."""
+        return self.tracer is not None
+
+    # ------------------------------------------------------------------
+    def install(self, sim: Any) -> Any:
+        """Attach this context to *sim* (``sim.obs``); return *sim*."""
+        sim.obs = self
+        return sim
+
+    # ---------------------------------------------------- registration
+    def on_generator(self, generator: Any) -> None:
+        """A load generator is wiring up: swap sinks, watch links.
+
+        Called from ``LoadGenerator.__init__``; replacing ``samples``
+        here (before any completion) keeps the generator subclasses
+        sink-agnostic.
+        """
+        self._generators.append(generator)
+        if self.sink_name != SINK_COLUMNAR:
+            generator.samples = make_sink(
+                self.sink_name, generator.num_requests,
+                generator.samples.warmup_fraction)
+        self.watch_link(generator._link_to_server, "client->server")
+        self.watch_link(generator._link_to_client, "server->client")
+
+    def on_station(self, station: Any) -> None:
+        self._stations.append(station)
+
+    def on_balancer(self, balancer: Any) -> None:
+        self._balancers.append(balancer)
+
+    def on_fanout(self, fanout: Any) -> None:
+        self._fanouts.append(fanout)
+        for index, link in enumerate(fanout._links):
+            if link is not None:
+                self.watch_link(
+                    link, f"{fanout.name}.shard{index}")
+
+    def watch_link(self, link: Any, name: str) -> LinkObserver:
+        """Attach (or reuse) a message observer on *link*."""
+        observer = getattr(link, "observer", None)
+        if observer is None:
+            observer = LinkObserver(name)
+            link.observer = observer
+            self._links.append(observer)
+        return observer
+
+    # ------------------------------------------------------- finalize
+    def finalize(self, testbed: Any) -> MetricPairs:
+        """Harvest every component's counters into the registry.
+
+        Idempotent: the run summary and any later export see the same
+        flattened snapshot.
+        """
+        if self._finalized is not None:
+            return self._finalized
+        reg = self.registry
+        sim = testbed.sim
+        reg.counter("engine.events_dispatched").add(sim.events_processed)
+        reg.counter("engine.heap_compactions").add(
+            getattr(sim, "compactions", 0))
+        totals = {"blocks_drawn": 0, "batched_served": 0,
+                  "scalar_served": 0, "reconciles": 0}
+        for stats in testbed.streams.batched_stats().values():
+            for key in totals:
+                totals[key] += stats.get(key, 0)
+        for key, value in totals.items():
+            reg.counter(f"sampling.{key}").add(value)
+        for observer in self._links:
+            reg.counter(f"net.{observer.name}.messages").add(
+                observer.messages)
+            reg.counter(f"net.{observer.name}.kb").add(observer.kb)
+        for station in self._stations:
+            prefix = f"station.{station.name}"
+            reg.counter(prefix + ".completed").add(station.completed)
+            reg.gauge(prefix + ".utilization").set(station.utilization())
+            pool = getattr(station, "_pool", None)
+            if pool is not None:
+                reg.gauge(prefix + ".peak_queue_depth").set(
+                    getattr(pool, "peak_queue_depth", 0))
+                reg.counter(prefix + ".queue_drops").add(
+                    pool.queue.dropped)
+        for balancer in self._balancers:
+            prefix = f"lb.{balancer.name}"
+            reg.counter(prefix + ".completed").add(balancer.completed)
+            reg.gauge(prefix + ".peak_outstanding").set(
+                getattr(balancer, "peak_outstanding", 0))
+            for index, count in enumerate(balancer.dispatched):
+                reg.counter(
+                    f"{prefix}.dispatched.node{index}").add(count)
+        for fanout in self._fanouts:
+            prefix = f"fanout.{fanout.name}"
+            reg.counter(prefix + ".roots_completed").add(
+                fanout.roots_completed)
+            reg.counter(prefix + ".subs_issued").add(fanout.subs_issued)
+            reg.counter(prefix + ".subs_completed").add(
+                fanout.subs_completed)
+        for generator in self._generators:
+            samples = generator.samples
+            reg.counter("sink.recorded").add(len(samples))
+            reg.counter("sink.warmup_skipped").add(samples.warmup_count)
+        tracer = self.tracer
+        if tracer is not None:
+            reg.counter("trace.spans").add(len(tracer))
+            reg.counter("trace.dropped").add(tracer.dropped)
+        self._finalized = reg.flatten()
+        return self._finalized

@@ -1,0 +1,434 @@
+"""Pluggable telemetry sinks: where per-request samples land.
+
+The sink decides the memory/exactness trade of a run's telemetry
+(ROADMAP item 2):
+
+* ``"columnar"`` -- the default and the exact path:
+  :class:`~repro.loadgen.measurement.RunSamples` keeps one float64 row
+  per request in a :class:`~repro.telemetry.SampleColumns` buffer, so
+  every statistic is exact but memory is O(requests).
+* ``"streaming"`` -- :class:`StreamingSink`: O(1) memory per run.
+  Running moments (Welford), P\N{SUPERSCRIPT TWO} quantile markers and
+  a bounded windowed time series replace the per-request rows, which
+  is what unlocks multi-million-request runs.
+
+Both satisfy the :class:`Sink` protocol -- the accessor surface
+:meth:`~repro.core.testbed.Testbed.run` summarizes a run through -- so
+the whole experiment stack is sink-agnostic.
+
+Accuracy contract of the streaming sink (validated in
+``tests/test_obs_sinks.py`` against the exact path):
+
+* mean latency: exact up to float summation order (< 1e-9 relative);
+* p50/p99: P\N{SUPERSCRIPT TWO} estimates, within ~2% relative of
+  ``numpy.percentile`` on unimodal service-time distributions at
+  >= 100k requests (quantiles not in :attr:`StreamingSink.quantiles`
+  are unavailable rather than silently approximated);
+* warmup trimming: by request id, which equals the exact path's
+  intended-send-order trim for open-loop trains (ids are assigned in
+  send order); closed-loop runs may differ by the handful of requests
+  whose machine interleaving crosses the warmup boundary.
+"""
+
+from __future__ import annotations
+
+import difflib
+import math
+from typing import Callable, Dict, List, Tuple
+
+try:  # pragma: no cover - import guard exercised implicitly
+    from typing import Protocol
+except ImportError:  # pragma: no cover - Python < 3.8 fallback
+    Protocol = object  # type: ignore[assignment]
+
+from repro.errors import SpecValidationError
+from repro.loadgen.measurement import PointOfMeasurement, RunSamples
+from repro.parameters import DEFAULT_PARAMETERS, SkylakeParameters
+from repro.server.request import Request
+
+SINK_COLUMNAR = "columnar"
+SINK_STREAMING = "streaming"
+#: The exact columnar buffer stays the default sink.
+DEFAULT_SINK = SINK_COLUMNAR
+
+
+class Sink(Protocol):
+    """The accessor surface a run summary needs from its sample sink."""
+
+    def record(self, request: Request) -> None:
+        """Record one completed request."""
+
+    def __len__(self) -> int:
+        """Completed requests recorded (warmup included)."""
+
+    @property
+    def warmup_count(self) -> int:
+        """Completed requests discarded as warmup."""
+
+    @property
+    def measured_count(self) -> int:
+        """Completed requests after warmup trimming."""
+
+    def average_latency_us(self, point: PointOfMeasurement
+                           = PointOfMeasurement.GENERATOR) -> float:
+        """The run's average response time at *point*."""
+
+    def percentile_latency_us(self, percentile: float = 99.0,
+                              point: PointOfMeasurement
+                              = PointOfMeasurement.GENERATOR) -> float:
+        """The run's tail latency at *point*."""
+
+
+class P2Quantile:
+    """P\N{SUPERSCRIPT TWO} streaming quantile estimator (Jain &
+    Chlamtac, CACM 1985).
+
+    Five markers track the running quantile in O(1) memory and O(1)
+    per observation; marker heights adjust by parabolic (falling back
+    to linear) interpolation as desired positions drift.
+    """
+
+    __slots__ = ("p", "count", "_q", "_n", "_desired", "_rate")
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {p}")
+        self.p = float(p)
+        self.count = 0
+        self._q: List[float] = []
+        self._n = [0, 1, 2, 3, 4]
+        self._desired = [0.0, 2 * p, 4 * p, 2 + 2 * p, 4.0]
+        self._rate = [0.0, p / 2, p, (1 + p) / 2, 1.0]
+
+    def observe(self, x: float) -> None:
+        self.count += 1
+        q = self._q
+        if self.count <= 5:
+            q.append(x)
+            if self.count == 5:
+                q.sort()
+            return
+        n = self._n
+        # Locate the cell; clamp extremes to the new observation.
+        if x < q[0]:
+            q[0] = x
+            k = 0
+        elif x >= q[4]:
+            q[4] = x
+            k = 3
+        else:
+            k = 0
+            while x >= q[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            n[i] += 1
+        desired = self._desired
+        for i in range(5):
+            desired[i] += self._rate[i]
+        # Adjust the three interior markers toward desired positions.
+        for i in (1, 2, 3):
+            d = desired[i] - n[i]
+            if ((d >= 1.0 and n[i + 1] - n[i] > 1)
+                    or (d <= -1.0 and n[i - 1] - n[i] < -1)):
+                step = 1 if d >= 1.0 else -1
+                candidate = self._parabolic(i, step)
+                if q[i - 1] < candidate < q[i + 1]:
+                    q[i] = candidate
+                else:
+                    q[i] = self._linear(i, step)
+                n[i] += step
+
+    def _parabolic(self, i: int, step: int) -> float:
+        q, n = self._q, self._n
+        return q[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step) * (q[i + 1] - q[i])
+            / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step) * (q[i] - q[i - 1])
+            / (n[i] - n[i - 1]))
+
+    def _linear(self, i: int, step: int) -> float:
+        q, n = self._q, self._n
+        return q[i] + step * (q[i + step] - q[i]) / (n[i + step] - n[i])
+
+    def value(self) -> float:
+        """The current quantile estimate.
+
+        Below five observations this interpolates the sorted buffer
+        (numpy's ``linear`` method) so small runs stay sensible.
+        """
+        if self.count == 0:
+            raise ValueError("P2Quantile has no observations")
+        if self.count >= 5:
+            return self._q[2]
+        ordered = sorted(self._q)
+        rank = self.p * (len(ordered) - 1)
+        lo = int(math.floor(rank))
+        hi = min(lo + 1, len(ordered) - 1)
+        return ordered[lo] + (rank - lo) * (ordered[hi] - ordered[lo])
+
+
+class _RunningMoments:
+    """Welford running mean/variance with extremes."""
+
+    __slots__ = ("count", "mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, x: float) -> None:
+        self.count += 1
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (x - self.mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    def variance(self) -> float:
+        """Population variance (ddof=0, matching ``numpy.var``)."""
+        return self._m2 / self.count if self.count else 0.0
+
+
+class _Channel:
+    """Moments + quantile markers for one point of measurement."""
+
+    __slots__ = ("moments", "quantiles")
+
+    def __init__(self, quantiles: Tuple[float, ...]) -> None:
+        self.moments = _RunningMoments()
+        self.quantiles: Dict[float, P2Quantile] = {
+            pct: P2Quantile(pct / 100.0) for pct in quantiles}
+
+    def observe(self, x: float) -> None:
+        self.moments.observe(x)
+        for estimator in self.quantiles.values():
+            estimator.observe(x)
+
+
+#: Windowed time-series entry:
+#: ``(start_us, end_us, count, mean_us, max_us)``.
+Window = Tuple[float, float, int, float, float]
+
+#: Quantiles every streaming run tracks (p99 is what the paper lives
+#: on; the rest cost four extra marker updates per request).
+DEFAULT_QUANTILES = (50.0, 90.0, 95.0, 99.0, 99.9)
+
+#: Target number of time-series windows per run.
+DEFAULT_WINDOWS = 128
+
+
+class StreamingSink:
+    """O(1)-memory replacement for the exact columnar sample buffer.
+
+    Args:
+        num_requests: the run's request count; sizes the warmup trim
+            and the time-series window width up front.
+        warmup_fraction: leading completions to discard, trimmed by
+            request id (see the module docstring for how this lines up
+            with the exact path).
+        quantiles: percentiles (0, 100) tracked per channel.
+        params: timing constants (kernel-point latency offset).
+        target_windows: how many time-series windows to aim for.
+    """
+
+    def __init__(self, num_requests: int, warmup_fraction: float = 0.1,
+                 quantiles: Tuple[float, ...] = DEFAULT_QUANTILES,
+                 params: SkylakeParameters = DEFAULT_PARAMETERS,
+                 target_windows: int = DEFAULT_WINDOWS) -> None:
+        if num_requests <= 0:
+            raise ValueError(
+                f"num_requests must be positive, got {num_requests}")
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError(
+                f"warmup_fraction must be in [0, 1), got {warmup_fraction}")
+        for pct in quantiles:
+            if not 0.0 < pct < 100.0:
+                raise ValueError(
+                    f"tracked percentiles must be in (0, 100), got {pct}")
+        if target_windows < 1:
+            raise ValueError(
+                f"target_windows must be >= 1, got {target_windows}")
+        self.num_requests = int(num_requests)
+        self.warmup_fraction = float(warmup_fraction)
+        self._warmup_target = int(num_requests * warmup_fraction)
+        self._kernel_stack_us = params.kernel_stack_us
+        self._recorded = 0
+        self._warmup_skipped = 0
+        self._channels = {
+            PointOfMeasurement.GENERATOR: _Channel(tuple(quantiles)),
+            PointOfMeasurement.NIC: _Channel(tuple(quantiles)),
+        }
+        # Bounded time series: one summary row per fixed-size window
+        # of measured completions, ~target_windows rows per run.
+        self._window_requests = max(
+            1, self.num_requests // int(target_windows))
+        self.windows: List[Window] = []
+        self._win_count = 0
+        self._win_total = 0.0
+        self._win_max = -math.inf
+        self._win_start = 0.0
+
+    # ------------------------------------------------------------------
+    def record(self, request: Request) -> None:
+        """Record one completed request (O(1) time and memory)."""
+        self._recorded += 1
+        if request.request_id < self._warmup_target:
+            self._warmup_skipped += 1
+            return
+        sent = request.actual_send_us
+        latency = request.measured_complete_us - sent
+        self._channels[PointOfMeasurement.GENERATOR].observe(latency)
+        self._channels[PointOfMeasurement.NIC].observe(
+            request.client_nic_us - sent)
+        # Windowed series keyed on completion time.
+        if self._win_count == 0:
+            self._win_start = request.measured_complete_us
+        self._win_count += 1
+        self._win_total += latency
+        if latency > self._win_max:
+            self._win_max = latency
+        if self._win_count >= self._window_requests:
+            self._flush_window(request.measured_complete_us)
+
+    def _flush_window(self, end_us: float) -> None:
+        self.windows.append((
+            self._win_start, end_us, self._win_count,
+            self._win_total / self._win_count, self._win_max))
+        self._win_count = 0
+        self._win_total = 0.0
+        self._win_max = -math.inf
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._recorded
+
+    @property
+    def warmup_count(self) -> int:
+        """Completed requests discarded as warmup."""
+        return self._warmup_skipped
+
+    @property
+    def measured_count(self) -> int:
+        """Completed requests after warmup trimming."""
+        return self._recorded - self._warmup_skipped
+
+    @property
+    def quantiles(self) -> Tuple[float, ...]:
+        """The percentiles this sink tracks."""
+        channel = self._channels[PointOfMeasurement.GENERATOR]
+        return tuple(sorted(channel.quantiles))
+
+    def _channel(self, point: PointOfMeasurement
+                 ) -> Tuple[_Channel, float]:
+        """The backing channel and additive offset for *point*."""
+        if point is PointOfMeasurement.KERNEL:
+            # The kernel point is the NIC point shifted by one
+            # constant RX-stack traversal; a constant shift moves
+            # every moment and quantile by exactly that constant.
+            return self._channels[PointOfMeasurement.NIC], (
+                self._kernel_stack_us)
+        return self._channels[point], 0.0
+
+    def average_latency_us(self, point: PointOfMeasurement
+                           = PointOfMeasurement.GENERATOR) -> float:
+        """Running-mean latency at *point* (exact up to float order)."""
+        channel, offset = self._channel(point)
+        if channel.moments.count == 0:
+            raise ValueError("no measured samples recorded yet")
+        return channel.moments.mean + offset
+
+    def percentile_latency_us(self, percentile: float = 99.0,
+                              point: PointOfMeasurement
+                              = PointOfMeasurement.GENERATOR) -> float:
+        """P\N{SUPERSCRIPT TWO}-estimated tail latency at *point*.
+
+        Raises:
+            ValueError: when *percentile* is not one of the tracked
+                :attr:`quantiles` -- streaming estimates exist only
+                for markers installed before the run.
+        """
+        channel, offset = self._channel(point)
+        estimator = channel.quantiles.get(float(percentile))
+        if estimator is None:
+            tracked = ", ".join(f"{pct:g}" for pct in self.quantiles)
+            raise ValueError(
+                f"percentile {percentile:g} is not tracked by this "
+                f"streaming sink (tracked: {tracked})")
+        return estimator.value() + offset
+
+    def variance_us2(self, point: PointOfMeasurement
+                     = PointOfMeasurement.GENERATOR) -> float:
+        """Running population variance at *point*."""
+        channel, _ = self._channel(point)
+        return channel.moments.variance()
+
+    def min_latency_us(self, point: PointOfMeasurement
+                       = PointOfMeasurement.GENERATOR) -> float:
+        channel, offset = self._channel(point)
+        return channel.moments.min + offset
+
+    def max_latency_us(self, point: PointOfMeasurement
+                       = PointOfMeasurement.GENERATOR) -> float:
+        channel, offset = self._channel(point)
+        return channel.moments.max + offset
+
+
+# ------------------------------------------------------------- registry
+def _columnar_factory(num_requests: int,
+                      warmup_fraction: float) -> RunSamples:
+    return RunSamples(warmup_fraction=warmup_fraction)
+
+
+def _streaming_factory(num_requests: int,
+                       warmup_fraction: float) -> StreamingSink:
+    return StreamingSink(num_requests, warmup_fraction=warmup_fraction)
+
+
+#: name -> (factory(num_requests, warmup_fraction), one-line summary).
+SINKS: Dict[str, Tuple[Callable[[int, float], object], str]] = {
+    SINK_COLUMNAR: (
+        _columnar_factory,
+        "exact per-request columns, O(requests) memory (default)"),
+    SINK_STREAMING: (
+        _streaming_factory,
+        "running moments + P2 quantiles, O(1) memory"),
+}
+
+
+def sink_names() -> Tuple[str, ...]:
+    """Sorted names of the registered sinks."""
+    return tuple(sorted(SINKS))
+
+
+def validate_sink_name(name: str) -> str:
+    """Check *name* against the sink registry; return it normalized.
+
+    Raises:
+        SpecValidationError: for unknown names, with a did-you-mean
+            suggestion when a registered sink name is close.
+    """
+    key = str(name)
+    if key in SINKS:
+        return key
+    close = difflib.get_close_matches(key, list(SINKS), n=1)
+    hint = f" -- did you mean {close[0]!r}?" if close else ""
+    raise SpecValidationError(
+        f"unknown sink {name!r}{hint} (registered sinks: "
+        f"{', '.join(sink_names())})")
+
+
+def describe_sink(name: str) -> str:
+    """One-line summary of a registered sink."""
+    return SINKS[validate_sink_name(name)][1]
+
+
+def make_sink(name: str, num_requests: int,
+              warmup_fraction: float = 0.1):
+    """Construct the sink registered under *name* for one run."""
+    factory, _ = SINKS[validate_sink_name(name)]
+    return factory(int(num_requests), float(warmup_fraction))

@@ -71,6 +71,12 @@ class ServiceStation:
         self._smt_factor = self._smt.service_time_factor()
         self._kernel_stack_us = params.kernel_stack_us
         self._freq_scale = params.nominal_freq_ghz / self._freq_ghz
+        # Observability (null-object contract): cache the tracer once
+        # so submit() pays a single None test when tracing is off.
+        obs = getattr(sim, "obs", None)
+        self._trace = obs.tracer if obs is not None else None
+        if obs is not None:
+            obs.on_station(self)
 
     # ------------------------------------------------------------------
     def _static_frequency(self) -> float:
@@ -157,9 +163,31 @@ class ServiceStation:
         if request.server_arrival_us == 0.0:
             request.server_arrival_us = self._sim.now
 
-        def pool_done(job: Request, waited_us: float) -> None:
-            job.queue_wait_us += waited_us
-            job.server_departure_us = self._sim.now
-            done_fn(job)
+        trace = self._trace
+        if trace is None:
+            def pool_done(job: Request, waited_us: float) -> None:
+                job.queue_wait_us += waited_us
+                job.server_departure_us = self._sim.now
+                done_fn(job)
+        else:
+            # Traced variant: derive the queue/service spans from the
+            # timestamps the pool already reports.  Submission time is
+            # the enqueue time, so [t_submit, t_submit + waited] is
+            # the wait and [t_submit + waited, now] the occupancy --
+            # no extra events, no random draws.
+            t_submit = self._sim.now
+            name = self.name
+
+            def pool_done(job: Request, waited_us: float) -> None:
+                job.queue_wait_us += waited_us
+                now = self._sim.now
+                job.server_departure_us = now
+                started = t_submit + waited_us
+                if waited_us > 0.0:
+                    trace.span("queue", t_submit, started,
+                               job.request_id, name)
+                trace.span("service", started, now,
+                           job.request_id, name)
+                done_fn(job)
 
         self._pool.submit(request, self._service_time, pool_done)

@@ -93,6 +93,12 @@ class Simulator:
         self._events_processed = 0
         #: cancelled Event entries still sitting in the heap.
         self._cancelled_in_heap = 0
+        #: lazy-compaction passes performed (observability counter).
+        self.compactions = 0
+        #: the run's :class:`~repro.obs.core.Observability` context,
+        #: or None (the default -- components cache this once at
+        #: construction, so a disabled run pays no per-event cost).
+        self.obs: Optional[Any] = None
 
     # ------------------------------------------------------------------
     @property
@@ -211,6 +217,7 @@ class Simulator:
                           if len(entry) == 4 or not entry[2].cancelled]
             heapify(self._heap)
             self._cancelled_in_heap = 0
+            self.compactions += 1
 
     def _pop_next(self) -> Optional[Tuple[float, Callable[..., Any], tuple]]:
         """Pop the next live entry as ``(time, callback, args)``."""

@@ -91,6 +91,11 @@ class ServerPool:
         self.busy_time_us = 0.0
         self.jobs_completed = 0
         self._started_at = sim.now
+        #: peak queue occupancy observed at submit (tracked only when
+        #: the run carries an Observability context -- one None test
+        #: per submit otherwise).
+        self.peak_queue_depth = 0
+        self._obs = getattr(sim, "obs", None)
 
     # ------------------------------------------------------------------
     @property
@@ -128,7 +133,12 @@ class ServerPool:
             self.queue.push(entry)
             self._dispatch()
             return True
-        return self.queue.push(entry)
+        accepted = self.queue.push(entry)
+        if self._obs is not None:
+            depth = len(self.queue)
+            if depth > self.peak_queue_depth:
+                self.peak_queue_depth = depth
+        return accepted
 
     def _dispatch(self) -> None:
         while self._idle_servers and len(self.queue):

@@ -124,6 +124,7 @@ def _hdsearch_testbed(
         num_requests: int = 1_000,
         warmup_fraction: float = 0.1,
         params: SkylakeParameters = DEFAULT_PARAMETERS,
+        obs=None,
         ) -> Testbed:
     """Assemble one single-use HDSearch testbed.
 
@@ -135,8 +136,11 @@ def _hdsearch_testbed(
         num_requests: requests per run.
         warmup_fraction: leading samples to discard.
         params: machine timing constants.
+        obs: optional :class:`~repro.obs.Observability` context.
     """
     sim = Simulator()
+    if obs is not None:
+        obs.install(sim)
     streams = RandomStreams(seed)
     service = _hdsearch_service(
         sim, streams, server_config, params,

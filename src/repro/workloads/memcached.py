@@ -97,6 +97,7 @@ def _memcached_testbed(
         num_requests: int = 2_000,
         warmup_fraction: float = 0.1,
         params: SkylakeParameters = DEFAULT_PARAMETERS,
+        obs=None,
         ) -> Testbed:
     """Assemble one single-use Memcached testbed.
 
@@ -111,8 +112,13 @@ def _memcached_testbed(
             either way).
         warmup_fraction: leading samples to discard.
         params: machine timing constants.
+        obs: optional :class:`~repro.obs.Observability` context,
+            installed on the simulator before any component builds so
+            every hook sees it.
     """
     sim = Simulator()
+    if obs is not None:
+        obs.install(sim)
     streams = RandomStreams(seed)
     request_factory = _memcached_request_factory(streams)
     station = _memcached_service(

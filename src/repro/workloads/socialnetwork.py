@@ -165,6 +165,7 @@ def _socialnetwork_testbed(
         num_requests: int = 800,
         warmup_fraction: float = 0.1,
         params: SkylakeParameters = DEFAULT_PARAMETERS,
+        obs=None,
         ) -> Testbed:
     """Assemble one single-use Social Network testbed.
 
@@ -176,8 +177,11 @@ def _socialnetwork_testbed(
         num_requests: requests per run.
         warmup_fraction: leading samples to discard.
         params: machine timing constants.
+        obs: optional :class:`~repro.obs.Observability` context.
     """
     sim = Simulator()
+    if obs is not None:
+        obs.install(sim)
     streams = RandomStreams(seed)
     service = _socialnetwork_service(
         sim, streams, server_config, params,

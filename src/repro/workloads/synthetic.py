@@ -86,6 +86,7 @@ def _synthetic_testbed(
         num_requests: int = 2_000,
         warmup_fraction: float = 0.1,
         params: SkylakeParameters = DEFAULT_PARAMETERS,
+        obs=None,
         ) -> Testbed:
     """Assemble one single-use synthetic-workload testbed.
 
@@ -98,8 +99,11 @@ def _synthetic_testbed(
         num_requests: requests per run.
         warmup_fraction: leading samples to discard.
         params: machine timing constants.
+        obs: optional :class:`~repro.obs.Observability` context.
     """
     sim = Simulator()
+    if obs is not None:
+        obs.install(sim)
     streams = RandomStreams(seed)
     station = _synthetic_service(
         sim, streams, server_config, params,

@@ -157,6 +157,53 @@ class TestRunPolicy:
             RunPolicy(runs=0)
 
 
+class TestRunPolicyObservability:
+    def test_defaults_are_unobserved(self):
+        policy = RunPolicy()
+        assert policy.sink == "columnar"
+        assert policy.trace is False
+        assert policy.observed is False
+        assert policy.observability() is None
+
+    def test_unknown_sink_did_you_mean(self):
+        with pytest.raises(SpecValidationError,
+                           match="did you mean 'columnar'"):
+            RunPolicy(sink="columner")
+
+    def test_default_to_dict_omits_obs_fields(self):
+        # Hash/store-key stability: pre-observability plans must keep
+        # their exact serialized form.
+        payload = RunPolicy(runs=2, base_seed=3).to_dict()
+        assert "sink" not in payload
+        assert "trace" not in payload
+
+    def test_non_default_fields_round_trip(self):
+        policy = RunPolicy(sink="streaming", trace=True)
+        payload = policy.to_dict()
+        assert payload["sink"] == "streaming"
+        assert payload["trace"] is True
+        assert RunPolicy.from_dict(payload) == policy
+
+    def test_observability_builds_fresh_contexts(self):
+        policy = RunPolicy(sink="streaming", trace=True)
+        first, second = policy.observability(), policy.observability()
+        assert first is not second
+        assert first.tracing and first.sink_name == "streaming"
+
+    def test_builder_threads_sink_and_trace(self):
+        plan = small_plan(sink="streaming", trace=True)
+        assert plan.policy.sink == "streaming"
+        assert plan.policy.trace is True
+        assert plan.policy.observed is True
+
+    def test_obs_fields_do_not_change_default_hash(self):
+        # Explicitly passing the defaults serializes identically, so
+        # existing content hashes (and store keys) stay byte-stable.
+        base = small_plan()
+        explicit = small_plan(sink="columnar", trace=False)
+        assert explicit.content_hash() == base.content_hash()
+
+
 class TestRoundTrip:
     @pytest.mark.parametrize("name", sorted(PLAN_GRID))
     def test_json_round_trip_is_identity(self, name):

@@ -39,6 +39,29 @@ def run_one(condition):
         label=condition.label)
 
 
+class TestTimings:
+    def test_put_records_elapsed_and_timings_for_reads(self, spec,
+                                                      store):
+        conditions = spec.expand()
+        result = run_one(conditions[0])
+        store.put(conditions[0], result, campaign=spec.name,
+                  elapsed_s=1.25)
+        timings = store.timings_for(conditions)
+        assert set(timings) == {conditions[0].content_hash()}
+        label, qps, runs, elapsed = timings[
+            conditions[0].content_hash()]
+        assert (label, qps, runs) == (
+            conditions[0].label, conditions[0].qps,
+            conditions[0].runs)
+        assert elapsed == 1.25
+
+    def test_elapsed_defaults_to_zero(self, spec, store):
+        condition = spec.expand()[0]
+        store.put(condition, run_one(condition), campaign=spec.name)
+        timings = store.timings_for([condition])
+        assert timings[condition.content_hash()][3] == 0.0
+
+
 class TestRoundTrip:
     def test_put_get_is_exact(self, spec, store):
         condition = spec.expand()[0]

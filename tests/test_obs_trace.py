@@ -1,0 +1,122 @@
+"""Tests for lifecycle tracing: spans, bit-identity, Chrome export."""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.api import experiment
+from repro.obs import (
+    Tracer,
+    chrome_trace,
+    latency_breakdown,
+    render_breakdown_table,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def _plan(trace, seed=17, num_requests=400, workload="memcached"):
+    return (experiment(workload).client("LP")
+            .load(qps=50_000, num_requests=num_requests)
+            .policy(runs=1, base_seed=seed, trace=trace)
+            .build())
+
+
+class TestTracer:
+    def test_span_and_instant_recording(self):
+        tracer = Tracer()
+        tracer.span("service", 1.0, 3.0, request_id=7, track="srv")
+        tracer.instant("lb.dispatch", 5.0, request_id=7, track="lb")
+        assert len(tracer) == 2
+        assert tracer.counts() == {"service": 1, "lb.dispatch": 1}
+        assert len(tracer.spans_for_request(7)) == 2
+        assert tracer.spans_named("service")[0][1:3] == (1.0, 3.0)
+
+    def test_span_cap_counts_dropped(self):
+        tracer = Tracer(max_spans=2)
+        for i in range(5):
+            tracer.span("s", 0.0, 1.0, request_id=i, track="t")
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+
+
+class TestBitIdentity:
+    def test_traced_run_is_bit_identical(self):
+        baseline = _plan(trace=False).testbed(17).run()
+        traced_testbed = _plan(trace=True).testbed(17)
+        traced = traced_testbed.run()
+        assert replace(traced, obs_metrics=()) == baseline
+        assert len(traced_testbed.sim.obs.tracer) > 0
+
+    def test_traced_experiment_samples_match(self):
+        base = _plan(trace=False).run()
+        traced = _plan(trace=True).run()
+        assert base.avg_samples() == traced.avg_samples()
+        assert base.p99_samples() == traced.p99_samples()
+
+
+class TestLatencyReconstruction:
+    @pytest.fixture(scope="class")
+    def traced(self):
+        testbed = _plan(trace=True).testbed(17)
+        testbed.run()
+        return testbed
+
+    def test_request_spans_reconstruct_latency_exactly(self, traced):
+        tracer = traced.sim.obs.tracer
+        samples = traced.generator.samples
+        for request in samples.measured_requests():
+            assert tracer.request_latency_us(
+                request.request_id) == request.measured_latency_us
+
+    def test_every_request_has_full_lifecycle(self, traced):
+        tracer = traced.sim.obs.tracer
+        counts = tracer.counts()
+        for name in ("client.send", "net.out", "service",
+                     "net.in", "client.recv", "request"):
+            assert counts[name] == 400, name
+
+
+class TestChromeExport:
+    @pytest.fixture(scope="class")
+    def tracer(self):
+        testbed = _plan(trace=True).testbed(17)
+        testbed.run()
+        return testbed.sim.obs.tracer
+
+    def test_payload_validates(self, tracer):
+        payload = chrome_trace(tracer, label="test")
+        count = validate_chrome_trace(payload)
+        # One X event per span plus the metadata events.
+        assert count > len(tracer)
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_written_file_is_valid_json(self, tracer, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(tracer, str(path), label="test")
+        payload = json.loads(path.read_text())
+        assert validate_chrome_trace(payload) > 0
+
+    def test_validation_rejects_malformed_events(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            validate_chrome_trace([])
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace({})
+        bad_phase = {"traceEvents": [
+            {"name": "x", "ph": "?", "pid": 0, "tid": 0, "ts": 0.0}]}
+        with pytest.raises(ValueError, match="ph"):
+            validate_chrome_trace(bad_phase)
+        negative_dur = {"traceEvents": [
+            {"name": "x", "ph": "X", "pid": 0, "tid": 0,
+             "ts": 0.0, "dur": -1.0}]}
+        with pytest.raises(ValueError, match="dur"):
+            validate_chrome_trace(negative_dur)
+
+    def test_breakdown_table_renders(self, tracer):
+        breakdown = latency_breakdown(tracer)
+        assert breakdown["request"]["count"] == 400
+        table = render_breakdown_table(
+            breakdown, breakdown["request"]["total_us"])
+        assert "stage" in table and "% of req" in table
+        assert "service" in table
