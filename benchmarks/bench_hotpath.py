@@ -266,6 +266,32 @@ OBS_OFF_REFERENCE = {
 #: ``--check-overhead`` gate fails (the ISSUE's 3% budget).
 OVERHEAD_MARGIN = 0.03
 
+#: Pinned ceiling on the streaming sink's ingest overhead relative to
+#: the uninstrumented columnar run.  Batched ingest (chunked latency
+#: compute + Welford merges + hoisted P2 updates) brought the locally
+#: measured overhead from ~66% down to ~23% full / ~±10% quick; the
+#: ceilings carry headroom for best-of-1 CI jitter but sit far below
+#: the pre-batching 66%, so a revert to per-request ingest fails the
+#: ``--check-overhead`` gate.
+STREAMING_OVERHEAD_REFERENCE = {
+    "commit": "batched-ingest",
+    "max_overhead_pct_quick": 40.0,
+    "max_overhead_pct_full": 35.0,
+}
+
+#: Floor on the vectorized kernel's event-loop speedup over the
+#: reference engine (same invocation, so the ratio is
+#: hardware-neutral).  Locally measured: 1.5-1.6x at the full
+#: operating point, noisier in quick mode (best of 1 at 5k requests),
+#: hence the tolerant quick floor.  The 2x target of the kernel issue
+#: is tracked in the README's perf trajectory; the gate pins the
+#: *regression* boundary, not the aspiration.
+KERNEL_SPEEDUP_FLOOR = {
+    "commit": "vectorized-kernel",
+    "min_speedup_quick": 1.10,
+    "min_speedup_full": 1.35,
+}
+
 
 # ---------------------------------------------------------------- the bench
 def build_testbed(sim: Any, seed: int, qps: float,
@@ -394,6 +420,61 @@ def time_observability(seed, qps, num_requests, repetitions,
     }
 
 
+def time_kernel(seed, qps, num_requests, repetitions):
+    """Reference vs vectorized-kernel event-loop timing.
+
+    Both engines run the identical testbed; timing covers the event
+    loop only (arrival-train construction and summary excluded), which
+    is what the kernel accelerates.  Bit-identity is asserted over
+    every telemetry column of the final sample buffer -- not just the
+    summary statistics -- so a divergence anywhere in the event order
+    or the RNG draw sequence fails loudly.
+    """
+    import hashlib
+
+    from repro.sim.engine import Simulator
+    from repro.sim.kernel import KernelSimulator
+    from repro.telemetry.columns import COLUMN_FIELDS
+
+    def loop_time(sim_cls):
+        best_s = float("inf")
+        events = 0
+        testbed = None
+        for _ in range(repetitions):
+            testbed = build_testbed(sim_cls(), seed, qps, num_requests)
+            testbed.generator.start()
+            started = time.perf_counter()
+            testbed.sim.run()
+            best_s = min(best_s, time.perf_counter() - started)
+            events = testbed.sim.events_processed
+        digest = hashlib.sha256()
+        columns = testbed.generator.samples.columns
+        for name in COLUMN_FIELDS:
+            digest.update(columns.column(name).tobytes())
+        return best_s, events, digest.hexdigest(), testbed
+
+    ref_s, ref_events, ref_hash, _ = loop_time(Simulator)
+    kern_s, kern_events, kern_hash, kernel_testbed = loop_time(
+        KernelSimulator)
+    assert ref_events == kern_events, (
+        f"event counts diverged: reference={ref_events} "
+        f"kernel={kern_events}")
+    assert ref_hash == kern_hash, (
+        "kernel run is not bit-identical to the reference "
+        f"(payload hashes {ref_hash[:12]} != {kern_hash[:12]})")
+    counters = kernel_testbed.sim.kernel_counters()
+    return {
+        "reference_loop_seconds": round(ref_s, 4),
+        "reference_events_per_sec": round(ref_events / ref_s, 1),
+        "kernel_loop_seconds": round(kern_s, 4),
+        "kernel_events_per_sec": round(kern_events / kern_s, 1),
+        "kernel_speedup": round(ref_s / kern_s, 3),
+        "bit_identical": True,
+        "events": ref_events,
+        "counters": counters,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -458,6 +539,14 @@ def main(argv=None) -> int:
           f"{stages['event_loop_seconds']:.3f}s, summarize "
           f"{stages['summarize_seconds']:.3f}s")
 
+    kernel = time_kernel(args.seed, args.qps, num_requests, repetitions)
+    print(f"  vectorized kernel  : "
+          f"{kernel['kernel_loop_seconds']:8.3f}s loop  "
+          f"({kernel['kernel_events_per_sec']:>10.0f} ev/s, "
+          f"{kernel['kernel_speedup']:.2f}x vs reference loop "
+          f"{kernel['reference_loop_seconds']:.3f}s, bit-identical, "
+          f"mean batch {kernel['counters']['mean_batch_len']:.1f})")
+
     payload = {
         "benchmark": "hotpath",
         "workload": "memcached-open-loop",
@@ -476,8 +565,11 @@ def main(argv=None) -> int:
         "observability": observability,
         "per_stage": stages,
         "sampling_streams": stream_stats,
+        "kernel": kernel,
+        "kernel_speedup_floor": KERNEL_SPEEDUP_FLOOR,
         "main_pre_batching": MAIN_PRE_BATCHING,
         "obs_off_reference": OBS_OFF_REFERENCE,
+        "streaming_overhead_reference": STREAMING_OVERHEAD_REFERENCE,
         "avg_us": columnar_metrics.avg_us,
         "p99_us": columnar_metrics.p99_us,
     }
@@ -516,6 +608,28 @@ def main(argv=None) -> int:
             return 1
         print(f"  obs-overhead gate  : ok ({speedup:.2f}x >= "
               f"{floor:.2f}x)")
+        ceiling_key = ("max_overhead_pct_quick" if args.quick
+                       else "max_overhead_pct_full")
+        ceiling = STREAMING_OVERHEAD_REFERENCE[ceiling_key]
+        streaming_pct = observability["streaming_overhead_pct"]
+        if streaming_pct > ceiling:
+            print(f"  streaming gate     : FAIL -- streaming-sink "
+                  f"overhead {streaming_pct:+.1f}% exceeded the "
+                  f"pinned {ceiling:.0f}% ceiling")
+            return 1
+        print(f"  streaming gate     : ok ({streaming_pct:+.1f}% <= "
+              f"{ceiling:.0f}%)")
+        floor_key = ("min_speedup_quick" if args.quick
+                     else "min_speedup_full")
+        kernel_floor = KERNEL_SPEEDUP_FLOOR[floor_key]
+        if kernel["kernel_speedup"] < kernel_floor:
+            print(f"  kernel gate        : FAIL -- kernel speedup "
+                  f"{kernel['kernel_speedup']:.2f}x fell below the "
+                  f"pinned {kernel_floor:.2f}x floor")
+            return 1
+        print(f"  kernel gate        : ok "
+              f"({kernel['kernel_speedup']:.2f}x >= "
+              f"{kernel_floor:.2f}x, bit-identical)")
     return 0
 
 

@@ -102,7 +102,8 @@ class PlanBuilder:
                base_seed: Optional[int] = None,
                label: Optional[str] = None,
                sink: Optional[str] = None,
-               trace: Optional[bool] = None) -> "PlanBuilder":
+               trace: Optional[bool] = None,
+               engine: Optional[str] = None) -> "PlanBuilder":
         """Set run-policy fields; omitted arguments keep their value."""
         self._policy = RunPolicy(
             runs=self._policy.runs if runs is None else runs,
@@ -110,7 +111,8 @@ class PlanBuilder:
                        if base_seed is None else base_seed),
             label=self._policy.label if label is None else label,
             sink=self._policy.sink if sink is None else sink,
-            trace=self._policy.trace if trace is None else trace)
+            trace=self._policy.trace if trace is None else trace,
+            engine=self._policy.engine if engine is None else engine)
         return self
 
     def cluster(self,

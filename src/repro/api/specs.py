@@ -62,6 +62,7 @@ from repro.core.experiment import (
 from repro.core.testbed import Testbed
 from repro.errors import SpecValidationError
 from repro.obs.sinks import DEFAULT_SINK, validate_sink_name
+from repro.sim.kernel import DEFAULT_ENGINE, validate_engine_name
 from repro.workloads.registry import WorkloadDefinition, workload_by_name
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
@@ -262,6 +263,10 @@ class RunPolicy:
             default ``"columnar"`` is the exact per-request buffer.
         trace: record request-lifecycle spans (off by default; spans
             cost memory but never perturb the simulation).
+        engine: event-loop engine name (see
+            :mod:`repro.sim.kernel`); the default ``"reference"`` is
+            the pure-Python loop, ``"vectorized"`` the bit-identical
+            batch-dequeue kernel.
     """
 
     runs: int = DEFAULT_RUNS
@@ -269,6 +274,7 @@ class RunPolicy:
     label: str = ""
     sink: str = DEFAULT_SINK
     trace: bool = False
+    engine: str = DEFAULT_ENGINE
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "runs", int(self.runs))
@@ -277,6 +283,8 @@ class RunPolicy:
         object.__setattr__(self, "sink",
                            validate_sink_name(self.sink))
         object.__setattr__(self, "trace", bool(self.trace))
+        object.__setattr__(self, "engine",
+                           validate_engine_name(self.engine))
         if self.runs < 1:
             raise SpecValidationError(
                 f"runs must be >= 1, got {self.runs!r}")
@@ -308,18 +316,21 @@ class RunPolicy:
             data["sink"] = self.sink
         if self.trace:
             data["trace"] = True
+        if self.engine != DEFAULT_ENGINE:
+            data["engine"] = self.engine
         return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunPolicy":
         _check_keys(data, ("runs", "base_seed", "label", "sink",
-                           "trace"), "policy")
+                           "trace", "engine"), "policy")
         return cls(
             runs=data.get("runs", DEFAULT_RUNS),
             base_seed=data.get("base_seed", 0),
             label=str(data.get("label") or ""),
             sink=str(data.get("sink", DEFAULT_SINK)),
             trace=bool(data.get("trace", False)),
+            engine=str(data.get("engine", DEFAULT_ENGINE)),
         )
 
 
@@ -511,11 +522,14 @@ class ExperimentPlan:
                 # A fresh Observability per run: contexts are
                 # single-use like testbeds.  The kwarg is only passed
                 # when observability is on, so builders that predate
-                # it keep working untouched.
+                # it keep working untouched.  Same for the engine:
+                # the default reference loop is spelled by absence.
                 extra = dict(kwargs)
                 obs = policy.observability()
                 if obs is not None:
                     extra["obs"] = obs
+                if policy.engine != DEFAULT_ENGINE:
+                    extra["engine"] = policy.engine
                 return build_cluster_testbed(
                     self.workload.name, seed,
                     client_config=self.hardware.client,
@@ -532,6 +546,8 @@ class ExperimentPlan:
             obs = policy.observability()
             if obs is not None:
                 extra["obs"] = obs
+            if policy.engine != DEFAULT_ENGINE:
+                extra["engine"] = policy.engine
             return definition.build_testbed(
                 seed,
                 client_config=self.hardware.client,

@@ -49,6 +49,7 @@ from repro.config.presets import (
 )
 from repro.core.experiment import DEFAULT_RUNS
 from repro.errors import ExperimentError
+from repro.sim.kernel import DEFAULT_ENGINE, validate_engine_name
 from repro.sim.random import _stable_name_key
 from repro.workloads.registry import (
     UNIVERSAL_BUILDER_PARAMS,
@@ -112,6 +113,11 @@ class ConditionSpec:
             same deployment always produces the same key, and any
             non-default cluster field (nodes, lb_policy, shards, ...)
             produces a distinct one.
+        engine: event-loop engine name, or ``None`` for the reference
+            loop.  Normalized exactly like ``cluster``: naming the
+            default engine explicitly is stored as ``None`` and
+            omitted from the dict form, so every pre-engine condition
+            hash -- and every store row keyed by one -- is unchanged.
     """
 
     workload: str
@@ -125,6 +131,7 @@ class ConditionSpec:
     base_seed: int
     extra: Tuple[Tuple[str, Any], ...] = ()
     cluster: Optional[ClusterSpec] = None
+    engine: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -135,6 +142,11 @@ class ConditionSpec:
             object.__setattr__(
                 self, "cluster",
                 None if cluster.is_single_server else cluster)
+        if self.engine is not None:
+            engine = validate_engine_name(self.engine)
+            object.__setattr__(
+                self, "engine",
+                None if engine == DEFAULT_ENGINE else engine)
 
     @property
     def label(self) -> str:
@@ -167,6 +179,8 @@ class ConditionSpec:
         }
         if self.cluster is not None:
             data["cluster"] = self.cluster.to_dict()
+        if self.engine is not None:
+            data["engine"] = self.engine
         return data
 
     @classmethod
@@ -188,6 +202,7 @@ class ConditionSpec:
                 extra=tuple(sorted(dict(data.get("extra", {})).items())),
                 cluster=(ClusterSpec.from_dict(data["cluster"])
                          if "cluster" in data else None),
+                engine=data.get("engine"),
             )
         except KeyError as exc:
             raise ExperimentError(
@@ -232,7 +247,8 @@ class ConditionSpec:
                 client_label=self.client_label,
                 server_label=self.condition_label),
             policy=RunPolicy(runs=self.runs, base_seed=self.base_seed,
-                             label=self.label),
+                             label=self.label,
+                             engine=self.engine or DEFAULT_ENGINE),
             cluster=self.cluster,
         )
 
@@ -293,6 +309,9 @@ class CampaignSpec:
         extra: extra kwargs forwarded to the testbed builder.
         cluster: server-side topology every condition deploys on
             (spec, dict, or ``None`` for single-server).
+        engine: event-loop engine every condition runs on (``None``
+            for the reference loop).  Validated here, before any
+            condition executes, with a did-you-mean hint.
     """
 
     name: str
@@ -306,12 +325,17 @@ class CampaignSpec:
     base_seed: int = 0
     extra: Dict[str, Any] = field(default_factory=dict)
     cluster: Optional[ClusterSpec] = None
+    engine: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.cluster is not None:
             cluster = as_cluster_spec(self.cluster)
             self.cluster = (None if cluster.is_single_server
                             else cluster)
+        if self.engine is not None:
+            engine = validate_engine_name(self.engine)
+            self.engine = (None if engine == DEFAULT_ENGINE
+                           else engine)
         self.qps_list = tuple(float(q) for q in self.qps_list)
         if not self.name:
             raise ExperimentError("campaign name must be non-empty")
@@ -364,6 +388,7 @@ class CampaignSpec:
                             condition_label, qps),
                         extra=extra,
                         cluster=self.cluster,
+                        engine=self.engine,
                     ))
         return out
 
@@ -393,6 +418,8 @@ class CampaignSpec:
         }
         if self.cluster is not None:
             data["cluster"] = self.cluster.to_dict()
+        if self.engine is not None:
+            data["engine"] = self.engine
         return data
 
     def to_json(self, indent: int = 2) -> str:
@@ -433,6 +460,7 @@ class CampaignSpec:
             extra=dict(data.get("extra", {})),
             cluster=(ClusterSpec.from_dict(data["cluster"])
                      if "cluster" in data else None),
+            engine=data.get("engine"),
         )
 
     @classmethod

@@ -145,6 +145,10 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="override requests per run")
         sub.add_argument("--seed", type=int, default=None,
                          help="override the campaign base seed")
+        sub.add_argument("--engine", default=None,
+                         help="event-loop engine (reference or "
+                              "vectorized; validated before any "
+                              "condition runs)")
         if verb == "run":
             parallelism = sub.add_mutually_exclusive_group()
             parallelism.add_argument(
@@ -197,6 +201,9 @@ def _build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--trace", action="store_true",
                       help="preview the policy with lifecycle "
                            "tracing on")
+    plan.add_argument("--engine", default=None,
+                      help="event-loop engine the conditions would "
+                           "run on (reference or vectorized)")
 
     from repro.cluster.spec import LB_POLICIES
     cluster = commands.add_parser(
@@ -244,6 +251,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="root seed for the traced run")
     trace.add_argument("--sink", default=None,
                        help="telemetry sink (columnar or streaming)")
+    trace.add_argument("--engine", default=None,
+                       help="event-loop engine (reference or "
+                            "vectorized); the engine.kernel.* metrics "
+                            "report batch-dequeue engagement")
     trace.add_argument("--output", "-o", default="trace.json",
                        help="Chrome trace JSON output path")
     return parser
@@ -347,6 +358,10 @@ def _spec_overrides(args: argparse.Namespace) -> dict:
         overrides["num_requests"] = args.requests
     if args.seed is not None:
         overrides["base_seed"] = args.seed
+    if getattr(args, "engine", None) is not None:
+        # Validated by CampaignSpec.__post_init__ -- an unknown name
+        # fails with a did-you-mean before any condition executes.
+        overrides["engine"] = args.engine
     return overrides
 
 
@@ -477,12 +492,15 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     """Dry run: validate, expand and print -- simulate nothing."""
     from repro.errors import ReproError
     from repro.obs.sinks import describe_sink, validate_sink_name
+    from repro.sim.kernel import describe_engine, validate_engine_name
 
     try:
-        # Validate the sink first so a typo fails with the registry's
-        # did-you-mean before any campaign expansion output.
+        # Validate the sink and engine first so a typo fails with the
+        # registry's did-you-mean before any campaign expansion output.
         sink = (validate_sink_name(args.sink)
                 if args.sink is not None else None)
+        if args.engine is not None:
+            validate_engine_name(args.engine)
         spec = _plan_campaign_spec(args)
         conditions = spec.expand()
         plans = [c.to_plan() for c in conditions]
@@ -513,6 +531,8 @@ def _cmd_plan(args: argparse.Namespace) -> int:
               f"tracing={'on' if policy.trace else 'off'}"
               + ("" if policy.observed
                  else " -- hot path runs unobserved"))
+        print(f"engine: {policy.engine} "
+              f"({describe_engine(policy.engine)})")
         print()
         header = (f"{'#':>4} {'label':<16}{'qps':>10}  "
                   f"{'seed schedule':<24}{'condition hash':<16}"
@@ -603,7 +623,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             builder = builder.load(**load_kwargs)
         plan = (builder
                 .policy(runs=1, base_seed=args.seed, trace=True,
-                        sink=args.sink)
+                        sink=args.sink, engine=args.engine)
                 .build())
         testbed = plan.testbed(args.seed)
         metrics = testbed.run()
@@ -625,6 +645,14 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                   f"{tracer.max_spans} span cap")
         print()
         print(render_breakdown_table(breakdown, request_total))
+        kernel_metrics = [(name, value)
+                          for name, value in metrics.obs_metrics
+                          if name.startswith("engine.kernel.")]
+        if kernel_metrics:
+            print()
+            print("vectorized kernel engagement:")
+            for name, value in kernel_metrics:
+                print(f"  {name:<34} {value:>12g}")
         return 0
     except (ReproError, ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -149,8 +149,9 @@ class LoadBalancer:
 
     # ------------------------------------------------------------------
     def submit(self, request: Request,
-               done_fn: Callable[[Request], None]) -> None:
-        """Dispatch *request* to one backend; forward its completion."""
+               done_fn: Callable[..., None], *ctx: Any) -> None:
+        """Dispatch *request* to one backend; forward its completion
+        as ``done_fn(request, *ctx)``."""
         index = self.choose()
         if self.on_dispatch is not None:
             self.on_dispatch(index, list(self.outstanding))
@@ -168,7 +169,7 @@ class LoadBalancer:
         def backend_done(job: Request) -> None:
             self.outstanding[index] -= 1
             self.completed += 1
-            done_fn(job)
+            done_fn(job, *ctx)
 
         self._backends[index].submit(request, backend_done)
 

@@ -134,10 +134,16 @@ class FanoutService:
 
     # ------------------------------------------------------------------
     def submit(self, request: Request,
-               done_fn: Callable[[Request], None]) -> None:
-        """Fan *request* out; call ``done_fn`` on the quorum response."""
+               done_fn: Callable[..., None], *ctx: Any) -> None:
+        """Fan *request* out; call ``done_fn(request, *ctx)`` on the
+        quorum response."""
         if request.server_arrival_us == 0.0:
             request.server_arrival_us = self._sim.now
+        if ctx:
+            inner = done_fn
+
+            def done_fn(job: Request) -> None:
+                inner(job, *ctx)
         selected = self.select_shards()
         state = _RootState(pending=self.quorum)
         sub_size_kb = request.size_kb / len(selected)

@@ -40,6 +40,7 @@ from repro.errors import ExperimentError
 from repro.net.link import NetworkLink
 from repro.parameters import DEFAULT_PARAMETERS, SkylakeParameters
 from repro.sim.engine import Simulator
+from repro.sim.kernel import make_simulator
 from repro.sim.random import RandomStreams
 from repro.workloads.common import server_env_scale
 from repro.workloads.hdsearch import (
@@ -195,6 +196,7 @@ def build_cluster_testbed(
         warmup_fraction: float = 0.1,
         params: SkylakeParameters = DEFAULT_PARAMETERS,
         obs: Any = None,
+        engine: Any = None,
         **workload_params: Any) -> Testbed:
     """Assemble one single-use cluster testbed for *workload*.
 
@@ -215,6 +217,9 @@ def build_cluster_testbed(
         params: machine timing constants.
         obs: optional :class:`~repro.obs.Observability` context,
             installed on the simulator before any component builds.
+        engine: event-loop engine name (``None`` keeps the reference
+            loop; ``"vectorized"`` selects the bit-identical
+            batch-dequeue kernel).
         **workload_params: workload-specific parameters (e.g. the
             synthetic workload's ``added_delay_us``).
     """
@@ -222,6 +227,8 @@ def build_cluster_testbed(
         extra = dict(workload_params)
         if obs is not None:
             extra["obs"] = obs
+        if engine is not None:
+            extra["engine"] = engine
         return workload_by_name(workload).build_testbed(
             seed, client_config=client_config,
             server_config=server_config, qps=qps,
@@ -230,7 +237,7 @@ def build_cluster_testbed(
             params=params,
             **extra)
     adapter = cluster_adapter(workload)
-    sim = Simulator()
+    sim = make_simulator(engine)
     if obs is not None:
         obs.install(sim)
     streams = RandomStreams(seed)

@@ -96,6 +96,12 @@ class LoadGenerator:
         if obs is not None:
             obs.on_generator(self)
             self._trace = obs.tracer
+        # Accelerated-kernel handshake: the batch-dequeue engine fuses
+        # this generator's hot-path callbacks when they are the stock
+        # implementations (see repro.sim.kernel).
+        adopt = getattr(sim, "adopt_generator", None)
+        if adopt is not None:
+            adopt(self)
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -125,8 +131,7 @@ class LoadGenerator:
         """Begin the send path for *request* on *machine* (at its
         intended send time, which must be the current sim time)."""
         machine.begin_send(
-            request.intended_send_us,
-            lambda actual: self._sent(machine, request, actual))
+            request.intended_send_us, self._sent, machine, request)
 
     def _sent(self, machine: ClientMachine, request: Request,
               actual_send_us: float) -> None:
@@ -140,10 +145,9 @@ class LoadGenerator:
             trace.span("net.out", actual_send_us,
                        actual_send_us + delay, rid, "net")
         self._sim.post(
-            delay, self.service.submit, request,
-            lambda req: self._served(machine, req))
+            delay, self.service.submit, request, self._served, machine)
 
-    def _served(self, machine: ClientMachine, request: Request) -> None:
+    def _served(self, request: Request, machine: ClientMachine) -> None:
         delay = self._link_to_client.sample_latency_us(request.size_kb)
         trace = self._trace
         if trace is not None:
@@ -155,8 +159,7 @@ class LoadGenerator:
     def _at_client_nic(self, machine: ClientMachine,
                        request: Request) -> None:
         request.client_nic_us = self._sim.now
-        machine.deliver_response(
-            lambda ts: self._measured(machine, request, ts))
+        machine.deliver_response(self._measured, machine, request)
 
     def _measured(self, machine: ClientMachine, request: Request,
                   timestamp_us: float) -> None:

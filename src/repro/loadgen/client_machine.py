@@ -17,7 +17,7 @@ low-frequency execution and client-core queueing.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 import numpy as np
 
@@ -86,40 +86,46 @@ class ClientMachine:
 
     # ------------------------------------------------------------------
     def begin_send(self, intended_send_us: float,
-                   on_sent: Callable[[float], None]) -> None:
+                   on_sent: Callable[..., None], *ctx: Any) -> None:
         """Arrange for a request intended at *intended_send_us* to go out.
 
         Args:
             intended_send_us: the send time the inter-arrival schedule
                 asked for; must be >= the current simulated time.
-            on_sent: called at the actual send instant with that time.
+            on_sent: called at the actual send instant as
+                ``on_sent(*ctx, actual_send_us)``.  Passing context
+                positionally keeps the callback a stable bound method
+                (no per-request closure), which the accelerated kernel
+                relies on for dispatch.
         """
         if self.time_sensitive:
             wake = self.core.timed_sleep_until(
                 intended_send_us, self._sim.now)
-            self._sim.post_at(wake, self._do_send, True, on_sent)
+            self._sim.post_at(wake, self._do_send, True, on_sent, ctx)
         else:
             self._sim.post_at(
-                intended_send_us, self._do_send, False, on_sent)
+                intended_send_us, self._do_send, False, on_sent, ctx)
 
     def _do_send(self, wakes_thread: bool,
-                 on_sent: Callable[[float], None]) -> None:
+                 on_sent: Callable[..., None],
+                 ctx: tuple = ()) -> None:
         finish_us = self.core.handle_event_finish_us(
             self._sim.now, self.send_work_us, wakes_thread=wakes_thread)
         self.requests_sent += 1
-        self._sim.post_at(finish_us, on_sent, finish_us)
+        self._sim.post_at(finish_us, on_sent, *ctx, finish_us)
 
     # ------------------------------------------------------------------
-    def deliver_response(self, on_measured: Callable[[float], None]) -> None:
+    def deliver_response(self, on_measured: Callable[..., None],
+                         *ctx: Any) -> None:
         """Handle a reply that reached the NIC at the current sim time.
 
         Args:
-            on_measured: called at the instant the generator's clock
-                read completes, with that timestamp -- i.e. the
-                in-generator point of measurement.
+            on_measured: called as ``on_measured(*ctx, timestamp_us)``
+                at the instant the generator's clock read completes --
+                i.e. the in-generator point of measurement.
         """
         finish_us = self.core.handle_event_finish_us(
             self._sim.now, self.recv_work_us,
             wakes_thread=self.time_sensitive)
         self.responses_handled += 1
-        self._sim.post_at(finish_us, on_measured, finish_us)
+        self._sim.post_at(finish_us, on_measured, *ctx, finish_us)

@@ -85,6 +85,22 @@ class RunSamples:
         self._latency_cache.clear()
         self._array_cache.clear()
 
+    def record_batch(self, requests: List[Request]) -> None:
+        """Record many completed requests at once (bulk ingest).
+
+        The final state is identical to calling :meth:`record` in a
+        loop over *requests*; the columnar stores and the cache
+        invalidation happen once per batch instead of once per
+        request.  The accelerated kernel drains its deferred
+        completion buffer through this path.
+        """
+        if not requests:
+            return
+        self._columns.extend(requests)
+        self._order = None
+        self._latency_cache.clear()
+        self._array_cache.clear()
+
     def __len__(self) -> int:
         return len(self._columns)
 

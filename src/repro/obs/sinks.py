@@ -41,6 +41,8 @@ try:  # pragma: no cover - import guard exercised implicitly
 except ImportError:  # pragma: no cover - Python < 3.8 fallback
     Protocol = object  # type: ignore[assignment]
 
+import numpy as np
+
 from repro.errors import SpecValidationError
 from repro.loadgen.measurement import PointOfMeasurement, RunSamples
 from repro.parameters import DEFAULT_PARAMETERS, SkylakeParameters
@@ -99,6 +101,52 @@ class P2Quantile:
         self._n = [0, 1, 2, 3, 4]
         self._desired = [0.0, 2 * p, 4 * p, 2 + 2 * p, 4.0]
         self._rate = [0.0, p / 2, p, (1 + p) / 2, 1.0]
+
+    def observe_many(self, values: List[float]) -> None:
+        """Observe *values* in order; identical markers to calling
+        :meth:`observe` per value, with the estimator state hoisted
+        into locals once per batch instead of once per observation."""
+        count = self.count
+        q = self._q
+        n = self._n
+        desired = self._desired
+        rate = self._rate
+        for x in values:
+            count += 1
+            if count <= 5:
+                q.append(x)
+                if count == 5:
+                    q.sort()
+                continue
+            if x < q[0]:
+                q[0] = x
+                k = 0
+            elif x >= q[4]:
+                q[4] = x
+                k = 3
+            else:
+                k = 0
+                while x >= q[k + 1]:
+                    k += 1
+            for i in range(k + 1, 5):
+                n[i] += 1
+            desired[0] += rate[0]
+            desired[1] += rate[1]
+            desired[2] += rate[2]
+            desired[3] += rate[3]
+            desired[4] += rate[4]
+            for i in (1, 2, 3):
+                d = desired[i] - n[i]
+                if ((d >= 1.0 and n[i + 1] - n[i] > 1)
+                        or (d <= -1.0 and n[i - 1] - n[i] < -1)):
+                    step = 1 if d >= 1.0 else -1
+                    candidate = self._parabolic(i, step)
+                    if q[i - 1] < candidate < q[i + 1]:
+                        q[i] = candidate
+                    else:
+                        q[i] = self._linear(i, step)
+                    n[i] += step
+        self.count = count
 
     def observe(self, x: float) -> None:
         self.count += 1
@@ -189,6 +237,36 @@ class _RunningMoments:
         if x > self.max:
             self.max = x
 
+    def observe_chunk(self, values: "np.ndarray") -> None:
+        """Merge one chunk of observations (Chan et al. combine).
+
+        The chunk's moments come from vectorized numpy reductions and
+        fold into the running state in O(1); the result differs from
+        per-value :meth:`observe` only in float summation order, which
+        is within the sink's documented mean/variance contract.
+        """
+        count = int(values.size)
+        if count == 0:
+            return
+        mean = float(values.mean())
+        m2 = float(((values - mean) ** 2).sum())
+        low = float(values.min())
+        high = float(values.max())
+        if self.count == 0:
+            self.count = count
+            self.mean = mean
+            self._m2 = m2
+        else:
+            total = self.count + count
+            delta = mean - self.mean
+            self.mean += delta * (count / total)
+            self._m2 += m2 + delta * delta * (self.count * count / total)
+            self.count = total
+        if low < self.min:
+            self.min = low
+        if high > self.max:
+            self.max = high
+
     def variance(self) -> float:
         """Population variance (ddof=0, matching ``numpy.var``)."""
         return self._m2 / self.count if self.count else 0.0
@@ -209,6 +287,13 @@ class _Channel:
         for estimator in self.quantiles.values():
             estimator.observe(x)
 
+    def observe_chunk(self, values: "np.ndarray") -> None:
+        """Batch ingest: chunk-merged moments, ordered P2 updates."""
+        self.moments.observe_chunk(values)
+        data = values.tolist()
+        for estimator in self.quantiles.values():
+            estimator.observe_many(data)
+
 
 #: Windowed time-series entry:
 #: ``(start_us, end_us, count, mean_us, max_us)``.
@@ -220,6 +305,11 @@ DEFAULT_QUANTILES = (50.0, 90.0, 95.0, 99.0, 99.9)
 
 #: Target number of time-series windows per run.
 DEFAULT_WINDOWS = 128
+
+#: Buffered completions per streaming-sink drain.  Recording stays
+#: O(1) (three floats into a list); every accessor drains first, so
+#: the buffering is invisible to readers.
+INGEST_CHUNK = 256
 
 
 class StreamingSink:
@@ -267,41 +357,80 @@ class StreamingSink:
         # of measured completions, ~target_windows rows per run.
         self._window_requests = max(
             1, self.num_requests // int(target_windows))
-        self.windows: List[Window] = []
+        self._windows: List[Window] = []
         self._win_count = 0
         self._win_total = 0.0
         self._win_max = -math.inf
         self._win_start = 0.0
+        # Batched ingest: measured completions buffer as
+        # (actual_send_us, client_nic_us, measured_complete_us) and
+        # drain through vectorized chunk updates.
+        self._pending: List[Tuple[float, float, float]] = []
 
     # ------------------------------------------------------------------
     def record(self, request: Request) -> None:
-        """Record one completed request (O(1) time and memory)."""
+        """Record one completed request (O(1) time and memory).
+
+        The per-request work is three float loads and a list append;
+        the statistical updates happen per :data:`INGEST_CHUNK` in
+        :meth:`_drain`, which cuts the sink's hot-path overhead to a
+        fraction of the per-request version.
+        """
         self._recorded += 1
         if request.request_id < self._warmup_target:
             self._warmup_skipped += 1
             return
-        sent = request.actual_send_us
-        latency = request.measured_complete_us - sent
-        self._channels[PointOfMeasurement.GENERATOR].observe(latency)
-        self._channels[PointOfMeasurement.NIC].observe(
-            request.client_nic_us - sent)
-        # Windowed series keyed on completion time.
-        if self._win_count == 0:
-            self._win_start = request.measured_complete_us
-        self._win_count += 1
-        self._win_total += latency
-        if latency > self._win_max:
-            self._win_max = latency
-        if self._win_count >= self._window_requests:
-            self._flush_window(request.measured_complete_us)
+        pending = self._pending
+        pending.append((request.actual_send_us, request.client_nic_us,
+                        request.measured_complete_us))
+        if len(pending) >= INGEST_CHUNK:
+            self._drain()
 
-    def _flush_window(self, end_us: float) -> None:
-        self.windows.append((
-            self._win_start, end_us, self._win_count,
-            self._win_total / self._win_count, self._win_max))
-        self._win_count = 0
-        self._win_total = 0.0
-        self._win_max = -math.inf
+    def _drain(self) -> None:
+        """Fold the pending buffer into moments, markers and windows.
+
+        Values feed the P2 estimators and the windowed series in
+        completion order, so their state is identical to unbuffered
+        per-request ingest; only the Welford accumulation order
+        changes (chunk merge), within the documented contract.
+        """
+        pending = self._pending
+        if not pending:
+            return
+        self._pending = []
+        chunk = np.asarray(pending, dtype=np.float64)
+        sent = chunk[:, 0]
+        completes = chunk[:, 2]
+        latencies = completes - sent
+        self._channels[PointOfMeasurement.GENERATOR].observe_chunk(
+            latencies)
+        self._channels[PointOfMeasurement.NIC].observe_chunk(
+            chunk[:, 1] - sent)
+        # Windowed series keyed on completion time, replayed in order.
+        window_requests = self._window_requests
+        windows = self._windows
+        count = self._win_count
+        total = self._win_total
+        peak = self._win_max
+        start = self._win_start
+        complete_list = completes.tolist()
+        for index, latency in enumerate(latencies.tolist()):
+            if count == 0:
+                start = complete_list[index]
+            count += 1
+            total += latency
+            if latency > peak:
+                peak = latency
+            if count >= window_requests:
+                windows.append((start, complete_list[index], count,
+                                total / count, peak))
+                count = 0
+                total = 0.0
+                peak = -math.inf
+        self._win_count = count
+        self._win_total = total
+        self._win_max = peak
+        self._win_start = start
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -323,9 +452,17 @@ class StreamingSink:
         channel = self._channels[PointOfMeasurement.GENERATOR]
         return tuple(sorted(channel.quantiles))
 
+    @property
+    def windows(self) -> List[Window]:
+        """The windowed time series recorded so far."""
+        self._drain()
+        return self._windows
+
     def _channel(self, point: PointOfMeasurement
                  ) -> Tuple[_Channel, float]:
-        """The backing channel and additive offset for *point*."""
+        """The backing channel and additive offset for *point*
+        (draining any buffered completions first)."""
+        self._drain()
         if point is PointOfMeasurement.KERNEL:
             # The kernel point is the NIC point shifted by one
             # constant RX-stack traversal; a constant shift moves

@@ -17,7 +17,7 @@ instance with 10 worker threads pinned on a single socket".  It wraps a
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 import numpy as np
 
@@ -77,6 +77,10 @@ class ServiceStation:
         self._trace = obs.tracer if obs is not None else None
         if obs is not None:
             obs.on_station(self)
+        # Accelerated-kernel handshake (see repro.sim.kernel).
+        adopt = getattr(sim, "adopt_station", None)
+        if adopt is not None:
+            adopt(self)
 
     # ------------------------------------------------------------------
     def _static_frequency(self) -> float:
@@ -153,22 +157,26 @@ class ServiceStation:
 
     # ------------------------------------------------------------------
     def submit(self, request: Request,
-               done_fn: Callable[[Request], None]) -> None:
-        """Accept *request* now; call ``done_fn(request)`` on departure.
+               done_fn: Callable[..., None], *ctx: Any) -> None:
+        """Accept *request* now; call ``done_fn(request, *ctx)`` on
+        departure.
 
         Sets ``server_arrival_us`` (first tier only), accumulates
         ``queue_wait_us``/``service_us`` and stamps
-        ``server_departure_us``.
+        ``server_departure_us``.  Extra positional context keeps the
+        caller's completion callback a stable bound method -- the
+        accelerated kernel dispatches on callback identity.
         """
         if request.server_arrival_us == 0.0:
             request.server_arrival_us = self._sim.now
 
         trace = self._trace
         if trace is None:
-            def pool_done(job: Request, waited_us: float) -> None:
-                job.queue_wait_us += waited_us
-                job.server_departure_us = self._sim.now
-                done_fn(job)
+            # Untraced hot path: no per-request closure; the pool
+            # carries the downstream callback as data.
+            self._pool.submit(request, self._service_time,
+                              self._pool_done, done_fn, ctx)
+            return
         else:
             # Traced variant: derive the queue/service spans from the
             # timestamps the pool already reports.  Submission time is
@@ -188,6 +196,13 @@ class ServiceStation:
                                job.request_id, name)
                 trace.span("service", started, now,
                            job.request_id, name)
-                done_fn(job)
+                done_fn(job, *ctx)
 
         self._pool.submit(request, self._service_time, pool_done)
+
+    def _pool_done(self, job: Request, waited_us: float,
+                   done_fn: Callable[..., None], ctx: tuple = ()) -> None:
+        """Untraced departure accounting (stable bound method)."""
+        job.queue_wait_us += waited_us
+        job.server_departure_us = self._sim.now
+        done_fn(job, *ctx)

@@ -11,7 +11,7 @@ max-of-parallel-lookups behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.net.link import NetworkLink
@@ -67,10 +67,16 @@ class TieredService:
 
     # ------------------------------------------------------------------
     def submit(self, request: Request,
-               done_fn: Callable[[Request], None]) -> None:
-        """Accept *request* now; call ``done_fn`` after the last tier."""
+               done_fn: Callable[..., None], *ctx: Any) -> None:
+        """Accept *request* now; call ``done_fn(request, *ctx)`` after
+        the last tier."""
         if request.server_arrival_us == 0.0:
             request.server_arrival_us = self._sim.now
+        if ctx:
+            inner = done_fn
+
+            def done_fn(job: Request) -> None:
+                inner(job, *ctx)
         self._enter_tier(request, 0, done_fn)
 
     def _enter_tier(self, request: Request, index: int,

@@ -7,6 +7,13 @@ generators) is built as callbacks scheduled on a :class:`Simulator`.
 """
 
 from repro.sim.engine import Event, Simulator
+from repro.sim.kernel import (
+    DEFAULT_ENGINE,
+    KernelSimulator,
+    engine_names,
+    make_simulator,
+    validate_engine_name,
+)
 from repro.sim.random import RandomStreams
 from repro.sim.resources import FifoQueue, ServerPool
 
@@ -16,4 +23,9 @@ __all__ = [
     "RandomStreams",
     "FifoQueue",
     "ServerPool",
+    "DEFAULT_ENGINE",
+    "KernelSimulator",
+    "engine_names",
+    "make_simulator",
+    "validate_engine_name",
 ]

@@ -1,0 +1,1564 @@
+"""Accelerated event kernel: batch-dequeue + fused event handlers.
+
+:class:`KernelSimulator` is an opt-in drop-in for
+:class:`~repro.sim.engine.Simulator` (``RunPolicy(engine="vectorized")``)
+that attacks the residual cost of the event loop: pure-Python dispatch.
+The reference loop pays a chain of 4-6 Python calls per event
+(callback -> component method -> hardware model -> ``post_at``); the
+kernel recognises the handful of callbacks that dominate the stationary
+phase of every workload -- arrival admission (``_launch``), client core
+event handling (``_do_send`` / ``_at_client_nic``),
+link transit (``_sent``), station service completion
+(``ServerPool._finish``) and measurement (``_measured``) -- and runs a
+*fused*, fully inlined handler for each, with the exact float
+arithmetic and draw sequence of the reference components.
+
+Three mechanisms stack:
+
+* **Pre-resolved continuations.**  Events the kernel itself schedules
+  carry a :class:`_K` continuation in the heap entry's callback slot:
+  the fused handler's opcode and context, resolved once at dispatch
+  build.  Dispatching one is a single ``type`` test and two slot
+  loads -- no dict probe over bound-method hash/eq.  A ``_K`` keeps
+  the exact reference callback alongside (and is itself callable as
+  that callback), so entries left in the heap when ``run()`` exits
+  convert back to plain reference format losslessly.
+
+* **Batching.**  The main loop tracks runs of same-continuation
+  entries.  Link-transit runs are lifted into ``(times, seq, payload)``
+  arrays and their next-event times are computed with array math over
+  the network stream's active draw-ahead block; a batch is *validated*
+  incrementally -- the moment a processed item schedules work before
+  the next item's timestamp, the unprocessed tail is pushed back
+  untouched (no draws were made for it), so event order -- and
+  therefore every random stream -- is bit-identical to the reference
+  loop.  Open-loop launch trains are lifted out of the heap into a
+  sorted flat list and merged back lazily, so heap operations run on a
+  heap that only holds the in-flight working set.
+
+* **Inline draw serving.**  The fused handlers serve the two cheap
+  :class:`~repro.sim.sampling.BatchedStream` cases in place -- a
+  block-mode draw (cursor bump) and the plain scalar forward --
+  updating the stream's run/threshold accounting exactly as the
+  facade would, and fall back to the facade method for everything
+  else (refill, reconcile, promotion), so block-formation decisions
+  and the served value sequence are unchanged.
+
+Fallback: anything the kernel does not recognise -- a cancellable
+:class:`~repro.sim.engine.Event`, an obs-traced component, a custom
+subclass overriding a hot-path method, a balancer/fanout/tiered
+service -- is executed through the ordinary scalar path (and counted
+in ``kernel_scalar_fallbacks``).  Correctness never depends on
+adoption; adoption only removes interpreter overhead.
+
+numpy is the only requirement.  numba, when importable, accelerates
+the batch-validation scan opportunistically; it is never required
+(:data:`KERNEL_JIT` reports whether it engaged).
+"""
+
+from __future__ import annotations
+
+import difflib
+import importlib.util
+import math
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError, SpecValidationError
+from repro.sim.engine import Simulator
+from repro.sim.sampling import _NORMAL, _UNIFORM, BatchedStream
+
+__all__ = [
+    "BATCH_MAX",
+    "DEFAULT_ENGINE",
+    "ENGINES",
+    "KERNEL_JIT",
+    "KernelSimulator",
+    "describe_engine",
+    "engine_names",
+    "make_simulator",
+    "validate_engine_name",
+]
+
+#: Longest same-callback prefix the kernel will dequeue as one batch.
+#: Bounds the push-back cost when a batch is cut short by validation.
+BATCH_MAX = 64
+
+#: Minimum link-transit run length worth lifting into arrays; shorter
+#: runs go through the fused scalar handler (array setup would cost
+#: more than it saves).
+VECTOR_MIN = 8
+
+#: Serialization cost per KB (mirrors repro.net.link.US_PER_KB_10GBE;
+#: asserted equal at dispatch build).
+_US_PER_KB = 0.8
+
+#: Deep-sleep residency threshold (mirrors repro.hardware.core).
+_DEEP_SLEEP_US = 20.0
+
+#: Dynamic-uncore ramp-down gap (mirrors repro.hardware.uncore).
+_UNCORE_GAP_US = 100.0
+
+#: Menu-governor prediction noise (mirrors CStateGovernor).
+_PRED_NOISE = 0.25
+
+_exp = math.exp
+
+# The fused loop compares stream kinds against literal ints; pin the
+# facade's encoding so a drive-by renumbering cannot silently break
+# bit-identity.
+if _UNIFORM != 0 or _NORMAL != 1:  # pragma: no cover - import guard
+    raise AssertionError("BatchedStream kind encoding changed")
+
+
+def _commit_length_py(times: Any, push_times: Any, n: int) -> int:
+    """Longest batch prefix whose scheduled work never precedes the
+    next batch item.
+
+    ``times`` are the batch items' own timestamps, ``push_times`` the
+    timestamps of the events each item will schedule.  Item ``i`` is
+    safe when no event pushed by items ``0..i`` lands strictly before
+    ``times[i + 1]``; the running minimum implements that exactly.
+    """
+    floor = push_times[0]
+    for i in range(1, n):
+        if floor < times[i]:
+            return i
+        pt = push_times[i]
+        if pt < floor:
+            floor = pt
+    return n
+
+
+#: True when numba compiled the validation scan (never required).
+KERNEL_JIT = False
+_commit_length_nb: Any = None
+if importlib.util.find_spec("numba") is not None:  # pragma: no cover
+    try:
+        import numba
+
+        _commit_length_nb = numba.njit(cache=True)(_commit_length_py)
+        _commit_length_nb(np.zeros(1), np.zeros(1), 1)  # force compile
+        KERNEL_JIT = True
+    except Exception:
+        _commit_length_nb = None
+        KERNEL_JIT = False
+
+
+# Handler opcodes.  DO_SEND/AT_NIC share one fused client-core body.
+_OP_LAUNCH = 0
+_OP_DO_SEND = 1
+_OP_AT_NIC = 2
+_OP_SENT = 3
+_OP_SUBMIT = 4
+_OP_FINISH = 5
+_OP_MEASURED = 6
+
+
+class _K:
+    """A pre-resolved continuation: opcode + context + the reference
+    callback it stands for.
+
+    Kernel-scheduled heap entries carry one of these in the callback
+    slot; the main loop resolves it with a single ``type`` test.  It
+    is callable as the underlying reference callback, so an entry (or
+    a continuation riding in an args tuple) that escapes to the scalar
+    world -- ``step()``, ``run(max_events)``, an aborted run -- still
+    fires correctly.
+    """
+
+    __slots__ = ("op", "data", "cb")
+
+    def __init__(self, op: int, data: Any, cb: Callable[..., Any]) -> None:
+        self.op = op
+        self.data = data
+        self.cb = cb
+
+    def __call__(self, *args: Any) -> Any:
+        return self.cb(*args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<_K op={self.op} {self.cb!r}>"
+
+
+# ---------------------------------------------------------------- contexts
+class _MC:
+    """Per-:class:`ClientMachine` context: every constant the fused
+    client-core handlers need, hoisted once at dispatch build."""
+
+    __slots__ = ("machine", "do_send", "ts", "send_work", "recv_work",
+                 "core", "rng", "oscale", "polling", "slack", "freq",
+                 "cpoll", "ctable", "tick", "unc_dyn", "unc_pen",
+                 "twake", "nghz", "ramp", "gramps", "sfn_u", "sfn_n",
+                 "k_do_send")
+
+    def __init__(self, machine: Any) -> None:
+        core = machine.core
+        self.machine = machine
+        self.do_send = machine._do_send
+        self.ts = machine.time_sensitive
+        self.send_work = machine.send_work_us
+        self.recv_work = machine.recv_work_us
+        self.core = core
+        rng = core._rng
+        self.rng = rng
+        self.oscale = core.overhead_scale
+        self.polling = core.polling
+        self.slack = core.timer._slack_us
+        self.freq = core.frequency
+        gov = core.cstates
+        self.cpoll = gov._poll
+        self.ctable = gov._table
+        self.tick = gov._tick_limit_us
+        uncore = core.uncore
+        self.unc_dyn = uncore._dynamic
+        self.unc_pen = uncore._params.uncore_dynamic_penalty_us
+        self.twake = core._thread_wake_us
+        self.nghz = core._nominal_ghz
+        self.ramp = core._wake_dvfs_ramp_us
+        self.gramps = core._governor_ramps
+        # Inline scalar-forward fast path: only for the exact facade
+        # (a subclass could override the draw methods).
+        sfns: Any = (rng._scalar_fns if type(rng) is BatchedStream
+                     else (None, None))
+        self.sfn_u = sfns[0]
+        self.sfn_n = sfns[1]
+        self.k_do_send = _K(_OP_DO_SEND, self, self.do_send)
+
+
+class _GC:
+    """Per-:class:`LoadGenerator` context."""
+
+    __slots__ = ("gen", "sent", "served", "at_nic", "measured", "record",
+                 "after", "link_s", "link_c", "submit_cb",
+                 "stream_s", "s_mu", "s_sigma", "s_mean", "draw_s", "obs_s",
+                 "stream_c", "c_mu", "c_sigma", "c_mean", "draw_c", "obs_c",
+                 "k_sent", "k_at_nic", "k_measured",
+                 "push_sent", "push_at_nic", "push_measured", "push_submit",
+                 "rs", "rbuf")
+
+    def __init__(self, gen: Any, after: Optional[Callable[..., None]],
+                 stream_s: Optional[BatchedStream],
+                 stream_c: Optional[BatchedStream]) -> None:
+        self.gen = gen
+        self.sent = gen._sent
+        self.served = gen._served
+        self.at_nic = gen._at_client_nic
+        self.measured = gen._measured
+        self.record = gen.samples.record
+        self.after = after
+        link_s = gen._link_to_server
+        link_c = gen._link_to_client
+        self.link_s = link_s
+        self.link_c = link_c
+        self.submit_cb = gen.service.submit
+        self.stream_s = stream_s
+        self.s_mu = link_s._mu
+        self.s_sigma = link_s._sigma
+        self.s_mean = link_s._mean
+        self.draw_s = link_s._draw
+        self.obs_s = link_s.observer
+        self.stream_c = stream_c
+        self.c_mu = link_c._mu
+        self.c_sigma = link_c._sigma
+        self.c_mean = link_c._mean
+        self.draw_c = link_c._draw
+        self.obs_c = link_c.observer
+        self.k_sent = _K(_OP_SENT, self, self.sent)
+        self.k_at_nic = _K(_OP_AT_NIC, self, self.at_nic)
+        self.k_measured = _K(_OP_MEASURED, self, self.measured)
+        # Continuations the fused handlers *push*.  These stay the raw
+        # reference callbacks unless the dispatch build proves the
+        # stock implementation is in effect (an overridden hook must
+        # keep receiving its scalar call).
+        self.push_sent: Any = self.sent
+        self.push_at_nic: Any = self.at_nic
+        self.push_measured: Any = self.measured
+        self.push_submit: Any = self.submit_cb
+        # Deferred recording (dispatch build enables it when the stock
+        # RunSamples/SampleColumns pair is in place and there is no
+        # completion hook): completed requests buffer in rbuf and
+        # flush in order through rs.record_batch.
+        self.rs: Any = None
+        self.rbuf: Any = None
+
+
+class _SC:
+    """Per-:class:`ServiceStation` context."""
+
+    __slots__ = ("station", "pool", "queue", "items", "sample", "rng",
+                 "env", "smt_on", "intensity", "broad_us", "int_scale",
+                 "int_mean", "kstack", "smtf", "fscale", "num", "cpoll",
+                 "ctable", "tick", "pool_done", "service_time",
+                 "finish_cb", "obs_on", "k_finish", "sstream",
+                 "ssfn_u", "ssfn_n",
+                 "skind", "smu", "ssigma", "sukb", "cdone", "cgc")
+
+    def __init__(self, station: Any) -> None:
+        pool = station._pool
+        smt = station._smt
+        gov = station._cstates
+        self.station = station
+        self.pool = pool
+        self.queue = pool.queue
+        self.items = pool.queue._items
+        self.sample = station.service_model.sample_service_us
+        rng = station._rng
+        self.rng = rng
+        self.env = station._env_scale
+        self.smt_on = smt.smt_enabled
+        self.intensity = smt.run_intensity
+        self.broad_us = smt._broad_us
+        self.int_scale = smt._interference_scale
+        self.int_mean = smt._interference_mean_us
+        self.kstack = station._kernel_stack_us
+        self.smtf = station._smt_factor
+        self.fscale = station._freq_scale
+        self.num = pool.num_servers
+        self.cpoll = gov._poll
+        self.ctable = gov._table
+        self.tick = gov._tick_limit_us
+        self.pool_done = station._pool_done
+        self.service_time = station._service_time
+        self.finish_cb = pool._finish
+        self.obs_on = pool._obs is not None
+        self.k_finish = _K(_OP_FINISH, self, self.finish_cb)
+        self.sstream = rng if type(rng) is BatchedStream else None
+        if self.sstream is not None:
+            self.ssfn_u = rng._scalar_fns[0]
+            self.ssfn_n = rng._scalar_fns[1]
+        else:
+            self.ssfn_u = None
+            self.ssfn_n = None
+        # One-entry cache for the served-callback -> generator lookup
+        # (stations overwhelmingly serve a single generator, and the
+        # kernel pushes one stable bound method for it).
+        self.cdone: Any = None
+        self.cgc: Any = None
+        # Service-model specialization: the two stock lognormal-core
+        # models can be sampled inline off the station stream's active
+        # block.  Exact types only -- a subclass keeps the generic
+        # ``sample_service_us`` call.
+        from repro.server.service import LognormalService
+        from repro.workloads.memcached import EtcServiceModel
+
+        self.skind = 0
+        self.smu = 0.0
+        self.ssigma = 0.0
+        self.sukb = 0.0
+        model = station.service_model
+        base = None
+        kind = 0
+        if type(model) is EtcServiceModel:
+            if type(model._base) is LognormalService:
+                base = model._base
+                kind = 2
+                self.sukb = EtcServiceModel.US_PER_KB
+        elif type(model) is LognormalService:
+            base = model
+            kind = 1
+        if (base is not None and self.sstream is not None
+                and base._sigma != 0):
+            self.skind = kind
+            self.smu = base._mu
+            self.ssigma = base._sigma
+
+
+# ------------------------------------------------------------------ kernel
+class KernelSimulator(Simulator):
+    """Batch-dequeue accelerated simulator (``engine="vectorized"``).
+
+    Bit-identical to :class:`~repro.sim.engine.Simulator` by
+    construction: adopted components run through fused handlers that
+    replicate the reference float arithmetic and draw order exactly;
+    everything else falls back to the ordinary scalar dispatch.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: same-callback runs of length >= 2 processed by the kernel.
+        self.kernel_batches = 0
+        #: events processed inside those runs.
+        self.kernel_batched_events = 0
+        #: events executed through the scalar fallback path.
+        self.kernel_scalar_fallbacks = 0
+        self._adopted_generators: list = []
+        self._adopted_stations: list = []
+        self._dispatch: Optional[Dict[Any, Tuple[int, Any]]] = None
+        self._minfo: Dict[Any, _MC] = {}
+        self._served_map: Dict[Any, _GC] = {}
+        self._rec_gcs: list = []
+
+    def _flush_records(self) -> None:
+        """Drain deferred completion records into their RunSamples.
+
+        Called before every foreign call and at kernel exit so that
+        code outside the fused loop always observes fully recorded
+        samples, in exact completion order.
+        """
+        for gc in self._rec_gcs:
+            buf = gc.rbuf
+            if buf:
+                gc.rs.record_batch(buf)
+                del buf[:]
+
+    # ------------------------------------------------------------ adoption
+    def adopt_generator(self, generator: Any) -> None:
+        """Hook called by :class:`LoadGenerator` at construction."""
+        self._adopted_generators.append(generator)
+        self._dispatch = None
+
+    def adopt_station(self, station: Any) -> None:
+        """Hook called by :class:`ServiceStation` at construction."""
+        self._adopted_stations.append(station)
+        self._dispatch = None
+
+    def kernel_counters(self) -> Dict[str, float]:
+        """Snapshot of the kernel's engagement telemetry."""
+        batches = self.kernel_batches
+        batched = self.kernel_batched_events
+        return {
+            "batches": float(batches),
+            "batched_events": float(batched),
+            "scalar_fallbacks": float(self.kernel_scalar_fallbacks),
+            "mean_batch_len": (batched / batches) if batches else 0.0,
+        }
+
+    # ------------------------------------------------------------- build
+    def _build_dispatch(self) -> Dict[Any, Tuple[int, Any]]:
+        """Map stable bound-method callbacks to fused handlers.
+
+        Adoption is per-method and conservative: a generator, machine
+        or station qualifies only when the exact reference
+        implementation would run (no tracer, no overridden hot-path
+        method, no bounded queue).  Anything that fails a check simply
+        keeps its scalar path.
+        """
+        from repro.hardware.core import SimCore
+        from repro.hardware.cstates import CStateGovernor
+        from repro.hardware.frequency import FrequencyModel
+        from repro.hardware.timer import TimerModel
+        from repro.hardware.uncore import UncoreModel
+        from repro.loadgen.base import LoadGenerator
+        from repro.loadgen.client_machine import ClientMachine
+        from repro.loadgen.measurement import RunSamples
+        from repro.net.link import US_PER_KB_10GBE, NetworkLink
+        from repro.server.station import ServiceStation
+        from repro.sim.resources import ServerPool
+        from repro.telemetry.columns import SampleColumns
+
+        assert US_PER_KB_10GBE == _US_PER_KB
+
+        dispatch: Dict[Any, Tuple[int, Any]] = {}
+        minfo: Dict[Any, _MC] = {}
+        served: Dict[Any, _GC] = {}
+        rec_gcs: list = []
+        self._minfo = minfo
+        self._served_map = served
+        self._rec_gcs = rec_gcs
+
+        # Stations first: generators resolve their submit target
+        # against the station entries below.
+        for station in self._adopted_stations:
+            if not isinstance(station, ServiceStation):
+                continue
+            if station._trace is not None:
+                continue
+            cls = type(station)
+            pool = station._pool
+            if not (cls.submit is ServiceStation.submit
+                    and cls._pool_done is ServiceStation._pool_done
+                    and cls._service_time is ServiceStation._service_time
+                    and cls._sample_occupancy_us
+                    is ServiceStation._sample_occupancy_us
+                    and type(pool) is ServerPool
+                    and pool.queue.capacity is None
+                    and type(station._cstates) is CStateGovernor):
+                continue
+            sc = _SC(station)
+            dispatch[station.submit] = (_OP_SUBMIT, sc)
+            dispatch[sc.finish_cb] = (_OP_FINISH, sc)
+
+        def machine_ok(machine: Any) -> bool:
+            cls = type(machine)
+            core = machine.core
+            return (cls.begin_send is ClientMachine.begin_send
+                    and cls._do_send is ClientMachine._do_send
+                    and cls.deliver_response is ClientMachine.deliver_response
+                    and type(core) is SimCore
+                    and type(core.cstates) is CStateGovernor
+                    and type(core.frequency) is FrequencyModel
+                    and type(core.timer) is TimerModel
+                    and type(core.uncore) is UncoreModel)
+
+        for gen in self._adopted_generators:
+            if not isinstance(gen, LoadGenerator) or gen._trace is not None:
+                continue
+            cls = type(gen)
+            for machine in gen.machines:
+                if machine not in minfo and machine_ok(machine):
+                    mc = _MC(machine)
+                    minfo[machine] = mc
+                    dispatch[mc.do_send] = (_OP_DO_SEND, mc)
+            link_s = gen._link_to_server
+            link_c = gen._link_to_client
+            links_ok = (type(link_s) is NetworkLink
+                        and type(link_c) is NetworkLink)
+            if not links_ok:
+                continue
+            stream_s = getattr(link_s._draw, "__self__", None)
+            if type(stream_s) is not BatchedStream:
+                stream_s = None
+            stream_c = getattr(link_c._draw, "__self__", None)
+            if type(stream_c) is not BatchedStream:
+                stream_c = None
+            after: Optional[Callable[..., None]] = gen._after_completion
+            if cls._after_completion is LoadGenerator._after_completion:
+                after = None
+            gc = _GC(gen, after, stream_s, stream_c)
+            if cls._launch is LoadGenerator._launch:
+                dispatch[gc.gen._launch] = (_OP_LAUNCH, gc)
+            if cls._sent is LoadGenerator._sent:
+                dispatch[gc.sent] = (_OP_SENT, gc)
+                gc.push_sent = gc.k_sent
+            if cls._at_client_nic is LoadGenerator._at_client_nic:
+                dispatch[gc.at_nic] = (_OP_AT_NIC, gc)
+                gc.push_at_nic = gc.k_at_nic
+            if cls._measured is LoadGenerator._measured:
+                dispatch[gc.measured] = (_OP_MEASURED, gc)
+                gc.push_measured = gc.k_measured
+                samples = gen.samples
+                if (after is None
+                        and type(samples) is RunSamples
+                        and type(samples._columns) is SampleColumns):
+                    gc.rs = samples
+                    gc.rbuf = []
+                    rec_gcs.append(gc)
+            if cls._served is LoadGenerator._served:
+                served[gc.served] = gc
+            sub = dispatch.get(gc.submit_cb)
+            if sub is not None and sub[0] == _OP_SUBMIT:
+                gc.push_submit = _K(_OP_SUBMIT, sub[1], gc.submit_cb)
+
+        self._dispatch = dispatch
+        return dispatch
+
+    # --------------------------------------------------------------- run
+    def run(self, max_events: Optional[int] = None) -> int:
+        if max_events is not None:
+            return super().run(max_events)
+        dispatch = self._dispatch
+        if dispatch is None:
+            dispatch = self._build_dispatch()
+        return self._run_kernel(dispatch)
+
+    def _run_kernel(self, dispatch: Dict[Any, Tuple[int, Any]]) -> int:
+        # The fused main loop.  Structural notes:
+        #
+        # * Launch-train extraction.  Open-loop runs pre-arm every
+        #   arrival up front, so the heap starts ~num_requests deep
+        #   and every push/pop pays log(num_requests) all run long
+        #   while the live working set is only the in-flight events.
+        #   The kernel lifts the pre-armed admission entries (already
+        #   sorted) out of the heap into a flat train and merges them
+        #   back lazily: next event = min(heap top, train head) by the
+        #   exact (time, seq) tuple order the heap would have used, so
+        #   the firing order is unchanged while heap operations run on
+        #   a heap that is orders of magnitude shallower.  The train
+        #   lives in loop locals; an abort restores it to the heap in
+        #   the finally block.
+        #
+        # * Deferred clock.  ``now`` lives in a local; ``self._now`` is
+        #   written back immediately before any foreign call (scalar
+        #   callbacks, pool._dispatch, completion hooks) and in the
+        #   finally block, and ``now``/``heap`` are refetched after
+        #   every foreign call (a callback may cancel events, and
+        #   _note_cancelled's compaction *rebinds* self._heap).
+        #
+        # * Run continuation.  Consecutive entries sharing one _K keep
+        #   flowing through one fused handler without re-entering
+        #   dispatch.  An event scheduled by item i that lands before
+        #   item i+1 displaces it from the heap top, ending the run
+        #   naturally -- exactly the reference's interleaving, with no
+        #   draw ever rewound.
+        fired = 0
+        batches = 0
+        batched = 0
+        scalar = 0
+        now = self._now
+        seqc = self._seq
+        nseq = seqc.__next__
+        minfo_get = self._minfo.get
+        dispatch_get = dispatch.get
+        served_get = self._served_map.get
+        flushrec = self._flush_records
+        Kt = _K
+
+        heap = self._heap
+        train: list = []
+        train_d: list = []
+        if dispatch:
+            keep = []
+            for e in heap:
+                if len(e) == 4:
+                    hd = dispatch_get(e[2])
+                    if hd is not None and hd[0] == 0:  # _OP_LAUNCH
+                        train.append(e)
+                        continue
+                keep.append(e)
+            if train:
+                train.sort()
+                train_d = [dispatch[e[2]][1] for e in train]
+                heap[:] = keep
+                heapify(heap)
+        ti = 0
+        tn = len(train)
+        head = train[0] if tn else None
+        prev_key = None
+        run_len = 0
+        try:
+            while True:
+                # Train-aware selection: strict heap order over both
+                # sources (seqs are unique, so tuple compare never
+                # reaches the callback element).  The train head lives
+                # in a local and only changes when the train advances.
+                if head is None:
+                    if heap:
+                        entry = heappop(heap)
+                        from_train = False
+                    else:
+                        break
+                elif heap and heap[0] < head:
+                    entry = heappop(heap)
+                    from_train = False
+                else:
+                    entry = head
+                    from_train = True
+
+                # Resolve the continuation: train entries are known
+                # launches; kernel-pushed entries carry a _K; anything
+                # else probes the dispatch dict or runs scalar.
+                h = entry[2]
+                if from_train:
+                    ti += 1
+                    head = train[ti] if ti < tn else None
+                    op = 0  # _OP_LAUNCH
+                    data = train_d[ti - 1]
+                    key = data
+                elif type(h) is Kt:
+                    op = h.op
+                    data = h.data
+                    key = h
+                elif len(entry) == 3:
+                    event = h
+                    if event.cancelled:
+                        self._cancelled_in_heap -= 1
+                        continue
+                    event.fired = True
+                    time = entry[0]
+                    if time > now:
+                        now = time
+                    elif time < now - 1e-9:
+                        raise SimulationError(
+                            f"event at t={time} is behind clock t={now}"
+                        )
+                    if run_len >= 2:
+                        batches += 1
+                        batched += run_len
+                    run_len = 0
+                    prev_key = None
+                    fired += 1
+                    scalar += 1
+                    self._now = now
+                    flushrec()
+                    event.callback(*event.args)
+                    now = self._now
+                    heap = self._heap
+                    continue
+                else:
+                    handler = dispatch_get(h)
+                    if handler is None:
+                        time = entry[0]
+                        if time > now:
+                            now = time
+                        elif time < now - 1e-9:
+                            raise SimulationError(
+                                f"event at t={time} is behind clock t={now}"
+                            )
+                        if run_len >= 2:
+                            batches += 1
+                            batched += run_len
+                        run_len = 0
+                        prev_key = None
+                        fired += 1
+                        scalar += 1
+                        self._now = now
+                        flushrec()
+                        h(*entry[3])
+                        now = self._now
+                        heap = self._heap
+                        continue
+                    op = handler[0]
+                    data = handler[1]
+                    key = h
+
+                time = entry[0]
+                args = entry[3]
+                if time > now:
+                    now = time
+                elif time < now - 1e-9:
+                    raise SimulationError(
+                        f"event at t={time} is behind clock t={now}"
+                    )
+                fired += 1
+                if key is prev_key:
+                    run_len += 1
+                else:
+                    if run_len >= 2:
+                        batches += 1
+                        batched += run_len
+                    prev_key = key
+                    run_len = 1
+
+                if op == 1 or op == 2:  # _OP_DO_SEND / _OP_AT_NIC
+                    # Client core event: one fused
+                    # SimCore.handle_event_finish_us body for both the
+                    # send and the receive side -- identical branches,
+                    # float expressions and draw sequence, with the
+                    # C-state governor, uncore and frequency fast
+                    # paths inlined (stateful slow paths still
+                    # delegate to the model objects).
+                    if op == 1:
+                        mc = data
+                        work = mc.send_work
+                        wt = args[0]
+                    else:
+                        mc = minfo_get(args[0])
+                        if mc is None:
+                            run_len = 0
+                            prev_key = None
+                            scalar += 1
+                            self._now = now
+                            flushrec()
+                            cbx = h.cb if type(h) is Kt else h
+                            cbx(*args)
+                            now = self._now
+                            heap = self._heap
+                            continue
+                        args[1].client_nic_us = now
+                        work = mc.recv_work
+                        wt = mc.ts
+                    core = mc.core
+                    if now < core._last_arrival - 1e-9:
+                        raise ValueError(
+                            f"event at {now} precedes earlier arrival "
+                            f"{core._last_arrival}"
+                        )
+                    core._last_arrival = now
+                    gap = core._available_at - now
+                    if gap > 0.0:
+                        queue_wait = gap
+                        idle_gap = 0.0
+                    else:
+                        queue_wait = 0.0
+                        idle_gap = -gap if gap < 0.0 else 0.0
+                    start = now + queue_wait
+                    wake = 0.0
+                    dvfs = 0.0
+                    unc = 0.0
+                    cswitch = 0.0
+                    freq_model = mc.freq
+                    if mc.polling:
+                        if idle_gap > 0:
+                            freq_model._busy_accum_us += idle_gap
+                    elif queue_wait == 0.0:
+                        # CStateGovernor.wake_and_state, inlined.
+                        if not mc.cpoll:
+                            rng = mc.rng
+                            predicted = idle_gap
+                            if rng is not None and idle_gap > 0:
+                                sfn = mc.sfn_n
+                                if sfn is not None and rng._buf is None:
+                                    if rng._kind == 1:
+                                        r = rng._run + 1
+                                        if r < rng._threshold:
+                                            rng._run = r
+                                            rng.scalar_served += 1
+                                            sn = float(sfn())
+                                        else:
+                                            sn = rng.standard_normal()
+                                    else:
+                                        rng._kind = 1
+                                        rng._run = 1
+                                        rng.scalar_served += 1
+                                        sn = float(sfn())
+                                else:
+                                    sn = rng.standard_normal()
+                                noise = 1.0 + _PRED_NOISE * sn
+                                if noise < 0.0:
+                                    noise = 0.0
+                                predicted = idle_gap * noise
+                            tick = mc.tick
+                            if tick is not None and predicted > tick:
+                                predicted = tick
+                            table = mc.ctable
+                            chosen = table[0][1]
+                            for target_residency, spec in table:
+                                if target_residency <= predicted:
+                                    chosen = spec
+                            wake = chosen.exit_latency_us
+                            if wake > idle_gap:
+                                wake = idle_gap
+                            if (wake > 0.0 and mc.gramps
+                                    and chosen.target_residency_us
+                                    >= _DEEP_SLEEP_US):
+                                dvfs = mc.ramp
+                        if mc.unc_dyn and idle_gap > _UNCORE_GAP_US:
+                            unc = mc.unc_pen
+                        if wt:
+                            cswitch = mc.twake
+                    # FrequencyModel.evaluate_fast, steady branch.
+                    if (start - freq_model._window_start
+                            < freq_model._interval_us):
+                        freq, stall = freq_model._steady
+                    else:
+                        freq, stall = freq_model.evaluate_fast(start)
+                    if mc.polling:
+                        stall = 0.0
+                    overhead = (wake + dvfs + unc + cswitch
+                                + stall) * mc.oscale
+                    work_us = work * (mc.nghz / freq)
+                    finish = start + overhead + work_us
+                    busy = finish - start
+                    freq_model._busy_accum_us += busy
+                    core.total_busy_us += busy
+                    core.total_wake_us += wake
+                    core.events_handled += 1
+                    core._available_at = finish
+                    if op == 1:
+                        mc.machine.requests_sent += 1
+                        heappush(heap, (now + (finish - now), nseq(),
+                                        args[1], args[2] + (finish,)))
+                    else:
+                        mc.machine.responses_handled += 1
+                        heappush(heap, (now + (finish - now), nseq(),
+                                        data.push_measured,
+                                        (args[0], args[1], finish)))
+                elif op == 3:  # _OP_SENT
+                    # Link transit client->server.  Runs long enough
+                    # to amortize array setup are lifted whole into
+                    # (times, seq, payload) arrays.
+                    gcs = data
+                    if run_len == 1 and len(heap) >= VECTOR_MIN - 1:
+                        if (heap[0][2] is key
+                                and self._sent_batch(
+                                    gcs, key, heap, entry, now, nseq,
+                                    head)):
+                            processed = self._sent_batch_n
+                            fired += processed - 1
+                            run_len = processed
+                            now = self._now
+                            continue
+                    request = args[1]
+                    request.actual_send_us = args[2]
+                    draw = gcs.draw_s
+                    if draw is None:
+                        base = gcs.s_mean
+                    else:
+                        st = gcs.stream_s
+                        if (st is not None and st._kind == 1
+                                and st._buf is not None
+                                and st._cursor < st._buflen):
+                            i = st._cursor
+                            st._cursor = i + 1
+                            st.batched_served += 1
+                            base = _exp(gcs.s_mu
+                                        + gcs.s_sigma * st._buf[i])
+                        else:
+                            base = float(draw(gcs.s_mu, gcs.s_sigma))
+                    observer = gcs.obs_s
+                    kb = request.size_kb
+                    if observer is not None:
+                        observer.messages += 1
+                        observer.kb += kb
+                    delay = base + kb * _US_PER_KB if kb > 0.0 else base
+                    heappush(heap, (now + delay, nseq(), gcs.push_submit,
+                                    (request, gcs.served, args[0])))
+                elif op == 5:  # _OP_FINISH
+                    sc = data
+                    server = args[0]
+                    job = args[1]
+                    pool = sc.pool
+                    pool.idle_since[server] = now
+                    idle = pool._idle_servers
+                    idle.append(server)
+                    pool.jobs_completed += 1
+                    done_fn = args[3]
+                    if done_fn is sc.pool_done or done_fn == sc.pool_done:
+                        dctx = args[4]
+                        job.queue_wait_us += args[2]
+                        job.server_departure_us = now
+                        real_done = dctx[0]
+                        rctx = dctx[1]
+                        if real_done is sc.cdone:
+                            gcf = sc.cgc
+                        else:
+                            gcf = served_get(real_done)
+                            sc.cdone = real_done
+                            sc.cgc = gcf
+                        if gcf is not None:
+                            # Fused _served: link transit back.
+                            draw = gcf.draw_c
+                            kb = job.size_kb
+                            if draw is None:
+                                base = gcf.c_mean
+                            else:
+                                st = gcf.stream_c
+                                if (st is not None and st._kind == 1
+                                        and st._buf is not None
+                                        and st._cursor < st._buflen):
+                                    i = st._cursor
+                                    st._cursor = i + 1
+                                    st.batched_served += 1
+                                    base = _exp(gcf.c_mu
+                                                + gcf.c_sigma * st._buf[i])
+                                else:
+                                    base = float(draw(gcf.c_mu,
+                                                      gcf.c_sigma))
+                            observer = gcf.obs_c
+                            if observer is not None:
+                                observer.messages += 1
+                                observer.kb += kb
+                            delay = (base + kb * _US_PER_KB
+                                     if kb > 0.0 else base)
+                            heappush(heap, (now + delay, nseq(),
+                                            gcf.push_at_nic,
+                                            (rctx[0], job)))
+                        else:
+                            self._now = now
+                            flushrec()
+                            real_done(job, *rctx)
+                            now = self._now
+                            heap = self._heap
+                    else:
+                        self._now = now
+                        flushrec()
+                        done_fn(job, args[2], *args[4])
+                        now = self._now
+                        heap = self._heap
+                    # ServerPool._dispatch tail: the overwhelmingly
+                    # common case -- one freed worker picks up one
+                    # queued job through the stock service-time
+                    # callback -- is inlined; anything else restores
+                    # the popped state and delegates.
+                    items = sc.items
+                    if items and idle:
+                        server2 = idle.pop()
+                        enq, item = items.popleft()
+                        stf = item[1]
+                        if stf is sc.service_time or stf == sc.service_time:
+                            job2 = item[0]
+                            waited2 = now - enq
+                            idle_gap = now - pool.idle_since[server2]
+                            # Fused _sample_occupancy_us (below, twice:
+                            # here and in the SUBMIT fast path).
+                            rng = sc.rng
+                            busy_m1 = sc.num - len(idle) - 1
+                            if busy_m1 < 0:
+                                busy_m1 = 0
+                            utilization = busy_m1 / sc.num
+                            skind = sc.skind
+                            if skind:
+                                st = sc.sstream
+                                if st._kind == 1:
+                                    buf = st._buf
+                                    if buf is not None:
+                                        i = st._cursor
+                                        if i < st._buflen:
+                                            st._cursor = i + 1
+                                            st.batched_served += 1
+                                            z = buf[i]
+                                        else:
+                                            z = float(st.standard_normal())
+                                    else:
+                                        r = st._run + 1
+                                        if r < st._threshold:
+                                            st._run = r
+                                            st.scalar_served += 1
+                                            z = float(sc.ssfn_n())
+                                        else:
+                                            z = float(st.standard_normal())
+                                elif st._buf is None:
+                                    st._kind = 1
+                                    st._run = 1
+                                    st.scalar_served += 1
+                                    z = float(sc.ssfn_n())
+                                else:
+                                    z = float(st.standard_normal())
+                                base = _exp(sc.smu + sc.ssigma * z)
+                                if skind == 2:
+                                    base += job2.size_kb * sc.sukb
+                            else:
+                                self._now = now
+                                flushrec()
+                                base = sc.sample(rng, job2)
+                                heap = self._heap
+                            base = (base + sc.kstack) * sc.env
+                            base *= sc.smtf
+                            if not sc.smt_on:
+                                u = utilization
+                                if u < 0.0:
+                                    u = 0.0
+                                elif u > 1.0:
+                                    u = 1.0
+                                intensity = sc.intensity
+                                broad = u * intensity * sc.broad_us
+                                probability = sc.int_scale * u * intensity
+                                if probability > 1.0:
+                                    probability = 1.0
+                                if rng is None:
+                                    base += broad + probability * sc.int_mean
+                                else:
+                                    st = sc.sstream
+                                    if st is None:
+                                        uu = rng.random()
+                                    elif st._kind == 0:
+                                        buf = st._buf
+                                        if buf is not None:
+                                            i = st._cursor
+                                            if i < st._buflen:
+                                                st._cursor = i + 1
+                                                st.batched_served += 1
+                                                uu = buf[i]
+                                            else:
+                                                uu = st.random()
+                                        else:
+                                            r = st._run + 1
+                                            if r < st._threshold:
+                                                st._run = r
+                                                st.scalar_served += 1
+                                                uu = float(sc.ssfn_u())
+                                            else:
+                                                uu = st.random()
+                                    elif st._buf is None:
+                                        st._kind = 0
+                                        st._run = 1
+                                        st.scalar_served += 1
+                                        uu = float(sc.ssfn_u())
+                                    else:
+                                        uu = st.random()
+                                    if uu < probability:
+                                        base += (broad + sc.int_mean
+                                                 * rng.standard_exponential())
+                                    else:
+                                        base += broad
+                            scaled = base * sc.fscale
+                            if sc.cpoll:
+                                wake = 0.0
+                            else:
+                                predicted = idle_gap
+                                if rng is not None and idle_gap > 0:
+                                    st = sc.sstream
+                                    if st is None:
+                                        sn = rng.standard_normal()
+                                    elif st._kind == 1:
+                                        buf = st._buf
+                                        if buf is not None:
+                                            i = st._cursor
+                                            if i < st._buflen:
+                                                st._cursor = i + 1
+                                                st.batched_served += 1
+                                                sn = buf[i]
+                                            else:
+                                                sn = st.standard_normal()
+                                        else:
+                                            r = st._run + 1
+                                            if r < st._threshold:
+                                                st._run = r
+                                                st.scalar_served += 1
+                                                sn = float(sc.ssfn_n())
+                                            else:
+                                                sn = st.standard_normal()
+                                    elif st._buf is None:
+                                        st._kind = 1
+                                        st._run = 1
+                                        st.scalar_served += 1
+                                        sn = float(sc.ssfn_n())
+                                    else:
+                                        sn = st.standard_normal()
+                                    noise = 1.0 + _PRED_NOISE * sn
+                                    if noise < 0.0:
+                                        noise = 0.0
+                                    predicted = idle_gap * noise
+                                tick = sc.tick
+                                if tick is not None and predicted > tick:
+                                    predicted = tick
+                                table = sc.ctable
+                                chosen = table[0][1]
+                                for target_residency, spec in table:
+                                    if target_residency <= predicted:
+                                        chosen = spec
+                                wake = chosen.exit_latency_us
+                                if wake > idle_gap:
+                                    wake = idle_gap
+                            occupancy = scaled + wake
+                            job2.service_us += occupancy
+                            if occupancy < 0:
+                                raise SimulationError(
+                                    f"negative service time {occupancy} "
+                                    f"for job {job2!r}")
+                            pool.busy_time_us += occupancy
+                            heappush(heap, (now + occupancy, nseq(),
+                                            sc.k_finish,
+                                            (server2, job2, waited2,
+                                             item[2], item[3])))
+                            if items and idle:
+                                self._now = now
+                                flushrec()
+                                pool._dispatch()
+                                now = self._now
+                                heap = self._heap
+                        else:
+                            idle.append(server2)
+                            items.appendleft((enq, item))
+                            self._now = now
+                            flushrec()
+                            pool._dispatch()
+                            now = self._now
+                            heap = self._heap
+                elif op == 4:  # _OP_SUBMIT
+                    sc = data
+                    request = args[0]
+                    if request.server_arrival_us == 0.0:
+                        request.server_arrival_us = now
+                    pool = sc.pool
+                    idle = pool._idle_servers
+                    items = sc.items
+                    if idle and not items:
+                        # Fast path: a worker is free, zero wait.
+                        sc.queue.total_enqueued += 1
+                        server = idle.pop()
+                        idle_gap = now - pool.idle_since[server]
+                        rng = sc.rng
+                        busy_m1 = sc.num - len(idle) - 1
+                        if busy_m1 < 0:
+                            busy_m1 = 0
+                        utilization = busy_m1 / sc.num
+                        skind = sc.skind
+                        if skind:
+                            st = sc.sstream
+                            if st._kind == 1:
+                                buf = st._buf
+                                if buf is not None:
+                                    i = st._cursor
+                                    if i < st._buflen:
+                                        st._cursor = i + 1
+                                        st.batched_served += 1
+                                        z = buf[i]
+                                    else:
+                                        z = float(st.standard_normal())
+                                else:
+                                    r = st._run + 1
+                                    if r < st._threshold:
+                                        st._run = r
+                                        st.scalar_served += 1
+                                        z = float(sc.ssfn_n())
+                                    else:
+                                        z = float(st.standard_normal())
+                            elif st._buf is None:
+                                st._kind = 1
+                                st._run = 1
+                                st.scalar_served += 1
+                                z = float(sc.ssfn_n())
+                            else:
+                                z = float(st.standard_normal())
+                            base = _exp(sc.smu + sc.ssigma * z)
+                            if skind == 2:
+                                base += request.size_kb * sc.sukb
+                        else:
+                            self._now = now
+                            flushrec()
+                            base = sc.sample(rng, request)
+                            heap = self._heap
+                        base = (base + sc.kstack) * sc.env
+                        base *= sc.smtf
+                        if not sc.smt_on:
+                            u = utilization
+                            if u < 0.0:
+                                u = 0.0
+                            elif u > 1.0:
+                                u = 1.0
+                            intensity = sc.intensity
+                            broad = u * intensity * sc.broad_us
+                            probability = sc.int_scale * u * intensity
+                            if probability > 1.0:
+                                probability = 1.0
+                            if rng is None:
+                                base += broad + probability * sc.int_mean
+                            else:
+                                st = sc.sstream
+                                if st is None:
+                                    uu = rng.random()
+                                elif st._kind == 0:
+                                    buf = st._buf
+                                    if buf is not None:
+                                        i = st._cursor
+                                        if i < st._buflen:
+                                            st._cursor = i + 1
+                                            st.batched_served += 1
+                                            uu = buf[i]
+                                        else:
+                                            uu = st.random()
+                                    else:
+                                        r = st._run + 1
+                                        if r < st._threshold:
+                                            st._run = r
+                                            st.scalar_served += 1
+                                            uu = float(sc.ssfn_u())
+                                        else:
+                                            uu = st.random()
+                                elif st._buf is None:
+                                    st._kind = 0
+                                    st._run = 1
+                                    st.scalar_served += 1
+                                    uu = float(sc.ssfn_u())
+                                else:
+                                    uu = st.random()
+                                if uu < probability:
+                                    base += (broad + sc.int_mean
+                                             * rng.standard_exponential())
+                                else:
+                                    base += broad
+                        scaled = base * sc.fscale
+                        if sc.cpoll:
+                            wake = 0.0
+                        else:
+                            predicted = idle_gap
+                            if rng is not None and idle_gap > 0:
+                                st = sc.sstream
+                                if st is None:
+                                    sn = rng.standard_normal()
+                                elif st._kind == 1:
+                                    buf = st._buf
+                                    if buf is not None:
+                                        i = st._cursor
+                                        if i < st._buflen:
+                                            st._cursor = i + 1
+                                            st.batched_served += 1
+                                            sn = buf[i]
+                                        else:
+                                            sn = st.standard_normal()
+                                    else:
+                                        r = st._run + 1
+                                        if r < st._threshold:
+                                            st._run = r
+                                            st.scalar_served += 1
+                                            sn = float(sc.ssfn_n())
+                                        else:
+                                            sn = st.standard_normal()
+                                elif st._buf is None:
+                                    st._kind = 1
+                                    st._run = 1
+                                    st.scalar_served += 1
+                                    sn = float(sc.ssfn_n())
+                                else:
+                                    sn = st.standard_normal()
+                                noise = 1.0 + _PRED_NOISE * sn
+                                if noise < 0.0:
+                                    noise = 0.0
+                                predicted = idle_gap * noise
+                            tick = sc.tick
+                            if tick is not None and predicted > tick:
+                                predicted = tick
+                            table = sc.ctable
+                            chosen = table[0][1]
+                            for target_residency, spec in table:
+                                if target_residency <= predicted:
+                                    chosen = spec
+                            wake = chosen.exit_latency_us
+                            if wake > idle_gap:
+                                wake = idle_gap
+                        occupancy = scaled + wake
+                        request.service_us += occupancy
+                        if occupancy < 0:
+                            raise SimulationError(
+                                f"negative service time {occupancy} "
+                                f"for job {request!r}")
+                        pool.busy_time_us += occupancy
+                        heappush(heap, (now + occupancy, nseq(),
+                                        sc.k_finish,
+                                        (server, request, 0.0,
+                                         sc.pool_done,
+                                         (args[1], args[2:]))))
+                    elif not idle:
+                        # All workers busy: queue, track depth.
+                        items.append(
+                            (now, (request, sc.service_time,
+                                   sc.pool_done, (args[1], args[2:]))))
+                        sc.queue.total_enqueued += 1
+                        if sc.obs_on:
+                            depth = len(items)
+                            if depth > pool.peak_queue_depth:
+                                pool.peak_queue_depth = depth
+                    else:  # pragma: no cover - invariant guard
+                        run_len = 0
+                        prev_key = None
+                        scalar += 1
+                        self._now = now
+                        flushrec()
+                        cbx = h.cb if type(h) is Kt else h
+                        cbx(*args)
+                        now = self._now
+                        heap = self._heap
+                elif op == 0:  # _OP_LAUNCH
+                    # Arrival admission: begin_send + timer model.
+                    machine = args[0]
+                    request = args[1]
+                    mc = minfo_get(machine)
+                    if mc is None:
+                        run_len = 0
+                        prev_key = None
+                        scalar += 1
+                        self._now = now
+                        flushrec()
+                        cbx = h.cb if type(h) is Kt else h
+                        cbx(*args)
+                        now = self._now
+                        heap = self._heap
+                    else:
+                        gcl = data
+                        intended = request.intended_send_us
+                        if mc.ts:
+                            target = (intended if intended >= now
+                                      else now)
+                            rng = mc.rng
+                            if rng is None:
+                                overshoot = mc.slack / 2.0
+                            else:
+                                sfn = mc.sfn_u
+                                if sfn is not None and rng._buf is None:
+                                    if rng._kind == 0:
+                                        r = rng._run + 1
+                                        if r < rng._threshold:
+                                            rng._run = r
+                                            rng.scalar_served += 1
+                                            u = float(sfn())
+                                        else:
+                                            u = rng.random()
+                                    else:
+                                        rng._kind = 0
+                                        rng._run = 1
+                                        rng.scalar_served += 1
+                                        u = float(sfn())
+                                else:
+                                    u = rng.random()
+                                overshoot = mc.slack * u
+                            wake = target + overshoot * mc.oscale
+                            # post_at arithmetic: now + (t - now).
+                            heappush(heap, (now + (wake - now), nseq(),
+                                            mc.k_do_send,
+                                            (True, gcl.push_sent,
+                                             (machine, request))))
+                        else:
+                            delay = intended - now
+                            if not (delay >= 0.0):
+                                raise SimulationError(
+                                    f"cannot schedule in the past: "
+                                    f"{delay!r}")
+                            heappush(heap, (now + delay, nseq(),
+                                            mc.k_do_send,
+                                            (False, gcl.push_sent,
+                                             (machine, request))))
+                else:  # _OP_MEASURED
+                    gcm = data
+                    request = args[1]
+                    request.measured_complete_us = args[2]
+                    rb = gcm.rbuf
+                    if rb is not None:
+                        # Deferred columnar recording: buffered here,
+                        # flushed in completion order before any
+                        # foreign call can observe the samples.
+                        rb.append(request)
+                    else:
+                        self._now = now
+                        gcm.record(request)
+                    gen = gcm.gen
+                    gen.completed += 1
+                    if gcm.after is not None:
+                        self._now = now
+                        flushrec()
+                        gcm.after(args[0], request)
+                        now = self._now
+                        heap = self._heap
+                    if gen.completed >= gen.num_requests:
+                        all_done = gen._on_all_done
+                        if all_done:
+                            self._now = now
+                            flushrec()
+                            all_done()
+                            now = self._now
+                            heap = self._heap
+        finally:
+            self._now = now
+            flushrec()
+            heap = self._heap
+            if ti < tn:
+                # Aborted mid-run: restore the unprocessed train so
+                # the heap reflects every pending event again.
+                heap.extend(train[ti:])
+                heapify(heap)
+            # Convert leftover kernel-format entries back to plain
+            # reference format (keys are unchanged, so heap order is
+            # untouched).  A completed run leaves the heap empty.
+            for idx, e in enumerate(heap):
+                if len(e) == 4 and type(e[2]) is Kt:
+                    heap[idx] = (e[0], e[1], e[2].cb, e[3])
+            if run_len >= 2:
+                batches += 1
+                batched += run_len
+            self._events_processed += fired
+            self.kernel_batches += batches
+            self.kernel_batched_events += batched
+            self.kernel_scalar_fallbacks += scalar
+        return fired
+
+    # ----------------------------------------------------- vectorized SENT
+    _sent_batch_n = 0
+
+    def _sent_batch(self, gc: _GC, key: Any, heap: list, first: tuple,
+                    now: float, nseq: Callable[[], int],
+                    limit: Optional[tuple]) -> bool:
+        """Array-lift a run of link-transit events.
+
+        Pops the maximal same-continuation prefix (up to
+        :data:`BATCH_MAX`, bounded by *limit* -- the launch-train
+        head, which must fire in between), serves its latency draws
+        straight off the network stream's active standard-normal
+        block, computes every next-event time with array math,
+        validates the batch with a running-minimum scan, and
+        re-inserts the committed entries via the heapify bulk path.
+        Uncommitted items are pushed back exactly as popped (their
+        draws were never consumed: the block cursor advances only by
+        the committed prefix).
+
+        Returns False when the run is too short or the stream has no
+        suitable block (nothing was consumed -- the caller then runs
+        the fused scalar handler on ``first``).
+        """
+        stream = gc.stream_s
+        if stream is None:
+            return False
+        if stream._kind != _NORMAL or stream._buf is None:
+            return False
+        if first[0] != now:
+            # Epsilon-behind entry: the reference adds delays onto the
+            # (larger) clock, not the entry time; take the scalar path.
+            return False
+        entries = [first]
+        while (len(entries) < BATCH_MAX and heap
+               and heap[0][2] is key
+               and (limit is None or heap[0] < limit)):
+            entries.append(heappop(heap))
+        n = len(entries)
+        cursor = stream._cursor
+        if n < VECTOR_MIN or stream._buflen - cursor < n:
+            # Put the extras back untouched; scalar handler takes over.
+            for extra in entries[1:]:
+                heappush(heap, extra)
+            return False
+
+        mu = gc.s_mu
+        sigma = gc.s_sigma
+        buf = stream._buf
+        times = [e[0] for e in entries]
+        # Next-event times for the whole batch with array math; the
+        # transcendental stays scalar libm so each committed value is
+        # bit-identical to the reference draw.
+        zs = np.asarray(buf[cursor:cursor + n])
+        exponents = (mu + sigma * zs).tolist()
+        bases = [_exp(v) for v in exponents]
+        sizes = np.asarray([e[3][1].size_kb for e in entries])
+        delays = np.asarray(bases) + np.where(
+            sizes > 0.0, sizes * _US_PER_KB, 0.0)
+        times_arr = np.asarray(times)
+        push_arr = times_arr + delays
+        if _commit_length_nb is not None:  # pragma: no cover - numba
+            commit = int(_commit_length_nb(times_arr, push_arr, n))
+        else:
+            commit = _commit_length_py(times, push_arr.tolist(), n)
+
+        stream._cursor = cursor + commit
+        stream.batched_served += commit
+        push_times = push_arr.tolist()
+        observer = gc.obs_s
+        push_submit = gc.push_submit
+        served_cb = gc.served
+        new_entries = []
+        for i in range(commit):
+            e_args = entries[i][3]
+            request = e_args[1]
+            request.actual_send_us = e_args[2]
+            if observer is not None:
+                observer.messages += 1
+                observer.kb += request.size_kb
+            new_entries.append((push_times[i], nseq(), push_submit,
+                                (request, served_cb, e_args[0])))
+        # Re-insert via the post_at_batch path: extend + one heapify.
+        heap.extend(new_entries)
+        for i in range(commit, n):
+            heap.append(entries[i])
+        heapify(heap)
+        self._now = times[commit - 1]
+        self._sent_batch_n = commit
+        return True
+
+
+# ----------------------------------------------------------------- registry
+DEFAULT_ENGINE = "reference"
+
+ENGINES: Dict[str, Tuple[Callable[[], Simulator], str]] = {
+    "reference": (
+        Simulator,
+        "pure-Python event loop -- the reference implementation",
+    ),
+    "vectorized": (
+        KernelSimulator,
+        "batch-dequeue kernel with fused handlers; bit-identical, "
+        "opt-in",
+    ),
+}
+
+
+def engine_names() -> Tuple[str, ...]:
+    """Registered engine names, sorted."""
+    return tuple(sorted(ENGINES))
+
+
+def validate_engine_name(name: str) -> str:
+    """Validate *name* against the registry with a did-you-mean hint.
+
+    Mirrors the sink registry's contract: unknown names fail fast with
+    a :class:`~repro.errors.SpecValidationError` before any condition
+    executes.
+    """
+    key = str(name)
+    if key in ENGINES:
+        return key
+    close = difflib.get_close_matches(key, list(ENGINES), n=1)
+    hint = f" -- did you mean {close[0]!r}?" if close else ""
+    raise SpecValidationError(
+        f"unknown engine {key!r}{hint} "
+        f"(registered engines: {', '.join(engine_names())})")
+
+
+def describe_engine(name: str) -> str:
+    """One-line description of a registered engine."""
+    return ENGINES[validate_engine_name(name)][1]
+
+
+def make_simulator(name: Optional[str] = None) -> Simulator:
+    """Construct the simulator for *name* (default: the reference)."""
+    key = DEFAULT_ENGINE if name is None else validate_engine_name(name)
+    return ENGINES[key][0]()

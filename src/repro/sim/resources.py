@@ -113,7 +113,7 @@ class ServerPool:
     # ------------------------------------------------------------------
     def submit(self, job: Any,
                service_time_fn: Callable[[Any, int, float], float],
-               done_fn: Callable[[Any, float], None]) -> bool:
+               done_fn: Callable[..., None], *done_ctx: Any) -> bool:
         """Submit *job* to the pool.
 
         Args:
@@ -122,12 +122,14 @@ class ServerPool:
                 service_us``; called when a server actually picks the
                 job up, so it can account for how long that server had
                 been idle (server C-state wake-ups).
-            done_fn: ``(job, queue_wait_us)`` called at completion.
+            done_fn: ``(job, queue_wait_us, *done_ctx)`` called at
+                completion.  Context travels as data so callers can
+                pass stable bound methods instead of per-job closures.
 
         Returns:
             False if the job was dropped due to a full queue.
         """
-        entry = (job, service_time_fn, done_fn)
+        entry = (job, service_time_fn, done_fn, done_ctx)
         if self._idle_servers:
             # Fast path: a server is free; start immediately.
             self.queue.push(entry)
@@ -143,7 +145,8 @@ class ServerPool:
     def _dispatch(self) -> None:
         while self._idle_servers and len(self.queue):
             server = self._idle_servers.pop()
-            waited, (job, service_time_fn, done_fn) = self.queue.pop()
+            waited, (job, service_time_fn, done_fn, done_ctx) = (
+                self.queue.pop())
             idle_gap = self._sim.now - self.idle_since[server]
             service_us = service_time_fn(job, server, idle_gap)
             if service_us < 0:
@@ -152,12 +155,14 @@ class ServerPool:
                 )
             self.busy_time_us += service_us
             self._sim.post(
-                service_us, self._finish, server, job, waited, done_fn)
+                service_us, self._finish, server, job, waited,
+                done_fn, done_ctx)
 
     def _finish(self, server: int, job: Any, waited: float,
-                done_fn: Callable[[Any, float], None]) -> None:
+                done_fn: Callable[..., None],
+                done_ctx: tuple = ()) -> None:
         self.idle_since[server] = self._sim.now
         self._idle_servers.append(server)
         self.jobs_completed += 1
-        done_fn(job, waited)
+        done_fn(job, waited, *done_ctx)
         self._dispatch()

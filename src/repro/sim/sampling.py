@@ -47,7 +47,7 @@ call sites accept either a raw generator or a batched stream.
 from __future__ import annotations
 
 from math import exp, expm1
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
 
@@ -108,7 +108,7 @@ class BatchedStream:
         self._buf: Optional[list] = None
         self._buflen = 0
         self._cursor = 0
-        self._saved_state = None
+        self._saved_state: Any = None
         self._scalar_fns = (generator.random, generator.standard_normal,
                             generator.standard_exponential)
         self._block_fns = self._scalar_fns  # same callables, size arg
@@ -134,14 +134,15 @@ class BatchedStream:
     def _refill(self, kind: int) -> float:
         """Draw a fresh block of *kind* and serve its first value."""
         self._saved_state = self._bitgen.state
-        block = self._block_fns[kind](self.block_size)
-        self._buf = block.tolist()
+        block: Any = self._block_fns[kind](self.block_size)
+        buf = block.tolist()
+        self._buf = buf
         self._buflen = self.block_size
         self._cursor = 1
         self._kind = kind
         self.blocks_drawn += 1
         self.batched_served += 1
-        return self._buf[0]
+        return buf[0]
 
     def _reconcile(self) -> None:
         """Rewind past the unserved tail of the active block.

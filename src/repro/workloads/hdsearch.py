@@ -29,6 +29,7 @@ from repro.server.service import LognormalService
 from repro.server.station import ServiceStation
 from repro.server.tiers import TierSpec, TieredService
 from repro.sim.engine import Simulator
+from repro.sim.kernel import make_simulator
 from repro.sim.random import RandomStreams
 from repro.workloads.common import server_env_scale
 from repro.workloads.hdsearch_lsh import default_candidate_counts
@@ -125,6 +126,7 @@ def _hdsearch_testbed(
         warmup_fraction: float = 0.1,
         params: SkylakeParameters = DEFAULT_PARAMETERS,
         obs=None,
+        engine=None,
         ) -> Testbed:
     """Assemble one single-use HDSearch testbed.
 
@@ -137,8 +139,11 @@ def _hdsearch_testbed(
         warmup_fraction: leading samples to discard.
         params: machine timing constants.
         obs: optional :class:`~repro.obs.Observability` context.
+        engine: event-loop engine name (``None`` keeps the
+            reference loop; ``"vectorized"`` selects the
+            bit-identical batch-dequeue kernel).
     """
-    sim = Simulator()
+    sim = make_simulator(engine)
     if obs is not None:
         obs.install(sim)
     streams = RandomStreams(seed)

@@ -20,6 +20,7 @@ from repro.server.request import Request
 from repro.server.service import LognormalService
 from repro.server.station import ServiceStation
 from repro.sim.engine import Simulator
+from repro.sim.kernel import make_simulator
 from repro.sim.random import RandomStreams
 from repro.workloads.common import server_env_scale
 from repro.workloads.etc import EtcWorkload
@@ -98,6 +99,7 @@ def _memcached_testbed(
         warmup_fraction: float = 0.1,
         params: SkylakeParameters = DEFAULT_PARAMETERS,
         obs=None,
+        engine=None,
         ) -> Testbed:
     """Assemble one single-use Memcached testbed.
 
@@ -115,8 +117,11 @@ def _memcached_testbed(
         obs: optional :class:`~repro.obs.Observability` context,
             installed on the simulator before any component builds so
             every hook sees it.
+        engine: event-loop engine name (``None`` keeps the
+            reference loop; ``"vectorized"`` selects the
+            bit-identical batch-dequeue kernel).
     """
-    sim = Simulator()
+    sim = make_simulator(engine)
     if obs is not None:
         obs.install(sim)
     streams = RandomStreams(seed)

