@@ -14,11 +14,14 @@ from repro.analysis.tables import (
     render_table4,
 )
 from repro.analysis.figures import (
+    GraphStudyGrid,
     StudyGrid,
+    graph_study,
     memcached_study,
     hdsearch_study,
     socialnetwork_study,
     synthetic_study,
+    render_graph_series,
     render_latency_series,
     render_ratio_series,
 )
@@ -33,7 +36,10 @@ __all__ = [
     "render_table2",
     "render_table3",
     "render_table4",
+    "GraphStudyGrid",
     "StudyGrid",
+    "graph_study",
+    "render_graph_series",
     "memcached_study",
     "hdsearch_study",
     "socialnetwork_study",

@@ -21,7 +21,7 @@ campaign of the same conditions are bit-identical.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -361,6 +361,123 @@ def render_cluster_series(grid: ClusterStudyGrid,
             row = f"{f'{nodes}n-{policy}':<28}" + "".join(
                 f"{value:>10.1f}" for _, value in values)
             lines.append(row)
+    return "\n".join(lines)
+
+
+# ------------------------------------------------------------ graph study
+@dataclass
+class GraphStudyGrid:
+    """Results of a service-graph QoS-capacity study: topology x QPS.
+
+    Attributes:
+        workload: workload name.
+        topologies: topology labels swept, in sweep order.
+        cells: topology label -> {qps -> ExperimentResult}.
+        qps_list: the load sweep, ascending.
+    """
+
+    workload: str
+    topologies: Tuple[str, ...]
+    cells: Dict[str, Dict[float, ExperimentResult]] = field(
+        default_factory=dict)
+    qps_list: Tuple[float, ...] = ()
+
+    def result(self, topology: str, qps: float) -> ExperimentResult:
+        """One cell of the grid."""
+        try:
+            return self.cells[topology][qps]
+        except KeyError:
+            raise ExperimentError(
+                f"no result for {topology!r} @ {qps}") from None
+
+    def series(self, topology: str,
+               metric: str = "p99") -> List[Tuple[float, float]]:
+        """(qps, median-of-metric) pairs for one topology line."""
+        return [(qps, _metric_value(self.result(topology, qps), metric))
+                for qps in self.qps_list]
+
+    def qos_capacity(self, topology: str, target_us: float,
+                     metric: str = "p99") -> float:
+        """Max swept QPS whose *metric* stays within *target_us*.
+
+        The QoS-capacity number: how much load a topology sustains
+        before its tail blows the SLO.  Returns 0.0 when even the
+        lightest swept load misses the target.
+        """
+        capacity = 0.0
+        for qps, value in self.series(topology, metric):
+            if value <= float(target_us):
+                capacity = max(capacity, qps)
+        return capacity
+
+
+def graph_study(workload: str = "memcached",
+                graphs: Optional[Sequence[str]] = None,
+                qps_list: Optional[Sequence[float]] = None,
+                runs: int = 10, num_requests: int = 500,
+                base_seed: int = 0,
+                arrival: Optional[Any] = None,
+                clients: Optional[Dict[str, HardwareConfig]] = None,
+                ) -> GraphStudyGrid:
+    """Sweep service-graph topologies x QPS for one workload.
+
+    *graphs* names graph presets (default: every preset); each
+    topology runs as its own campaign through the shared executor
+    path, so the cells are bit-identical to a ``repro campaign`` of
+    the same conditions and land under the same store keys.
+    """
+    from repro.campaign.report import grid_from_outcome
+    from repro.graph.presets import graph_preset, graph_preset_names
+
+    if qps_list is None:
+        from repro.workloads.registry import workload_by_name
+        definition = workload_by_name(workload)
+        qps_list = definition.qps_sweep or (definition.default_qps,)
+    clients = dict(clients or {"LP": LP_CLIENT})
+    if len(clients) != 1:
+        # Keyed by topology for one observer, like cluster_study.
+        raise ExperimentError(
+            f"graph_study sweeps topologies for exactly one "
+            f"client, got {len(clients)}: {', '.join(clients)}")
+    client_label = next(iter(clients))
+    topologies = tuple(str(g) for g in (graphs or graph_preset_names()))
+    grid = GraphStudyGrid(
+        workload=workload, topologies=topologies,
+        qps_list=tuple(float(q) for q in qps_list))
+    for topology in topologies:
+        spec = CampaignSpec(
+            name=f"{workload}-graph-{topology}",
+            workload=workload,
+            conditions={"baseline": SERVER_BASELINE},
+            qps_list=tuple(float(q) for q in qps_list),
+            clients=dict(clients),
+            runs=runs,
+            num_requests=num_requests,
+            base_seed=base_seed,
+            graph=graph_preset(topology),
+            arrival=arrival,
+        )
+        outcome = execute_campaign(spec, max_workers=1, fail_fast=True)
+        study = grid_from_outcome(spec, outcome)
+        grid.cells[topology] = {
+            float(qps): study.result(client_label, "baseline", float(qps))
+            for qps in qps_list}
+    return grid
+
+
+def render_graph_series(grid: GraphStudyGrid,
+                        metric: str = "p99",
+                        title: str = "") -> str:
+    """Print one metric's series for every topology line."""
+    lines = [title or f"{grid.workload} graphs: {metric} by QPS"]
+    header = f"{'topology':<28}" + "".join(
+        f"{_format_qps(qps):>10}" for qps in grid.qps_list)
+    lines.append(header)
+    for topology in grid.topologies:
+        values = grid.series(topology, metric)
+        row = f"{topology:<28}" + "".join(
+            f"{value:>10.1f}" for _, value in values)
+        lines.append(row)
     return "\n".join(lines)
 
 

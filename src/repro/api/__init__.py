@@ -36,6 +36,12 @@ from repro.api.specs import (
 )
 from repro.cluster.spec import ClusterSpec
 from repro.errors import SpecValidationError
+from repro.graph.spec import (
+    GraphTierSpec,
+    ResiliencePolicy,
+    ServiceGraphSpec,
+)
+from repro.loadgen.interarrival import ArrivalSpec
 from repro.workloads.registry import (
     ParamSpec,
     WorkloadDefinition,
@@ -45,13 +51,17 @@ from repro.workloads.registry import (
 )
 
 __all__ = [
+    "ArrivalSpec",
     "ClusterSpec",
     "ExperimentPlan",
+    "GraphTierSpec",
     "HardwareSpec",
     "LoadSpec",
     "ParamSpec",
     "PlanBuilder",
+    "ResiliencePolicy",
     "RunPolicy",
+    "ServiceGraphSpec",
     "SpecValidationError",
     "WorkloadDefinition",
     "WorkloadSpec",

@@ -34,6 +34,8 @@ from repro.errors import SpecValidationError
 from repro.config.knobs import HardwareConfig
 from repro.config.presets import LP_CLIENT
 from repro.core.experiment import ExperimentResult
+from repro.graph.spec import ServiceGraphSpec, as_graph_spec
+from repro.loadgen.interarrival import ArrivalSpec
 
 __all__ = ["PlanBuilder", "experiment"]
 
@@ -55,6 +57,7 @@ class PlanBuilder:
         self._hardware = HardwareSpec(client=LP_CLIENT)
         self._policy = RunPolicy()
         self._cluster = ClusterSpec()
+        self._graph: Optional[ServiceGraphSpec] = None
 
     # ------------------------------------------------------------------
     def params(self, **params: Any) -> "PlanBuilder":
@@ -85,7 +88,10 @@ class PlanBuilder:
     def load(self, qps: Optional[float] = None,
              num_requests: Optional[int] = None,
              warmup_fraction: Optional[float] = None,
-             generator: Optional[str] = None) -> "PlanBuilder":
+             generator: Optional[str] = None,
+             arrival: Optional[Union[ArrivalSpec, str,
+                                     Mapping[str, Any]]] = None,
+             ) -> "PlanBuilder":
         """Set load fields; omitted arguments keep their value."""
         self._load = LoadSpec(
             qps=self._load.qps if qps is None else qps,
@@ -95,7 +101,9 @@ class PlanBuilder:
                              if warmup_fraction is None
                              else warmup_fraction),
             generator=(self._load.generator
-                       if generator is None else generator))
+                       if generator is None else generator),
+            arrival=(self._load.arrival
+                     if arrival is None else arrival))
         return self
 
     def policy(self, runs: Optional[int] = None,
@@ -103,6 +111,7 @@ class PlanBuilder:
                label: Optional[str] = None,
                sink: Optional[str] = None,
                trace: Optional[bool] = None,
+               metrics: Optional[bool] = None,
                engine: Optional[str] = None) -> "PlanBuilder":
         """Set run-policy fields; omitted arguments keep their value."""
         self._policy = RunPolicy(
@@ -112,6 +121,8 @@ class PlanBuilder:
             label=self._policy.label if label is None else label,
             sink=self._policy.sink if sink is None else sink,
             trace=self._policy.trace if trace is None else trace,
+            metrics=(self._policy.metrics
+                     if metrics is None else metrics),
             engine=self._policy.engine if engine is None else engine)
         return self
 
@@ -135,6 +146,28 @@ class PlanBuilder:
         if spec is None:
             spec = self._cluster.with_fields(**fields)
         self._cluster = as_cluster_spec(spec)
+        self._graph = None
+        return self
+
+    def graph(self,
+              spec: Optional[Union[ServiceGraphSpec, str,
+                                   Mapping[str, Any]]] = None
+              ) -> "PlanBuilder":
+        """Deploy on a service-graph topology::
+
+            experiment("memcached").graph("memcached-cached")
+
+        Accepts a :class:`~repro.graph.spec.ServiceGraphSpec`, its
+        dict form, or a graph preset name.  Setting a graph resets
+        the cluster to single-server (each tier carries its own
+        shape); calling with no argument clears the graph.
+        """
+        if isinstance(spec, str):
+            from repro.graph.presets import graph_preset
+            spec = graph_preset(spec)
+        self._graph = as_graph_spec(spec)
+        if self._graph is not None:
+            self._cluster = ClusterSpec()
         return self
 
     # ------------------------------------------------------------------
@@ -145,7 +178,8 @@ class PlanBuilder:
             load=self._load,
             hardware=self._hardware,
             policy=self._policy,
-            cluster=self._cluster)
+            cluster=self._cluster,
+            graph=self._graph)
 
     def run(self) -> ExperimentResult:
         """Build and execute in one step."""

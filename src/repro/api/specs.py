@@ -61,6 +61,8 @@ from repro.core.experiment import (
 )
 from repro.core.testbed import Testbed
 from repro.errors import SpecValidationError
+from repro.graph.spec import ServiceGraphSpec, as_graph_spec
+from repro.loadgen.interarrival import ArrivalSpec, as_arrival_spec
 from repro.obs.sinks import DEFAULT_SINK, validate_sink_name
 from repro.sim.kernel import DEFAULT_ENGINE, validate_engine_name
 from repro.workloads.registry import WorkloadDefinition, workload_by_name
@@ -154,17 +156,25 @@ class LoadSpec:
             the workload builder's default.
         generator: load-generator choice; ``"default"`` keeps the
             workload's own (Mutilate, wrk2, the HDSearch client).
+        arrival: optional time-varying arrival shape (an
+            :class:`~repro.loadgen.interarrival.ArrivalSpec`, its
+            dict form, or a shape name); ``None`` -- and the default
+            Poisson spec, which normalizes to ``None`` -- keep the
+            stock exponential process.
     """
 
     qps: float
     num_requests: int = 1_000
     warmup_fraction: Optional[float] = None
     generator: str = DEFAULT_GENERATOR
+    arrival: Optional[ArrivalSpec] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "qps", float(self.qps))
         object.__setattr__(self, "num_requests", int(self.num_requests))
         object.__setattr__(self, "generator", str(self.generator))
+        object.__setattr__(self, "arrival",
+                           as_arrival_spec(self.arrival))
         if self.qps <= 0:
             raise SpecValidationError(
                 f"qps must be > 0, got {self.qps!r}")
@@ -179,22 +189,28 @@ class LoadSpec:
             object.__setattr__(self, "warmup_fraction", warmup)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        """Serialize; ``arrival`` is emitted only when a non-default
+        shape is set, so pre-existing plan hashes stay byte-stable."""
+        data: Dict[str, Any] = {
             "qps": self.qps,
             "num_requests": self.num_requests,
             "warmup_fraction": self.warmup_fraction,
             "generator": self.generator,
         }
+        if self.arrival is not None:
+            data["arrival"] = self.arrival.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "LoadSpec":
         _check_keys(data, ("qps", "num_requests", "warmup_fraction",
-                           "generator"), "load")
+                           "generator", "arrival"), "load")
         return cls(
             qps=data["qps"],
             num_requests=data.get("num_requests", 1_000),
             warmup_fraction=data.get("warmup_fraction"),
             generator=data.get("generator") or DEFAULT_GENERATOR,
+            arrival=data.get("arrival"),
         )
 
 
@@ -263,6 +279,10 @@ class RunPolicy:
             default ``"columnar"`` is the exact per-request buffer.
         trace: record request-lifecycle spans (off by default; spans
             cost memory but never perturb the simulation).
+        metrics: harvest component counters into
+            :attr:`~repro.core.testbed.RunMetrics.obs_metrics` even
+            without tracing or a custom sink (cache hit rates,
+            retry/hedge counts, dispatch tallies).
         engine: event-loop engine name (see
             :mod:`repro.sim.kernel`); the default ``"reference"`` is
             the pure-Python loop, ``"vectorized"`` the bit-identical
@@ -274,6 +294,7 @@ class RunPolicy:
     label: str = ""
     sink: str = DEFAULT_SINK
     trace: bool = False
+    metrics: bool = False
     engine: str = DEFAULT_ENGINE
 
     def __post_init__(self) -> None:
@@ -283,6 +304,7 @@ class RunPolicy:
         object.__setattr__(self, "sink",
                            validate_sink_name(self.sink))
         object.__setattr__(self, "trace", bool(self.trace))
+        object.__setattr__(self, "metrics", bool(self.metrics))
         object.__setattr__(self, "engine",
                            validate_engine_name(self.engine))
         if self.runs < 1:
@@ -296,7 +318,8 @@ class RunPolicy:
     @property
     def observed(self) -> bool:
         """True when runs need an :class:`~repro.obs.Observability`."""
-        return self.trace or self.sink != DEFAULT_SINK
+        return (self.trace or self.metrics
+                or self.sink != DEFAULT_SINK)
 
     def observability(self) -> Optional["Observability"]:
         """A fresh per-run observability context, or None when the
@@ -316,6 +339,8 @@ class RunPolicy:
             data["sink"] = self.sink
         if self.trace:
             data["trace"] = True
+        if self.metrics:
+            data["metrics"] = True
         if self.engine != DEFAULT_ENGINE:
             data["engine"] = self.engine
         return data
@@ -323,13 +348,14 @@ class RunPolicy:
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunPolicy":
         _check_keys(data, ("runs", "base_seed", "label", "sink",
-                           "trace", "engine"), "policy")
+                           "trace", "metrics", "engine"), "policy")
         return cls(
             runs=data.get("runs", DEFAULT_RUNS),
             base_seed=data.get("base_seed", 0),
             label=str(data.get("label") or ""),
             sink=str(data.get("sink", DEFAULT_SINK)),
             trace=bool(data.get("trace", False)),
+            metrics=bool(data.get("metrics", False)),
             engine=str(data.get("engine", DEFAULT_ENGINE)),
         )
 
@@ -352,10 +378,21 @@ class ExperimentPlan:
     #: testbed (and is omitted from the serialized form, so existing
     #: plan hashes and store keys are untouched).
     cluster: ClusterSpec = field(default_factory=ClusterSpec)
+    #: Multi-tier service graph; ``None`` (the default, omitted from
+    #: the serialized form) keeps the cluster/single-server paths.
+    #: Mutually exclusive with a non-single-server ``cluster`` -- a
+    #: graph tier carries its own cluster shape instead.
+    graph: Optional[ServiceGraphSpec] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
             self, "cluster", as_cluster_spec(self.cluster))
+        object.__setattr__(self, "graph", as_graph_spec(self.graph))
+        if self.graph is not None and not self.cluster.is_single_server:
+            raise SpecValidationError(
+                "a plan deploys either a service graph or a cluster, "
+                "not both; give the graph's tiers their own cluster "
+                "shapes instead")
         definition = self.workload.definition
         generator = self.load.generator
         if generator not in (DEFAULT_GENERATOR, definition.generator):
@@ -393,6 +430,8 @@ class ExperimentPlan:
         }
         if not self.cluster.is_single_server:
             data["cluster"] = self.cluster.to_dict()
+        if self.graph is not None:
+            data["graph"] = self.graph.to_dict()
         return data
 
     @classmethod
@@ -404,7 +443,7 @@ class ExperimentPlan:
         omitted (all its fields have defaults).
         """
         _check_keys(data, ("workload", "load", "hardware", "policy",
-                           "cluster"), "experiment plan")
+                           "cluster", "graph"), "experiment plan")
         try:
             return cls(
                 workload=WorkloadSpec.from_dict(data["workload"]),
@@ -412,6 +451,7 @@ class ExperimentPlan:
                 hardware=HardwareSpec.from_dict(data["hardware"]),
                 policy=RunPolicy.from_dict(data.get("policy", {})),
                 cluster=as_cluster_spec(data.get("cluster")),
+                graph=as_graph_spec(data.get("graph")),
             )
         except KeyError as exc:
             raise SpecValidationError(
@@ -492,7 +532,28 @@ class ExperimentPlan:
         if cluster is None:
             cluster = (self.cluster.with_fields(**fields)
                        if fields else SINGLE_SERVER)
-        return replace(self, cluster=as_cluster_spec(cluster))
+        return replace(self, cluster=as_cluster_spec(cluster),
+                       graph=None)
+
+    def with_graph(self,
+                   graph: Optional[Union[ServiceGraphSpec, str,
+                                         Mapping[str, Any]]] = None
+                   ) -> "ExperimentPlan":
+        """Copy deployed on a service-graph topology.
+
+        Pass a :class:`~repro.graph.spec.ServiceGraphSpec`, its dict
+        form, or a graph preset name (``"memcached-cached"``).  With
+        no argument the copy resets to the plan's non-graph topology.
+        Setting a graph resets the cluster to single-server (each
+        tier carries its own shape).
+        """
+        if isinstance(graph, str):
+            from repro.graph.presets import graph_preset
+            graph = graph_preset(graph)
+        spec = as_graph_spec(graph)
+        if spec is None:
+            return replace(self, graph=None)
+        return replace(self, graph=spec, cluster=SINGLE_SERVER)
 
     def with_seed(self, base_seed: int) -> "ExperimentPlan":
         """Copy starting from a different base seed."""
@@ -509,7 +570,33 @@ class ExperimentPlan:
         kwargs = self.workload.param_dict()
         if self.load.warmup_fraction is not None:
             kwargs["warmup_fraction"] = self.load.warmup_fraction
+        if self.load.arrival is not None:
+            kwargs["arrival"] = self.load.arrival
         policy = self.policy
+
+        if self.graph is not None:
+            # Deferred import for the same reason as the cluster
+            # branch: the graph assembly pulls in every workload.
+            from repro.graph.testbed import build_graph_testbed
+            graph = self.graph
+
+            def build_graph(seed: int) -> Testbed:
+                extra = dict(kwargs)
+                obs = policy.observability()
+                if obs is not None:
+                    extra["obs"] = obs
+                if policy.engine != DEFAULT_ENGINE:
+                    extra["engine"] = policy.engine
+                return build_graph_testbed(
+                    self.workload.name, seed,
+                    client_config=self.hardware.client,
+                    server_config=self.hardware.server,
+                    qps=self.load.qps,
+                    num_requests=self.load.num_requests,
+                    graph=graph,
+                    **extra)
+
+            return build_graph
 
         if not self.cluster.is_single_server:
             # Deferred import: the assembly module pulls in every

@@ -18,6 +18,8 @@ from repro.campaign.spec import CampaignSpec
 from repro.cluster.spec import LB_POWER_OF_TWO, ClusterSpec
 from repro.config.presets import SERVER_BASELINE, knob_conditions
 from repro.errors import ExperimentError
+from repro.graph.presets import graph_preset
+from repro.loadgen.interarrival import ArrivalSpec
 from repro.workloads.registry import DEFAULT_QPS_SWEEPS
 
 _SMT = knob_conditions("smt")
@@ -78,6 +80,29 @@ _PRESETS: Dict[str, Callable[[], CampaignSpec]] = {
         # No lb_policy: one node, no replicas -> no balancer runs
         # (ClusterSpec canonicalizes a dead policy away anyway).
         cluster=ClusterSpec(shards=8, fanout=4),
+    ),
+    # Service-graph testbeds: multi-tier DAG deployments with cache
+    # tiers, tail-resilience policies and time-varying load -- the
+    # QoS-capacity territory past the paper's single-box scope.
+    "memcached-cached": lambda: CampaignSpec(
+        name="memcached-cached",
+        workload="memcached",
+        conditions={"baseline": SERVER_BASELINE},
+        qps_list=DEFAULT_QPS_SWEEPS["memcached"],
+        num_requests=2_000,
+        graph=graph_preset("memcached-cached"),
+        # One diurnal cycle per ~50ms of simulated time at the sweep's
+        # midpoint load, so every run sees both rate extremes.
+        arrival=ArrivalSpec(shape="diurnal", period_us=20_000.0,
+                            amplitude=0.5),
+    ),
+    "hdsearch-graph": lambda: CampaignSpec(
+        name="hdsearch-graph",
+        workload="hdsearch",
+        conditions={"baseline": SERVER_BASELINE},
+        qps_list=DEFAULT_QPS_SWEEPS["hdsearch"],
+        num_requests=1_000,
+        graph=graph_preset("hdsearch-graph"),
     ),
 }
 

@@ -49,6 +49,8 @@ from repro.config.presets import (
 )
 from repro.core.experiment import DEFAULT_RUNS
 from repro.errors import ExperimentError
+from repro.graph.spec import ServiceGraphSpec, as_graph_spec
+from repro.loadgen.interarrival import ArrivalSpec, as_arrival_spec
 from repro.sim.kernel import DEFAULT_ENGINE, validate_engine_name
 from repro.sim.random import _stable_name_key
 from repro.workloads.registry import (
@@ -118,6 +120,12 @@ class ConditionSpec:
             default engine explicitly is stored as ``None`` and
             omitted from the dict form, so every pre-engine condition
             hash -- and every store row keyed by one -- is unchanged.
+        graph: multi-tier service-graph topology, or ``None`` for the
+            cluster / single-server paths.  Omitted from the dict form
+            when ``None``, preserving every pre-graph condition hash.
+        arrival: time-varying arrival shape, or ``None`` for the
+            stock Poisson process (the default spec normalizes to
+            ``None``, same canonicalization as ``cluster``).
     """
 
     workload: str
@@ -132,6 +140,8 @@ class ConditionSpec:
     extra: Tuple[Tuple[str, Any], ...] = ()
     cluster: Optional[ClusterSpec] = None
     engine: Optional[str] = None
+    graph: Optional[ServiceGraphSpec] = None
+    arrival: Optional[ArrivalSpec] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -147,6 +157,13 @@ class ConditionSpec:
             object.__setattr__(
                 self, "engine",
                 None if engine == DEFAULT_ENGINE else engine)
+        object.__setattr__(self, "graph", as_graph_spec(self.graph))
+        object.__setattr__(self, "arrival",
+                           as_arrival_spec(self.arrival))
+        if self.graph is not None and self.cluster is not None:
+            raise ExperimentError(
+                "a condition deploys either a service graph or a "
+                "cluster, not both")
 
     @property
     def label(self) -> str:
@@ -181,6 +198,10 @@ class ConditionSpec:
             data["cluster"] = self.cluster.to_dict()
         if self.engine is not None:
             data["engine"] = self.engine
+        if self.graph is not None:
+            data["graph"] = self.graph.to_dict()
+        if self.arrival is not None:
+            data["arrival"] = self.arrival.to_dict()
         return data
 
     @classmethod
@@ -203,6 +224,10 @@ class ConditionSpec:
                 cluster=(ClusterSpec.from_dict(data["cluster"])
                          if "cluster" in data else None),
                 engine=data.get("engine"),
+                graph=(ServiceGraphSpec.from_dict(data["graph"])
+                       if "graph" in data else None),
+                arrival=(ArrivalSpec.from_dict(data["arrival"])
+                         if "arrival" in data else None),
             )
         except KeyError as exc:
             raise ExperimentError(
@@ -241,7 +266,7 @@ class ConditionSpec:
         return ExperimentPlan(
             workload=WorkloadSpec.create(self.workload, **extra),
             load=LoadSpec(qps=self.qps, num_requests=self.num_requests,
-                          **load_kwargs),
+                          arrival=self.arrival, **load_kwargs),
             hardware=HardwareSpec(
                 client=self.client_config, server=self.server_config,
                 client_label=self.client_label,
@@ -250,6 +275,7 @@ class ConditionSpec:
                              label=self.label,
                              engine=self.engine or DEFAULT_ENGINE),
             cluster=self.cluster,
+            graph=self.graph,
         )
 
 
@@ -312,6 +338,11 @@ class CampaignSpec:
         engine: event-loop engine every condition runs on (``None``
             for the reference loop).  Validated here, before any
             condition executes, with a did-you-mean hint.
+        graph: service-graph topology every condition deploys on
+            (spec, dict, or ``None``); validated here, before
+            expansion, with did-you-mean hints for tier references.
+        arrival: time-varying arrival shape every condition drives
+            (spec, dict, shape name, or ``None`` for Poisson).
     """
 
     name: str
@@ -326,6 +357,8 @@ class CampaignSpec:
     extra: Dict[str, Any] = field(default_factory=dict)
     cluster: Optional[ClusterSpec] = None
     engine: Optional[str] = None
+    graph: Optional[ServiceGraphSpec] = None
+    arrival: Optional[ArrivalSpec] = None
 
     def __post_init__(self) -> None:
         if self.cluster is not None:
@@ -336,6 +369,12 @@ class CampaignSpec:
             engine = validate_engine_name(self.engine)
             self.engine = (None if engine == DEFAULT_ENGINE
                            else engine)
+        self.graph = as_graph_spec(self.graph)
+        self.arrival = as_arrival_spec(self.arrival)
+        if self.graph is not None and self.cluster is not None:
+            raise ExperimentError(
+                "a campaign deploys either a service graph or a "
+                "cluster, not both")
         self.qps_list = tuple(float(q) for q in self.qps_list)
         if not self.name:
             raise ExperimentError("campaign name must be non-empty")
@@ -389,6 +428,8 @@ class CampaignSpec:
                         extra=extra,
                         cluster=self.cluster,
                         engine=self.engine,
+                        graph=self.graph,
+                        arrival=self.arrival,
                     ))
         return out
 
@@ -420,6 +461,10 @@ class CampaignSpec:
             data["cluster"] = self.cluster.to_dict()
         if self.engine is not None:
             data["engine"] = self.engine
+        if self.graph is not None:
+            data["graph"] = self.graph.to_dict()
+        if self.arrival is not None:
+            data["arrival"] = self.arrival.to_dict()
         return data
 
     def to_json(self, indent: int = 2) -> str:
@@ -461,6 +506,10 @@ class CampaignSpec:
             cluster=(ClusterSpec.from_dict(data["cluster"])
                      if "cluster" in data else None),
             engine=data.get("engine"),
+            graph=(ServiceGraphSpec.from_dict(data["graph"])
+                   if "graph" in data else None),
+            arrival=(ArrivalSpec.from_dict(data["arrival"])
+                     if "arrival" in data else None),
         )
 
     @classmethod

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands mirror the library's faces::
+Nine subcommands mirror the library's faces::
 
     repro study --workload memcached --knob smt --qps 10000 100000
     repro tune --config HP [--real] [--apply]
@@ -9,6 +9,7 @@ Eight subcommands mirror the library's faces::
     repro campaign run --preset memcached-smt --store results.sqlite
     repro plan --preset memcached-smt
     repro cluster --workload memcached --nodes 4 --policy power-of-two
+    repro graph --graph memcached-cached --arrival diurnal
     repro trace --workload memcached --output trace.json
 
 ``repro study`` runs a scaled study grid and prints the paper-style
@@ -23,7 +24,10 @@ content hashes and seed schedules *without running anything* (the
 dry run for expensive sweeps); ``repro cluster`` deploys a workload
 on a load-balanced, optionally sharded multi-server topology and
 reports fan-out tail latency plus per-node utilization; ``repro
-trace`` runs one experiment with request-lifecycle tracing on and
+graph`` deploys a workload on a multi-tier service-graph topology
+(cache tiers, tail-resilience policies, optionally time-varying
+load) and reports tail latency plus cache/retry/hedge counters;
+``repro trace`` runs one experiment with request-lifecycle tracing on and
 writes a Chrome trace-event JSON (load it at https://ui.perfetto.dev)
 plus a per-stage latency-breakdown table.
 
@@ -204,6 +208,10 @@ def _build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--engine", default=None,
                       help="event-loop engine the conditions would "
                            "run on (reference or vectorized)")
+    plan.add_argument("--graph", default=None, metavar="PRESET",
+                      help="service-graph preset for an ad-hoc "
+                           "--workload campaign (validated with "
+                           "did-you-mean before expansion)")
 
     from repro.cluster.spec import LB_POLICIES
     cluster = commands.add_parser(
@@ -234,6 +242,32 @@ def _build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--requests", type=int, default=500)
     cluster.add_argument("--seed", type=int, default=0,
                          help="base seed for the repetition protocol")
+
+    from repro.graph.presets import graph_preset_names
+    graph = commands.add_parser(
+        "graph", help="run a workload on a multi-tier service-graph "
+                      "topology (cache tiers + resilience policies)")
+    graph.add_argument("--workload", default="memcached",
+                       help="registered workload name")
+    graph.add_argument("--graph", default="memcached-cached",
+                       metavar="PRESET",
+                       help="graph topology preset: "
+                            + ", ".join(graph_preset_names()))
+    graph.add_argument("--client", default="LP",
+                       help="client preset (LP or HP)")
+    graph.add_argument("--qps", type=float, default=None,
+                       help="offered load (default: the workload's)")
+    graph.add_argument("--arrival", default=None,
+                       choices=["poisson", "diurnal", "flash-crowd"],
+                       help="arrival process shape "
+                            "(default: stationary Poisson)")
+    graph.add_argument("--runs", type=int, default=5)
+    graph.add_argument("--requests", type=int, default=500)
+    graph.add_argument("--seed", type=int, default=0,
+                       help="base seed for the repetition protocol")
+    graph.add_argument("--engine", default=None,
+                       help="event-loop engine (reference or "
+                            "vectorized)")
 
     trace = commands.add_parser(
         "trace", help="run one traced experiment and export a "
@@ -450,7 +484,8 @@ def _plan_campaign_spec(args: argparse.Namespace):
         # to --spec/--preset, so reject them instead of dropping them.
         for flag, value in (("--param", args.param or None),
                             ("--knob", args.knob),
-                            ("--clients", args.clients)):
+                            ("--clients", args.clients),
+                            ("--graph", args.graph)):
             if value is not None:
                 raise ExperimentError(
                     f"{flag} only applies to an ad-hoc --workload "
@@ -475,12 +510,19 @@ def _plan_campaign_spec(args: argparse.Namespace):
         # Unregistered workload: expansion below raises the
         # did-you-mean error; any placeholder sweep will do.
         default_sweep = (1_000.0,)
+    graph = None
+    if args.graph is not None:
+        # Resolve the preset now so an unknown topology fails with
+        # the registry's did-you-mean before any expansion output.
+        from repro.graph.presets import graph_preset
+        graph = graph_preset(args.graph)
     spec = CampaignSpec(
         name=f"{args.workload}-plan",
         workload=args.workload,
         conditions=conditions,
         qps_list=default_sweep,
         extra=dict(_parse_param(p) for p in args.param),
+        graph=graph,
     )
     if clients is not None:
         spec = spec.with_overrides(clients=clients)
@@ -518,6 +560,12 @@ def _cmd_plan(args: argparse.Namespace) -> int:
             print(f"workload parameters: {spec.extra}")
         if spec.cluster is not None:
             print(f"cluster topology: {spec.cluster.describe()}")
+        if spec.graph is not None:
+            print("service graph:")
+            for line in spec.graph.describe().splitlines():
+                print(f"  {line}")
+        if spec.arrival is not None:
+            print(f"arrival process: {spec.arrival.describe()}")
         policy = plans[0].policy
         overrides = {}
         if sink is not None:
@@ -601,6 +649,61 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         return 1
 
 
+def _cmd_graph(args: argparse.Namespace) -> int:
+    """Run one service-graph experiment and summarize it per tier."""
+    from repro.api import ArrivalSpec, experiment
+    from repro.errors import ReproError
+
+    try:
+        arrival = None
+        if args.arrival == "diurnal":
+            arrival = ArrivalSpec(shape="diurnal",
+                                  period_us=20_000.0, amplitude=0.5)
+        elif args.arrival == "flash-crowd":
+            arrival = ArrivalSpec(shape="flash-crowd",
+                                  spike_start_us=5_000.0,
+                                  spike_duration_us=5_000.0,
+                                  spike_factor=4.0)
+        builder = (experiment(args.workload)
+                   .client(client_by_name(args.client))
+                   .graph(args.graph)
+                   .policy(runs=args.runs, base_seed=args.seed,
+                           metrics=True, engine=args.engine))
+        load_kwargs = {"num_requests": args.requests,
+                       "arrival": arrival}
+        if args.qps is not None:
+            load_kwargs["qps"] = args.qps
+        plan = builder.load(**load_kwargs).build()
+        result = plan.run()
+        avg = float(np.median(result.avg_samples()))
+        p99 = float(np.median(result.p99_samples()))
+        true_p99 = float(np.median(result.true_p99_samples()))
+        print(f"{args.workload} on service graph "
+              f"{args.graph!r} @ {plan.load.qps:g} QPS "
+              f"({args.runs} runs x {args.requests} requests, "
+              f"seed {args.seed})")
+        for line in plan.graph.describe().splitlines():
+            print(f"  {line}")
+        if arrival is not None:
+            print(f"arrival process: {arrival.describe()}")
+        print(f"plan hash: {plan.content_hash()[:12]}")
+        print(f"  median avg latency:  {avg:10.1f} us")
+        print(f"  median p99 latency:  {p99:10.1f} us")
+        print(f"  median true p99:     {true_p99:10.1f} us")
+        tier_metrics = [(name, value)
+                        for name, value in result.runs[0].obs_metrics
+                        if name.startswith(("cache.", "resilience."))]
+        if tier_metrics:
+            print(f"  tier counters (seed "
+                  f"{plan.policy.seed_schedule()[0]} run):")
+            for name, value in tier_metrics:
+                print(f"    {name:<34} {value:>12g}")
+        return 0
+    except (ReproError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Run one traced experiment; write the trace, print the table."""
     from repro.api import experiment
@@ -670,6 +773,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "campaign": _cmd_campaign,
         "plan": _cmd_plan,
         "cluster": _cmd_cluster,
+        "graph": _cmd_graph,
         "trace": _cmd_trace,
     }
     return handlers[args.command](args)

@@ -125,16 +125,20 @@ def clustered_workloads() -> tuple:
 def _build_group(adapter: ClusterAdapter, sim: Simulator,
                  streams: RandomStreams, server_config: HardwareConfig,
                  params: SkylakeParameters, cluster: ClusterSpec,
-                 node: int, **workload_params: Any) -> Any:
+                 node: int, stream_prefix: str = "",
+                 label: Optional[str] = None,
+                 **workload_params: Any) -> Any:
     """One server group: a bare service, or a sharded fanout tree."""
-    prefix = f"node{node}/"
+    if label is None:
+        label = adapter.workload
+    prefix = f"{stream_prefix}node{node}/"
     env = server_env_scale(streams, params,
                            stream=prefix + "server-env")
     if cluster.shards == 1 and cluster.replication == 1:
         return adapter.make_service(
             sim, streams, server_config, params,
             env_scale=env,
-            name=f"{adapter.workload}[n{node}]",
+            name=f"{label}[n{node}]",
             stream_prefix=prefix,
             **workload_params)
     if cluster.shards == 1:
@@ -145,7 +149,7 @@ def _build_group(adapter: ClusterAdapter, sim: Simulator,
             adapter.make_service(
                 sim, streams, server_config, params,
                 env_scale=env,
-                name=f"{adapter.workload}[n{node}.s0.r{replica}]",
+                name=f"{label}[n{node}.s0.r{replica}]",
                 stream_prefix=f"{prefix}shard0/rep{replica}/",
                 **workload_params)
             for replica in range(cluster.replication)
@@ -153,7 +157,7 @@ def _build_group(adapter: ClusterAdapter, sim: Simulator,
         return LoadBalancer(
             sim, replicas, policy=cluster.lb_policy,
             rng=streams.stream(f"{prefix}shard0/lb"),
-            name=f"{adapter.workload}-lb[n{node}.s0]")
+            name=f"{label}-lb[n{node}.s0]")
     shard_backends: List[Any] = []
     links: List[Optional[NetworkLink]] = []
     for shard in range(cluster.shards):
@@ -162,7 +166,7 @@ def _build_group(adapter: ClusterAdapter, sim: Simulator,
             adapter.make_service(
                 sim, streams, server_config, params,
                 env_scale=env,
-                name=f"{adapter.workload}[n{node}.s{shard}.r{replica}]",
+                name=f"{label}[n{node}.s{shard}.r{replica}]",
                 stream_prefix=(shard_prefix if cluster.replication == 1
                                else f"{shard_prefix}rep{replica}/"),
                 **workload_params)
@@ -174,7 +178,7 @@ def _build_group(adapter: ClusterAdapter, sim: Simulator,
             shard_backends.append(LoadBalancer(
                 sim, replicas, policy=cluster.lb_policy,
                 rng=streams.stream(shard_prefix + "lb"),
-                name=f"{adapter.workload}-lb[n{node}.s{shard}]"))
+                name=f"{label}-lb[n{node}.s{shard}]"))
         links.append(NetworkLink(
             params, streams.stream(f"{prefix}shard-net-{shard}")))
     return FanoutService(
@@ -182,7 +186,51 @@ def _build_group(adapter: ClusterAdapter, sim: Simulator,
         fanout=cluster.effective_fanout,
         quorum=cluster.effective_quorum,
         rng=streams.stream(prefix + "fanout"),
-        name=f"{adapter.workload}-fanout[n{node}]")
+        name=f"{label}-fanout[n{node}]")
+
+
+def build_cluster_service(adapter: ClusterAdapter, sim: Simulator,
+                          streams: RandomStreams,
+                          server_config: HardwareConfig,
+                          params: SkylakeParameters,
+                          cluster: ClusterSpec, *,
+                          stream_prefix: str = "",
+                          label: Optional[str] = None,
+                          **workload_params: Any) -> Any:
+    """Assemble just the service side of a cluster topology.
+
+    The service-graph builder uses this to give each graph tier its
+    own station or cluster shape: a single-server shape is the
+    workload's bare service, anything larger is the same group /
+    balancer tree ``build_cluster_testbed`` deploys.  With the default
+    ``stream_prefix`` and ``label`` this is draw-for-draw and
+    name-for-name identical to the assembly inside
+    ``build_cluster_testbed``.
+    """
+    if label is None:
+        label = adapter.workload
+    if cluster.is_single_server:
+        prefix = f"{stream_prefix}node0/"
+        env = server_env_scale(streams, params,
+                               stream=prefix + "server-env")
+        return adapter.make_service(
+            sim, streams, server_config, params,
+            env_scale=env,
+            name=f"{label}[n0]",
+            stream_prefix=prefix,
+            **workload_params)
+    groups = [
+        _build_group(adapter, sim, streams, server_config, params,
+                     cluster, node, stream_prefix=stream_prefix,
+                     label=label, **workload_params)
+        for node in range(cluster.nodes)
+    ]
+    if cluster.nodes == 1:
+        return groups[0]
+    return LoadBalancer(
+        sim, groups, policy=cluster.lb_policy,
+        rng=streams.stream(stream_prefix + "cluster-lb"),
+        name=f"{label}-cluster-lb")
 
 
 def build_cluster_testbed(
@@ -197,6 +245,7 @@ def build_cluster_testbed(
         params: SkylakeParameters = DEFAULT_PARAMETERS,
         obs: Any = None,
         engine: Any = None,
+        arrival: Any = None,
         **workload_params: Any) -> Testbed:
     """Assemble one single-use cluster testbed for *workload*.
 
@@ -220,6 +269,10 @@ def build_cluster_testbed(
         engine: event-loop engine name (``None`` keeps the reference
             loop; ``"vectorized"`` selects the bit-identical
             batch-dequeue kernel).
+        arrival: optional :class:`~repro.loadgen.interarrival.
+            ArrivalSpec` (or dict / shape name) selecting a
+            time-varying arrival process; ``None`` keeps the stock
+            Poisson process.
         **workload_params: workload-specific parameters (e.g. the
             synthetic workload's ``added_delay_us``).
     """
@@ -229,6 +282,8 @@ def build_cluster_testbed(
             extra["obs"] = obs
         if engine is not None:
             extra["engine"] = engine
+        if arrival is not None:
+            extra["arrival"] = arrival
         return workload_by_name(workload).build_testbed(
             seed, client_config=client_config,
             server_config=server_config, qps=qps,
@@ -254,11 +309,16 @@ def build_cluster_testbed(
             rng=streams.stream("cluster-lb"),
             name=f"{adapter.workload}-cluster-lb")
     request_factory = adapter.make_request_factory(streams)
+    gen_extra: Dict[str, Any] = {}
+    if arrival is not None:
+        from repro.loadgen.interarrival import arrival_process
+        gen_extra["interarrival"] = arrival_process(arrival, qps)
     generator = adapter.make_generator(
         sim, streams, client_config, service, qps, num_requests,
         request_factory=request_factory,
         warmup_fraction=warmup_fraction,
         params=params,
+        **gen_extra,
     )
     return Testbed(
         sim, streams, generator, service,

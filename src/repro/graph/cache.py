@@ -1,0 +1,139 @@
+"""Hit-ratio cache tier: hits answer locally, misses traverse & fill.
+
+:class:`CacheTier` sits in front of a downstream service and models a
+look-aside cache with a fixed hit probability.  On a hit the request
+is answered after ``hit_service_us`` of local work; on a miss it
+traverses the downstream service, then pays ``fill_penalty_us`` to
+install the result before completing.  Hit decisions draw one uniform
+from the tier's :class:`~repro.sim.sampling.BatchedStream`; the
+degenerate ratios 0 and 1 consume no randomness at all (mirroring the
+``next_index(1)`` idiom), so an always-miss cache is draw-for-draw
+identical to no cache.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.server.request import Request
+from repro.sim.sampling import as_stream
+
+
+class CacheTier:
+    """A hit-ratio cache stage honoring the ``submit`` contract.
+
+    Args:
+        sim: the simulator.
+        downstream: service (or stage) misses traverse.
+        hit_ratio: probability a request hits, in [0, 1].
+        hit_service_us: local service time charged on a hit.
+        fill_penalty_us: extra time charged after a miss returns,
+            modelling the cache fill.
+        rng: random stream for hit decisions; required only when
+            ``0 < hit_ratio < 1``.
+        name: label used in metrics and trace spans.
+    """
+
+    def __init__(self, sim, downstream, *, hit_ratio: float,
+                 hit_service_us: float = 0.0,
+                 fill_penalty_us: float = 0.0,
+                 rng=None, name: str = "cache") -> None:
+        if not 0.0 <= hit_ratio <= 1.0:
+            raise ConfigurationError(
+                f"hit_ratio must be in [0, 1], got {hit_ratio}")
+        if hit_service_us < 0 or fill_penalty_us < 0:
+            raise ConfigurationError(
+                "cache service costs must be >= 0")
+        if 0.0 < hit_ratio < 1.0 and rng is None:
+            raise ConfigurationError(
+                f"cache {name!r} with fractional hit_ratio needs an "
+                f"rng stream")
+        self._sim = sim
+        self.downstream = downstream
+        self.hit_ratio = float(hit_ratio)
+        self.hit_service_us = float(hit_service_us)
+        self.fill_penalty_us = float(fill_penalty_us)
+        self._rng = as_stream(rng) if rng is not None else None
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+        obs = getattr(sim, "obs", None)
+        if obs is not None:
+            obs.on_cache(self)
+
+    @property
+    def lookups(self) -> int:
+        """Total hit decisions made."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Empirical hit rate so far (0.0 before any lookup)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def _is_hit(self) -> bool:
+        # Degenerate ratios consume no draw so an always-miss cache
+        # leaves the stream bit-identical to having no cache at all.
+        if self.hit_ratio >= 1.0:
+            return True
+        if self.hit_ratio <= 0.0:
+            return False
+        return self._rng.next_uniform() < self.hit_ratio
+
+    def submit(self, request: Request, done_fn: Callable,
+               *ctx: Any) -> None:
+        sim = self._sim
+        if request.server_arrival_us == 0.0:
+            request.server_arrival_us = sim.now
+        if ctx:
+            inner = done_fn
+            def done(req, _inner=inner, _ctx=ctx):
+                _inner(req, *_ctx)
+            done_fn = done
+        if self._is_hit():
+            self.hits += 1
+            request.service_us += self.hit_service_us
+            sim.post(self.hit_service_us, self._finish_hit,
+                     request, done_fn, sim.now)
+        else:
+            self.misses += 1
+            self.downstream.submit(request, self._filled, done_fn,
+                                   sim.now)
+
+    def _finish_hit(self, request: Request, done_fn: Callable,
+                    started_us: float) -> None:
+        sim = self._sim
+        request.server_departure_us = sim.now
+        obs = getattr(sim, "obs", None)
+        if obs is not None and obs.tracer is not None:
+            obs.tracer.span("cache.hit", started_us, sim.now,
+                            request.request_id, self.name)
+        done_fn(request)
+
+    def _filled(self, request: Request, done_fn: Callable,
+                started_us: float) -> None:
+        request.service_us += self.fill_penalty_us
+        self._sim.post(self.fill_penalty_us, self._finish_miss,
+                       request, done_fn, started_us)
+
+    def _finish_miss(self, request: Request, done_fn: Callable,
+                     started_us: float) -> None:
+        sim = self._sim
+        request.server_departure_us = sim.now
+        obs = getattr(sim, "obs", None)
+        if obs is not None and obs.tracer is not None:
+            obs.tracer.span("cache.miss", started_us, sim.now,
+                            request.request_id, self.name)
+        done_fn(request)
+
+    # ------------------------------------------------------- metrics
+    def utilization(self) -> float:
+        """Caches are a model, not a station; no busy time to report."""
+        return 0.0
+
+    def expected_service_us(self) -> float:
+        """Mean local cost per lookup under the configured ratio."""
+        return (self.hit_ratio * self.hit_service_us
+                + (1.0 - self.hit_ratio) * self.fill_penalty_us)

@@ -1,0 +1,84 @@
+"""Named service-graph topologies for CLI and campaign use.
+
+Each preset is a zero-argument factory returning a fresh
+:class:`~repro.graph.spec.ServiceGraphSpec`, looked up by name with
+did-you-mean suggestions -- mirroring the campaign preset registry.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Callable, Dict, Tuple
+
+from repro.cluster.spec import ClusterSpec
+from repro.errors import ExperimentError
+from repro.graph.spec import (
+    GraphTierSpec,
+    ResiliencePolicy,
+    ServiceGraphSpec,
+)
+
+
+def _memcached_cached() -> ServiceGraphSpec:
+    """Frontend -> look-aside cache -> 8 hedged leaf shards.
+
+    The canonical 3-tier deployment of the paper's memcached
+    workload: a single frontend, an 80%-hit cache answering in a few
+    microseconds, and a sharded leaf tier whose inbound edge hedges a
+    duplicate request when the first attempt is slow.
+    """
+    return ServiceGraphSpec(tiers=(
+        GraphTierSpec(name="frontend", downstream=("cache",)),
+        GraphTierSpec(
+            name="cache", kind="cache", downstream=("leaf",),
+            hit_ratio=0.8, hit_service_us=4.0,
+            fill_penalty_us=6.0),
+        GraphTierSpec(
+            name="leaf",
+            shape=ClusterSpec(shards=8),
+            policy=ResiliencePolicy(hedge_after_us=48.0, hedges=1)),
+    ))
+
+
+def _hdsearch_graph() -> ServiceGraphSpec:
+    """Frontend -> hedged leaf shards, the MicroSuite HDSearch shape.
+
+    HDSearch's midtier fans a query to bucket servers; the graph
+    models it as a frontend ahead of a 4-shard leaf tier with
+    timeout+retry and a hedged duplicate on the leaf edge.
+    """
+    return ServiceGraphSpec(tiers=(
+        GraphTierSpec(name="frontend", downstream=("leaf",)),
+        GraphTierSpec(
+            name="leaf",
+            shape=ClusterSpec(shards=4),
+            policy=ResiliencePolicy(
+                timeout_us=650.0, max_retries=1,
+                backoff_us=50.0,
+                hedge_after_us=500.0, hedges=1)),
+    ))
+
+
+GRAPH_PRESETS: Dict[str, Callable[[], ServiceGraphSpec]] = {
+    "memcached-cached": _memcached_cached,
+    "hdsearch-graph": _hdsearch_graph,
+}
+
+
+def graph_preset_names() -> Tuple[str, ...]:
+    """Sorted names of the built-in graph topologies."""
+    return tuple(sorted(GRAPH_PRESETS))
+
+
+def graph_preset(name: str) -> ServiceGraphSpec:
+    """Build the named topology (did-you-mean on a miss)."""
+    try:
+        factory = GRAPH_PRESETS[str(name)]
+    except KeyError:
+        close = difflib.get_close_matches(
+            str(name), list(GRAPH_PRESETS), n=1)
+        hint = f" -- did you mean {close[0]!r}?" if close else ""
+        raise ExperimentError(
+            f"unknown graph preset {name!r}; available presets: "
+            f"{', '.join(graph_preset_names())}{hint}") from None
+    return factory()

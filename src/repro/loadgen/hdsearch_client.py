@@ -39,6 +39,7 @@ def build_hdsearch_client(
         request_factory: Optional[Callable[[int], Request]] = None,
         warmup_fraction: float = 0.1,
         params: SkylakeParameters = DEFAULT_PARAMETERS,
+        interarrival=None,
         ) -> OpenLoopGenerator:
     """Assemble the HDSearch busy-wait client (one machine)."""
     machine = ClientMachine(
@@ -53,7 +54,8 @@ def build_hdsearch_client(
         sim, [machine], service,
         link_to_server=NetworkLink(params, link_rng),
         link_to_client=NetworkLink(params, link_rng),
-        interarrival=ExponentialInterarrival(qps),
+        interarrival=(interarrival if interarrival is not None
+                      else ExponentialInterarrival(qps)),
         arrival_rng=streams.stream("arrivals"),
         time_sensitive=False,
         num_requests=num_requests,

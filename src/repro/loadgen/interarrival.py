@@ -11,16 +11,33 @@ when an open-loop train is constructed, and numpy block draws are
 bit-identical to the equivalent scalar sequence (see
 :mod:`repro.sim.sampling`).  :meth:`sample_us` remains as the
 single-draw path for closed-loop think-time-style consumers and tests.
+
+Time-varying load is modelled by **nonhomogeneous** Poisson processes
+(:class:`DiurnalInterarrival`, :class:`FlashCrowdInterarrival`) drawn
+via Lewis-Shedler thinning, and by :class:`TraceReplayInterarrival`,
+which replays a recorded timestamp trace.  The thinning draw protocol
+is chunked so the vector path stays bit-identical to a scalar
+reference: each round draws the *remaining-needed* candidate gaps and
+acceptance uniforms as two whole vectors, then scans them in order --
+the number of draws per round depends only on how many arrivals were
+still missing at round start, which is itself deterministic.
+
+:class:`ArrivalSpec` is the plan-level description of an arrival
+shape: frozen, validated data with an exact round-trip, carried by
+:class:`~repro.api.specs.LoadSpec` (and omitted from the serialized
+form when it names the default Poisson process, so every pre-existing
+plan hash and store key is unchanged).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Optional, Protocol
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Iterable, Mapping, Optional, Protocol
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SpecValidationError
 from repro.units import qps_to_interarrival_us
 
 
@@ -102,3 +119,414 @@ class LognormalInterarrival(_RateBased):
         if rng is None or self._sigma == 0:
             return np.full(size, self._mean_us)
         return np.asarray(rng.lognormal(self._mu, self._sigma, size))
+
+
+# --------------------------------------------------- nonhomogeneous load
+class _ThinnedInterarrival(_RateBased):
+    """Nonhomogeneous Poisson arrivals via Lewis-Shedler thinning.
+
+    Candidate arrivals are drawn from a homogeneous process at the
+    peak rate and accepted with probability ``rate(t) / peak_rate``.
+    The draw protocol is chunked (see the module docstring): every
+    round consumes exactly ``remaining`` candidate gaps and
+    ``remaining`` acceptance uniforms, so the batched-facade vector
+    path and a scalar-draw reference consume the same underlying
+    stream bit-for-bit.  The rate function is always evaluated with
+    scalar :mod:`math` calls -- never a numpy array ufunc, whose SIMD
+    loops may differ from the scalar libm by an ULP.
+    """
+
+    def __init__(self, qps: float, peak_qps: float) -> None:
+        super().__init__(qps)
+        self._peak_qps = float(peak_qps)
+        self._peak_mean_us = qps_to_interarrival_us(peak_qps)
+        #: absolute clock of the scalar :meth:`sample_us` path only;
+        #: :meth:`sample_train_us` always starts its train at t=0.
+        self._clock_us = 0.0
+
+    def _rate_qps(self, t_us: float) -> float:
+        """Instantaneous rate at absolute train time *t_us*."""
+        raise NotImplementedError
+
+    def sample_train_us(self, rng=None, size: int = 1) -> np.ndarray:
+        if rng is None:
+            return np.full(size, self._mean_us)
+        gaps = np.empty(size)
+        peak = self._peak_qps
+        peak_mean = self._peak_mean_us
+        rate = self._rate_qps
+        t = 0.0
+        last = 0.0
+        count = 0
+        while count < size:
+            need = size - count
+            candidates = rng.standard_exponential(need) * peak_mean
+            accepts = rng.random(need)
+            for gap, u in zip(candidates.tolist(), accepts.tolist()):
+                t += gap
+                if u * peak <= rate(t):
+                    gaps[count] = t - last
+                    last = t
+                    count += 1
+        return gaps
+
+    def sample_us(self, rng=None) -> float:
+        if rng is None:
+            return self._mean_us
+        t = self._clock_us
+        while True:
+            t += self._peak_mean_us * float(rng.standard_exponential())
+            if float(rng.random()) * self._peak_qps <= self._rate_qps(t):
+                gap = t - self._clock_us
+                self._clock_us = t
+                return gap
+
+
+class DiurnalInterarrival(_ThinnedInterarrival):
+    """Sinusoidal-rate arrivals: the day/night load cycle.
+
+    ``rate(t) = qps * (1 + amplitude * sin(2*pi*(t + phase)/period))``
+    -- the time-averaged rate equals the configured ``qps``, the peak
+    is ``qps * (1 + amplitude)``.
+    """
+
+    def __init__(self, qps: float, period_us: float,
+                 amplitude: float = 0.5, phase_us: float = 0.0) -> None:
+        if period_us <= 0:
+            raise ConfigurationError(
+                f"diurnal period_us must be > 0, got {period_us}")
+        if not 0.0 <= amplitude <= 1.0:
+            raise ConfigurationError(
+                f"diurnal amplitude must be in [0, 1], got {amplitude}")
+        super().__init__(qps, qps * (1.0 + float(amplitude)))
+        self._period_us = float(period_us)
+        self._amplitude = float(amplitude)
+        self._phase_us = float(phase_us)
+        self._omega = 2.0 * math.pi / self._period_us
+
+    def _rate_qps(self, t_us: float) -> float:
+        return self._qps * (1.0 + self._amplitude * math.sin(
+            self._omega * (t_us + self._phase_us)))
+
+
+class FlashCrowdInterarrival(_ThinnedInterarrival):
+    """Piecewise-constant spike: base rate with one flash crowd.
+
+    The rate is ``qps * spike_factor`` inside
+    ``[spike_start_us, spike_start_us + spike_duration_us)`` and
+    ``qps`` everywhere else.  ``mean_us()`` reports the off-spike
+    (base) gap.
+    """
+
+    def __init__(self, qps: float, spike_start_us: float,
+                 spike_duration_us: float,
+                 spike_factor: float = 4.0) -> None:
+        if spike_start_us < 0:
+            raise ConfigurationError(
+                f"spike_start_us must be >= 0, got {spike_start_us}")
+        if spike_duration_us <= 0:
+            raise ConfigurationError(
+                f"spike_duration_us must be > 0, "
+                f"got {spike_duration_us}")
+        if spike_factor < 1.0:
+            raise ConfigurationError(
+                f"spike_factor must be >= 1, got {spike_factor}")
+        super().__init__(qps, qps * float(spike_factor))
+        self._spike_start_us = float(spike_start_us)
+        self._spike_end_us = float(spike_start_us) + float(
+            spike_duration_us)
+        self._spike_factor = float(spike_factor)
+
+    def _rate_qps(self, t_us: float) -> float:
+        if self._spike_start_us <= t_us < self._spike_end_us:
+            return self._qps * self._spike_factor
+        return self._qps
+
+
+class TraceReplayInterarrival:
+    """Deterministic replay of a recorded arrival-timestamp trace.
+
+    Args:
+        timestamps_us: non-decreasing absolute arrival times in
+            microseconds; the first gap is the first timestamp (the
+            trace starts at t=0).
+        qps: optional target rate; when given, all gaps are rescaled
+            so the trace's mean rate matches it (the way a plan's
+            ``qps`` stays meaningful under trace replay).
+    """
+
+    def __init__(self, timestamps_us: Iterable[float],
+                 qps: Optional[float] = None) -> None:
+        times = np.asarray([float(t) for t in timestamps_us])
+        if times.size == 0:
+            raise ConfigurationError("arrival trace is empty")
+        if times[0] < 0:
+            raise ConfigurationError(
+                f"trace timestamps must be >= 0, got {times[0]}")
+        if times.size > 1 and np.any(np.diff(times) < 0):
+            raise ConfigurationError(
+                "trace timestamps must be non-decreasing")
+        gaps = np.diff(times, prepend=0.0)
+        if qps is not None:
+            if qps <= 0:
+                raise ConfigurationError(
+                    f"qps must be > 0, got {qps}")
+            mean_gap = float(gaps.mean())
+            if mean_gap <= 0:
+                raise ConfigurationError(
+                    "trace spans zero time; cannot rescale to a "
+                    "target qps")
+            gaps = gaps * (qps_to_interarrival_us(qps) / mean_gap)
+        self._gaps = gaps
+        self._cursor = 0
+
+    @classmethod
+    def from_file(cls, path: str,
+                  qps: Optional[float] = None
+                  ) -> "TraceReplayInterarrival":
+        """Parse one timestamp (microseconds) per line; ``#``
+        comments and blank lines are skipped."""
+        timestamps = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                text = line.split("#", 1)[0].strip()
+                if not text:
+                    continue
+                try:
+                    timestamps.append(float(text))
+                except ValueError:
+                    raise ConfigurationError(
+                        f"{path}:{lineno}: not a timestamp: "
+                        f"{text!r}") from None
+        if not timestamps:
+            raise ConfigurationError(
+                f"{path}: no timestamps found")
+        return cls(timestamps, qps=qps)
+
+    def __len__(self) -> int:
+        return int(self._gaps.size)
+
+    def mean_us(self) -> float:
+        return float(self._gaps.mean())
+
+    @property
+    def qps(self) -> float:
+        """The trace's mean request rate."""
+        return 1e6 / self.mean_us()
+
+    def sample_us(self, rng=None) -> float:
+        if self._cursor >= self._gaps.size:
+            raise ConfigurationError(
+                f"arrival trace exhausted after {self._gaps.size} "
+                f"arrivals")
+        gap = float(self._gaps[self._cursor])
+        self._cursor += 1
+        return gap
+
+    def sample_train_us(self, rng=None, size: int = 1) -> np.ndarray:
+        if size > self._gaps.size:
+            raise ConfigurationError(
+                f"arrival trace holds {self._gaps.size} arrivals; "
+                f"{size} requested")
+        return self._gaps[:size].copy()
+
+
+# ------------------------------------------------------------ ArrivalSpec
+ARRIVAL_POISSON = "poisson"
+ARRIVAL_DIURNAL = "diurnal"
+ARRIVAL_FLASH_CROWD = "flash-crowd"
+ARRIVAL_TRACE = "trace"
+
+ARRIVAL_SHAPES = (ARRIVAL_POISSON, ARRIVAL_DIURNAL,
+                  ARRIVAL_FLASH_CROWD, ARRIVAL_TRACE)
+
+_ARRIVAL_FIELDS = ("shape", "period_us", "amplitude", "phase_us",
+                   "spike_start_us", "spike_duration_us",
+                   "spike_factor", "path")
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """The arrival-shape half of a load spec, as frozen data.
+
+    Every field beyond ``shape`` belongs to exactly one shape and
+    must be left at its default for the others, so a spec's dict form
+    (which omits defaults) is canonical and two specs describing the
+    same process always hash identically.
+
+    Attributes:
+        shape: one of :data:`ARRIVAL_SHAPES`.
+        period_us: diurnal cycle length.
+        amplitude: diurnal rate swing, in [0, 1].
+        phase_us: diurnal phase offset.
+        spike_start_us: flash-crowd onset.
+        spike_duration_us: flash-crowd length.
+        spike_factor: flash-crowd rate multiplier (>= 1).
+        path: trace-replay timestamp file.
+    """
+
+    shape: str = ARRIVAL_POISSON
+    period_us: float = 0.0
+    amplitude: float = 0.0
+    phase_us: float = 0.0
+    spike_start_us: float = 0.0
+    spike_duration_us: float = 0.0
+    spike_factor: float = 0.0
+    path: str = ""
+
+    def __post_init__(self) -> None:
+        shape = str(self.shape)
+        if shape not in ARRIVAL_SHAPES:
+            import difflib
+            close = difflib.get_close_matches(
+                shape, list(ARRIVAL_SHAPES), n=1)
+            hint = f" -- did you mean {close[0]!r}?" if close else ""
+            raise SpecValidationError(
+                f"unknown arrival shape {shape!r}; valid shapes: "
+                f"{', '.join(ARRIVAL_SHAPES)}{hint}")
+        object.__setattr__(self, "shape", shape)
+        for name in ("period_us", "amplitude", "phase_us",
+                     "spike_start_us", "spike_duration_us",
+                     "spike_factor"):
+            object.__setattr__(self, name, float(getattr(self, name)))
+        object.__setattr__(self, "path", str(self.path))
+        self._require(shape == ARRIVAL_DIURNAL,
+                      ("period_us", "amplitude", "phase_us"))
+        self._require(shape == ARRIVAL_FLASH_CROWD,
+                      ("spike_start_us", "spike_duration_us",
+                       "spike_factor"))
+        self._require(shape == ARRIVAL_TRACE, ("path",))
+        if shape == ARRIVAL_DIURNAL:
+            if self.period_us <= 0:
+                raise SpecValidationError(
+                    f"diurnal arrivals need period_us > 0, "
+                    f"got {self.period_us}")
+            if not 0.0 <= self.amplitude <= 1.0:
+                raise SpecValidationError(
+                    f"diurnal amplitude must be in [0, 1], "
+                    f"got {self.amplitude}")
+        elif shape == ARRIVAL_FLASH_CROWD:
+            if self.spike_duration_us <= 0:
+                raise SpecValidationError(
+                    f"flash-crowd arrivals need spike_duration_us "
+                    f"> 0, got {self.spike_duration_us}")
+            if self.spike_factor < 1.0:
+                raise SpecValidationError(
+                    f"flash-crowd spike_factor must be >= 1, "
+                    f"got {self.spike_factor}")
+            if self.spike_start_us < 0:
+                raise SpecValidationError(
+                    f"spike_start_us must be >= 0, "
+                    f"got {self.spike_start_us}")
+        elif shape == ARRIVAL_TRACE and not self.path:
+            raise SpecValidationError(
+                "trace arrivals need a timestamp file path")
+
+    def _require(self, owned: bool, names: tuple) -> None:
+        """Fields owned by another shape must stay at their default."""
+        if owned:
+            return
+        for name in names:
+            value = getattr(self, name)
+            if value not in (0.0, ""):
+                raise SpecValidationError(
+                    f"arrival field {name!r} only applies to "
+                    f"another shape, not {self.shape!r} "
+                    f"(got {value!r})")
+
+    # ------------------------------------------------------------------
+    @property
+    def is_poisson(self) -> bool:
+        """True for the default (homogeneous Poisson) shape."""
+        return self.shape == ARRIVAL_POISSON
+
+    def make_process(self, qps: float) -> InterarrivalProcess:
+        """The runtime process driving *qps* with this shape."""
+        if self.shape == ARRIVAL_DIURNAL:
+            return DiurnalInterarrival(
+                qps, period_us=self.period_us,
+                amplitude=self.amplitude, phase_us=self.phase_us)
+        if self.shape == ARRIVAL_FLASH_CROWD:
+            return FlashCrowdInterarrival(
+                qps, spike_start_us=self.spike_start_us,
+                spike_duration_us=self.spike_duration_us,
+                spike_factor=self.spike_factor)
+        if self.shape == ARRIVAL_TRACE:
+            return TraceReplayInterarrival.from_file(
+                self.path, qps=qps)
+        return ExponentialInterarrival(qps)
+
+    def describe(self) -> str:
+        """One-line summary for listings and ``repro plan``."""
+        if self.shape == ARRIVAL_DIURNAL:
+            extra = (f" +{self.phase_us:g}us phase"
+                     if self.phase_us else "")
+            return (f"diurnal (period {self.period_us:g}us, "
+                    f"amplitude {self.amplitude:g}{extra})")
+        if self.shape == ARRIVAL_FLASH_CROWD:
+            return (f"flash-crowd ({self.spike_factor:g}x at "
+                    f"{self.spike_start_us:g}us for "
+                    f"{self.spike_duration_us:g}us)")
+        if self.shape == ARRIVAL_TRACE:
+            return f"trace replay ({self.path})"
+        return "poisson"
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON form; fields at their default are omitted."""
+        data: Dict[str, Any] = {"shape": self.shape}
+        for name in _ARRIVAL_FIELDS[1:]:
+            value = getattr(self, name)
+            if value not in (0.0, ""):
+                data[name] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ArrivalSpec":
+        """Rebuild (and re-validate) a spec from its dict form."""
+        unknown = sorted(set(map(str, data)) - set(_ARRIVAL_FIELDS))
+        if unknown:
+            raise SpecValidationError(
+                f"unknown key(s) {', '.join(map(repr, unknown))} in "
+                f"arrival spec; valid keys: "
+                f"{', '.join(_ARRIVAL_FIELDS)}")
+        return cls(**{name: data[name] for name in _ARRIVAL_FIELDS
+                      if name in data})
+
+    def with_fields(self, **changes: Any) -> "ArrivalSpec":
+        """Copy with some fields replaced (re-validated)."""
+        return replace(self, **changes)
+
+
+def as_arrival_spec(value: Any) -> Optional[ArrivalSpec]:
+    """Coerce to an :class:`ArrivalSpec`, canonicalized.
+
+    ``None`` and the default Poisson spec both mean "the workload's
+    stock exponential process" and normalize to ``None``, so a plan
+    naming the default explicitly hashes identically to one that
+    omits it.
+    """
+    if value is None:
+        return None
+    if isinstance(value, str):
+        value = ArrivalSpec(shape=value)
+    elif isinstance(value, Mapping):
+        value = ArrivalSpec.from_dict(value)
+    if not isinstance(value, ArrivalSpec):
+        raise SpecValidationError(
+            f"arrival must be an ArrivalSpec, shape name or dict, "
+            f"got {type(value).__name__}")
+    return None if value.is_poisson else value
+
+
+def arrival_process(arrival: Any,
+                    qps: float) -> Optional[InterarrivalProcess]:
+    """The runtime process for an optional arrival spec.
+
+    The shared helper workload builders use to thread a plan's
+    ``arrival`` through to their generator: ``None`` (or the default
+    Poisson spec) returns ``None``, which keeps the builder's stock
+    exponential process.
+    """
+    spec = as_arrival_spec(arrival)
+    return None if spec is None else spec.make_process(qps)

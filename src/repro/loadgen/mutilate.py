@@ -44,6 +44,7 @@ def build_mutilate(sim: Simulator, streams: RandomStreams,
                    request_factory: Optional[Callable[[int], Request]] = None,
                    warmup_fraction: float = 0.1,
                    params: SkylakeParameters = DEFAULT_PARAMETERS,
+                   interarrival=None,
                    ) -> OpenLoopGenerator:
     """Assemble the Mutilate-style testbed client side.
 
@@ -58,6 +59,8 @@ def build_mutilate(sim: Simulator, streams: RandomStreams,
         request_factory: per-request construction hook (sizes etc.).
         warmup_fraction: leading fraction of samples to discard.
         params: machine timing constants.
+        interarrival: optional arrival process overriding the stock
+            Poisson (exponential) process at *qps*.
 
     Returns:
         A started-but-not-run :class:`OpenLoopGenerator`.
@@ -82,7 +85,8 @@ def build_mutilate(sim: Simulator, streams: RandomStreams,
         sim, machines, service,
         link_to_server=NetworkLink(params, link_rng),
         link_to_client=NetworkLink(params, link_rng),
-        interarrival=ExponentialInterarrival(qps),
+        interarrival=(interarrival if interarrival is not None
+                      else ExponentialInterarrival(qps)),
         arrival_rng=streams.stream("arrivals"),
         time_sensitive=True,
         num_requests=num_requests,

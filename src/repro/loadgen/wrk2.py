@@ -36,6 +36,7 @@ def build_wrk2(sim: Simulator, streams: RandomStreams,
                request_factory: Optional[Callable[[int], Request]] = None,
                warmup_fraction: float = 0.1,
                params: SkylakeParameters = DEFAULT_PARAMETERS,
+               interarrival=None,
                ) -> OpenLoopGenerator:
     """Assemble the wrk2-style client (one machine, 20 connections)."""
     env = sample_env_scale(
@@ -56,7 +57,8 @@ def build_wrk2(sim: Simulator, streams: RandomStreams,
         sim, machines, service,
         link_to_server=NetworkLink(params, link_rng),
         link_to_client=NetworkLink(params, link_rng),
-        interarrival=ExponentialInterarrival(qps),
+        interarrival=(interarrival if interarrival is not None
+                      else ExponentialInterarrival(qps)),
         arrival_rng=streams.stream("arrivals"),
         time_sensitive=True,
         num_requests=num_requests,

@@ -81,6 +81,8 @@ class Observability:
         self._stations: List[Any] = []
         self._balancers: List[Any] = []
         self._fanouts: List[Any] = []
+        self._caches: List[Any] = []
+        self._resilience: List[Any] = []
         self._links: List[LinkObserver] = []
         self._finalized: Optional[MetricPairs] = None
 
@@ -123,6 +125,12 @@ class Observability:
             if link is not None:
                 self.watch_link(
                     link, f"{fanout.name}.shard{index}")
+
+    def on_cache(self, cache: Any) -> None:
+        self._caches.append(cache)
+
+    def on_resilience(self, dispatcher: Any) -> None:
+        self._resilience.append(dispatcher)
 
     def watch_link(self, link: Any, name: str) -> LinkObserver:
         """Attach (or reuse) a message observer on *link*."""
@@ -196,6 +204,21 @@ class Observability:
             reg.counter(prefix + ".subs_issued").add(fanout.subs_issued)
             reg.counter(prefix + ".subs_completed").add(
                 fanout.subs_completed)
+        for cache in self._caches:
+            prefix = f"cache.{cache.name}"
+            reg.counter(prefix + ".hits").add(cache.hits)
+            reg.counter(prefix + ".misses").add(cache.misses)
+            reg.gauge(prefix + ".hit_rate").set(cache.hit_rate)
+        for dispatcher in self._resilience:
+            prefix = f"resilience.{dispatcher.name}"
+            reg.counter(prefix + ".calls").add(dispatcher.calls)
+            reg.counter(prefix + ".retries").add(dispatcher.retries)
+            reg.counter(prefix + ".hedges").add(dispatcher.hedges)
+            reg.counter(prefix + ".timeouts").add(dispatcher.timeouts)
+            reg.counter(prefix + ".attempts_issued").add(
+                dispatcher.attempts_issued)
+            reg.counter(prefix + ".attempts_completed").add(
+                dispatcher.attempts_completed)
         for generator in self._generators:
             samples = generator.samples
             reg.counter("sink.recorded").add(len(samples))

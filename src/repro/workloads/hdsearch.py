@@ -127,6 +127,7 @@ def _hdsearch_testbed(
         params: SkylakeParameters = DEFAULT_PARAMETERS,
         obs=None,
         engine=None,
+        arrival=None,
         ) -> Testbed:
     """Assemble one single-use HDSearch testbed.
 
@@ -142,7 +143,10 @@ def _hdsearch_testbed(
         engine: event-loop engine name (``None`` keeps the
             reference loop; ``"vectorized"`` selects the
             bit-identical batch-dequeue kernel).
+        arrival: optional arrival-shape spec (or dict / shape name);
+            ``None`` keeps the stock Poisson process.
     """
+    from repro.loadgen.interarrival import arrival_process
     sim = make_simulator(engine)
     if obs is not None:
         obs.install(sim)
@@ -157,6 +161,7 @@ def _hdsearch_testbed(
         request_factory=request_factory,
         warmup_fraction=warmup_fraction,
         params=params,
+        interarrival=arrival_process(arrival, qps),
     )
     return Testbed(
         sim, streams, generator, service,

@@ -3,7 +3,9 @@
 import pytest
 
 from repro.analysis.figures import (
+    graph_study,
     memcached_study,
+    render_graph_series,
     render_latency_series,
     render_ratio_series,
     synthetic_study,
@@ -131,3 +133,41 @@ class TestSyntheticStudy:
         assert set(grids) == {0.0, 100.0}
         for grid in grids.values():
             assert ("LP", "baseline") in grid.cells
+
+
+@pytest.fixture(scope="module")
+def tiny_graph_grid():
+    """A minimal service-graph QoS grid for renderer tests."""
+    return graph_study(
+        workload="memcached", graphs=("memcached-cached",),
+        qps_list=(50_000, 100_000), runs=8, num_requests=100,
+        base_seed=0)
+
+
+class TestGraphStudy:
+    def test_grid_has_topology_cells(self, tiny_graph_grid):
+        assert set(tiny_graph_grid.cells) == {"memcached-cached"}
+        series = tiny_graph_grid.series("memcached-cached", "p99")
+        assert len(series) == 2
+        assert all(value > 0 for _, value in series)
+
+    def test_qos_capacity_is_monotone_in_target(self, tiny_graph_grid):
+        loose = tiny_graph_grid.qos_capacity(
+            "memcached-cached", target_us=1e9)
+        tight = tiny_graph_grid.qos_capacity(
+            "memcached-cached", target_us=0.0)
+        assert loose == 100_000.0
+        assert tight == 0.0
+        assert loose >= tiny_graph_grid.qos_capacity(
+            "memcached-cached", target_us=200.0) >= tight
+
+    def test_renderer_produces_rows(self, tiny_graph_grid):
+        text = render_graph_series(tiny_graph_grid, "p99")
+        assert "memcached-cached" in text
+        assert "50K" in text and "100K" in text
+
+    def test_missing_cell_rejected(self, tiny_graph_grid):
+        with pytest.raises(ExperimentError):
+            tiny_graph_grid.result("memcached-cached", 999.0)
+        with pytest.raises(ExperimentError):
+            tiny_graph_grid.result("absent", 50_000.0)

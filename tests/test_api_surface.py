@@ -12,13 +12,17 @@ import inspect
 import repro.api
 
 EXPECTED_SURFACE = (
+    "ArrivalSpec",
     "ClusterSpec",
     "ExperimentPlan",
+    "GraphTierSpec",
     "HardwareSpec",
     "LoadSpec",
     "ParamSpec",
     "PlanBuilder",
+    "ResiliencePolicy",
     "RunPolicy",
+    "ServiceGraphSpec",
     "SpecValidationError",
     "WorkloadDefinition",
     "WorkloadSpec",

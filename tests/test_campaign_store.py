@@ -212,3 +212,70 @@ class TestClusterHashCoverage:
         assert ([run.node_utilizations for run in replayed.runs]
                 == [run.node_utilizations for run in result.runs])
         assert replayed.runs == result.runs
+
+
+class TestGraphHashCoverage:
+    """Graph and arrival fields must participate in memoization keys.
+
+    Same hazard class as :class:`TestClusterHashCoverage`: if the
+    service-graph topology or the interarrival shape were left out of
+    :meth:`ConditionSpec.content_hash`, campaigns differing only in
+    those fields would collide in the store and silently replay each
+    other's results.
+    """
+
+    def graph_spec(self, graph="memcached-cached", arrival=None):
+        from repro.graph.presets import graph_preset
+
+        return CampaignSpec(
+            name="graph-store-test",
+            workload="memcached",
+            conditions={"SMToff": server_with_smt(False)},
+            qps_list=(50_000,),
+            clients={"LP": LP_CLIENT},
+            runs=1,
+            num_requests=40,
+            graph=graph_preset(graph) if graph else None,
+            arrival=arrival,
+        )
+
+    def test_graph_never_collides_with_flat(self, spec):
+        flat = spec.with_overrides(
+            qps_list=(50_000,), runs=1, num_requests=40).expand()[0]
+        graphed = self.graph_spec().expand()[0]
+        assert flat.content_hash() != graphed.content_hash()
+
+    def test_graph_topologies_never_collide(self):
+        cached = self.graph_spec("memcached-cached").expand()[0]
+        hd = self.graph_spec("hdsearch-graph").expand()[0]
+        assert cached.content_hash() != hd.content_hash()
+
+    def test_arrival_shape_never_collides(self):
+        from repro.loadgen.interarrival import ArrivalSpec
+
+        poisson = self.graph_spec().expand()[0]
+        diurnal = self.graph_spec(
+            arrival=ArrivalSpec(shape="diurnal", period_us=20_000.0)
+        ).expand()[0]
+        flash = self.graph_spec(
+            arrival=ArrivalSpec(shape="flash-crowd",
+                                spike_start_us=1_000.0,
+                                spike_duration_us=2_000.0,
+                                spike_factor=4.0)
+        ).expand()[0]
+        hashes = {c.content_hash() for c in (poisson, diurnal, flash)}
+        assert len(hashes) == 3
+
+    def test_store_round_trips_graph_and_arrival(self, store):
+        from repro.loadgen.interarrival import ArrivalSpec
+
+        condition = self.graph_spec(
+            arrival=ArrivalSpec(shape="diurnal", period_us=20_000.0)
+        ).expand()[0]
+        result = condition.to_plan().run()
+        store.put(condition, result)
+        fetched = store.get(condition.content_hash())
+        assert fetched.runs == result.runs
+        spec = store.get_spec(condition.content_hash())
+        assert spec.graph == condition.graph
+        assert spec.arrival == condition.arrival

@@ -62,6 +62,24 @@ def make_plan(workload, topology):
             .build())
 
 
+#: One service-graph topology rides the same sweep: the acceptance
+#: 3-tier memcached graph (frontend -> cache -> hedged shards) on
+#: both engines.  The vectorized kernel takes its scalar fallback at
+#: graph fronts, so its full payload hash must match the reference
+#: engine bit-for-bit.
+GRAPH_PRESET = "memcached-cached"
+ENGINES = ("reference", "vectorized")
+
+
+def make_graph_plan(engine):
+    return (experiment("memcached")
+            .client("LP")
+            .load(qps=QPS["memcached"], num_requests=60)
+            .policy(runs=2, base_seed=7, engine=engine)
+            .graph(GRAPH_PRESET)
+            .build())
+
+
 def result_hash(result):
     """Content hash of the complete serialized result payload."""
     return content_hash(experiment_result_to_dict(result))
@@ -70,6 +88,11 @@ def result_hash(result):
 @lru_cache(maxsize=None)
 def reference_hash(workload, topology):
     return result_hash(make_plan(workload, topology).run())
+
+
+@lru_cache(maxsize=None)
+def graph_reference_hash(engine):
+    return result_hash(make_graph_plan(engine).run())
 
 
 @pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
@@ -90,14 +113,39 @@ def test_cluster_runs_differ_from_single_server(workload):
             != reference_hash(workload, "cluster"))
 
 
+@pytest.mark.parametrize("engine", ENGINES)
+def test_graph_replay_in_process_is_bit_identical(engine):
+    plan = make_graph_plan(engine)
+    replay = plan.run()
+    assert result_hash(replay) == graph_reference_hash(engine)
+    assert all(run.avg_us > 0 for run in replay.runs)
+
+
+def test_graph_engines_agree_bit_for_bit():
+    """Vectorized and reference engines must produce identical full
+    payloads on the graph topology (scalar fallback at the front)."""
+    assert (graph_reference_hash("vectorized")
+            == graph_reference_hash("reference"))
+
+
+def test_graph_runs_differ_from_single_server():
+    """The graph must actually change the simulation -- an identical
+    hash would mean the graph spec is silently ignored."""
+    assert (graph_reference_hash("reference")
+            != reference_hash("memcached", "single"))
+
+
 def test_replay_in_subprocess_is_bit_identical():
     """One child process re-executes every (workload, topology) plan
-    and must reproduce the parent's full-metrics hashes exactly."""
+    -- plus the graph topology on both engines -- and must reproduce
+    the parent's full-metrics hashes exactly."""
     combos = [(workload, topology)
               for workload in WORKLOADS
               for topology in sorted(TOPOLOGIES)]
     plans = [make_plan(w, t).to_json() for w, t in combos]
     expected = [reference_hash(w, t) for w, t in combos]
+    plans += [make_graph_plan(engine).to_json() for engine in ENGINES]
+    expected += [graph_reference_hash(engine) for engine in ENGINES]
 
     code = (
         "import json, sys\n"

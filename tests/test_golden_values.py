@@ -18,6 +18,8 @@ import pytest
 
 from repro.cluster import ClusterSpec, build_cluster_testbed
 from repro.config.presets import LP_CLIENT, SERVER_BASELINE
+from repro.graph import build_graph_testbed, graph_preset
+from repro.loadgen.interarrival import ArrivalSpec
 from repro.workloads.registry import builder_by_name
 
 #: workload -> (qps, num_requests, avg_us, p99_us, true_avg_us,
@@ -130,4 +132,61 @@ def test_cluster_golden_runs_are_reproducible(scenario):
     """Two fresh cluster testbeds with the same seed agree exactly."""
     first = _cluster_testbed(scenario).run()
     second = _cluster_testbed(scenario).run()
+    assert first == second
+
+
+# ------------------------------------------------------------------ graphs
+#: scenario -> (workload, graph preset, arrival, qps, num_requests,
+#:              avg_us, p99_us, true_avg_us, true_p99_us,
+#:              measured_requests, stations); captured from the
+#: service-graph subsystem's introducing commit at root seed 1234.
+#: The memcached scenario is the acceptance topology: frontend ->
+#: 80%-hit cache -> 8 hedged leaf shards under diurnal load; the
+#: hdsearch scenario exercises timeout+retry+hedge on the leaf edge.
+GRAPH_GOLDEN = {
+    "memcached-cached-diurnal": (
+        "memcached", "memcached-cached",
+        ArrivalSpec(shape="diurnal", period_us=20_000.0,
+                    amplitude=0.5),
+        50_000, 400,
+        105.56126491750965, 156.5235818847902,
+        53.86507972703324, 100.02007720743636, 360, 10),
+    "hdsearch-graph": (
+        "hdsearch", "hdsearch-graph", None,
+        1_000, 200,
+        1016.164189830196, 1505.7923993622496,
+        865.8561225538912, 1355.7923993622496, 180, 4),
+}
+
+
+def _graph_testbed(scenario, engine=None):
+    workload, preset, arrival, qps, num_requests = \
+        GRAPH_GOLDEN[scenario][:5]
+    return build_graph_testbed(
+        workload, seed=GOLDEN_SEED,
+        client_config=LP_CLIENT, server_config=SERVER_BASELINE,
+        qps=qps, num_requests=num_requests,
+        graph=graph_preset(preset), arrival=arrival, engine=engine)
+
+
+@pytest.mark.parametrize("engine", ["reference", "vectorized"])
+@pytest.mark.parametrize("scenario", sorted(GRAPH_GOLDEN))
+def test_graph_golden_run_metrics_bit_identical(scenario, engine):
+    (avg, p99, true_avg, true_p99, requests,
+     stations) = GRAPH_GOLDEN[scenario][5:]
+    metrics = _graph_testbed(scenario, engine).run()
+    assert metrics.avg_us == avg
+    assert metrics.p99_us == p99
+    assert metrics.true_avg_us == true_avg
+    assert metrics.true_p99_us == true_p99
+    assert metrics.requests == requests
+    # Per-station telemetry spans every tier of the DAG.
+    assert len(metrics.node_utilizations) == stations
+
+
+@pytest.mark.parametrize("scenario", sorted(GRAPH_GOLDEN))
+def test_graph_golden_runs_are_reproducible(scenario):
+    """Two fresh graph testbeds with the same seed agree exactly."""
+    first = _graph_testbed(scenario).run()
+    second = _graph_testbed(scenario).run()
     assert first == second

@@ -3,11 +3,17 @@
 import numpy as np
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SpecValidationError
 from repro.loadgen.interarrival import (
+    ArrivalSpec,
     DeterministicInterarrival,
+    DiurnalInterarrival,
     ExponentialInterarrival,
+    FlashCrowdInterarrival,
     LognormalInterarrival,
+    TraceReplayInterarrival,
+    arrival_process,
+    as_arrival_spec,
 )
 
 
@@ -55,3 +61,128 @@ class TestLognormal:
     def test_negative_sigma_rejected(self):
         with pytest.raises(ConfigurationError):
             LognormalInterarrival(10_000, sigma=-1.0)
+
+
+class TestDiurnal:
+    def test_mean_rate_preserved_over_full_cycles(self, rng):
+        process = DiurnalInterarrival(10_000, period_us=1_000.0,
+                                      amplitude=0.8)
+        train = process.sample_train_us(rng, 50_000)
+        # Averaged over many cycles the rate integrates back to qps.
+        assert np.mean(train) == pytest.approx(100.0, rel=0.1)
+
+    def test_rate_oscillates(self):
+        process = DiurnalInterarrival(1_000, period_us=4_000.0,
+                                      amplitude=0.5)
+        assert process._rate_qps(1_000.0) == pytest.approx(1_500.0)
+        assert process._rate_qps(3_000.0) == pytest.approx(500.0)
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalInterarrival(1_000, period_us=0.0)
+
+    def test_invalid_amplitude_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalInterarrival(1_000, period_us=100.0, amplitude=1.5)
+
+    def test_scalar_path_advances_internal_clock(self, rng):
+        process = DiurnalInterarrival(1_000, period_us=5_000.0)
+        first = process.sample_us(rng)
+        second = process.sample_us(rng)
+        assert first > 0 and second > 0
+        assert process._clock_us == pytest.approx(first + second)
+
+    def test_no_rng_degenerates_to_mean(self):
+        process = DiurnalInterarrival(10_000, period_us=1_000.0)
+        assert process.sample_us(None) == 100.0
+        assert np.all(process.sample_train_us(None, 4) == 100.0)
+
+
+class TestFlashCrowd:
+    def test_spike_compresses_gaps(self, rng):
+        process = FlashCrowdInterarrival(
+            1_000, spike_start_us=0.0, spike_duration_us=1e9,
+            spike_factor=10.0)
+        train = process.sample_train_us(rng, 20_000)
+        # Inside an (effectively infinite) spike the rate is 10x.
+        assert np.mean(train) == pytest.approx(100.0, rel=0.1)
+
+    def test_piecewise_rate(self):
+        process = FlashCrowdInterarrival(
+            1_000, spike_start_us=500.0, spike_duration_us=100.0,
+            spike_factor=4.0)
+        assert process._rate_qps(499.0) == 1_000.0
+        assert process._rate_qps(550.0) == 4_000.0
+        assert process._rate_qps(600.0) == 1_000.0
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FlashCrowdInterarrival(1_000, spike_start_us=0.0,
+                                   spike_duration_us=10.0,
+                                   spike_factor=0.5)
+
+
+class TestTraceReplay:
+    def test_replays_gaps_from_timestamps(self):
+        process = TraceReplayInterarrival([0.0, 10.0, 25.0, 45.0])
+        gaps = [process.sample_us(None) for _ in range(4)]
+        assert gaps == [0.0, 10.0, 15.0, 20.0]
+
+    def test_exhaustion_raises(self):
+        process = TraceReplayInterarrival([0.0, 5.0])
+        process.sample_us(None)
+        process.sample_us(None)
+        with pytest.raises(ConfigurationError):
+            process.sample_us(None)
+
+    def test_train_matches_scalar_replay(self):
+        timestamps = [0.0, 3.0, 9.0, 10.0, 30.0]
+        vector = TraceReplayInterarrival(timestamps)
+        scalar = TraceReplayInterarrival(timestamps)
+        train = vector.sample_train_us(None, 5)
+        gaps = [scalar.sample_us(None) for _ in range(5)]
+        assert np.array_equal(train, np.array(gaps))
+
+    def test_from_file_skips_comments(self, tmp_path):
+        path = tmp_path / "arrivals.txt"
+        path.write_text("# header\n0.0\n\n10.0\n20.0\n")
+        process = TraceReplayInterarrival.from_file(path)
+        assert len(process) == 3
+
+
+class TestArrivalSpec:
+    def test_default_poisson_canonicalizes_to_none(self):
+        assert as_arrival_spec(None) is None
+        assert as_arrival_spec(ArrivalSpec()) is None
+        assert as_arrival_spec("poisson") is None
+
+    def test_unknown_shape_did_you_mean(self):
+        with pytest.raises(SpecValidationError, match="diurnal"):
+            ArrivalSpec(shape="diurnl")
+
+    def test_foreign_shape_fields_rejected(self):
+        with pytest.raises(SpecValidationError):
+            ArrivalSpec(shape="diurnal", period_us=100.0,
+                        spike_factor=4.0)
+
+    def test_round_trip_omits_defaults(self):
+        spec = ArrivalSpec(shape="diurnal", period_us=20_000.0,
+                           amplitude=0.5)
+        payload = spec.to_dict()
+        assert payload == {"shape": "diurnal",
+                           "period_us": 20_000.0, "amplitude": 0.5}
+        assert ArrivalSpec.from_dict(payload) == spec
+
+    def test_make_process_builds_the_right_class(self):
+        diurnal = ArrivalSpec(shape="diurnal", period_us=100.0)
+        flash = ArrivalSpec(shape="flash-crowd",
+                            spike_start_us=0.0,
+                            spike_duration_us=10.0,
+                            spike_factor=2.0)
+        assert isinstance(diurnal.make_process(1_000),
+                          DiurnalInterarrival)
+        assert isinstance(flash.make_process(1_000),
+                          FlashCrowdInterarrival)
+        assert arrival_process(None, 1_000) is None
+        assert isinstance(arrival_process(diurnal, 1_000),
+                          DiurnalInterarrival)
