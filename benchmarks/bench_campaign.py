@@ -18,6 +18,7 @@ import time
 
 from benchmarks.conftest import BENCH_REQUESTS, BENCH_RUNS, run_once
 from repro.campaign.executor import execute_campaign
+from repro.campaign.serialize import experiment_result_to_dict
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import ResultStore
 from repro.config.presets import server_with_smt
@@ -80,3 +81,60 @@ def test_campaign_parallel_speedup(benchmark, tmp_path):
         "second invocation must be served entirely from the store"
     assert replay_s < serial_s / 5, \
         "store replay must be far cheaper than re-simulation"
+
+
+def test_store_put_many_batching(tmp_path):
+    """Micro-bench: one batched transaction vs. a commit per row.
+
+    The campaign executor drains results through
+    :meth:`ResultStore.put_many` in ``PERSIST_BATCH``-sized groups;
+    this pins the reason -- on a file-backed WAL store, N one-row
+    transactions pay N journal round-trips where the batch pays one.
+    """
+    conditions = CampaignSpec(
+        name="bench-store",
+        workload="memcached",
+        conditions={"SMToff": server_with_smt(False)},
+        qps_list=tuple(10_000.0 + 1_000.0 * i for i in range(96)),
+        runs=1,
+        num_requests=40,
+    ).expand()
+    result = conditions[0].to_plan().run()
+    result_dict = experiment_result_to_dict(result)
+    entries = [{"spec": condition, "result_dict": result_dict,
+                "elapsed_s": 0.1} for condition in conditions]
+
+    def best_of(runs, fn):
+        best = min(fn() for _ in range(runs))
+        return best
+
+    def timed_loop():
+        with ResultStore(str(tmp_path / "loop.sqlite")) as store:
+            store.clear()
+            started = time.perf_counter()
+            for entry in entries:
+                store.put(entry["spec"], result,
+                          result_dict=result_dict, elapsed_s=0.1)
+            elapsed = time.perf_counter() - started
+            assert store.count() == len(entries)
+        return elapsed
+
+    def timed_batch():
+        with ResultStore(str(tmp_path / "batch.sqlite")) as store:
+            store.clear()
+            started = time.perf_counter()
+            store.put_many(entries)
+            elapsed = time.perf_counter() - started
+            assert store.count() == len(entries)
+        return elapsed
+
+    loop_s = best_of(3, timed_loop)
+    batch_s = best_of(3, timed_batch)
+    print()
+    print(f"Store persistence, {len(entries)} rows (best of 3):")
+    print(f"{'path':<28}{'wall (ms)':>10}{'speedup':>10}")
+    print(f"{'put() per row':<28}{loop_s * 1e3:>10.2f}{1.0:>10.2f}")
+    print(f"{'put_many() one txn':<28}{batch_s * 1e3:>10.2f}"
+          f"{loop_s / batch_s:>10.2f}")
+    assert batch_s < loop_s, \
+        "batched persistence must beat a transaction per row"

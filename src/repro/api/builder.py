@@ -112,7 +112,8 @@ class PlanBuilder:
                sink: Optional[str] = None,
                trace: Optional[bool] = None,
                metrics: Optional[bool] = None,
-               engine: Optional[str] = None) -> "PlanBuilder":
+               engine: Optional[str] = None,
+               workers: Optional[int] = None) -> "PlanBuilder":
         """Set run-policy fields; omitted arguments keep their value."""
         self._policy = RunPolicy(
             runs=self._policy.runs if runs is None else runs,
@@ -123,7 +124,9 @@ class PlanBuilder:
             trace=self._policy.trace if trace is None else trace,
             metrics=(self._policy.metrics
                      if metrics is None else metrics),
-            engine=self._policy.engine if engine is None else engine)
+            engine=self._policy.engine if engine is None else engine,
+            workers=(self._policy.workers
+                     if workers is None else workers))
         return self
 
     def cluster(self,

@@ -287,6 +287,14 @@ class RunPolicy:
             :mod:`repro.sim.kernel`); the default ``"reference"`` is
             the pure-Python loop, ``"vectorized"`` the bit-identical
             batch-dequeue kernel.
+        workers: shard width for multi-core execution (see
+            :mod:`repro.parallel`).  ``workers=W > 1`` decomposes
+            each repetition into W striped full-replica shards at
+            ``qps / W`` -- a *semantic* change (a W-replica cluster
+            behind random assignment), so it participates in the
+            content hash; the default ``1`` is omitted from the
+            serialized form, keeping every pre-existing plan hash and
+            store key byte-stable.
     """
 
     runs: int = DEFAULT_RUNS
@@ -296,6 +304,7 @@ class RunPolicy:
     trace: bool = False
     metrics: bool = False
     engine: str = DEFAULT_ENGINE
+    workers: int = 1
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "runs", int(self.runs))
@@ -307,9 +316,13 @@ class RunPolicy:
         object.__setattr__(self, "metrics", bool(self.metrics))
         object.__setattr__(self, "engine",
                            validate_engine_name(self.engine))
+        object.__setattr__(self, "workers", int(self.workers))
         if self.runs < 1:
             raise SpecValidationError(
                 f"runs must be >= 1, got {self.runs!r}")
+        if self.workers < 1:
+            raise SpecValidationError(
+                f"workers must be >= 1, got {self.workers!r}")
 
     def seed_schedule(self) -> Tuple[int, ...]:
         """The root seed of every repetition, in run order."""
@@ -343,12 +356,15 @@ class RunPolicy:
             data["metrics"] = True
         if self.engine != DEFAULT_ENGINE:
             data["engine"] = self.engine
+        if self.workers != 1:
+            data["workers"] = self.workers
         return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunPolicy":
         _check_keys(data, ("runs", "base_seed", "label", "sink",
-                           "trace", "metrics", "engine"), "policy")
+                           "trace", "metrics", "engine", "workers"),
+                    "policy")
         return cls(
             runs=data.get("runs", DEFAULT_RUNS),
             base_seed=data.get("base_seed", 0),
@@ -357,6 +373,7 @@ class RunPolicy:
             trace=bool(data.get("trace", False)),
             metrics=bool(data.get("metrics", False)),
             engine=str(data.get("engine", DEFAULT_ENGINE)),
+            workers=data.get("workers", 1),
         )
 
 
@@ -659,7 +676,17 @@ class ExperimentPlan:
             label=self.policy.label)
 
     def run(self) -> ExperimentResult:
-        """Execute all repetitions; returns the per-run results."""
+        """Execute all repetitions; returns the per-run results.
+
+        A policy with ``workers > 1`` dispatches to the sharded
+        multi-core runner (:mod:`repro.parallel`); the default runs
+        the classic single-process repetition loop.
+        """
+        if self.policy.workers > 1:
+            # Deferred import: the parallel runner imports this
+            # module for plan reconstruction in worker processes.
+            from repro.parallel.runner import run_sharded
+            return run_sharded(self)
         return self.experiment().run()
 
     # ------------------------------------------------------------- sweeps

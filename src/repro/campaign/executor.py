@@ -13,10 +13,26 @@ Failures are captured per condition -- a worker returns an error
 payload instead of raising -- so one bad condition never kills the
 campaign; it is reported, left out of the store, and retried on the
 next invocation.
+
+Two scale-out mechanics keep large campaigns efficient:
+
+* **Warm workers** -- the pool initializer installs the campaign's
+  *plan skeleton* (the first plannable condition's full plan dict)
+  once per worker process and pre-compiles it, so the heavy imports
+  (workload registry, assembly modules) and registry validation are
+  paid once per worker, not once per condition.  Conditions then ship
+  as section-level *patches* against the skeleton -- exact by
+  construction, since a patch stores every section that differs and
+  drops every section the condition lacks.
+* **Batched persistence** -- the parent buffers finished results and
+  writes them to the store in one transaction per
+  :data:`PERSIST_BATCH` drain (see :meth:`ResultStore.put_many`),
+  instead of one commit per condition.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -41,6 +57,60 @@ STATUS_FAILED = "failed"
 #: Progress callback: (outcome, completed_count, total_count).
 ProgressCallback = Callable[["ConditionOutcome", int, int], None]
 
+#: Finished results buffered in the parent per store transaction.
+PERSIST_BATCH = 16
+
+#: The campaign-invariant plan skeleton installed in each warm worker
+#: by :func:`_warm_init` (a module global: pool initializers run once
+#: per worker process, before any task).
+_WARM_SKELETON: Optional[Dict[str, Any]] = None
+
+#: Sentinel distinguishing "section absent" from any real section.
+_MISSING = object()
+
+
+def _warm_init(skeleton_json: str) -> None:
+    """Pool initializer: install and pre-compile the plan skeleton.
+
+    Compiling the skeleton once pulls in the workload registry and
+    the assembly modules and runs spec validation, so per-condition
+    work in this process starts warm.  Warming is best-effort: a
+    skeleton that fails to compile leaves each patched payload to
+    fail (and be recorded) individually.
+    """
+    global _WARM_SKELETON
+    _WARM_SKELETON = json.loads(skeleton_json)
+    try:
+        ExperimentPlan.from_dict(_WARM_SKELETON)
+    except Exception:  # noqa: BLE001 -- warming must never kill a worker
+        pass
+
+
+def _plan_patch(skeleton: Dict[str, Any],
+                plan_dict: Dict[str, Any]) -> Dict[str, Any]:
+    """The section-level patch turning *skeleton* into *plan_dict*.
+
+    ``set`` holds every section whose value differs from the
+    skeleton's; ``drop`` lists skeleton sections the plan lacks.
+    :func:`_apply_patch` inverts this exactly, so patched payloads
+    reconstruct the original plan dict byte-for-byte.
+    """
+    return {
+        "set": {key: value for key, value in plan_dict.items()
+                if skeleton.get(key, _MISSING) != value},
+        "drop": [key for key in skeleton if key not in plan_dict],
+    }
+
+
+def _apply_patch(skeleton: Dict[str, Any],
+                 patch: Dict[str, Any]) -> Dict[str, Any]:
+    """Rebuild a plan dict from the warm skeleton and its patch."""
+    dropped = set(patch.get("drop", ()))
+    data = {key: value for key, value in skeleton.items()
+            if key not in dropped}
+    data.update(patch.get("set", {}))
+    return data
+
 
 def run_condition(spec: ConditionSpec) -> ExperimentResult:
     """Run one condition's experiment to completion (any process).
@@ -56,24 +126,41 @@ def _execute_chunk(payloads: Sequence[Dict[str, Any]]
                    ) -> List[Dict[str, Any]]:
     """Worker entry point: run a chunk of plans, never raise.
 
-    Each payload is ``{"hash": <condition hash>, "plan": <plan
-    dict>}`` -- workers receive serialized
-    :class:`~repro.api.ExperimentPlan`s, not label/kwargs tuples, so
-    the pickle boundary carries only JSON-shaped data.  Every
-    exception is captured as an error payload so a single bad
-    condition cannot poison its chunk or the pool.
+    Each payload is ``{"hash": <condition hash>, ...}`` carrying
+    either a full ``"plan"`` dict or a ``"patch"`` against the warm
+    worker's installed skeleton (see :func:`_warm_init`); either way
+    the pickle boundary carries only JSON-shaped data.  An optional
+    ``"submitted_at"`` parent ``time.monotonic()`` stamp lets the
+    worker report how long the payload sat queued (CLOCK_MONOTONIC is
+    system-wide on Linux, so the cross-process difference is
+    meaningful).  Every exception is captured as an error payload so
+    a single bad condition cannot poison its chunk or the pool.
     """
     out: List[Dict[str, Any]] = []
     for payload in payloads:
         started = time.perf_counter()
+        submitted = payload.get("submitted_at")
+        queue_wait = (max(0.0, time.monotonic() - float(submitted))
+                      if submitted is not None else 0.0)
         try:
-            plan = ExperimentPlan.from_dict(payload["plan"])
+            if "plan" in payload:
+                plan_dict = payload["plan"]
+            elif _WARM_SKELETON is not None:
+                plan_dict = _apply_patch(_WARM_SKELETON,
+                                         payload["patch"])
+            else:
+                raise ExperimentError(
+                    "patched payload reached a worker with no "
+                    "installed plan skeleton")
+            plan = ExperimentPlan.from_dict(plan_dict)
             result = plan.run()
             out.append({
                 "hash": payload["hash"],
                 "ok": True,
                 "result": experiment_result_to_dict(result),
                 "elapsed_s": time.perf_counter() - started,
+                "queue_wait_s": queue_wait,
+                "pid": os.getpid(),
             })
         except Exception as exc:  # noqa: BLE001 -- isolation boundary
             out.append({
@@ -81,6 +168,8 @@ def _execute_chunk(payloads: Sequence[Dict[str, Any]]
                 "ok": False,
                 "error": f"{type(exc).__name__}: {exc}",
                 "elapsed_s": time.perf_counter() - started,
+                "queue_wait_s": queue_wait,
+                "pid": os.getpid(),
             })
     return out
 
@@ -96,6 +185,11 @@ class ConditionOutcome:
         result: the experiment result (None when failed).
         error: the captured error string (None unless failed).
         elapsed_s: wall-clock seconds spent executing (0 for hits).
+        queue_wait_s: seconds spent queued between submission and a
+            worker picking the condition up (0 for hits and inline
+            execution).
+        worker_pid: pid of the process that executed the condition
+            (None for hits and for rows predating attribution).
     """
 
     spec: ConditionSpec
@@ -103,6 +197,8 @@ class ConditionOutcome:
     result: Optional[ExperimentResult] = None
     error: Optional[str] = None
     elapsed_s: float = 0.0
+    queue_wait_s: float = 0.0
+    worker_pid: Optional[int] = None
 
 
 @dataclass
@@ -163,6 +259,42 @@ class CampaignOutcome:
                 f"{len(self.executed)} executed, "
                 f"{len(self.failures)} failed "
                 f"in {self.elapsed_s:.2f}s")
+
+
+class _PersistBuffer:
+    """Buffers finished results; one store transaction per drain.
+
+    Stays a no-op for store-less execution.  The campaign parent
+    flushes every :data:`PERSIST_BATCH` results, before any fail-fast
+    raise, and at invocation end -- so a killed campaign loses at
+    most one partial batch, which the next invocation simply re-runs.
+    """
+
+    def __init__(self, store: Optional[ResultStore], campaign: str,
+                 batch: int = PERSIST_BATCH) -> None:
+        self._store = store
+        self._campaign = str(campaign)
+        self._batch = int(batch)
+        self._entries: List[Dict[str, Any]] = []
+
+    def add(self, condition: ConditionSpec, result: ExperimentResult,
+            result_dict: Optional[Dict[str, Any]] = None,
+            elapsed_s: float = 0.0, queue_wait_s: float = 0.0,
+            worker_pid: Optional[int] = None) -> None:
+        if self._store is None:
+            return
+        self._entries.append({
+            "spec": condition, "result": result,
+            "result_dict": result_dict, "elapsed_s": elapsed_s,
+            "queue_wait_s": queue_wait_s, "worker_pid": worker_pid})
+        if len(self._entries) >= self._batch:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._store is None or not self._entries:
+            return
+        entries, self._entries = self._entries, []
+        self._store.put_many(entries, campaign=self._campaign)
 
 
 class CampaignExecutor:
@@ -226,10 +358,17 @@ class CampaignExecutor:
                 pending.append(condition)
 
         if pending:
-            if self.max_workers <= 1:
-                self._run_inline(spec, pending, record)
-            else:
-                self._run_pool(spec, pending, record)
+            persist = _PersistBuffer(self.store, spec.name)
+            try:
+                if self.max_workers <= 1:
+                    self._run_inline(pending, record, persist)
+                else:
+                    self._run_pool(pending, record, persist)
+            finally:
+                # Results that landed before a fail-fast raise (or
+                # any other interruption) are still persisted; the
+                # next invocation serves them as hits.
+                persist.flush()
 
         outcomes = [by_hash[c.content_hash()] for c in conditions]
         return CampaignOutcome(
@@ -237,21 +376,10 @@ class CampaignExecutor:
             elapsed_s=time.perf_counter() - started)
 
     # ------------------------------------------------------------------
-    def _persist(self, spec: CampaignSpec, condition: ConditionSpec,
-                 result: ExperimentResult,
-                 result_dict: Optional[Dict[str, Any]] = None,
-                 elapsed_s: float = 0.0) -> None:
-        # Pool workers ship results as dicts already; forwarding that
-        # form to the store skips one full re-serialization per
-        # condition.
-        if self.store is not None:
-            self.store.put(condition, result, campaign=spec.name,
-                           result_dict=result_dict,
-                           elapsed_s=elapsed_s)
-
-    def _run_inline(self, spec: CampaignSpec,
-                    pending: List[ConditionSpec],
-                    record: Callable[[ConditionOutcome], None]) -> None:
+    def _run_inline(self, pending: List[ConditionSpec],
+                    record: Callable[[ConditionOutcome], None],
+                    persist: _PersistBuffer) -> None:
+        pid = os.getpid()
         for condition in pending:
             started = time.perf_counter()
             try:
@@ -262,31 +390,30 @@ class CampaignExecutor:
                 record(ConditionOutcome(
                     spec=condition, status=STATUS_FAILED,
                     error=f"{type(exc).__name__}: {exc}",
-                    elapsed_s=time.perf_counter() - started))
+                    elapsed_s=time.perf_counter() - started,
+                    worker_pid=pid))
                 continue
             elapsed = time.perf_counter() - started
-            self._persist(spec, condition, result, elapsed_s=elapsed)
+            persist.add(condition, result, elapsed_s=elapsed,
+                        worker_pid=pid)
             record(ConditionOutcome(
                 spec=condition, status=STATUS_DONE, result=result,
-                elapsed_s=elapsed))
+                elapsed_s=elapsed, worker_pid=pid))
 
-    def _run_pool(self, spec: CampaignSpec,
-                  pending: List[ConditionSpec],
-                  record: Callable[[ConditionOutcome], None]) -> None:
-        # Compile conditions to plan payloads before shipping,
-        # computing each condition hash exactly once; a condition
-        # that fails to plan (unknown workload, bad parameter) is a
-        # recorded failure, not a dead campaign.
+    def _run_pool(self, pending: List[ConditionSpec],
+                  record: Callable[[ConditionOutcome], None],
+                  persist: _PersistBuffer) -> None:
+        # Compile conditions to plan dicts before shipping, computing
+        # each condition hash exactly once; a condition that fails to
+        # plan (unknown workload, bad parameter) is a recorded
+        # failure, not a dead campaign.
         by_hash: Dict[str, ConditionSpec] = {}
         plannable: List[ConditionSpec] = []
-        payloads: List[Dict[str, Any]] = []
+        plan_dicts: List[Dict[str, Any]] = []
         for condition in pending:
             condition_hash = condition.content_hash()
             try:
-                payload = {
-                    "hash": condition_hash,
-                    "plan": condition.to_plan().to_dict(),
-                }
+                plan_dict = condition.to_plan().to_dict()
             except Exception as exc:  # noqa: BLE001 -- isolation boundary
                 if self.fail_fast:
                     raise
@@ -296,17 +423,34 @@ class CampaignExecutor:
                 continue
             by_hash[condition_hash] = condition
             plannable.append(condition)
-            payloads.append(payload)
+            plan_dicts.append(plan_dict)
+        if not plannable:
+            return
+        # The first plannable condition's plan is the campaign's
+        # skeleton: warm workers install it once at pool start, and
+        # every condition ships as a section-level patch against it
+        # (typically just the load/hardware sections that vary).
+        skeleton = plan_dicts[0]
+        payloads = [
+            {"hash": condition.content_hash(),
+             "patch": _plan_patch(skeleton, plan_dict)}
+            for condition, plan_dict in zip(plannable, plan_dicts)]
         chunks = [(plannable[i:i + self.chunksize],
                    payloads[i:i + self.chunksize])
                   for i in range(0, len(plannable), self.chunksize)]
         workers = min(self.max_workers, len(chunks))
-        if not chunks:
-            return
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_execute_chunk, chunk_payloads): chunk
-                for chunk, chunk_payloads in chunks}
+        with ProcessPoolExecutor(
+                max_workers=workers, initializer=_warm_init,
+                initargs=(json.dumps(skeleton),)) as pool:
+            futures = {}
+            for chunk, chunk_payloads in chunks:
+                # The submit stamp is what queue-wait is measured
+                # against in the worker (both ends CLOCK_MONOTONIC).
+                submitted = time.monotonic()
+                for payload in chunk_payloads:
+                    payload["submitted_at"] = submitted
+                futures[pool.submit(_execute_chunk,
+                                    chunk_payloads)] = chunk
             for future in as_completed(futures):
                 chunk = futures[future]
                 try:
@@ -322,6 +466,9 @@ class CampaignExecutor:
                 for payload in chunk_results:
                     condition = by_hash[payload["hash"]]
                     elapsed = float(payload.get("elapsed_s", 0.0))
+                    queue_wait = float(
+                        payload.get("queue_wait_s", 0.0))
+                    pid = payload.get("pid")
                     if self.fail_fast and not payload["ok"]:
                         pool.shutdown(wait=False, cancel_futures=True)
                         raise ExperimentError(
@@ -331,17 +478,23 @@ class CampaignExecutor:
                     if payload["ok"]:
                         result = experiment_result_from_dict(
                             payload["result"])
-                        self._persist(spec, condition, result,
-                                      result_dict=payload["result"],
-                                      elapsed_s=elapsed)
+                        persist.add(condition, result,
+                                    result_dict=payload["result"],
+                                    elapsed_s=elapsed,
+                                    queue_wait_s=queue_wait,
+                                    worker_pid=pid)
                         record(ConditionOutcome(
                             spec=condition, status=STATUS_DONE,
-                            result=result, elapsed_s=elapsed))
+                            result=result, elapsed_s=elapsed,
+                            queue_wait_s=queue_wait,
+                            worker_pid=pid))
                     else:
                         record(ConditionOutcome(
                             spec=condition, status=STATUS_FAILED,
                             error=payload["error"],
-                            elapsed_s=elapsed))
+                            elapsed_s=elapsed,
+                            queue_wait_s=queue_wait,
+                            worker_pid=pid))
 
 
 def execute_campaign(spec: CampaignSpec,

@@ -124,8 +124,9 @@ def render_timing_table(stored: List[ConditionSpec],
     if store is None or not stored:
         return ""
     timings = store.timings_for(stored)
-    rows = [(label, qps, runs, elapsed)
-            for (label, qps, runs, elapsed) in timings.values()
+    rows = [(label, qps, runs, elapsed, wait, pid)
+            for (label, qps, runs, elapsed, wait, pid)
+            in timings.values()
             if elapsed > 0.0]
     if not rows:
         return ""
@@ -133,18 +134,21 @@ def render_timing_table(stored: List[ConditionSpec],
     label_width = max(len("condition"),
                       max(len(row[0]) for row in rows))
     total = sum(row[3] for row in rows)
+    total_wait = sum(row[4] for row in rows)
     lines = [
         "  timings (stored conditions, slowest first):",
         f"    {'condition':<{label_width}}  {'qps':>9}  "
-        f"{'runs':>4}  {'wall':>8}",
+        f"{'runs':>4}  {'wall':>8}  {'wait':>8}  {'pid':>7}",
     ]
-    for label, qps, runs, elapsed in rows:
+    for label, qps, runs, elapsed, wait, pid in rows:
+        pid_text = "-" if pid is None else str(pid)
         lines.append(
             f"    {label:<{label_width}}  {qps:>9g}  "
-            f"{runs:>4d}  {elapsed:>7.2f}s")
+            f"{runs:>4d}  {elapsed:>7.2f}s  {wait:>7.2f}s  "
+            f"{pid_text:>7}")
     lines.append(
         f"    {'total':<{label_width}}  {'':>9}  {'':>4}  "
-        f"{total:>7.2f}s")
+        f"{total:>7.2f}s  {total_wait:>7.2f}s  {'':>7}")
     return "\n".join(lines)
 
 

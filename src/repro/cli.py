@@ -1,7 +1,8 @@
 """Command-line interface.
 
-Nine subcommands mirror the library's faces::
+Ten subcommands mirror the library's faces::
 
+    repro run --workload memcached --qps 100000 --workers 4
     repro study --workload memcached --knob smt --qps 10000 100000
     repro tune --config HP [--real] [--apply]
     repro recommend --loop open --interarrival block-wait
@@ -12,9 +13,12 @@ Nine subcommands mirror the library's faces::
     repro graph --graph memcached-cached --arrival diurnal
     repro trace --workload memcached --output trace.json
 
-``repro study`` runs a scaled study grid and prints the paper-style
-series; ``repro tune`` plans (and optionally applies) a host
-configuration; ``repro recommend`` prints the Section VI advice;
+``repro run`` executes one experiment -- optionally sharded across
+worker processes with ``--workers`` (see :mod:`repro.parallel`) --
+and prints the repetition summary; ``repro study`` runs a scaled
+study grid and prints the paper-style series; ``repro tune`` plans
+(and optionally applies) a host configuration; ``repro recommend``
+prints the Section VI advice;
 ``repro capacity`` runs the provisioning analysis of Section V-A;
 ``repro campaign`` runs declarative experiment sweeps in parallel
 against a persistent result store (``run``/``status``/``report``) --
@@ -73,6 +77,36 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Client-side hardware configuration toolkit "
                     "(IISWC'24 reproduction)")
     commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser(
+        "run", help="run one experiment, optionally sharded across "
+                    "worker processes")
+    run.add_argument("--workload", default="memcached",
+                     help="registered workload name")
+    run.add_argument("--client", default="LP",
+                     help="client preset (LP or HP)")
+    run.add_argument("--qps", type=float, default=None,
+                     help="offered load (default: the workload's)")
+    run.add_argument("--requests", type=int, default=None,
+                     help="requests per run "
+                          "(default: the workload's)")
+    run.add_argument("--runs", type=int, default=5,
+                     help="repetitions (the paper: 50)")
+    run.add_argument("--seed", type=int, default=0,
+                     help="base seed for the repetition protocol")
+    run.add_argument("--workers", type=int, default=1,
+                     help="shard width W: decompose each run into W "
+                          "striped full-replica shards at qps/W "
+                          "(part of the plan's content hash)")
+    run.add_argument("--processes", type=int, default=None,
+                     help="processes to spread shards over (default: "
+                          "min(workers, cores); 1 = serial placement, "
+                          "bit-identical to any other)")
+    run.add_argument("--sink", default=None,
+                     help="telemetry sink (columnar or streaming)")
+    run.add_argument("--engine", default=None,
+                     help="event-loop engine (reference or "
+                          "vectorized)")
 
     study = commands.add_parser(
         "study", help="run a client-vs-server study grid")
@@ -292,6 +326,52 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--output", "-o", default="trace.json",
                        help="Chrome trace JSON output path")
     return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    """Run one experiment (optionally sharded) and summarize it."""
+    from repro.api import experiment
+    from repro.errors import ReproError
+
+    try:
+        builder = (experiment(args.workload)
+                   .client(client_by_name(args.client)))
+        load_kwargs = {}
+        if args.qps is not None:
+            load_kwargs["qps"] = args.qps
+        if args.requests is not None:
+            load_kwargs["num_requests"] = args.requests
+        if load_kwargs:
+            builder = builder.load(**load_kwargs)
+        plan = (builder
+                .policy(runs=args.runs, base_seed=args.seed,
+                        sink=args.sink, engine=args.engine,
+                        workers=args.workers)
+                .build())
+        if plan.policy.workers > 1:
+            from repro.parallel.runner import run_sharded
+            result = run_sharded(plan, processes=args.processes)
+        else:
+            result = plan.run()
+        avg = float(np.median(result.avg_samples()))
+        p99 = float(np.median(result.p99_samples()))
+        true_p99 = float(np.median(result.true_p99_samples()))
+        sharding = (f", {plan.policy.workers} shard workers"
+                    if plan.policy.workers > 1 else "")
+        print(f"{args.workload} @ {plan.load.qps:g} QPS "
+              f"({plan.policy.runs} runs x "
+              f"{plan.load.num_requests} requests, "
+              f"seed {args.seed}{sharding})")
+        print(f"plan hash: {plan.content_hash()[:12]}")
+        print(f"  median avg latency:  {avg:10.1f} us")
+        print(f"  median p99 latency:  {p99:10.1f} us")
+        print(f"  median true p99:     {true_p99:10.1f} us")
+        print(f"  server utilization:  "
+              f"{result.mean_server_utilization():10.3f}")
+        return 0
+    except (ReproError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
@@ -766,6 +846,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
     handlers = {
+        "run": _cmd_run,
         "study": _cmd_study,
         "tune": _cmd_tune,
         "recommend": _cmd_recommend,

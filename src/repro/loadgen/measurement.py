@@ -77,6 +77,21 @@ class RunSamples:
                                   np.ndarray] = {}
         self._array_cache: Dict[str, np.ndarray] = {}
 
+    @classmethod
+    def from_columns(cls, columns: SampleColumns,
+                     warmup_fraction: float = 0.1) -> "RunSamples":
+        """Wrap an already-filled columnar buffer as run samples.
+
+        The accessor surface (stable send-order sort, warmup trim,
+        cached latency arrays) applies to *columns* exactly as if its
+        rows had been recorded one by one -- this is how the sharded
+        runner's merged per-shard columns become one run's samples
+        (:mod:`repro.parallel`).
+        """
+        out = cls(warmup_fraction=warmup_fraction)
+        out._columns = columns
+        return out
+
     # ------------------------------------------------------------------
     def record(self, request: Request) -> None:
         """Record one completed request (the request is not retained)."""

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import difflib
 import math
-from typing import Callable, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Tuple
 
 try:  # pragma: no cover - import guard exercised implicitly
     from typing import Protocol
@@ -214,6 +214,23 @@ class P2Quantile:
         hi = min(lo + 1, len(ordered) - 1)
         return ordered[lo] + (rank - lo) * (ordered[hi] - ordered[lo])
 
+    def marker_state(self) -> Dict[str, Any]:
+        """The estimator's compressed state (the mergeable form).
+
+        ``heights`` are the marker values in non-decreasing order and
+        ``positions`` the 0-based observation counts at each marker;
+        below five observations both describe the raw sorted buffer.
+        :func:`merge_marker_states` consumes this across shards.
+        """
+        if self.count >= 5:
+            return {"count": self.count,
+                    "heights": list(self._q),
+                    "positions": list(self._n)}
+        ordered = sorted(self._q)
+        return {"count": self.count,
+                "heights": ordered,
+                "positions": list(range(len(ordered)))}
+
 
 class _RunningMoments:
     """Welford running mean/variance with extremes."""
@@ -271,6 +288,43 @@ class _RunningMoments:
         """Population variance (ddof=0, matching ``numpy.var``)."""
         return self._m2 / self.count if self.count else 0.0
 
+    def state(self) -> Dict[str, float]:
+        """The moments' mergeable state (Chan-combinable)."""
+        return {"count": self.count, "mean": self.mean,
+                "m2": self._m2, "min": self.min, "max": self.max}
+
+    @classmethod
+    def from_states(cls, states: List[Dict[str, float]]
+                    ) -> "_RunningMoments":
+        """Combine per-shard moment states into one (Chan et al.).
+
+        Exactly the :meth:`observe_chunk` pairwise combine applied in
+        shard order, so merging K shards' moments equals feeding the
+        K chunks to one accumulator -- within the sink's documented
+        float-order contract.
+        """
+        out = cls()
+        for state in states:
+            count = int(state["count"])
+            if count == 0:
+                continue
+            if out.count == 0:
+                out.count = count
+                out.mean = float(state["mean"])
+                out._m2 = float(state["m2"])
+            else:
+                total = out.count + count
+                delta = float(state["mean"]) - out.mean
+                out.mean += delta * (count / total)
+                out._m2 += float(state["m2"]) + delta * delta * (
+                    out.count * count / total)
+                out.count = total
+            if state["min"] < out.min:
+                out.min = float(state["min"])
+            if state["max"] > out.max:
+                out.max = float(state["max"])
+        return out
+
 
 class _Channel:
     """Moments + quantile markers for one point of measurement."""
@@ -293,6 +347,47 @@ class _Channel:
         data = values.tolist()
         for estimator in self.quantiles.values():
             estimator.observe_many(data)
+
+
+def merge_marker_states(states: List[Dict[str, Any]],
+                        p: float) -> float:
+    """Estimate quantile *p* of the union of shards from their markers.
+
+    Each shard's P\N{SUPERSCRIPT TWO} markers are replayed as a
+    piecewise-linear empirical CDF (height ``q_i`` at cumulative
+    fraction ``n_i / (count - 1)``); the merged CDF is the
+    count-weighted mixture, evaluated on the pooled marker grid, and
+    the quantile is read back by inverse interpolation.  This is the
+    documented-tolerance half of the mergeable-sink contract: exact
+    marker state cannot be combined across shards, but the mixture
+    replay tracks the unpartitioned estimator to within a few percent
+    on the distributions the streaming sink supports (pinned in
+    ``tests/test_parallel_merge.py``).
+    """
+    live = [s for s in states if int(s["count"]) > 0]
+    if not live:
+        raise ValueError("no observations in any marker state")
+    total = sum(int(s["count"]) for s in live)
+    singles = [s for s in live if int(s["count"]) == 1]
+    multi = [s for s in live if int(s["count"]) > 1]
+    if not multi:
+        # Degenerate: every shard saw one value; pool and interpolate.
+        pooled = np.sort(np.array(
+            [s["heights"][0] for s in singles], dtype=np.float64))
+        return float(np.quantile(pooled, p))
+    grid = np.unique(np.concatenate(
+        [np.asarray(s["heights"], dtype=np.float64) for s in live]))
+    cdf = np.zeros_like(grid)
+    for state in multi:
+        heights = np.asarray(state["heights"], dtype=np.float64)
+        fractions = (np.asarray(state["positions"], dtype=np.float64)
+                     / (int(state["count"]) - 1))
+        cdf += (int(state["count"]) / total) * np.interp(
+            grid, heights, fractions, left=0.0, right=1.0)
+    for state in singles:
+        cdf += (1 / total) * (grid >= float(state["heights"][0]))
+    # The mixture CDF is non-decreasing by construction; invert it.
+    return float(np.interp(p, cdf, grid))
 
 
 #: Windowed time-series entry:
@@ -503,6 +598,34 @@ class StreamingSink:
         """Running population variance at *point*."""
         channel, _ = self._channel(point)
         return channel.moments.variance()
+
+    def export_state(self) -> Dict[str, Any]:
+        """The sink's complete mergeable state (plain JSON-able data).
+
+        One shard's contribution to a sharded run: per-channel moment
+        states and quantile marker states, the windowed series, and
+        the record/warmup counters.  Consumed by
+        :class:`repro.parallel.merge.MergedStreamingSamples`, which
+        Chan-combines the moments and mixture-replays the markers.
+        """
+        self._drain()
+        channels: Dict[str, Any] = {}
+        for point, channel in self._channels.items():
+            channels[point.value] = {
+                "moments": channel.moments.state(),
+                "quantiles": {
+                    f"{pct:g}": estimator.marker_state()
+                    for pct, estimator in channel.quantiles.items()},
+            }
+        return {
+            "recorded": self._recorded,
+            "warmup_skipped": self._warmup_skipped,
+            "warmup_fraction": self.warmup_fraction,
+            "kernel_stack_us": self._kernel_stack_us,
+            "tracked_quantiles": list(self.quantiles),
+            "channels": channels,
+            "windows": [list(window) for window in self.windows],
+        }
 
     def min_latency_us(self, point: PointOfMeasurement
                        = PointOfMeasurement.GENERATOR) -> float:

@@ -1,0 +1,174 @@
+"""Sharded execution: one plan's repetitions across worker processes.
+
+:func:`run_sharded` executes a plan whose policy asks for
+``workers=W`` by decomposing every repetition into the W striped
+shards of :func:`~repro.parallel.shard.shard_layout`, running each
+shard as an ordinary single-process testbed, and folding the shard
+payloads back into one :class:`~repro.core.testbed.RunMetrics` per
+repetition via :mod:`repro.parallel.merge`.
+
+The pinned equivalence contract: the *decomposition* is semantic
+(part of the plan, hash-relevant), the *placement* is not -- running
+with ``processes=P`` for any P >= 1 yields bit-identical merged
+columns, because each shard testbed is deterministic in
+``(plan, seed, shard)`` alone:
+
+* its random streams live under the shard's
+  :func:`~repro.sim.random.stream_namespace` prefix, independent of
+  every other shard and of which process hosts it;
+* its request ids are restriped to the shard's global stripe by
+  wrapping the generator's request factory, so merged telemetry is
+  indistinguishable from one global id space.
+
+``processes=1`` is therefore the serial reference the parallel path
+is validated against (``tests/test_parallel.py``,
+``benchmarks/bench_parallel.py``).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.experiment import ExperimentResult
+from repro.errors import ExperimentError
+from repro.obs.sinks import SINK_STREAMING, StreamingSink
+from repro.parallel.merge import merged_run_metrics
+from repro.parallel.shard import ShardSpec, shard_layout
+from repro.server.request import Request
+from repro.sim.random import stream_namespace
+from repro.telemetry.columns import COLUMN_FIELDS
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.api.specs import ExperimentPlan
+
+
+def run_shard(plan: "ExperimentPlan", seed: int,
+              shard: ShardSpec) -> Dict[str, Any]:
+    """Run one shard of one repetition; return its merge payload.
+
+    The shard testbed is the plan's own builder compiled at
+    ``qps / workers`` offered load over the shard's request count,
+    with two post-build adjustments that no workload builder needs to
+    know about:
+
+    * the generator's request factory is wrapped to restripe local
+      ids ``0..count`` onto the shard's global stripe (factories are
+      read at send time, never captured by the kernel, so the swap is
+      effective for both loop disciplines and both engines);
+    * a streaming-sink policy gets its sink rebuilt with the run's
+      **global** request count, so the id-based warmup trims of the W
+      shards union exactly to the unsharded trim set.
+    """
+    shard_plan = plan.with_policy(workers=1).with_load(
+        qps=plan.load.qps / shard.workers,
+        num_requests=shard.count)
+    with stream_namespace(shard.stream_prefix):
+        testbed = shard_plan.builder()(int(seed))
+    generator = testbed.generator
+    base_factory = generator._request_factory
+
+    def striped_factory(local_index: int,
+                        _base: Callable[[int], Request] = base_factory,
+                        _shard: ShardSpec = shard) -> Request:
+        request = _base(local_index)
+        request.request_id = _shard.global_id(local_index)
+        return request
+
+    generator._request_factory = striped_factory
+    if plan.policy.sink == SINK_STREAMING:
+        generator.samples = StreamingSink(
+            plan.load.num_requests,
+            warmup_fraction=generator.samples.warmup_fraction)
+    metrics = testbed.run()
+    samples = testbed.generator.samples
+    payload: Dict[str, Any] = {
+        "shard": shard.index,
+        "events": int(getattr(testbed.sim, "events_processed", 0)),
+        "server_utilization": metrics.server_utilization,
+        "node_utilizations": list(metrics.node_utilizations),
+        "obs_metrics": [[name, value]
+                        for name, value in metrics.obs_metrics],
+    }
+    if isinstance(samples, StreamingSink):
+        payload["kind"] = "streaming"
+        payload["state"] = samples.export_state()
+    else:
+        payload["kind"] = "columnar"
+        payload["warmup_fraction"] = samples.warmup_fraction
+        payload["columns"] = {
+            name: np.array(samples.columns.column(name))
+            for name in COLUMN_FIELDS}
+    return payload
+
+
+def _execute_shard(task: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: rebuild the plan and run one shard.
+
+    Top-level (picklable) and fed plain dicts, so it crosses the
+    process boundary under any start method.
+    """
+    from repro.api.specs import ExperimentPlan
+
+    plan = ExperimentPlan.from_dict(task["plan"])
+    shard = ShardSpec(index=int(task["shard"]["index"]),
+                      workers=int(task["shard"]["workers"]),
+                      total_requests=int(
+                          task["shard"]["total_requests"]))
+    return run_shard(plan, int(task["seed"]), shard)
+
+
+def run_sharded(plan: "ExperimentPlan",
+                processes: Optional[int] = None) -> ExperimentResult:
+    """Execute *plan*'s repetition protocol with sharded runs.
+
+    Args:
+        plan: the plan to run; ``plan.policy.workers`` fixes the
+            decomposition width W.
+        processes: worker processes to spread shards over.  Default:
+            ``min(W, cpu_count)``.  ``1`` runs every shard inline in
+            this process -- the serial placement the parallel one is
+            bit-identical to.
+
+    Returns:
+        An :class:`~repro.core.experiment.ExperimentResult` with one
+        merged :class:`~repro.core.testbed.RunMetrics` per repetition
+        and ``metadata={"workers": W}``.
+    """
+    workers = int(plan.policy.workers)
+    if workers <= 1:
+        return plan.experiment().run()
+    layout = shard_layout(plan.load.num_requests, workers)
+    seeds = plan.policy.seed_schedule()
+    plan_dict = plan.to_dict()
+    tasks = [
+        {"plan": plan_dict, "seed": int(seed),
+         "shard": {"index": shard.index, "workers": shard.workers,
+                   "total_requests": shard.total_requests}}
+        for seed in seeds for shard in layout]
+    if processes is None:
+        processes = min(workers, os.cpu_count() or 1)
+    processes = int(processes)
+    if processes < 1:
+        raise ExperimentError(
+            f"processes must be >= 1, got {processes}")
+    if processes == 1:
+        payloads = [_execute_shard(task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=processes) as pool:
+            payloads = list(pool.map(_execute_shard, tasks))
+    metrics: List[Any] = [
+        merged_run_metrics(
+            payloads[index * workers:(index + 1) * workers],
+            seed=int(seed))
+        for index, seed in enumerate(seeds)]
+    return ExperimentResult(
+        label=plan.label,
+        workload=plan.workload.name,
+        qps=plan.load.qps,
+        runs=metrics,
+        metadata={"workers": float(workers)},
+    )

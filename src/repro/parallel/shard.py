@@ -1,0 +1,92 @@
+"""Deterministic shard layout for multi-core single-run execution.
+
+``workers=W`` decomposes one run's request population into W
+*shards* by striping the global request-id space: shard *k* owns ids
+``k, k+W, k+2W, ...``.  Each shard runs a **full replica** of the
+plan's service topology at ``qps / W`` offered load -- by Poisson
+thinning, statistically equivalent to a W-node cluster of replicas
+behind a random-assignment load balancer.  Sharding therefore changes
+the modeled system (it is part of the plan's content hash when
+``workers != 1``); what it must never change is *placement*: running
+the W shards across W processes is bit-identical to running the same
+W shards sequentially in one process, which is the equivalence
+contract :mod:`repro.parallel.runner` pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+#: Stream-namespace prefix stem for shard testbeds (see
+#: :func:`repro.sim.random.stream_namespace`).
+SHARD_STREAM_STEM = "pshard"
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard of a striped request-id decomposition.
+
+    Attributes:
+        index: shard number in ``[0, workers)``.
+        workers: total shards in the decomposition.
+        total_requests: the undecomposed run's request count.
+    """
+
+    index: int
+    workers: int
+    total_requests: int
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ExperimentError(
+                f"workers must be >= 1, got {self.workers}")
+        if not 0 <= self.index < self.workers:
+            raise ExperimentError(
+                f"shard index must be in [0, {self.workers}), "
+                f"got {self.index}")
+        if self.total_requests < self.workers:
+            raise ExperimentError(
+                f"cannot shard {self.total_requests} requests across "
+                f"{self.workers} workers; every shard needs at least "
+                f"one request")
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Requests this shard owns."""
+        return len(range(self.index, self.total_requests, self.workers))
+
+    @property
+    def stream_prefix(self) -> str:
+        """The shard's stream-namespace prefix, e.g. ``"pshard2/"``."""
+        return f"{SHARD_STREAM_STEM}{self.index}/"
+
+    def global_id(self, local_index: int) -> int:
+        """The global request id of the shard's *local_index*-th
+        request (the striping map)."""
+        return self.index + local_index * self.workers
+
+    def global_ids(self) -> np.ndarray:
+        """All global request ids this shard owns, in local order."""
+        return np.arange(self.index, self.total_requests, self.workers)
+
+
+def shard_layout(total_requests: int, workers: int
+                 ) -> Tuple[ShardSpec, ...]:
+    """The full decomposition of *total_requests* over *workers*.
+
+    Raises:
+        ExperimentError: when the population cannot give every shard
+            at least one request, or *workers* < 1.
+    """
+    if workers < 1:
+        raise ExperimentError(f"workers must be >= 1, got {workers}")
+    return tuple(
+        ShardSpec(index=k, workers=workers,
+                  total_requests=int(total_requests))
+        for k in range(workers))

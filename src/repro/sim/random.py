@@ -11,11 +11,40 @@ any other component.
 
 from __future__ import annotations
 
-from typing import Dict
+from contextlib import contextmanager
+from typing import Dict, Iterator
 
 import numpy as np
 
 from repro.sim.sampling import BatchedStream
+
+#: The stream namespace active in this process (see
+#: :func:`stream_namespace`).  Empty outside a namespace block, which
+#: is the historical behavior: stream identity is (seed, name) alone.
+_ACTIVE_NAMESPACE = ""
+
+
+@contextmanager
+def stream_namespace(prefix: str) -> Iterator[None]:
+    """Prefix every stream name of registries built inside the block.
+
+    The sharded runner (:mod:`repro.parallel`) builds each shard's
+    full testbed inside ``stream_namespace("pshard3/")`` so every
+    component of the shard draws from streams keyed by
+    ``(seed, "pshard3/" + name)`` -- independent of every other
+    shard's streams without touching any workload builder.  Nesting
+    concatenates prefixes.  The namespace is captured by
+    :class:`RandomStreams` at construction, so a registry keeps its
+    namespace even when its streams are first requested outside the
+    block.
+    """
+    global _ACTIVE_NAMESPACE
+    previous = _ACTIVE_NAMESPACE
+    _ACTIVE_NAMESPACE = previous + str(prefix)
+    try:
+        yield
+    finally:
+        _ACTIVE_NAMESPACE = previous
 
 
 class RandomStreams:
@@ -32,6 +61,7 @@ class RandomStreams:
     def __init__(self, seed: int) -> None:
         self._seed_seq = np.random.SeedSequence(int(seed))
         self._root_seed = int(seed)
+        self._namespace = _ACTIVE_NAMESPACE
         self._streams: Dict[str, np.random.Generator] = {}
         self._batched: Dict[str, BatchedStream] = {}
 
@@ -40,17 +70,24 @@ class RandomStreams:
         """The root seed this registry was created with."""
         return self._root_seed
 
+    @property
+    def namespace(self) -> str:
+        """The stream-name prefix captured at construction ("" when
+        built outside a :func:`stream_namespace` block)."""
+        return self._namespace
+
     def get(self, name: str) -> np.random.Generator:
         """Return (creating if needed) the generator for *name*.
 
         The stream seed is derived from the root seed and a stable hash
-        of the name, so stream identity depends only on (seed, name).
+        of the (namespace-prefixed) name, so stream identity depends
+        only on (seed, namespace + name).
         """
         stream = self._streams.get(name)
         if stream is None:
             child = np.random.SeedSequence(
                 entropy=self._seed_seq.entropy,
-                spawn_key=(_stable_name_key(name),),
+                spawn_key=(_stable_name_key(self._namespace + name),),
             )
             stream = np.random.default_rng(child)
             self._streams[name] = stream

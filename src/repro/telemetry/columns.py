@@ -9,7 +9,7 @@ slice of the filled prefix.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -140,6 +140,35 @@ class SampleColumns:
         data["measured_complete_us"][start:need] = [
             r.measured_complete_us for r in requests]
         self._size = need
+
+    @classmethod
+    def from_arrays(cls, arrays: Mapping[str, np.ndarray]
+                    ) -> "SampleColumns":
+        """Build a buffer directly from full column arrays.
+
+        *arrays* must provide every :data:`COLUMN_FIELDS` name, all of
+        one length.  Values are copied into float64 storage, so the
+        buffer owns its memory and later :meth:`append` calls grow it
+        normally.  This is the bulk entry point the sharded runner
+        uses to reassemble one merged buffer from per-shard column
+        payloads (:mod:`repro.parallel`).
+        """
+        missing = [name for name in COLUMN_FIELDS if name not in arrays]
+        if missing:
+            raise ValueError(
+                f"from_arrays is missing column(s): {', '.join(missing)}")
+        first = np.asarray(arrays[COLUMN_FIELDS[0]], dtype=np.float64)
+        size = int(first.shape[0])
+        out = cls(capacity=max(size, 1))
+        for name in COLUMN_FIELDS:
+            column = np.asarray(arrays[name], dtype=np.float64)
+            if column.shape != (size,):
+                raise ValueError(
+                    f"column {name!r} has shape {column.shape}, "
+                    f"expected ({size},)")
+            out._data[name][:size] = column
+        out._size = size
+        return out
 
     # ------------------------------------------------------------------
     def column(self, name: str) -> np.ndarray:

@@ -45,21 +45,47 @@ class TestTimings:
         conditions = spec.expand()
         result = run_one(conditions[0])
         store.put(conditions[0], result, campaign=spec.name,
-                  elapsed_s=1.25)
+                  elapsed_s=1.25, queue_wait_s=0.5, worker_pid=4242)
         timings = store.timings_for(conditions)
         assert set(timings) == {conditions[0].content_hash()}
-        label, qps, runs, elapsed = timings[
+        label, qps, runs, elapsed, wait, pid = timings[
             conditions[0].content_hash()]
         assert (label, qps, runs) == (
             conditions[0].label, conditions[0].qps,
             conditions[0].runs)
         assert elapsed == 1.25
+        assert wait == 0.5
+        assert pid == 4242
 
     def test_elapsed_defaults_to_zero(self, spec, store):
         condition = spec.expand()[0]
         store.put(condition, run_one(condition), campaign=spec.name)
         timings = store.timings_for([condition])
-        assert timings[condition.content_hash()][3] == 0.0
+        row = timings[condition.content_hash()]
+        assert row[3] == 0.0
+        assert row[4] == 0.0
+        assert row[5] is None
+
+    def test_put_many_is_one_transaction_worth_of_rows(self, spec,
+                                                       store):
+        conditions = spec.expand()
+        entries = [{"spec": condition, "result": run_one(condition),
+                    "elapsed_s": 0.5 + index,
+                    "queue_wait_s": 0.1 * index,
+                    "worker_pid": 100 + index}
+                   for index, condition in enumerate(conditions)]
+        store.put_many(entries, campaign=spec.name)
+        assert store.count() == len(conditions)
+        timings = store.timings_for(conditions)
+        for index, condition in enumerate(conditions):
+            row = timings[condition.content_hash()]
+            assert row[3] == 0.5 + index
+            assert row[4] == 0.1 * index
+            assert row[5] == 100 + index
+
+    def test_put_many_empty_is_a_noop(self, store):
+        store.put_many([])
+        assert store.count() == 0
 
 
 class TestRoundTrip:

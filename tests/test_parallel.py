@@ -1,0 +1,262 @@
+"""Tests for sharded multi-core execution (repro.parallel).
+
+The contract under test has two halves:
+
+* the **decomposition** is semantic: ``workers=W`` stripes the global
+  request-id space into W full-replica shards at ``qps / W`` each, and
+  is part of the plan's content hash whenever ``W != 1``;
+* the **placement** is not: running the W shards across P processes is
+  bit-identical to running them sequentially in one process, for both
+  registered sinks.
+"""
+
+import hashlib
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.api import experiment
+from repro.api.specs import RunPolicy
+from repro.errors import ExperimentError
+from repro.parallel import (
+    ShardSpec,
+    merge_columnar_payloads,
+    run_shard,
+    run_sharded,
+    shard_layout,
+)
+from repro.parallel.runner import _execute_shard
+from repro.sim.random import RandomStreams, stream_namespace
+from repro.telemetry.columns import COLUMN_FIELDS
+
+
+def small_plan(workers=2, requests=160, runs=1, **policy_kwargs):
+    return (experiment("memcached").client("LP")
+            .load(qps=40_000, num_requests=requests)
+            .policy(runs=runs, base_seed=11, workers=workers,
+                    **policy_kwargs)
+            .build())
+
+
+def columns_digest(samples):
+    digest = hashlib.sha256()
+    for name in COLUMN_FIELDS:
+        digest.update(np.ascontiguousarray(
+            samples.columns.column(name)).tobytes())
+    return digest.hexdigest()
+
+
+def shard_tasks(plan, seed=11):
+    layout = shard_layout(plan.load.num_requests, plan.policy.workers)
+    return [{"plan": plan.to_dict(), "seed": seed,
+             "shard": {"index": shard.index,
+                       "workers": shard.workers,
+                       "total_requests": shard.total_requests}}
+            for shard in layout]
+
+
+class TestShardLayout:
+    @pytest.mark.parametrize("total,workers",
+                             [(10, 1), (10, 3), (100, 7), (8, 8)])
+    def test_stripes_partition_the_id_space(self, total, workers):
+        layout = shard_layout(total, workers)
+        assert len(layout) == workers
+        assert sum(shard.count for shard in layout) == total
+        pooled = np.sort(np.concatenate(
+            [shard.global_ids() for shard in layout]))
+        assert np.array_equal(pooled, np.arange(total))
+
+    def test_global_id_matches_global_ids(self):
+        shard = ShardSpec(index=2, workers=5, total_requests=23)
+        ids = shard.global_ids()
+        assert len(ids) == shard.count
+        for local, gid in enumerate(ids):
+            assert shard.global_id(local) == gid
+
+    def test_stream_prefixes_are_distinct(self):
+        layout = shard_layout(20, 4)
+        prefixes = {shard.stream_prefix for shard in layout}
+        assert prefixes == {"pshard0/", "pshard1/",
+                            "pshard2/", "pshard3/"}
+
+    def test_layout_rejects_nonpositive_workers(self):
+        with pytest.raises(ExperimentError):
+            shard_layout(10, 0)
+
+    def test_shard_rejects_out_of_range_index(self):
+        with pytest.raises(ExperimentError):
+            ShardSpec(index=2, workers=2, total_requests=10)
+
+    def test_shard_rejects_starved_population(self):
+        with pytest.raises(ExperimentError):
+            shard_layout(3, 4)
+
+
+class TestStreamNamespace:
+    def test_namespaced_streams_are_independent(self):
+        with stream_namespace("pshard0/"):
+            first = RandomStreams(7)
+        with stream_namespace("pshard1/"):
+            second = RandomStreams(7)
+        plain = RandomStreams(7)
+        draws = {registry.get("service").random()
+                 for registry in (first, second, plain)}
+        assert len(draws) == 3
+
+    def test_namespace_is_a_pure_name_prefix(self):
+        with stream_namespace("p/"):
+            namespaced = RandomStreams(7)
+        plain = RandomStreams(7)
+        assert np.array_equal(
+            namespaced.get("service").random(8),
+            plain.get("p/service").random(8))
+
+    def test_nesting_concatenates_and_exit_restores(self):
+        with stream_namespace("a/"):
+            with stream_namespace("b/"):
+                inner = RandomStreams(1)
+            outer = RandomStreams(1)
+        assert inner.namespace == "a/b/"
+        assert outer.namespace == "a/"
+        assert RandomStreams(1).namespace == ""
+
+    def test_registry_captures_namespace_at_construction(self):
+        with stream_namespace("a/"):
+            registry = RandomStreams(3)
+        # First stream request happens *outside* the block.
+        assert (registry.get("x").random()
+                == RandomStreams(3).get("a/x").random())
+
+
+class TestShardedColumnarRun:
+    def test_merged_ids_cover_the_global_space(self):
+        plan = small_plan(workers=3, requests=120)
+        payloads = [run_shard(plan, 5, shard)
+                    for shard in shard_layout(120, 3)]
+        merged = merge_columnar_payloads(payloads)
+        ids = np.sort(merged.columns.column("request_id"))
+        assert np.array_equal(ids, np.arange(120))
+        assert merged.measured_count == 120 - int(120 * 0.1)
+
+    def test_parallel_placement_is_bit_identical(self):
+        plan = small_plan(workers=2, requests=160)
+        tasks = shard_tasks(plan)
+        inline = [_execute_shard(task) for task in tasks]
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            remote = list(pool.map(_execute_shard, tasks))
+        for local, shipped in zip(inline, remote):
+            for name in COLUMN_FIELDS:
+                assert np.array_equal(local["columns"][name],
+                                      shipped["columns"][name])
+        assert (columns_digest(merge_columnar_payloads(inline))
+                == columns_digest(merge_columnar_payloads(remote)))
+
+    def test_run_sharded_placements_agree_exactly(self):
+        plan = small_plan(workers=2, requests=160)
+        serial = run_sharded(plan, processes=1)
+        parallel = run_sharded(plan, processes=2)
+        assert serial.runs == parallel.runs
+        assert serial.metadata == {"workers": 2.0}
+
+    def test_plan_run_dispatches_to_sharded_execution(self):
+        requests = 120
+        plan = small_plan(workers=2, requests=requests, runs=2)
+        result = plan.run()
+        assert result.metadata["workers"] == 2.0
+        assert len(result.runs) == 2
+        for run in result.runs:
+            assert run.requests == requests - int(requests * 0.1)
+            assert 0.0 < run.server_utilization < 1.0
+
+    def test_workers_one_takes_the_plain_path(self):
+        plan = small_plan(workers=1, requests=60)
+        assert (run_sharded(plan, processes=1).runs
+                == plan.experiment().run().runs)
+
+    def test_processes_must_be_positive(self):
+        with pytest.raises(ExperimentError):
+            run_sharded(small_plan(workers=2, requests=60), processes=0)
+
+
+class TestShardedStreamingRun:
+    def test_streaming_placements_agree_exactly(self):
+        plan = small_plan(workers=2, requests=200, sink="streaming")
+        serial = run_sharded(plan, processes=1)
+        parallel = run_sharded(plan, processes=2)
+        assert serial.runs == parallel.runs
+
+    def test_streaming_and_columnar_shards_agree_on_mean(self):
+        # Same decomposition, both sinks.  Agreement is statistical,
+        # not bitwise: the columnar merge trims warmup in *global*
+        # send order while the streaming sink trims by request id
+        # (per-shard send order), so the two trim sets differ by a
+        # few boundary requests.
+        columnar = run_sharded(
+            small_plan(workers=2, requests=200), processes=1)
+        streaming = run_sharded(
+            small_plan(workers=2, requests=200, sink="streaming"),
+            processes=1)
+        assert columnar.runs[0].avg_us == pytest.approx(
+            streaming.runs[0].avg_us, rel=0.02)
+        assert (columnar.runs[0].requests
+                == streaming.runs[0].requests)
+
+
+class TestWorkersByteStability:
+    """``workers`` must not disturb any pre-parallel identity.
+
+    Same hazard class as :class:`TestPreGraphByteStability` in
+    ``tests/test_graph_spec.py``: a default-valued ``workers`` leaking
+    into serialization would silently re-key every stored campaign
+    result.  The literals below are the pre-parallel captures.
+    """
+
+    def test_default_plan_hash_is_unchanged(self):
+        assert experiment("memcached").build().content_hash() == (
+            "a602ff4701e1ccafb623406c44bba718"
+            "c4c15f19ed18da96fbfcc2a29b96e281")
+
+    def test_condition_store_key_is_unchanged(self):
+        from repro.campaign.spec import CampaignSpec
+        from repro.config.presets import SERVER_BASELINE
+
+        spec = CampaignSpec(
+            name="s", workload="memcached",
+            conditions={"baseline": SERVER_BASELINE},
+            qps_list=(50_000.0,), runs=2, num_requests=100)
+        assert spec.expand()[0].content_hash() == (
+            "ff21ff72b22dbfe1d8b0942cd3bfb192"
+            "6beeabff1987959bba9152f63d88b540")
+
+    def test_default_workers_is_omitted_from_serialization(self):
+        plan = experiment("memcached").build()
+        assert "workers" not in plan.to_dict()["policy"]
+        assert "workers" not in RunPolicy().to_dict()
+
+    def test_nondefault_workers_is_hash_relevant(self):
+        base = experiment("memcached").build()
+        sharded = base.with_policy(workers=2)
+        assert sharded.to_dict()["policy"]["workers"] == 2
+        assert sharded.content_hash() != base.content_hash()
+
+    def test_policy_round_trips_workers(self):
+        policy = RunPolicy(runs=3, base_seed=1, workers=4)
+        assert RunPolicy.from_dict(policy.to_dict()) == policy
+        assert RunPolicy.from_dict(RunPolicy().to_dict()) == RunPolicy()
+
+    def test_policy_rejects_nonpositive_workers(self):
+        from repro.errors import SpecValidationError
+
+        with pytest.raises(SpecValidationError):
+            RunPolicy(workers=0)
+
+    def test_campaign_conditions_stay_unsharded(self):
+        from repro.campaign.spec import CampaignSpec
+        from repro.config.presets import SERVER_BASELINE
+
+        spec = CampaignSpec(
+            name="s", workload="memcached",
+            conditions={"baseline": SERVER_BASELINE},
+            qps_list=(50_000.0,), runs=1, num_requests=10)
+        assert spec.expand()[0].to_plan().policy.workers == 1

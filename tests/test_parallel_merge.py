@@ -1,0 +1,242 @@
+"""Property tests for the mergeable-sink protocol (repro.parallel.merge).
+
+The contract, per sink:
+
+* **columnar** is exact: merging the K striped partitions of a row
+  population through :func:`merge_columnar_payloads` yields the same
+  measured arrays and statistics as one unpartitioned buffer, for any
+  partition width -- bit for bit;
+* **streaming** is tolerance-pinned: Chan-combined moments equal a
+  single accumulator fed the same chunks (float-summation order), and
+  mixture-replayed P\N{SUPERSCRIPT TWO} markers track the pooled
+  sample quantile within the relative tolerances asserted here.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.loadgen.measurement import PointOfMeasurement, RunSamples
+from repro.obs.sinks import P2Quantile, _RunningMoments, merge_marker_states
+from repro.parallel.merge import (
+    MergedStreamingSamples,
+    merge_columnar_payloads,
+    merged_run_metrics,
+)
+from repro.telemetry import SampleColumns
+from repro.telemetry.columns import COLUMN_FIELDS
+
+WARMUP = 0.1
+
+
+def synthetic_arrays(n, seed):
+    """A full set of telemetry columns with *unique* send times.
+
+    Unique ``intended_send_us`` makes the stable send-order sort a
+    total order, so partition-and-merge must reproduce the reference
+    arrays exactly rather than merely as a multiset.
+    """
+    rng = np.random.default_rng(seed)
+    arrays = {name: rng.uniform(1.0, 100.0, n) for name in COLUMN_FIELDS}
+    arrays["request_id"] = np.arange(n, dtype=np.float64)
+    arrays["intended_send_us"] = rng.permutation(n).astype(np.float64) * 7.5
+    return arrays
+
+
+def striped_payloads(arrays, k):
+    """Round-robin partition of *arrays* into k shard payloads, the
+    same striping :func:`repro.parallel.shard.shard_layout` produces."""
+    return [
+        {"kind": "columnar", "warmup_fraction": WARMUP,
+         "columns": {name: values[stripe::k]
+                     for name, values in arrays.items()},
+         "server_utilization": 0.5, "node_utilizations": [],
+         "obs_metrics": [["completions", float(len(
+             arrays["request_id"][stripe::k]))]]}
+        for stripe in range(k)
+    ]
+
+
+class TestColumnarPartitionProperty:
+    @given(n=st.integers(min_value=10, max_value=80),
+           k=st.integers(min_value=1, max_value=5),
+           seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_merging_k_partitions_is_exact(self, n, k, seed):
+        arrays = synthetic_arrays(n, seed)
+        reference = RunSamples.from_columns(
+            SampleColumns.from_arrays(arrays), warmup_fraction=WARMUP)
+        merged = merge_columnar_payloads(striped_payloads(arrays, k))
+        assert len(merged) == len(reference)
+        assert merged.measured_count == reference.measured_count
+        for point in PointOfMeasurement:
+            assert np.array_equal(merged.latencies_us(point),
+                                  reference.latencies_us(point))
+        assert (merged.average_latency_us()
+                == reference.average_latency_us())
+        assert (merged.percentile_latency_us(99.0)
+                == reference.percentile_latency_us(99.0))
+
+    @given(n=st.integers(min_value=10, max_value=60),
+           k=st.integers(min_value=2, max_value=5),
+           seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_merged_metrics_match_reference_statistics(self, n, k, seed):
+        arrays = synthetic_arrays(n, seed)
+        reference = RunSamples.from_columns(
+            SampleColumns.from_arrays(arrays), warmup_fraction=WARMUP)
+        metrics = merged_run_metrics(striped_payloads(arrays, k), seed=3)
+        assert metrics.avg_us == reference.average_latency_us()
+        assert metrics.p99_us == reference.percentile_latency_us(99.0)
+        assert metrics.requests == reference.measured_count
+        assert metrics.seed == 3
+        assert dict(metrics.obs_metrics)["completions"] == float(n)
+
+    def test_merge_rejects_empty_payloads(self):
+        with pytest.raises(ValueError):
+            merge_columnar_payloads([])
+        with pytest.raises(ValueError):
+            merged_run_metrics([], seed=0)
+
+    def test_merge_rejects_mixed_sink_kinds(self):
+        arrays = synthetic_arrays(20, 1)
+        columnar, streaming = striped_payloads(arrays, 2)
+        streaming = dict(streaming, kind="streaming")
+        with pytest.raises(ValueError):
+            merged_run_metrics([columnar, streaming], seed=0)
+
+
+class TestMomentsMergeProperty:
+    @given(chunks=st.lists(
+        st.lists(st.floats(min_value=0.0, max_value=1e6,
+                           allow_nan=False, allow_infinity=False),
+                 min_size=1, max_size=50),
+        min_size=1, max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_chan_merge_equals_sequential_chunks(self, chunks):
+        serial = _RunningMoments()
+        states = []
+        for chunk in chunks:
+            values = np.asarray(chunk, dtype=np.float64)
+            serial.observe_chunk(values)
+            shard = _RunningMoments()
+            shard.observe_chunk(values)
+            states.append(shard.state())
+        merged = _RunningMoments.from_states(states)
+        assert merged.count == serial.count
+        assert merged.min == serial.min
+        assert merged.max == serial.max
+        assert math.isclose(merged.mean, serial.mean,
+                            rel_tol=1e-12, abs_tol=1e-9)
+        assert math.isclose(merged.variance(), serial.variance(),
+                            rel_tol=1e-9, abs_tol=1e-6)
+
+
+class TestQuantileMergeTolerance:
+    """Mixture replay of per-shard P\N{SUPERSCRIPT TWO} markers vs the
+    pooled sample quantile.  These relative tolerances are the
+    documented accuracy of the streaming half of the protocol."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("pct,tolerance", [(0.50, 0.02),
+                                               (0.99, 0.05)])
+    def test_merged_markers_track_pooled_quantile(self, seed, pct,
+                                                  tolerance):
+        rng = np.random.default_rng(seed)
+        values = rng.exponential(100.0, 8_000)
+        shards = 4
+        states = []
+        for stripe in range(shards):
+            estimator = P2Quantile(pct)
+            estimator.observe_many(values[stripe::shards].tolist())
+            states.append(estimator.marker_state())
+        merged = merge_marker_states(states, pct)
+        pooled = float(np.quantile(values, pct))
+        assert merged == pytest.approx(pooled, rel=tolerance)
+
+    def test_tiny_shards_below_marker_threshold_merge(self):
+        # Under five observations marker_state ships the raw sorted
+        # buffer; the mixture replay must still bracket the data.
+        chunks = [[1.0, 9.0, 5.0], [2.0, 8.0], [7.0, 3.0, 4.0, 6.0]]
+        states = []
+        for chunk in chunks:
+            estimator = P2Quantile(0.5)
+            estimator.observe_many(chunk)
+            states.append(estimator.marker_state())
+        merged = merge_marker_states(states, 0.5)
+        pooled = float(np.quantile(
+            [x for chunk in chunks for x in chunk], 0.5))
+        assert 1.0 <= merged <= 9.0
+        assert merged == pytest.approx(pooled, rel=0.25)
+
+
+def streaming_state(values, warmup_skipped=0, kernel_stack_us=2.0,
+                    tracked=(50.0, 99.0)):
+    """A hand-built export_state payload over one latency population
+    (both generator and nic channels see the same values)."""
+    data = np.asarray(values, dtype=np.float64)
+    moments = _RunningMoments()
+    moments.observe_chunk(data)
+    quantiles = {}
+    for pct in tracked:
+        estimator = P2Quantile(pct / 100.0)
+        estimator.observe_many(data.tolist())
+        quantiles[f"{pct:g}"] = estimator.marker_state()
+    channel = {"moments": moments.state(), "quantiles": quantiles}
+    return {
+        "warmup_fraction": WARMUP,
+        "kernel_stack_us": kernel_stack_us,
+        "tracked_quantiles": list(tracked),
+        "recorded": int(data.size) + warmup_skipped,
+        "warmup_skipped": warmup_skipped,
+        "windows": [],
+        "channels": {PointOfMeasurement.GENERATOR.value: channel,
+                     PointOfMeasurement.NIC.value: dict(channel)},
+    }
+
+
+class TestMergedStreamingSamples:
+    def setup_method(self):
+        rng = np.random.default_rng(42)
+        self.populations = [rng.exponential(100.0, 2_000)
+                            for _ in range(3)]
+        self.pooled = np.concatenate(self.populations)
+        self.merged = MergedStreamingSamples(
+            [streaming_state(pop, warmup_skipped=5)
+             for pop in self.populations])
+
+    def test_counts_add_across_shards(self):
+        assert len(self.merged) == self.pooled.size + 15
+        assert self.merged.warmup_count == 15
+        assert self.merged.measured_count == self.pooled.size
+
+    def test_mean_and_extremes_are_pooled(self):
+        assert self.merged.average_latency_us() == pytest.approx(
+            float(np.mean(self.pooled)), rel=1e-12)
+        assert self.merged.min_latency_us() == float(np.min(self.pooled))
+        assert self.merged.max_latency_us() == float(np.max(self.pooled))
+        assert self.merged.variance_us2() == pytest.approx(
+            float(np.var(self.pooled)), rel=1e-9)
+
+    def test_percentile_tracks_pooled_quantile(self):
+        # P2 itself is a few percent off at the tail of heavy-tailed
+        # data, before any merging; 8% bounds estimator + mixture
+        # error together for this pinned population.
+        assert self.merged.percentile_latency_us(99.0) == pytest.approx(
+            float(np.quantile(self.pooled, 0.99)), rel=0.08)
+
+    def test_kernel_point_is_nic_plus_stack_traversal(self):
+        nic = self.merged.average_latency_us(PointOfMeasurement.NIC)
+        kernel = self.merged.average_latency_us(PointOfMeasurement.KERNEL)
+        assert kernel == pytest.approx(nic + 2.0)
+
+    def test_untracked_percentile_raises(self):
+        with pytest.raises(ValueError, match="not tracked"):
+            self.merged.percentile_latency_us(95.0)
+
+    def test_empty_states_raise(self):
+        with pytest.raises(ValueError):
+            MergedStreamingSamples([])
