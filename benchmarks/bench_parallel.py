@@ -176,6 +176,11 @@ def main(argv=None) -> int:
             "seed": SEED,
             "workers": workers,
             "cpu_count": cores,
+            "note": "wall times and speedup measured on the host that "
+                    "ran the benchmark (committed numbers come from a "
+                    "1-core container, where parallel placement cannot "
+                    "beat serial); the bit-identity gate is "
+                    "hardware-independent",
             "rows": [
                 {"path": name, "wall_s": round(wall, 4),
                  "events_per_s": (None if path_events is None else

@@ -1,0 +1,173 @@
+"""Autotune benchmark: search cost and memoization effectiveness.
+
+Runs the acceptance scenario -- a grid search over SMT x frequency
+governor on the Memcached model, scored by capacity under the paper's
+400us p99 QoS target -- twice against one result store:
+
+* **cold**: empty store, every condition simulates;
+* **warm**: identical search, which must execute **zero** simulations
+  (100% cache hits) -- the memoization gate.
+
+Also reports a successive-halving run on the warm store to show the
+rung schedule reusing cached rungs.  Gates:
+
+* the warm re-run executes 0 conditions and hits on all of them;
+* cold and warm runs agree on the winner and every trial score;
+* charged requests never exceed the driver's declared budget;
+* the winner picks the performance governor (the model's capacity
+  ordering).
+
+Usage::
+
+    python benchmarks/bench_tune.py            # 300-request trials
+    python benchmarks/bench_tune.py --quick    # 120-request trials
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    os.pardir, "src"))
+
+from repro.api import experiment  # noqa: E402
+from repro.campaign.store import ResultStore  # noqa: E402
+from repro.tune import (  # noqa: E402
+    BoolTunable,
+    CandidateEvaluator,
+    CapacityObjective,
+    CategoricalTunable,
+    GridSearch,
+    SearchSpace,
+    SuccessiveHalving,
+)
+
+QPS_SWEEP = (400_000.0, 800_000.0, 1_200_000.0)
+QOS_TARGET_US = 400.0
+SEED = 7
+RUNS = 2
+
+
+def space():
+    return SearchSpace(tunables=(
+        BoolTunable(name="smt", field="hardware.server.smt"),
+        CategoricalTunable(
+            name="gov", field="hardware.server.frequency_governor",
+            values=("powersave", "performance")),
+    ))
+
+
+def evaluator(store):
+    plan = experiment("memcached").client("LP").build()
+    objective = CapacityObjective(qps_list=QPS_SWEEP,
+                                  qos_target_us=QOS_TARGET_US)
+    return CandidateEvaluator(plan, space(), objective, runs=RUNS,
+                              base_seed=SEED, store=store)
+
+
+def timed(driver, store):
+    started = time.perf_counter()
+    result = driver.run(evaluator(store))
+    return result, time.perf_counter() - started
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="120-request trials instead of 300")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests per run per trial")
+    parser.add_argument("--json", default=None, metavar="FILE",
+                        help="also write results as JSON")
+    args = parser.parse_args(argv)
+    num_requests = (args.requests if args.requests is not None
+                    else (120 if args.quick else 300))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = os.path.join(tmp, "bench-tune.sqlite")
+        with ResultStore(store_path) as store:
+            cold, cold_s = timed(GridSearch(num_requests=num_requests),
+                                 store)
+            warm, warm_s = timed(GridSearch(num_requests=num_requests),
+                                 store)
+            halving, halving_s = timed(
+                SuccessiveHalving(budget0=max(10, num_requests // 4),
+                                  eta=2, seed=SEED),
+                store)
+
+    total = len(space().grid()) * len(QPS_SWEEP)
+    print(f"Memcached autotune: SMT x governor, "
+          f"{len(space().grid())} candidates x {len(QPS_SWEEP)} loads, "
+          f"{RUNS} x {num_requests} requests/trial, "
+          f"p99 <= {QOS_TARGET_US:g}us")
+    rows = [("grid (cold store)", cold, cold_s),
+            ("grid (warm store)", warm, warm_s),
+            ("halving (warm store)", halving, halving_s)]
+    print(f"{'search':<22}{'wall (s)':>10}{'executed':>10}"
+          f"{'cached':>8}{'score':>12}")
+    for name, result, wall in rows:
+        print(f"{name:<22}{wall:>10.2f}{result.executed:>10}"
+              f"{result.cache_hits:>8}{result.best.score:>12,.0f}")
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    print(f"memoized re-run: {warm.executed} simulations, "
+          f"{warm.cache_hits}/{total} cache hits, {speedup:.0f}x "
+          f"faster than cold")
+
+    assert warm.executed == 0, (
+        f"warm re-run simulated {warm.executed} conditions; "
+        "memoization must make it zero")
+    assert warm.cache_hits == total, (
+        f"warm re-run hit {warm.cache_hits}/{total} conditions")
+    assert warm.best.label == cold.best.label
+    assert [t.score for t in warm.trials] == \
+        [t.score for t in cold.trials]
+    assert cold.charged_requests <= cold.declared_budget
+    assert halving.charged_requests <= halving.declared_budget
+    assert cold.best.assignment["gov"] == "performance", (
+        f"expected the performance governor to win, got "
+        f"{cold.best.label}")
+
+    if args.json:
+        payload = {
+            "benchmark": "tune",
+            "space": space().to_dict(),
+            "qps_sweep": list(QPS_SWEEP),
+            "qos_target_us": QOS_TARGET_US,
+            "runs": RUNS,
+            "requests_per_trial": num_requests,
+            "seed": SEED,
+            "cpu_count": os.cpu_count() or 1,
+            "note": "wall times measured in a 1-core container; "
+                    "the memoization gate (0 simulations on re-run) "
+                    "is hardware-independent",
+            "rows": [
+                {"search": name,
+                 "wall_s": round(wall, 4),
+                 "executed": result.executed,
+                 "cached": result.cache_hits,
+                 "charged_requests": result.charged_requests,
+                 "declared_budget": result.declared_budget,
+                 "best_label": result.best.label,
+                 "best_score_qps": round(result.best.score, 1)}
+                for name, result, wall in rows
+            ],
+            "memoized_rerun_executed": warm.executed,
+            "memoized_rerun_cache_hits": warm.cache_hits,
+            "warm_speedup_x": round(speedup, 1),
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

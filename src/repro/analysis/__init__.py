@@ -21,6 +21,7 @@ from repro.analysis.figures import (
     hdsearch_study,
     socialnetwork_study,
     synthetic_study,
+    render_graph_capacity,
     render_graph_series,
     render_latency_series,
     render_ratio_series,
@@ -39,6 +40,7 @@ __all__ = [
     "GraphStudyGrid",
     "StudyGrid",
     "graph_study",
+    "render_graph_capacity",
     "render_graph_series",
     "memcached_study",
     "hdsearch_study",

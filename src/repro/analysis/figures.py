@@ -37,6 +37,7 @@ from repro.config.presets import (
 )
 from repro.core.comparison import Comparison, compare_conditions
 from repro.core.experiment import ExperimentResult
+from repro.core.provisioning import CapacityResult, capacity_under_qos
 from repro.errors import ExperimentError
 from repro.workloads.registry import DEFAULT_QPS_SWEEPS
 
@@ -396,19 +397,41 @@ class GraphStudyGrid:
         return [(qps, _metric_value(self.result(topology, qps), metric))
                 for qps in self.qps_list]
 
+    def capacity_result(self, topology: str, target_us: float,
+                        metric: str = "p99",
+                        interpolate: bool = True) -> CapacityResult:
+        """Full :func:`capacity_under_qos` search for one topology.
+
+        Delegates to the provisioning-layer search over this
+        topology's measured sweep, so the figures layer and the
+        capacity analysis give the same answer -- including the
+        interpolated QoS crossing -- for the same data.
+        """
+        latency_by_qps = dict(self.series(topology, metric))
+        return capacity_under_qos(
+            latency_by_qps, float(target_us), metric=metric,
+            interpolate=interpolate)
+
     def qos_capacity(self, topology: str, target_us: float,
-                     metric: str = "p99") -> float:
-        """Max swept QPS whose *metric* stays within *target_us*.
+                     metric: str = "p99",
+                     interpolate: bool = False) -> float:
+        """Highest load whose *metric* stays within *target_us*.
 
         The QoS-capacity number: how much load a topology sustains
-        before its tail blows the SLO.  Returns 0.0 when even the
-        lightest swept load misses the target.
+        before its tail blows the SLO.  Delegates to
+        :func:`capacity_under_qos` (first-crossing semantics, same as
+        the provisioning analysis) instead of the old grid-only
+        ``max(passing qps)`` scan; ``interpolate=True`` returns the
+        interpolated crossing when the sweep brackets one.  Returns
+        0.0 when even the lightest swept load misses the target,
+        including non-positive targets.
         """
-        capacity = 0.0
-        for qps, value in self.series(topology, metric):
-            if value <= float(target_us):
-                capacity = max(capacity, qps)
-        return capacity
+        if float(target_us) <= 0:
+            return 0.0
+        result = self.capacity_result(
+            topology, target_us, metric=metric, interpolate=interpolate)
+        return (result.best_capacity_qps if interpolate
+                else result.capacity_qps)
 
 
 def graph_study(workload: str = "memcached",
@@ -478,6 +501,29 @@ def render_graph_series(grid: GraphStudyGrid,
         row = f"{topology:<28}" + "".join(
             f"{value:>10.1f}" for _, value in values)
         lines.append(row)
+    return "\n".join(lines)
+
+
+def render_graph_capacity(grid: GraphStudyGrid, target_us: float,
+                          metric: str = "p99",
+                          title: str = "") -> str:
+    """Print each topology's QoS capacity, grid and interpolated.
+
+    The ``interp`` column is the linear QoS crossing from
+    :func:`capacity_under_qos` -- blank (``-``) when the sweep never
+    bracketed a violation (sweep-limited) or never passed at all.
+    """
+    lines = [title or (f"{grid.workload} graphs: capacity @ "
+                       f"{metric} <= {target_us:g}us")]
+    lines.append(f"{'topology':<28}{'grid':>10}{'interp':>10}")
+    for topology in grid.topologies:
+        result = grid.capacity_result(
+            topology, target_us, metric=metric, interpolate=True)
+        interp = (f"{result.interpolated_capacity_qps:>10.0f}"
+                  if result.interpolated_capacity_qps is not None
+                  else f"{'-':>10}")
+        lines.append(
+            f"{topology:<28}{result.capacity_qps:>10.0f}{interp}")
     return "\n".join(lines)
 
 

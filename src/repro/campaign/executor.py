@@ -315,19 +315,29 @@ class CampaignExecutor:
             the original exception (the pre-campaign study behavior);
             pool execution cancels pending work and raises an
             :class:`ExperimentError` carrying the worker's error.
+        persist_batch: finished results buffered per store
+            transaction.  The default amortizes commits for wide
+            campaigns; latency-sensitive callers (the autotuner, whose
+            resume guarantee depends on every finished evaluation
+            surviving a kill) pass 1 to commit per condition.
     """
 
     def __init__(self, store: Optional[ResultStore] = None,
                  max_workers: Optional[int] = None,
-                 chunksize: int = 1, fail_fast: bool = False) -> None:
+                 chunksize: int = 1, fail_fast: bool = False,
+                 persist_batch: int = PERSIST_BATCH) -> None:
         if chunksize < 1:
             raise ExperimentError(
                 f"chunksize must be >= 1, got {chunksize}")
+        if persist_batch < 1:
+            raise ExperimentError(
+                f"persist_batch must be >= 1, got {persist_batch}")
         self.store = store
         self.max_workers = (os.cpu_count() or 1) if max_workers is None \
             else int(max_workers)
         self.chunksize = int(chunksize)
         self.fail_fast = bool(fail_fast)
+        self.persist_batch = int(persist_batch)
 
     # ------------------------------------------------------------------
     def run(self, spec: CampaignSpec,
@@ -335,7 +345,23 @@ class CampaignExecutor:
             ) -> CampaignOutcome:
         """Execute *spec*: serve hits, run the rest, persist as we go."""
         started = time.perf_counter()
-        conditions = spec.expand()
+        outcomes = self.run_conditions(
+            spec.expand(), campaign=spec.name, progress=progress)
+        return CampaignOutcome(
+            spec=spec, outcomes=outcomes,
+            elapsed_s=time.perf_counter() - started)
+
+    def run_conditions(self, conditions: Sequence[ConditionSpec],
+                       campaign: str = "",
+                       progress: Optional[ProgressCallback] = None
+                       ) -> List[ConditionOutcome]:
+        """Execute an explicit condition list (the autotuner's path).
+
+        Same store/hit/persist semantics as :meth:`run`, but the
+        caller owns the condition list instead of a
+        :class:`CampaignSpec` expanding one; outcomes come back in
+        input order.
+        """
         total = len(conditions)
         by_hash: Dict[str, ConditionOutcome] = {}
         completed = 0
@@ -358,7 +384,8 @@ class CampaignExecutor:
                 pending.append(condition)
 
         if pending:
-            persist = _PersistBuffer(self.store, spec.name)
+            persist = _PersistBuffer(self.store, campaign,
+                                     batch=self.persist_batch)
             try:
                 if self.max_workers <= 1:
                     self._run_inline(pending, record, persist)
@@ -370,10 +397,7 @@ class CampaignExecutor:
                 # next invocation serves them as hits.
                 persist.flush()
 
-        outcomes = [by_hash[c.content_hash()] for c in conditions]
-        return CampaignOutcome(
-            spec=spec, outcomes=outcomes,
-            elapsed_s=time.perf_counter() - started)
+        return [by_hash[c.content_hash()] for c in conditions]
 
     # ------------------------------------------------------------------
     def _run_inline(self, pending: List[ConditionSpec],

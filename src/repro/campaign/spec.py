@@ -126,6 +126,11 @@ class ConditionSpec:
         arrival: time-varying arrival shape, or ``None`` for the
             stock Poisson process (the default spec normalizes to
             ``None``, same canonicalization as ``cluster``).
+        workers: shard count for the sharded-execution path, or
+            ``None`` for a plain single-process run.  ``workers=1``
+            normalizes to ``None`` and is omitted from the dict form,
+            so every pre-parallel condition hash is unchanged; the
+            autotuner uses this field to search ``policy.workers``.
     """
 
     workload: str
@@ -142,6 +147,7 @@ class ConditionSpec:
     engine: Optional[str] = None
     graph: Optional[ServiceGraphSpec] = None
     arrival: Optional[ArrivalSpec] = None
+    workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -160,6 +166,13 @@ class ConditionSpec:
         object.__setattr__(self, "graph", as_graph_spec(self.graph))
         object.__setattr__(self, "arrival",
                            as_arrival_spec(self.arrival))
+        if self.workers is not None:
+            workers = int(self.workers)
+            if workers < 1:
+                raise ExperimentError(
+                    f"workers must be >= 1, got {workers}")
+            object.__setattr__(self, "workers",
+                               None if workers == 1 else workers)
         if self.graph is not None and self.cluster is not None:
             raise ExperimentError(
                 "a condition deploys either a service graph or a "
@@ -202,6 +215,8 @@ class ConditionSpec:
             data["graph"] = self.graph.to_dict()
         if self.arrival is not None:
             data["arrival"] = self.arrival.to_dict()
+        if self.workers is not None:
+            data["workers"] = self.workers
         return data
 
     @classmethod
@@ -228,6 +243,8 @@ class ConditionSpec:
                        if "graph" in data else None),
                 arrival=(ArrivalSpec.from_dict(data["arrival"])
                          if "arrival" in data else None),
+                workers=(int(data["workers"])
+                         if "workers" in data else None),
             )
         except KeyError as exc:
             raise ExperimentError(
@@ -273,7 +290,8 @@ class ConditionSpec:
                 server_label=self.condition_label),
             policy=RunPolicy(runs=self.runs, base_seed=self.base_seed,
                              label=self.label,
-                             engine=self.engine or DEFAULT_ENGINE),
+                             engine=self.engine or DEFAULT_ENGINE,
+                             workers=self.workers or 1),
             cluster=self.cluster,
             graph=self.graph,
         )

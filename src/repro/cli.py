@@ -1,10 +1,11 @@
 """Command-line interface.
 
-Ten subcommands mirror the library's faces::
+Eleven subcommands mirror the library's faces::
 
     repro run --workload memcached --qps 100000 --workers 4
     repro study --workload memcached --knob smt --qps 10000 100000
     repro tune --config HP [--real] [--apply]
+    repro autotune --tunable hardware.server.smt=bool --search grid
     repro recommend --loop open --interarrival block-wait
     repro capacity --qos-p99 400 --target-qps 1000000
     repro campaign run --preset memcached-smt --store results.sqlite
@@ -17,7 +18,9 @@ Ten subcommands mirror the library's faces::
 worker processes with ``--workers`` (see :mod:`repro.parallel`) --
 and prints the repetition summary; ``repro study`` runs a scaled
 study grid and prints the paper-style series; ``repro tune`` plans
-(and optionally applies) a host configuration; ``repro recommend``
+(and optionally applies) a host configuration; ``repro autotune``
+searches a declared tunable space for the max-capacity configuration
+(see :mod:`repro.tune`); ``repro recommend``
 prints the Section VI advice;
 ``repro capacity`` runs the provisioning analysis of Section V-A;
 ``repro campaign`` runs declarative experiment sweeps in parallel
@@ -126,7 +129,15 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="base seed for the repetition protocol")
 
     tune = commands.add_parser(
-        "tune", help="plan/apply a host configuration")
+        "tune",
+        help="plan/apply a host configuration (the measurement-"
+             "config advisor; for the capacity optimizer see "
+             "'repro autotune')",
+        description="Plan (and optionally apply) the paper's "
+                    "measurement host configuration on /sys.  To "
+                    "*search* the simulated policy space for a "
+                    "max-capacity configuration instead, see "
+                    "'repro autotune'.")
     tune.add_argument("--config", default="HP",
                       help="LP or HP")
     tune.add_argument("--real", action="store_true",
@@ -134,6 +145,9 @@ def _build_parser() -> argparse.ArgumentParser:
                            "(requires root) instead of a fake host")
     tune.add_argument("--apply", action="store_true",
                       help="apply the plan (default: dry run)")
+
+    from repro.tune.cli import add_autotune_parser
+    add_autotune_parser(commands)
 
     advise = commands.add_parser(
         "recommend", help="Section VI configuration recommendation")
@@ -246,6 +260,13 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="service-graph preset for an ad-hoc "
                            "--workload campaign (validated with "
                            "did-you-mean before expansion)")
+    plan.add_argument("--tunable", action="append", default=None,
+                      metavar="FIELD=SPEC",
+                      help="validate an autotune tunable against the "
+                           "campaign's plans (repeatable; unknown "
+                           "fields fail with a did-you-mean before "
+                           "anything executes -- see "
+                           "'repro autotune')")
 
     from repro.cluster.spec import LB_POLICIES
     cluster = commands.add_parser(
@@ -411,6 +432,14 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     else:
         print("\n(dry run; pass --apply to execute)")
     return 0
+
+
+def _cmd_autotune(args: argparse.Namespace) -> int:
+    """Closed-loop policy search; the heavy lifting lives in
+    :mod:`repro.tune.cli` to keep this module import-light."""
+    from repro.tune.cli import cmd_autotune
+
+    return cmd_autotune(args)
 
 
 def _cmd_recommend(args: argparse.Namespace) -> int:
@@ -617,15 +646,25 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     from repro.sim.kernel import describe_engine, validate_engine_name
 
     try:
-        # Validate the sink and engine first so a typo fails with the
-        # registry's did-you-mean before any campaign expansion output.
+        # Validate the sink, engine, and any declared tunables first
+        # so a typo fails with the registry's did-you-mean before any
+        # campaign expansion output.
         sink = (validate_sink_name(args.sink)
                 if args.sink is not None else None)
         if args.engine is not None:
             validate_engine_name(args.engine)
+        tune_space = None
+        if args.tunable:
+            from repro.tune.cli import space_from_tunable_args
+            tune_space = space_from_tunable_args(args.tunable)
         spec = _plan_campaign_spec(args)
         conditions = spec.expand()
         plans = [c.to_plan() for c in conditions]
+        if tune_space is not None:
+            # Prove the space applies to this campaign's plans (field
+            # paths, workload params, graph presets) -- still a dry
+            # run; nothing simulates.
+            tune_space.validate_against(plans[0])
         total_runs = sum(c.runs for c in conditions)
         total_requests = sum(c.runs * c.num_requests
                              for c in conditions)
@@ -646,6 +685,10 @@ def _cmd_plan(args: argparse.Namespace) -> int:
                 print(f"  {line}")
         if spec.arrival is not None:
             print(f"arrival process: {spec.arrival.describe()}")
+        if tune_space is not None:
+            print(f"tunable space ({tune_space.size()} candidates):")
+            for line in tune_space.describe().splitlines():
+                print(f"  {line}")
         policy = plans[0].policy
         overrides = {}
         if sink is not None:
@@ -849,6 +892,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "study": _cmd_study,
         "tune": _cmd_tune,
+        "autotune": _cmd_autotune,
         "recommend": _cmd_recommend,
         "capacity": _cmd_capacity,
         "campaign": _cmd_campaign,

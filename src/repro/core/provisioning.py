@@ -115,8 +115,10 @@ class ProvisioningPlan:
 
     Attributes:
         target_qps: the aggregate production load.
-        per_machine_qps: sustainable load per machine (from the
-            capacity analysis).
+        per_machine_qps: sustainable load per machine -- the capacity
+            value the plan was actually sized from (the interpolated
+            crossing when the capacity search computed one and the
+            caller did not opt out, else the grid capacity).
         machines: machine count, rounded up.
     """
 
@@ -126,32 +128,47 @@ class ProvisioningPlan:
 
 
 def provisioning_plan(target_qps: float,
-                      capacity: CapacityResult) -> ProvisioningPlan:
+                      capacity: CapacityResult,
+                      use_interpolated: bool = True) -> ProvisioningPlan:
     """Size a fleet from one observer's capacity result.
 
+    Sizes from :attr:`CapacityResult.best_capacity_qps`: when the
+    capacity search interpolated the QoS crossing, that finer estimate
+    -- not the coarse grid point below it -- is what the fleet math
+    uses, and ``per_machine_qps`` records it.  Pass
+    ``use_interpolated=False`` to pin the grid answer (the pre-fix
+    behavior, useful for comparing against sweep-grid-only tooling).
+
     Raises:
-        ExperimentError: when the observed capacity is zero (no load
+        ExperimentError: when the selected capacity is zero (no load
             met the QoS target -- nothing can be provisioned from it).
     """
     if target_qps <= 0:
         raise ExperimentError(
             f"target_qps must be positive, got {target_qps}"
         )
-    if capacity.capacity_qps <= 0:
+    per_machine = (capacity.best_capacity_qps if use_interpolated
+                   else capacity.capacity_qps)
+    if per_machine <= 0:
         raise ExperimentError(
             "observer found no load meeting the QoS target; cannot "
             "derive a provisioning plan"
         )
-    machines = math.ceil(target_qps / capacity.capacity_qps)
+    machines = math.ceil(target_qps / per_machine)
     return ProvisioningPlan(
         target_qps=target_qps,
-        per_machine_qps=capacity.capacity_qps,
+        per_machine_qps=per_machine,
         machines=machines)
 
 
 def provisioning_error(observers: Mapping[str, CapacityResult],
-                       target_qps: float) -> Dict[str, float]:
+                       target_qps: float,
+                       use_interpolated: bool = True) -> Dict[str, float]:
     """Relative fleet sizes implied by each observer.
+
+    Each observer's fleet is sized by :func:`provisioning_plan`, so
+    interpolated capacities (when present) drive the comparison unless
+    ``use_interpolated=False``.
 
     Returns:
         observer label -> machines(observer) / min(machines) -- 1.0 is
@@ -159,7 +176,8 @@ def provisioning_error(observers: Mapping[str, CapacityResult],
         {"HP": 1.0, "LP": 1.6}.
     """
     plans = {
-        label: provisioning_plan(target_qps, capacity)
+        label: provisioning_plan(target_qps, capacity,
+                                 use_interpolated=use_interpolated)
         for label, capacity in observers.items()
     }
     smallest = min(plan.machines for plan in plans.values())

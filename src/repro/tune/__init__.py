@@ -1,0 +1,94 @@
+"""Closed-loop policy autotuner (ROADMAP item 4).
+
+Searches the simulator's policy space -- hardware knobs, engine,
+workers, cluster shape, service-graph topology, workload parameters --
+for the configuration maximizing capacity under a QoS target.  The
+pieces:
+
+* :mod:`repro.tune.tunables` -- frozen, schema-validated tunable
+  definitions (categorical / int-range / float-range / bool) over
+  dotted :class:`~repro.api.ExperimentPlan` field paths, with
+  did-you-mean errors, exact JSON round-trip, and stable content
+  hashes.
+* :mod:`repro.tune.space` -- a :class:`SearchSpace` composing
+  tunables; candidates apply through plan-dict surgery and re-validate
+  through the plan layer.
+* :mod:`repro.tune.objective` -- :class:`CapacityObjective`: score =
+  :attr:`~repro.core.provisioning.CapacityResult.best_capacity_qps`
+  from a QoS sweep.
+* :mod:`repro.tune.search` -- grid / seeded-random /
+  successive-halving drivers over a
+  :class:`CandidateEvaluator` that routes every evaluation through
+  the campaign executor and memoizes it in the
+  :class:`~repro.campaign.store.ResultStore` by content hash (killed
+  searches resume; repeats are cache hits).
+* :mod:`repro.tune.report` -- best config, score trajectory, and
+  per-tunable sensitivity rendering.
+
+The CLI verb is ``repro autotune`` (``repro tune`` remains the host
+measurement-config advisor).
+"""
+
+from repro.tune.objective import (
+    DEFAULT_QOS_TARGET_US,
+    OBJECTIVE_METRICS,
+    CapacityObjective,
+)
+from repro.tune.report import (
+    render_tune_report,
+    sensitivity,
+    tune_report_dict,
+)
+from repro.tune.search import (
+    SEARCH_DRIVERS,
+    CandidateEvaluator,
+    GridSearch,
+    RandomSearch,
+    SearchDriver,
+    SuccessiveHalving,
+    TrialEval,
+    TuneResult,
+    assignment_label,
+    make_driver,
+)
+from repro.tune.space import SearchSpace
+from repro.tune.tunables import (
+    RESERVED_FIELDS,
+    STATIC_FIELDS,
+    BoolTunable,
+    CategoricalTunable,
+    FloatRangeTunable,
+    IntRangeTunable,
+    Tunable,
+    as_tunable,
+    validate_field,
+)
+
+__all__ = [
+    "BoolTunable",
+    "CandidateEvaluator",
+    "CapacityObjective",
+    "CategoricalTunable",
+    "DEFAULT_QOS_TARGET_US",
+    "FloatRangeTunable",
+    "GridSearch",
+    "IntRangeTunable",
+    "OBJECTIVE_METRICS",
+    "RESERVED_FIELDS",
+    "RandomSearch",
+    "SEARCH_DRIVERS",
+    "STATIC_FIELDS",
+    "SearchDriver",
+    "SearchSpace",
+    "SuccessiveHalving",
+    "TrialEval",
+    "TuneResult",
+    "Tunable",
+    "as_tunable",
+    "assignment_label",
+    "make_driver",
+    "render_tune_report",
+    "sensitivity",
+    "tune_report_dict",
+    "validate_field",
+]

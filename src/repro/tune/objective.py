@@ -1,0 +1,138 @@
+"""The autotuner's objective: capacity under a QoS target.
+
+One candidate configuration is scored by sweeping the plan over a
+fixed QPS list, reducing each sweep point to the median of a latency
+metric across runs (the same reduction the figure studies use), and
+handing the resulting curve to :func:`capacity_under_qos` -- the score
+is :attr:`CapacityResult.best_capacity_qps`, i.e. the interpolated QoS
+crossing when the sweep brackets one, else the grid capacity.  Higher
+is better.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.core.experiment import ExperimentResult
+from repro.core.provisioning import CapacityResult, capacity_under_qos
+from repro.errors import ExperimentError, SpecValidationError
+
+#: Latency metrics an objective may target (per-run sample medians).
+OBJECTIVE_METRICS: Tuple[str, ...] = (
+    "avg", "p99", "true_avg", "true_p99")
+
+#: The paper's memcached SLO, the default QoS target.
+DEFAULT_QOS_TARGET_US = 400.0
+
+
+def _metric_median(result: ExperimentResult, metric: str) -> float:
+    accessors = {
+        "avg": ExperimentResult.avg_samples,
+        "p99": ExperimentResult.p99_samples,
+        "true_avg": ExperimentResult.true_avg_samples,
+        "true_p99": ExperimentResult.true_p99_samples,
+    }
+    return float(np.median(accessors[metric](result)))
+
+
+@dataclass(frozen=True)
+class CapacityObjective:
+    """Score = capacity-under-QoS over a fixed load sweep.
+
+    Attributes:
+        qps_list: the sweep, ascending (deduplicated, validated > 0).
+        qos_target_us: the latency bound.
+        metric: which latency metric the bound applies to.
+        interpolate: estimate the QoS crossing between grid points
+            (the score is then :attr:`CapacityResult.best_capacity_qps`).
+    """
+
+    qps_list: Tuple[float, ...]
+    qos_target_us: float = DEFAULT_QOS_TARGET_US
+    metric: str = "p99"
+    interpolate: bool = True
+
+    def __post_init__(self) -> None:
+        qps = tuple(sorted({float(q) for q in self.qps_list}))
+        if not qps:
+            raise SpecValidationError(
+                "objective needs a non-empty qps sweep")
+        if any(q <= 0 for q in qps):
+            raise SpecValidationError(
+                "objective qps values must be positive")
+        object.__setattr__(self, "qps_list", qps)
+        object.__setattr__(self, "qos_target_us",
+                           float(self.qos_target_us))
+        if self.qos_target_us <= 0:
+            raise SpecValidationError(
+                f"QoS target must be positive, got "
+                f"{self.qos_target_us}")
+        if self.metric not in OBJECTIVE_METRICS:
+            raise SpecValidationError(
+                f"unknown objective metric {self.metric!r}; expected "
+                f"one of: " + ", ".join(OBJECTIVE_METRICS))
+
+    # ------------------------------------------------------------------
+    def latency(self, result: ExperimentResult) -> float:
+        """One sweep point's scalar latency (median across runs)."""
+        return _metric_median(result, self.metric)
+
+    def capacity(self, results_by_qps: Mapping[float, ExperimentResult]
+                 ) -> CapacityResult:
+        """Run the capacity search over one candidate's sweep results."""
+        missing = [q for q in self.qps_list if q not in results_by_qps]
+        if missing:
+            raise ExperimentError(
+                "objective sweep is missing results at qps: "
+                + ", ".join(f"{q:g}" for q in missing))
+        latency_by_qps = {
+            qps: self.latency(results_by_qps[qps])
+            for qps in self.qps_list}
+        return capacity_under_qos(
+            latency_by_qps, self.qos_target_us, metric=self.metric,
+            interpolate=self.interpolate)
+
+    def score(self, results_by_qps: Mapping[float, ExperimentResult]
+              ) -> float:
+        """The scalar the drivers maximize."""
+        return self.capacity(results_by_qps).best_capacity_qps
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON form."""
+        return {
+            "qps_list": list(self.qps_list),
+            "qos_target_us": self.qos_target_us,
+            "metric": self.metric,
+            "interpolate": self.interpolate,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CapacityObjective":
+        """Rebuild from the dict form (strict keys)."""
+        allowed = ("qps_list", "qos_target_us", "metric", "interpolate")
+        unknown = sorted(set(data) - set(allowed))
+        if unknown:
+            raise SpecValidationError(
+                "unknown key(s) in objective: "
+                + ", ".join(repr(k) for k in unknown))
+        if "qps_list" not in data:
+            raise SpecValidationError("objective is missing 'qps_list'")
+        return cls(
+            qps_list=tuple(float(q) for q in data["qps_list"]),
+            qos_target_us=float(
+                data.get("qos_target_us", DEFAULT_QOS_TARGET_US)),
+            metric=str(data.get("metric", "p99")),
+            interpolate=bool(data.get("interpolate", True)),
+        )
+
+    def describe(self) -> str:
+        """One human line."""
+        sweep = ", ".join(f"{q:g}" for q in self.qps_list)
+        mode = "interpolated" if self.interpolate else "grid"
+        return (f"maximize capacity @ {self.metric} <= "
+                f"{self.qos_target_us:g}us ({mode}) over qps "
+                f"[{sweep}]")

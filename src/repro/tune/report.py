@@ -1,0 +1,137 @@
+"""Tune reports: best config, trajectory, per-tunable sensitivity.
+
+Renders a :class:`~repro.tune.search.TuneResult` with the analysis
+layer's ascii machinery: a trial table, a best-so-far score trajectory
+(:func:`~repro.analysis.ascii_plot.ascii_chart`), and a sensitivity
+table that groups each candidate's final (largest-budget) score by
+tunable value -- the spread between the best and worst value means is
+a cheap main-effect estimate of how much each knob matters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.ascii_plot import ascii_chart
+from repro.tune.search import TrialEval, TuneResult
+from repro.tune.tunables import format_value
+
+
+def _final_trials(result: TuneResult) -> List[TrialEval]:
+    """Each candidate's scored trial at its largest budget."""
+    by_label: Dict[str, TrialEval] = {}
+    for trial in result.trials:
+        if trial.score is None:
+            continue
+        best = by_label.get(trial.label)
+        if best is None or trial.num_requests > best.num_requests:
+            by_label[trial.label] = trial
+    return list(by_label.values())
+
+
+def sensitivity(result: TuneResult
+                ) -> Dict[str, List[Tuple[str, float, int]]]:
+    """Per-tunable main effects from the finished trials.
+
+    Returns:
+        tunable name -> ``[(value text, mean score, trial count)]``,
+        values in grid order, computed over each candidate's
+        largest-budget scored trial.  Empty when nothing scored.
+    """
+    finals = _final_trials(result)
+    table: Dict[str, List[Tuple[str, float, int]]] = {}
+    for tunable in result.space.tunables:
+        rows: List[Tuple[str, float, int]] = []
+        for value in tunable.grid_values():
+            scores = [
+                t.score for t in finals
+                if (t.assignment.get(tunable.name) == value
+                    and t.score is not None)]
+            if scores:
+                rows.append((format_value(value),
+                             sum(scores) / len(scores), len(scores)))
+        if rows:
+            table[tunable.name] = rows
+    return table
+
+
+def _trajectory(result: TuneResult) -> List[Tuple[float, float]]:
+    """(trial index, best-so-far score) for every scored trial."""
+    points: List[Tuple[float, float]] = []
+    best = float("-inf")
+    for index, trial in enumerate(result.trials):
+        if trial.score is None:
+            continue
+        best = max(best, trial.score)
+        points.append((float(index), best))
+    return points
+
+
+def render_tune_report(result: TuneResult, width: int = 56,
+                       title: str = "") -> str:
+    """The full human-readable report for one search invocation."""
+    lines: List[str] = [title or f"autotune report [{result.driver}]"]
+    lines.append(f"objective: {result.objective.describe()}")
+    lines.append(f"space ({len(result.space.tunables)} tunables):")
+    for tunable in result.space.tunables:
+        lines.append(f"  {tunable.describe()}")
+    lines.append(
+        f"budget: {result.charged_requests:,} / "
+        f"{result.declared_budget:,} requests charged "
+        f"({result.cache_hits} cached, {result.executed} executed, "
+        f"{result.failed} failed conditions)")
+    lines.append("")
+
+    best: Optional[TrialEval] = result.best
+    if best is None:
+        lines.append("no successful trial -- every candidate failed")
+    else:
+        lines.append(
+            f"best: {best.label} -> {best.score:,.0f} QPS "
+            f"(runs x requests = {result.runs} x "
+            f"{best.num_requests})")
+        for name, value in sorted(best.assignment.items()):
+            lines.append(f"  {name} = {format_value(value)}")
+    lines.append("")
+
+    lines.append("trials:")
+    header = (f"  {'rung':>4} {'budget':>8} {'score':>12} "
+              f"{'hit/run':>8}  label")
+    lines.append(header)
+    for trial in result.trials:
+        score = (f"{trial.score:,.0f}" if trial.score is not None
+                 else "FAILED")
+        counts = f"{trial.cache_hits}/{trial.executed}"
+        lines.append(
+            f"  {trial.rung:>4} {trial.num_requests:>8} "
+            f"{score:>12} {counts:>8}  {trial.label}")
+
+    table = sensitivity(result)
+    if table:
+        lines.append("")
+        lines.append("sensitivity (mean best-budget score by value):")
+        for name, rows in table.items():
+            means = [mean for _, mean, _ in rows]
+            spread = max(means) - min(means)
+            lines.append(f"  {name} (spread {spread:,.0f} QPS):")
+            for text, mean, count in rows:
+                lines.append(
+                    f"    {text:<24} {mean:>12,.0f}  (n={count})")
+
+    points = _trajectory(result)
+    if len(points) >= 2:
+        lines.append("")
+        lines.append(ascii_chart(
+            {"best-so-far": points}, width=width, height=10,
+            title="score trajectory (by trial)", y_label="QPS"))
+    return "\n".join(lines)
+
+
+def tune_report_dict(result: TuneResult) -> Dict[str, Any]:
+    """Machine-readable report: result dict + sensitivity rows."""
+    data = result.to_dict()
+    data["sensitivity"] = {
+        name: [{"value": text, "mean_score": mean, "trials": count}
+               for text, mean, count in rows]
+        for name, rows in sensitivity(result).items()}
+    return data

@@ -1,0 +1,394 @@
+"""Declarative, schema-validated tunable definitions.
+
+A :class:`Tunable` names one :class:`~repro.api.ExperimentPlan` field
+the autotuner may vary, plus the set of values it may take -- the
+validated-tuning-item idiom: every tunable is a frozen dataclass whose
+constructor rejects malformed definitions (unknown plan fields get a
+did-you-mean, empty domains and inverted ranges fail loudly), whose
+dict form round-trips exactly through JSON, and whose
+:meth:`~Tunable.content_hash` is stable across processes and sessions.
+
+Four kinds cover the plan's policy space:
+
+========== ======================================================
+kind       domain
+========== ======================================================
+categorical an explicit value list (LB policy, governor, C-states)
+int-range   ``low..high`` inclusive, with a stride (nodes, workers)
+float-range ``[low, high]`` with a fixed grid resolution
+bool        on/off knobs (SMT, turbo, tickless)
+========== ======================================================
+
+Fields are dotted plan paths (``hardware.server.smt``,
+``cluster.lb_policy``, ``workload.<param>``, ``graph``); see
+:data:`STATIC_FIELDS`.  Fields the search machinery itself owns --
+``load.qps`` (swept by the capacity objective) and the run-policy
+bookkeeping (``policy.runs``, seeds, sinks) -- are reserved and
+rejected with an explanation.
+"""
+
+from __future__ import annotations
+
+import difflib
+import random
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, List, Mapping, Tuple
+
+from repro.config.serialize import canonical_json, content_hash
+from repro.errors import SpecValidationError
+
+#: The seven hardware knobs a HardwareConfig exposes, by dict key.
+HARDWARE_KNOBS: Tuple[str, ...] = (
+    "cstates", "frequency_driver", "frequency_governor",
+    "turbo", "smt", "uncore", "tickless")
+
+#: Every statically-known tunable plan field.  ``workload.<param>``
+#: fields are also legal; the parameter name is validated against the
+#: workload registry when the space is bound to a plan.
+STATIC_FIELDS: Tuple[str, ...] = tuple(
+    [f"hardware.client.{knob}" for knob in HARDWARE_KNOBS]
+    + [f"hardware.server.{knob}" for knob in HARDWARE_KNOBS]
+    + ["policy.engine", "policy.workers",
+       "cluster.nodes", "cluster.replication", "cluster.shards",
+       "cluster.fanout", "cluster.quorum", "cluster.lb_policy",
+       "graph"])
+
+#: Plan fields the search machinery owns, with the reason each is
+#: off-limits to tunable definitions.
+RESERVED_FIELDS: Dict[str, str] = {
+    "load.qps": "the capacity objective sweeps load.qps itself",
+    "load.num_requests": "the search driver owns the per-trial "
+                         "request budget",
+    "policy.runs": "repetitions are an evaluator setting, not a "
+                   "tunable",
+    "policy.base_seed": "seeds are derived per condition; tuning "
+                        "them would break determinism",
+    "policy.label": "labels are derived from the candidate "
+                    "assignment",
+    "policy.sink": "the telemetry sink does not change capacity",
+    "policy.trace": "tracing is an observability toggle",
+    "policy.metrics": "metrics registration is an observability "
+                      "toggle",
+}
+
+
+def validate_field(field: str) -> str:
+    """Check *field* names a tunable plan path; did-you-mean on typos.
+
+    ``workload.<param>`` passes for any non-empty ``<param>`` -- the
+    parameter itself is checked against the workload registry when a
+    :class:`~repro.tune.space.SearchSpace` is bound to a plan.
+    """
+    name = str(field).strip()
+    if not name:
+        raise SpecValidationError("tunable field must be non-empty")
+    if name in RESERVED_FIELDS:
+        raise SpecValidationError(
+            f"field {name!r} is not tunable: {RESERVED_FIELDS[name]}")
+    if name in STATIC_FIELDS:
+        return name
+    if name.startswith("workload.") and name[len("workload."):]:
+        return name
+    candidates = list(STATIC_FIELDS) + ["workload.<param>"]
+    close = difflib.get_close_matches(name, candidates, n=1)
+    hint = f" -- did you mean {close[0]!r}?" if close else ""
+    raise SpecValidationError(
+        f"unknown tunable field {name!r}{hint}")
+
+
+def _freeze(value: Any) -> Any:
+    """Lists become tuples so values sit in frozen dataclasses."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    return value
+
+
+def thaw(value: Any) -> Any:
+    """Inverse of :func:`_freeze`: tuples back to JSON-shaped lists."""
+    if isinstance(value, tuple):
+        return [thaw(item) for item in value]
+    return value
+
+
+@dataclass(frozen=True)
+class Tunable:
+    """Base of every tunable: a display name bound to one plan field.
+
+    Attributes:
+        name: the tunable's handle in assignments and reports; the
+            CLI defaults it to the field path.
+        field: dotted plan path (see :data:`STATIC_FIELDS`).
+    """
+
+    name: str
+    field: str
+
+    KIND: ClassVar[str] = ""
+
+    def __post_init__(self) -> None:
+        if not str(self.name).strip():
+            raise SpecValidationError("tunable name must be non-empty")
+        object.__setattr__(self, "name", str(self.name).strip())
+        object.__setattr__(self, "field", validate_field(self.field))
+
+    # -- domain protocol (subclasses implement) ------------------------
+    def grid_values(self) -> Tuple[Any, ...]:
+        """The full (finite) value grid, in declaration order."""
+        raise NotImplementedError
+
+    def sample(self, rng: random.Random) -> Any:
+        """One value drawn from the domain with *rng*."""
+        raise NotImplementedError
+
+    def contains(self, value: Any) -> bool:
+        """True when *value* lies in the domain."""
+        raise NotImplementedError
+
+    def _payload(self) -> Dict[str, Any]:
+        """Kind-specific dict fields (subclasses implement)."""
+        raise NotImplementedError
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON form; exact inverse of :func:`as_tunable`."""
+        data: Dict[str, Any] = {
+            "kind": self.KIND, "name": self.name, "field": self.field}
+        data.update(self._payload())
+        return data
+
+    def content_hash(self) -> str:
+        """Stable identity of this tunable definition."""
+        return content_hash(self.to_dict())
+
+    def describe(self) -> str:
+        """One human line: name, field, domain."""
+        return (f"{self.name}: {self.field} "
+                f"[{self.KIND}] {self._domain_text()}")
+
+    def _domain_text(self) -> str:
+        values = ", ".join(
+            format_value(v) for v in self.grid_values())
+        return "{" + values + "}"
+
+
+@dataclass(frozen=True)
+class CategoricalTunable(Tunable):
+    """An explicit, ordered list of candidate values.
+
+    Values must be JSON-serializable (lists are stored as tuples and
+    thawed back on serialization); duplicates are rejected so the grid
+    size is honest.
+    """
+
+    values: Tuple[Any, ...] = ()
+
+    KIND: ClassVar[str] = "categorical"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        frozen = tuple(_freeze(v) for v in self.values)
+        if not frozen:
+            raise SpecValidationError(
+                f"tunable {self.name!r} needs at least one value")
+        try:
+            canonical_json([thaw(v) for v in frozen])
+        except (TypeError, ValueError) as exc:
+            raise SpecValidationError(
+                f"tunable {self.name!r} has a non-JSON value: {exc}"
+            ) from exc
+        seen: List[Any] = []
+        for value in frozen:
+            if value in seen:
+                raise SpecValidationError(
+                    f"tunable {self.name!r} repeats value "
+                    f"{format_value(value)!r}")
+            seen.append(value)
+        object.__setattr__(self, "values", frozen)
+
+    def grid_values(self) -> Tuple[Any, ...]:
+        return self.values
+
+    def sample(self, rng: random.Random) -> Any:
+        return self.values[rng.randrange(len(self.values))]
+
+    def contains(self, value: Any) -> bool:
+        return _freeze(value) in self.values
+
+    def _payload(self) -> Dict[str, Any]:
+        return {"values": [thaw(v) for v in self.values]}
+
+
+@dataclass(frozen=True)
+class BoolTunable(Tunable):
+    """An on/off knob; the grid is ``(False, True)``."""
+
+    KIND: ClassVar[str] = "bool"
+
+    def grid_values(self) -> Tuple[Any, ...]:
+        return (False, True)
+
+    def sample(self, rng: random.Random) -> Any:
+        return bool(rng.randrange(2))
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, bool)
+
+    def _payload(self) -> Dict[str, Any]:
+        return {}
+
+
+@dataclass(frozen=True)
+class IntRangeTunable(Tunable):
+    """Integers ``low..high`` inclusive, strided by ``step``."""
+
+    low: int = 0
+    high: int = 0
+    step: int = 1
+
+    KIND: ClassVar[str] = "int-range"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "low", int(self.low))
+        object.__setattr__(self, "high", int(self.high))
+        object.__setattr__(self, "step", int(self.step))
+        if self.step < 1:
+            raise SpecValidationError(
+                f"tunable {self.name!r}: step must be >= 1, "
+                f"got {self.step}")
+        if self.high < self.low:
+            raise SpecValidationError(
+                f"tunable {self.name!r}: empty range "
+                f"{self.low}..{self.high}")
+
+    def grid_values(self) -> Tuple[Any, ...]:
+        return tuple(range(self.low, self.high + 1, self.step))
+
+    def sample(self, rng: random.Random) -> Any:
+        grid = self.grid_values()
+        return grid[rng.randrange(len(grid))]
+
+    def contains(self, value: Any) -> bool:
+        return (isinstance(value, int) and not isinstance(value, bool)
+                and self.low <= value <= self.high
+                and (value - self.low) % self.step == 0)
+
+    def _payload(self) -> Dict[str, Any]:
+        return {"low": self.low, "high": self.high, "step": self.step}
+
+    def _domain_text(self) -> str:
+        stride = f"..{self.step}" if self.step != 1 else ""
+        return f"{self.low}..{self.high}{stride}"
+
+
+@dataclass(frozen=True)
+class FloatRangeTunable(Tunable):
+    """Floats in ``[low, high]``; the grid is ``points`` even steps.
+
+    Random search samples the continuous interval; grid search (and
+    successive halving's rung 0) uses the ``points``-long lattice.
+    """
+
+    low: float = 0.0
+    high: float = 0.0
+    points: int = 5
+
+    KIND: ClassVar[str] = "float-range"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "low", float(self.low))
+        object.__setattr__(self, "high", float(self.high))
+        object.__setattr__(self, "points", int(self.points))
+        if self.points < 2:
+            raise SpecValidationError(
+                f"tunable {self.name!r}: points must be >= 2, "
+                f"got {self.points}")
+        if self.high <= self.low:
+            raise SpecValidationError(
+                f"tunable {self.name!r}: empty range "
+                f"[{self.low}, {self.high}]")
+
+    def grid_values(self) -> Tuple[Any, ...]:
+        span = self.high - self.low
+        return tuple(
+            self.low + span * i / (self.points - 1)
+            for i in range(self.points))
+
+    def sample(self, rng: random.Random) -> Any:
+        return rng.uniform(self.low, self.high)
+
+    def contains(self, value: Any) -> bool:
+        return (isinstance(value, (int, float))
+                and not isinstance(value, bool)
+                and self.low <= float(value) <= self.high)
+
+    def _payload(self) -> Dict[str, Any]:
+        return {"low": self.low, "high": self.high,
+                "points": self.points}
+
+    def _domain_text(self) -> str:
+        return f"[{self.low:g}, {self.high:g}] x{self.points}"
+
+
+#: kind string -> tunable class, the :func:`as_tunable` dispatch.
+TUNABLE_KINDS: Dict[str, type] = {
+    CategoricalTunable.KIND: CategoricalTunable,
+    BoolTunable.KIND: BoolTunable,
+    IntRangeTunable.KIND: IntRangeTunable,
+    FloatRangeTunable.KIND: FloatRangeTunable,
+}
+
+#: Dict keys each kind accepts (strict: anything else is an error).
+_KIND_KEYS: Dict[str, Tuple[str, ...]] = {
+    "categorical": ("kind", "name", "field", "values"),
+    "bool": ("kind", "name", "field"),
+    "int-range": ("kind", "name", "field", "low", "high", "step"),
+    "float-range": ("kind", "name", "field", "low", "high", "points"),
+}
+
+
+def as_tunable(data: Mapping[str, Any]) -> Tunable:
+    """Rebuild a tunable from its dict form (strict keys, did-you-mean)."""
+    kind = str(data.get("kind", ""))
+    if kind not in TUNABLE_KINDS:
+        close = difflib.get_close_matches(
+            kind, list(TUNABLE_KINDS), n=1)
+        hint = f" -- did you mean {close[0]!r}?" if close else ""
+        raise SpecValidationError(
+            f"unknown tunable kind {kind!r}{hint}; expected one of: "
+            + ", ".join(sorted(TUNABLE_KINDS)))
+    allowed = _KIND_KEYS[kind]
+    unknown = sorted(set(data) - set(allowed))
+    if unknown:
+        hints = []
+        for key in unknown:
+            close = difflib.get_close_matches(key, allowed, n=1)
+            hints.append(f"{key!r}"
+                         + (f" (did you mean {close[0]!r}?)"
+                            if close else ""))
+        raise SpecValidationError(
+            f"unknown key(s) in {kind} tunable: " + ", ".join(hints))
+    for key in ("name", "field"):
+        if key not in data:
+            raise SpecValidationError(
+                f"{kind} tunable is missing {key!r}")
+    kwargs = {key: data[key] for key in allowed
+              if key != "kind" and key in data}
+    return TUNABLE_KINDS[kind](**kwargs)
+
+
+def format_value(value: Any) -> str:
+    """Canonical short text for one tunable value (labels, reports).
+
+    Booleans render ``on``/``off``, floats use ``%g``, lists/tuples
+    join with ``+`` -- compact enough for condition labels, stable
+    enough to key sensitivity groupings.
+    """
+    if isinstance(value, bool):
+        return "on" if value else "off"
+    if isinstance(value, float):
+        return f"{value:g}"
+    if isinstance(value, (list, tuple)):
+        return "+".join(format_value(v) for v in value)
+    return str(value)

@@ -171,3 +171,67 @@ class TestGraphStudy:
             tiny_graph_grid.result("memcached-cached", 999.0)
         with pytest.raises(ExperimentError):
             tiny_graph_grid.result("absent", 50_000.0)
+
+
+@pytest.fixture(scope="module")
+def rising_graph_grid():
+    """A graph grid whose p99 rises with load (saturating sweep)."""
+    return graph_study(
+        workload="memcached", graphs=("memcached-cached",),
+        qps_list=(1_000_000, 2_000_000), runs=3, num_requests=100,
+        base_seed=0)
+
+
+class TestGraphQosCapacityDelegation:
+    """qos_capacity delegates to capacity_under_qos (bugfix)."""
+
+    def test_matches_capacity_under_qos(self, tiny_graph_grid):
+        from repro.core.provisioning import capacity_under_qos
+
+        latency_by_qps = dict(
+            tiny_graph_grid.series("memcached-cached", "p99"))
+        for target in (200.0, 500.0, 1e9):
+            expected = capacity_under_qos(latency_by_qps, target,
+                                          metric="p99")
+            assert tiny_graph_grid.qos_capacity(
+                "memcached-cached", target_us=target) == \
+                expected.capacity_qps
+
+    def crossing_target(self, grid):
+        series = dict(grid.series("memcached-cached", "p99"))
+        low, high = sorted(series)
+        target = (series[low] + series[high]) / 2.0
+        # The sweep saturates, so the target sits strictly between
+        # the two measured latencies -- a crossing exists.
+        assert series[low] < target < series[high]
+        return low, high, target
+
+    def test_capacity_result_exposes_interpolated_crossing(
+            self, rising_graph_grid):
+        low, high, target = self.crossing_target(rising_graph_grid)
+        result = rising_graph_grid.capacity_result(
+            "memcached-cached", target, interpolate=True)
+        assert result.capacity_qps == low
+        assert result.violated_at_qps == high
+        assert result.interpolated_capacity_qps is not None
+        assert low < result.interpolated_capacity_qps < high
+        # And qos_capacity(interpolate=True) reports it.
+        assert rising_graph_grid.qos_capacity(
+            "memcached-cached", target_us=target,
+            interpolate=True) == result.interpolated_capacity_qps
+
+    def test_interpolation_stays_opt_in(self, rising_graph_grid):
+        low, _, target = self.crossing_target(rising_graph_grid)
+        assert rising_graph_grid.qos_capacity(
+            "memcached-cached", target_us=target) == low
+
+    def test_capacity_renderer_produces_rows(self, rising_graph_grid):
+        from repro.analysis import render_graph_capacity
+
+        _, _, target = self.crossing_target(rising_graph_grid)
+        text = render_graph_capacity(rising_graph_grid, target)
+        assert "memcached-cached" in text
+        assert "interp" in text
+        # Sweep-limited target: no crossing to interpolate.
+        unconstrained = render_graph_capacity(rising_graph_grid, 1e9)
+        assert "-" in unconstrained

@@ -124,3 +124,66 @@ class TestCapacityInterpolation:
             violated_at_qps=result.violated_at_qps)
         plan = provisioning_plan(100_000.0, refined)
         assert plan.machines == 4  # vs 5 from the coarse 20k grid point
+
+
+class TestProvisioningUsesInterpolatedCapacity:
+    """provisioning_plan routes through best_capacity_qps (bugfix)."""
+
+    SWEEP = {10_000.0: 100.0, 20_000.0: 200.0, 30_000.0: 400.0}
+
+    def interpolated(self):
+        return capacity_under_qos(
+            self.SWEEP, qos_target_us=300.0, interpolate=True)
+
+    def test_interpolated_crossing_sizes_the_fleet_by_default(self):
+        plan = provisioning_plan(100_000.0, self.interpolated())
+        # 25k interpolated capacity -> 4 machines, not 5 from the
+        # coarse 20k grid point.
+        assert plan.machines == 4
+        assert plan.per_machine_qps == pytest.approx(25_000.0)
+
+    def test_per_machine_qps_reflects_value_actually_used(self):
+        result = self.interpolated()
+        default = provisioning_plan(100_000.0, result)
+        assert default.per_machine_qps == result.best_capacity_qps
+        pinned = provisioning_plan(100_000.0, result,
+                                   use_interpolated=False)
+        assert pinned.per_machine_qps == result.capacity_qps
+
+    def test_escape_hatch_restores_grid_sizing(self):
+        plan = provisioning_plan(100_000.0, self.interpolated(),
+                                 use_interpolated=False)
+        assert plan.machines == 5
+        assert plan.per_machine_qps == 20_000.0
+
+    def test_no_crossing_means_no_behavior_change(self):
+        sweep_limited = capacity_under_qos(
+            {10_000.0: 100.0, 20_000.0: 200.0}, qos_target_us=300.0,
+            interpolate=True)
+        assert sweep_limited.interpolated_capacity_qps is None
+        default = provisioning_plan(50_000.0, sweep_limited)
+        pinned = provisioning_plan(50_000.0, sweep_limited,
+                                   use_interpolated=False)
+        assert default == pinned
+
+    def test_zero_selected_capacity_rejected_either_way(self):
+        all_violate = capacity_under_qos(
+            {10_000.0: 900.0}, qos_target_us=300.0, interpolate=True)
+        with pytest.raises(ExperimentError):
+            provisioning_plan(50_000.0, all_violate)
+        with pytest.raises(ExperimentError):
+            provisioning_plan(50_000.0, all_violate,
+                              use_interpolated=False)
+
+    def test_provisioning_error_threads_the_flag(self):
+        lp = capacity_under_qos(
+            {200e3: 300.0, 300e3: 500.0}, 400.0, interpolate=True)
+        hp = capacity_under_qos(
+            {400e3: 300.0, 500e3: 500.0}, 400.0, interpolate=True)
+        # Interpolated: LP 250k, HP 450k -> 4 vs 3 machines at 1M.
+        interp = provisioning_error({"LP": lp, "HP": hp}, 1_000_000.0)
+        assert interp == {"HP": 1.0, "LP": pytest.approx(4 / 3)}
+        # Grid-pinned: LP 200k, HP 400k -> 5 vs 3 machines.
+        grid = provisioning_error({"LP": lp, "HP": hp}, 1_000_000.0,
+                                  use_interpolated=False)
+        assert grid == {"HP": 1.0, "LP": pytest.approx(5 / 3)}

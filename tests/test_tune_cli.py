@@ -1,0 +1,204 @@
+"""Tests for the ``repro autotune`` verb and its CLI glue."""
+
+import json
+
+import pytest
+
+from repro.cli import _build_parser, main
+from repro.errors import SpecValidationError
+from repro.tune import (
+    BoolTunable,
+    CategoricalTunable,
+    FloatRangeTunable,
+    IntRangeTunable,
+)
+from repro.tune.cli import parse_tunable_option, space_from_tunable_args
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestTunableOptionParsing:
+    def test_bool_shorthand(self):
+        tunable = parse_tunable_option("hardware.server.smt=bool")
+        assert isinstance(tunable, BoolTunable)
+        assert tunable.field == "hardware.server.smt"
+
+    def test_categorical_list(self):
+        tunable = parse_tunable_option(
+            "cluster.lb_policy=round-robin,least-loaded")
+        assert isinstance(tunable, CategoricalTunable)
+        assert tunable.values == ("round-robin", "least-loaded")
+
+    def test_categorical_atoms_are_typed(self):
+        tunable = parse_tunable_option("cluster.quorum=1,2,3")
+        assert tunable.values == (1, 2, 3)
+        cstates = parse_tunable_option(
+            "hardware.server.cstates=C1,C1+C1E")
+        assert cstates.values == ("C1", ("C1", "C1E"))
+
+    def test_int_range_with_stride(self):
+        tunable = parse_tunable_option("cluster.nodes=1..8..2")
+        assert isinstance(tunable, IntRangeTunable)
+        assert tunable.grid_values() == (1, 3, 5, 7)
+
+    def test_float_range_with_points(self):
+        tunable = parse_tunable_option(
+            "workload.added_delay_us=0.0..100.0..3")
+        assert isinstance(tunable, FloatRangeTunable)
+        assert tunable.grid_values() == (0.0, 50.0, 100.0)
+
+    def test_malformed_option_rejected(self):
+        with pytest.raises(SpecValidationError, match="FIELD=SPEC"):
+            parse_tunable_option("no-equals-sign")
+        with pytest.raises(SpecValidationError, match="FIELD=SPEC"):
+            parse_tunable_option("=bool")
+        with pytest.raises(SpecValidationError, match="range"):
+            parse_tunable_option("cluster.nodes=1..2..3..4")
+
+    def test_field_typo_fails_with_did_you_mean(self):
+        with pytest.raises(SpecValidationError,
+                           match="did you mean 'hardware.server.smt'"):
+            parse_tunable_option("hardware.server.smtX=bool")
+
+    def test_empty_option_list_rejected(self):
+        with pytest.raises(SpecValidationError, match="--tunable"):
+            space_from_tunable_args([])
+
+
+class TestVerbCoexistence:
+    def test_tune_and_autotune_both_registered(self):
+        parser = _build_parser()
+        tune = parser.parse_args(["tune"])
+        assert tune.command == "tune"
+        autotune = parser.parse_args(
+            ["autotune", "--tunable", "hardware.server.smt=bool"])
+        assert autotune.command == "autotune"
+        assert autotune.tunable == ["hardware.server.smt=bool"]
+
+    def test_help_texts_cross_reference(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["tune", "--help"])
+        tune_help = capsys.readouterr().out
+        assert "repro autotune" in tune_help
+        with pytest.raises(SystemExit):
+            main(["autotune", "--help"])
+        autotune_help = capsys.readouterr().out
+        assert "repro tune" in autotune_help
+
+
+class TestPlanTunableValidation:
+    def test_typo_rejected_before_anything_executes(self, capsys):
+        code, out, err = run_cli(
+            capsys, "plan", "--workload", "memcached",
+            "--qps", "50000",
+            "--tunable", "hardware.server.smtX=bool")
+        assert code == 1
+        assert "did you mean 'hardware.server.smt'" in err
+        # Validation failed before campaign expansion printed anything.
+        assert "campaign" not in out
+
+    def test_valid_space_summarized_in_dry_run(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "plan", "--workload", "memcached",
+            "--qps", "50000",
+            "--tunable", "hardware.server.smt=bool",
+            "--tunable",
+            "hardware.server.frequency_governor=powersave,performance")
+        assert code == 0
+        assert "tunable space (4 candidates)" in out
+        assert "nothing executed" in out
+
+    def test_reserved_field_rejected_with_reason(self, capsys):
+        code, _, err = run_cli(
+            capsys, "plan", "--workload", "memcached",
+            "--qps", "50000", "--tunable", "load.qps=1..2")
+        assert code == 1
+        assert "sweeps load.qps itself" in err
+
+
+class TestAutotuneEndToEnd:
+    def autotune(self, capsys, tmp_path, *extra):
+        return run_cli(
+            capsys, "autotune",
+            "--tunable", "hardware.server.smt=bool",
+            "--tunable",
+            "hardware.server.frequency_governor=powersave,performance",
+            "--qps", "400000", "800000", "1200000",
+            "--requests", "120", "--runs", "2", "--seed", "7",
+            "--store", str(tmp_path / "tune.sqlite"), "--quiet",
+            *extra)
+
+    def test_grid_finds_performance_governor(self, capsys, tmp_path):
+        code, out, _ = self.autotune(capsys, tmp_path)
+        assert code == 0
+        assert "best:" in out
+        assert "frequency_governor = performance" in out
+        assert "sensitivity" in out
+        assert "store:" in out
+
+    def test_rerun_is_pure_cache_hits(self, capsys, tmp_path):
+        self.autotune(capsys, tmp_path)
+        code, out, _ = self.autotune(capsys, tmp_path)
+        assert code == 0
+        assert "12 cached, 0 executed" in out
+
+    def test_json_report_written(self, capsys, tmp_path):
+        report = tmp_path / "report.json"
+        code, out, _ = self.autotune(capsys, tmp_path,
+                                     "--json", str(report))
+        assert code == 0
+        data = json.loads(report.read_text())
+        assert data["driver"] == "grid"
+        assert data["best"]["assignment"][
+            "hardware.server.frequency_governor"] == "performance"
+        assert len(data["trials"]) == 4
+        assert data["charged_requests"] <= data["declared_budget"]
+        assert "sensitivity" in data
+
+    def test_halving_driver_runs(self, capsys, tmp_path):
+        code, out, _ = self.autotune(capsys, tmp_path,
+                                     "--search", "halving",
+                                     "--budget0", "60")
+        assert code == 0
+        assert "autotune [halving]" in out
+        assert "rung" in out
+
+    def test_no_store_disables_memoization(self, capsys, tmp_path):
+        code, out, _ = self.autotune(capsys, tmp_path, "--no-store")
+        assert code == 0
+        assert "store:" not in out
+        assert "0 cached, 12 executed" in out
+
+    def test_space_file_round_trip(self, capsys, tmp_path):
+        from repro.tune import SearchSpace
+
+        space = SearchSpace(tunables=(
+            BoolTunable(name="smt", field="hardware.server.smt"),))
+        space_file = tmp_path / "space.json"
+        space_file.write_text(space.to_json())
+        code, out, _ = run_cli(
+            capsys, "autotune", "--space", str(space_file),
+            "--qps", "400000", "--requests", "60", "--runs", "1",
+            "--store", str(tmp_path / "s.sqlite"), "--quiet")
+        assert code == 0
+        assert "best:" in out
+
+    def test_bad_tunable_fails_cleanly(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "autotune", "--tunable", "nonsense=bool",
+            "--store", str(tmp_path / "x.sqlite"))
+        assert code == 1
+        assert "unknown tunable field" in err
+
+    def test_progress_lines_unless_quiet(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys, "autotune",
+            "--tunable", "hardware.server.smt=bool",
+            "--qps", "400000", "--requests", "60", "--runs", "1",
+            "--store", str(tmp_path / "p.sqlite"))
+        assert code == 0
+        assert "[1/2]" in out and "[2/2]" in out

@@ -1,0 +1,290 @@
+"""Tests for the autotuner's tunable schema and search space."""
+
+import json
+import random
+
+import pytest
+
+from repro.api import experiment
+from repro.errors import SpecValidationError
+from repro.tune import (
+    BoolTunable,
+    CategoricalTunable,
+    FloatRangeTunable,
+    IntRangeTunable,
+    SearchSpace,
+    as_tunable,
+    validate_field,
+)
+from repro.tune.tunables import format_value
+
+
+def bool_smt():
+    return BoolTunable(name="smt", field="hardware.server.smt")
+
+
+def cat_gov():
+    return CategoricalTunable(
+        name="gov", field="hardware.server.frequency_governor",
+        values=("powersave", "performance"))
+
+
+class TestFieldValidation:
+    def test_static_fields_pass(self):
+        assert validate_field("hardware.server.smt") == \
+            "hardware.server.smt"
+        assert validate_field("cluster.lb_policy") == "cluster.lb_policy"
+        assert validate_field("policy.engine") == "policy.engine"
+        assert validate_field("graph") == "graph"
+
+    def test_workload_params_pass(self):
+        assert validate_field("workload.value_size") == \
+            "workload.value_size"
+
+    def test_typo_gets_did_you_mean(self):
+        with pytest.raises(SpecValidationError,
+                           match="did you mean 'hardware.server.smt'"):
+            validate_field("hardware.server.smtX")
+
+    def test_reserved_fields_rejected_with_reason(self):
+        with pytest.raises(SpecValidationError,
+                           match="sweeps load.qps itself"):
+            validate_field("load.qps")
+        with pytest.raises(SpecValidationError, match="not tunable"):
+            validate_field("policy.base_seed")
+
+    def test_empty_field_rejected(self):
+        with pytest.raises(SpecValidationError):
+            validate_field("")
+        with pytest.raises(SpecValidationError):
+            validate_field("workload.")
+
+
+class TestTunableKinds:
+    def test_bool_grid(self):
+        assert bool_smt().grid_values() == (False, True)
+        assert bool_smt().contains(True)
+        assert not bool_smt().contains(1)
+
+    def test_categorical_rejects_empty_and_duplicates(self):
+        with pytest.raises(SpecValidationError, match="at least one"):
+            CategoricalTunable(name="g", field="policy.engine",
+                               values=())
+        with pytest.raises(SpecValidationError, match="repeats"):
+            CategoricalTunable(name="g", field="policy.engine",
+                               values=("reference", "reference"))
+
+    def test_categorical_freezes_list_values(self):
+        cstates = CategoricalTunable(
+            name="cs", field="hardware.server.cstates",
+            values=(["C1"], ["C1", "C1E"]))
+        assert cstates.values == (("C1",), ("C1", "C1E"))
+        assert cstates.contains(["C1", "C1E"])
+        assert not cstates.contains(["C6"])
+
+    def test_int_range_inclusive_stride(self):
+        nodes = IntRangeTunable(name="n", field="cluster.nodes",
+                                low=1, high=7, step=2)
+        assert nodes.grid_values() == (1, 3, 5, 7)
+        assert nodes.contains(5)
+        assert not nodes.contains(4)
+        assert not nodes.contains(True)
+
+    def test_int_range_rejects_inverted_and_bad_step(self):
+        with pytest.raises(SpecValidationError, match="empty range"):
+            IntRangeTunable(name="n", field="cluster.nodes",
+                            low=5, high=1)
+        with pytest.raises(SpecValidationError, match="step"):
+            IntRangeTunable(name="n", field="cluster.nodes",
+                            low=1, high=5, step=0)
+
+    def test_float_range_lattice(self):
+        size = FloatRangeTunable(name="v", field="workload.value_size",
+                                 low=0.0, high=1.0, points=5)
+        assert size.grid_values() == (0.0, 0.25, 0.5, 0.75, 1.0)
+        assert size.contains(0.3)
+        assert not size.contains(1.5)
+
+    def test_float_range_rejects_degenerate(self):
+        with pytest.raises(SpecValidationError, match="empty range"):
+            FloatRangeTunable(name="v", field="workload.value_size",
+                              low=1.0, high=1.0)
+        with pytest.raises(SpecValidationError, match="points"):
+            FloatRangeTunable(name="v", field="workload.value_size",
+                              low=0.0, high=1.0, points=1)
+
+    def test_sample_stays_in_domain(self):
+        rng = random.Random(3)
+        for tunable in (bool_smt(), cat_gov(),
+                        IntRangeTunable(name="n", field="cluster.nodes",
+                                        low=1, high=8),
+                        FloatRangeTunable(name="v",
+                                          field="workload.value_size",
+                                          low=2.0, high=9.0)):
+            for _ in range(20):
+                assert tunable.contains(tunable.sample(rng))
+
+
+class TestTunableSerialization:
+    ALL = [
+        lambda: bool_smt(),
+        lambda: cat_gov(),
+        lambda: IntRangeTunable(name="n", field="cluster.nodes",
+                                low=1, high=8, step=1),
+        lambda: FloatRangeTunable(name="v", field="workload.value_size",
+                                  low=2.0, high=9.0, points=3),
+    ]
+
+    @pytest.mark.parametrize("make", ALL)
+    def test_exact_json_round_trip(self, make):
+        tunable = make()
+        data = json.loads(json.dumps(tunable.to_dict()))
+        assert as_tunable(data) == tunable
+        assert as_tunable(data).to_dict() == tunable.to_dict()
+
+    @pytest.mark.parametrize("make", ALL)
+    def test_content_hash_stable(self, make):
+        assert make().content_hash() == make().content_hash()
+
+    def test_hash_changes_with_domain(self):
+        wide = IntRangeTunable(name="n", field="cluster.nodes",
+                               low=1, high=8)
+        narrow = IntRangeTunable(name="n", field="cluster.nodes",
+                                 low=1, high=4)
+        assert wide.content_hash() != narrow.content_hash()
+
+    def test_unknown_kind_gets_did_you_mean(self):
+        with pytest.raises(SpecValidationError,
+                           match="did you mean 'categorical'"):
+            as_tunable({"kind": "categoricl", "name": "g",
+                        "field": "policy.engine", "values": ["a"]})
+
+    def test_unknown_key_gets_did_you_mean(self):
+        with pytest.raises(SpecValidationError,
+                           match="did you mean 'values'"):
+            as_tunable({"kind": "categorical", "name": "g",
+                        "field": "policy.engine", "vales": ["a"]})
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(SpecValidationError, match="missing 'name'"):
+            as_tunable({"kind": "bool", "field": "hardware.server.smt"})
+
+
+class TestFormatValue:
+    def test_canonical_texts(self):
+        assert format_value(True) == "on"
+        assert format_value(False) == "off"
+        assert format_value(0.25) == "0.25"
+        assert format_value(("C1", "C1E")) == "C1+C1E"
+        assert format_value("performance") == "performance"
+
+
+class TestSearchSpace:
+    def space(self):
+        return SearchSpace(tunables=(bool_smt(), cat_gov()))
+
+    def test_grid_is_product_in_declaration_order(self):
+        grid = self.space().grid()
+        assert len(grid) == 4
+        # Last tunable fastest, declaration order preserved.
+        assert grid[0] == {"smt": False, "gov": "powersave"}
+        assert grid[1] == {"smt": False, "gov": "performance"}
+        assert grid[2] == {"smt": True, "gov": "powersave"}
+        assert grid[3] == {"smt": True, "gov": "performance"}
+
+    def test_size_matches_grid(self):
+        assert self.space().size() == len(self.space().grid())
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(SpecValidationError, match="at least one"):
+            SearchSpace(tunables=())
+
+    def test_duplicate_names_and_fields_rejected(self):
+        with pytest.raises(SpecValidationError, match="duplicate"):
+            SearchSpace(tunables=(bool_smt(), bool_smt()))
+        with pytest.raises(SpecValidationError, match="duplicate"):
+            SearchSpace(tunables=(
+                bool_smt(),
+                BoolTunable(name="other", field="hardware.server.smt")))
+
+    def test_assignment_validation(self):
+        space = self.space()
+        with pytest.raises(SpecValidationError, match="missing"):
+            space.validate_assignment({"smt": True})
+        with pytest.raises(SpecValidationError, match="unknown"):
+            space.validate_assignment(
+                {"smt": True, "gov": "powersave", "x": 1})
+        with pytest.raises(SpecValidationError, match="outside"):
+            space.validate_assignment(
+                {"smt": True, "gov": "schedutil"})
+
+    def test_apply_builds_validated_candidate(self):
+        plan = experiment("memcached").client("LP").build()
+        candidate = self.space().apply(
+            plan, {"smt": True, "gov": "performance"})
+        assert candidate.hardware.server.smt is True
+        assert candidate.hardware.server.frequency_governor.value == \
+            "performance"
+        # Untouched sections survive.
+        assert candidate.workload == plan.workload
+        assert candidate.load == plan.load
+
+    def test_apply_does_not_mutate_base_plan(self):
+        plan = experiment("memcached").client("LP").build()
+        before = plan.content_hash()
+        self.space().apply(plan, {"smt": True, "gov": "performance"})
+        assert plan.content_hash() == before
+
+    def test_workload_param_routes_through_registry(self):
+        space = SearchSpace(tunables=(
+            IntRangeTunable(name="delay",
+                            field="workload.added_delay_us",
+                            low=0, high=100, step=50),))
+        plan = experiment("synthetic").client("LP").build()
+        candidate = space.apply(plan, {"delay": 100})
+        assert dict(candidate.workload.params)["added_delay_us"] == 100
+
+    def test_bad_workload_param_fails_at_plan_layer(self):
+        space = SearchSpace(tunables=(
+            IntRangeTunable(name="vs", field="workload.not_a_param",
+                            low=1, high=2),))
+        plan = experiment("synthetic").client("LP").build()
+        with pytest.raises(SpecValidationError):
+            space.validate_against(plan)
+
+    def test_graph_preset_candidates(self):
+        space = SearchSpace(tunables=(
+            CategoricalTunable(
+                name="topo", field="graph",
+                values=("hdsearch-graph", "memcached-cached")),))
+        plan = experiment("memcached").client("LP").build()
+        candidate = space.apply(plan, {"topo": "memcached-cached"})
+        assert candidate.graph is not None
+        space.validate_against(plan)
+
+    def test_cluster_field_materializes_section(self):
+        space = SearchSpace(tunables=(
+            IntRangeTunable(name="n", field="cluster.nodes",
+                            low=1, high=4),))
+        plan = experiment("memcached").client("LP").build()
+        candidate = space.apply(plan, {"n": 4})
+        assert candidate.cluster is not None
+        assert candidate.cluster.nodes == 4
+
+    def test_space_json_round_trip_and_hash(self):
+        space = self.space()
+        again = SearchSpace.from_json(space.to_json())
+        assert again == space
+        assert again.content_hash() == space.content_hash()
+
+    def test_space_rejects_unknown_keys(self):
+        with pytest.raises(SpecValidationError, match="unknown key"):
+            SearchSpace.from_dict({"tunables": [], "extra": 1})
+
+    def test_assignment_key_is_name_ordered(self):
+        space = self.space()
+        forward = space.assignment_key(
+            {"smt": True, "gov": "powersave"})
+        reversed_insert = space.assignment_key(
+            dict([("gov", "powersave"), ("smt", True)]))
+        assert forward == reversed_insert
